@@ -1,0 +1,78 @@
+"""Ablation: delay-based congestion control for remote-memory traffic.
+
+The paper lists "congestion control ... at the network" (citing Swift)
+among the QoS mechanisms a beyond-rack deployment needs.  This
+ablation compares fixed hardware windows against the Swift-style
+controller on a shared bottleneck:
+
+* **fixed windows** — every borrower keeps its full 128-deep window:
+  queueing delay explodes linearly with tenant count;
+* **Swift windows** — controllers converge so that shared-path RTT
+  holds near the target while aggregate throughput stays at the
+  bottleneck's capacity, and late joiners obtain fair shares.
+"""
+
+import numpy as np
+
+from repro.calibration import paper_cluster_config
+from repro.engine.model import PathModel
+from repro.net.congestion import (
+    SharedBottleneck,
+    SwiftController,
+    run_congestion_epochs,
+)
+from repro.units import US, microseconds
+
+N_FLOWS = 16
+TARGET_RTT = microseconds(10)
+
+
+def _plant() -> SharedBottleneck:
+    model = PathModel.from_config(paper_cluster_config(period=1))
+    return SharedBottleneck(
+        base_rtt_ps=model.base_latency,
+        service_ps_per_line=round(model.link_interval(0.0)),
+    )
+
+
+def test_ablation_congestion_control(benchmark):
+    def run():
+        plant = _plant()
+        # Fixed: everyone keeps the full hardware window.
+        fixed_outstanding = N_FLOWS * 128
+        fixed_rtt = plant.rtt_for_load(fixed_outstanding)
+        fixed_throughput = plant.throughput_lines_per_s(fixed_outstanding)
+        # Swift: co-evolved windows.
+        flows = [
+            SwiftController(
+                target_rtt_ps=TARGET_RTT, flow_scaling_ps=microseconds(4)
+            )
+            for _ in range(N_FLOWS)
+        ]
+        out = run_congestion_epochs(flows, plant, n_epochs=1000)
+        tail_windows = out["windows"][-200:].mean(axis=0)
+        tail_rtt = float(np.median(out["rtts"][-200:]))
+        swift_throughput = plant.throughput_lines_per_s(float(tail_windows.sum()))
+        return {
+            "fixed": {"rtt_us": fixed_rtt / US, "gbs": fixed_throughput * 128 / 1e9},
+            "swift": {
+                "rtt_us": tail_rtt / US,
+                "gbs": swift_throughput * 128 / 1e9,
+                "window_spread": float(tail_windows.max() / tail_windows.min()),
+            },
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'scheme':>8}{'shared RTT (us)':>17}{'aggregate GB/s':>16}")
+    print(f"{'fixed':>8}{rows['fixed']['rtt_us']:>17.2f}{rows['fixed']['gbs']:>16.2f}")
+    print(f"{'swift':>8}{rows['swift']['rtt_us']:>17.2f}{rows['swift']['gbs']:>16.2f}")
+    print(f"  swift steady-state window spread: {rows['swift']['window_spread']:.2f}x")
+    benchmark.extra_info["rows"] = rows
+
+    # CC cuts shared-path RTT several-fold ...
+    assert rows["swift"]["rtt_us"] < 0.5 * rows["fixed"]["rtt_us"]
+    # ... while keeping most of the bottleneck's throughput ...
+    assert rows["swift"]["gbs"] > 0.8 * rows["fixed"]["gbs"]
+    # ... and sharing it fairly.
+    assert rows["swift"]["window_spread"] < 1.5

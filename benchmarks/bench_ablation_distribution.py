@@ -1,0 +1,14 @@
+"""Bench wrapper: constant vs distribution-driven injection.
+
+See :mod:`repro.experiments.ablations.distribution` (also runnable via
+``python -m repro run ablation-dist``).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import distribution
+
+
+def test_ablation_delay_distributions(benchmark):
+    result = run_and_report(benchmark, distribution.run)
+    tails = {row[0]: row[3] for row in result.rows}  # p99 by distribution
+    benchmark.extra_info["p99_us"] = tails

@@ -1,0 +1,13 @@
+"""Bench wrapper: link blackout survive/crash boundary.
+
+See :mod:`repro.experiments.ablations.blackout` (also runnable via
+``python -m repro run ablation-blackout``).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import blackout
+
+
+def test_ablation_link_blackouts(benchmark):
+    result = run_and_report(benchmark, blackout.run)
+    benchmark.extra_info["outcomes"] = {row[0]: row[1] for row in result.rows}

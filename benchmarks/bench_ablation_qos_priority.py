@@ -1,0 +1,13 @@
+"""Bench wrapper: NIC packet prioritization on the live DES.
+
+See :mod:`repro.experiments.ablations.qos_priority` (also runnable via
+``python -m repro run ablation-qos``).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import qos_priority
+
+
+def test_ablation_qos_priority(benchmark):
+    result = run_and_report(benchmark, qos_priority.run)
+    benchmark.extra_info["probe_p50_us"] = {row[0]: row[1] for row in result.rows}

@@ -1,0 +1,74 @@
+"""Ablation: beyond-rack switched fabric vs point-to-point links.
+
+The paper motivates its whole study with the move from dedicated
+cables to "a network shared between multiple borrower-lender node
+pairs [that] can include intermediate switches" (section II-A/B).
+This ablation builds both topologies from the network substrate and
+drives identical request bursts through them, measuring the
+congestion-induced completion-time inflation when flows collide on a
+shared switch egress.
+"""
+
+import numpy as np
+
+from repro.config import LinkConfig
+from repro.net import DuplexLink, Fabric
+from repro.nic.packet import HEADER_BYTES
+from repro.units import US
+
+LINE = 128
+BURST = 2000  # read responses per borrower (the heavy direction)
+RESP_BYTES = HEADER_BYTES + LINE
+
+
+def _p2p_completion(n_pairs: int) -> float:
+    """Each pair has its own cable: completion of one pair's burst."""
+    link = DuplexLink(LinkConfig())
+    done = 0
+    for _ in range(BURST):
+        done = link.reverse.transmit(RESP_BYTES, at=0)
+    return done / US
+
+
+def _fabric_completion(n_pairs: int, shared_lender: bool) -> float:
+    """Pairs traverse one switch; optionally all target one lender."""
+    fabric = Fabric(LinkConfig())
+    fabric.add_switch("sw")
+    for i in range(n_pairs):
+        fabric.add_node(f"b{i}")
+        fabric.connect(f"b{i}", "sw")
+    n_lenders = 1 if shared_lender else n_pairs
+    for j in range(n_lenders):
+        fabric.add_node(f"l{j}")
+        fabric.connect(f"l{j}", "sw")
+    finish = np.zeros(n_pairs)
+    # Interleave bursts so the switch sees concurrent flows.
+    for k in range(BURST):
+        for i in range(n_pairs):
+            lender = "l0" if shared_lender else f"l{i}"
+            finish[i] = fabric.transmit(RESP_BYTES, lender, f"b{i}", at=0)
+    return float(finish.max()) / US
+
+
+def test_ablation_switched_fabric(benchmark):
+    n_pairs = 4
+
+    def run():
+        return {
+            "point_to_point": _p2p_completion(n_pairs),
+            "switched_distinct_lenders": _fabric_completion(n_pairs, shared_lender=False),
+            "switched_shared_lender": _fabric_completion(n_pairs, shared_lender=True),
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'topology':>28}{'burst_completion_us':>22}")
+    for name, value in rows.items():
+        print(f"{name:>28}{value:>22.2f}")
+    benchmark.extra_info["rows"] = rows
+
+    # Distinct lenders through a switch: no shared egress, so only the
+    # per-hop store-and-forward cost separates it from p2p (< 2.2x).
+    assert rows["switched_distinct_lenders"] < 2.2 * rows["point_to_point"]
+    # A shared lender's switch egress port serializes all four flows.
+    assert rows["switched_shared_lender"] > 3 * rows["switched_distinct_lenders"]

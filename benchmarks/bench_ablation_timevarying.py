@@ -1,0 +1,13 @@
+"""Bench wrapper: delay varying within a run (square-wave schedule).
+
+See :mod:`repro.experiments.ablations.timevarying` (also runnable via
+``python -m repro run ablation-wave``).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.ablations import timevarying
+
+
+def test_ablation_time_varying_delay(benchmark):
+    result = run_and_report(benchmark, timevarying.run)
+    benchmark.extra_info["jct_ms"] = {row[0]: row[1] for row in result.rows}

@@ -1,0 +1,93 @@
+"""Microbenchmarks of the simulator's own hot paths.
+
+Unlike the figure benches (run-once experiment regenerations), these
+measure the engine's throughput with real pytest-benchmark statistics,
+guarding against performance regressions in the DES kernel, the
+injector gate, the cache model, and the BFS kernel.
+"""
+
+import numpy as np
+
+from repro.axi import SlotGate
+from repro.calibration import paper_cluster_config
+from repro.config import CacheConfig
+from repro.engine import AccessPhase, DesPhaseDriver, PhaseProgram
+from repro.mem.cache import SetAssociativeCache
+from repro.node.cluster import ThymesisFlowSystem
+from repro.sim import Simulator, Timeout
+from repro.workloads.graph500 import build_csr, kronecker_edges
+from repro.workloads.graph500.bfs import bfs
+
+
+def test_microbench_event_kernel(benchmark):
+    """Raw event scheduling/dispatch rate of the DES kernel."""
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(10_000):
+                yield Timeout(sim, 1)
+
+        sim.process(proc())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+def test_microbench_slot_gate(benchmark):
+    """Reservation arithmetic of the injector gate (O(1) per txn)."""
+    gate = SlotGate(interval=3125)
+
+    def run():
+        t = 0
+        for _ in range(10_000):
+            t = gate.reserve(t)
+        return t
+
+    benchmark(run)
+
+
+def test_microbench_remote_transactions(benchmark):
+    """End-to-end DES remote transactions per second."""
+
+    def run():
+        system = ThymesisFlowSystem(paper_cluster_config(period=4))
+        system.attach_or_raise()
+        program = PhaseProgram("w").add(
+            AccessPhase("p", n_lines=5000, concurrency=128, write_fraction=0.5)
+        )
+        return DesPhaseDriver(system, program).run_to_completion().lines
+
+    lines = benchmark(run)
+    assert lines == 5000
+
+
+def test_microbench_cache_trace(benchmark):
+    """Trace-driven cache simulation rate."""
+    cache = SetAssociativeCache(CacheConfig(size_bytes=64 * 1024, associativity=8))
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 24, size=20_000, dtype=np.int64)
+
+    def run():
+        return cache.access_trace(addrs)
+
+    hits = benchmark(run)
+    assert hits.shape == addrs.shape
+
+
+def test_microbench_bfs(benchmark):
+    """Vectorized BFS traversal rate on a scale-12 Kronecker graph."""
+    rng = np.random.default_rng(1)
+    edges = kronecker_edges(12, 16, rng)
+    graph = build_csr(edges, 1 << 12)
+    degrees = np.diff(graph.xadj)
+    root = int(np.argmax(degrees))
+
+    def run():
+        return bfs(graph, root).edges_traversed
+
+    edges_traversed = benchmark(run)
+    assert edges_traversed > 0

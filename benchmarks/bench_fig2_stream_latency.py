@@ -1,0 +1,16 @@
+"""Figure 2 bench: STREAM latency vs PERIOD on the DES testbed.
+
+Paper series: latency 1.2-150 us across the sweep, linear in PERIOD.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.analysis.stats import linear_correlation
+from repro.experiments import fig2_stream_latency
+
+
+def test_fig2_stream_latency(benchmark):
+    result = run_and_report(benchmark, fig2_stream_latency.run, mode="des")
+    periods = [row[0] for row in result.rows]
+    latencies = [row[1] for row in result.rows]
+    benchmark.extra_info["latency_range_us"] = (min(latencies), max(latencies))
+    benchmark.extra_info["pearson_r"] = linear_correlation(periods, latencies)

@@ -1,0 +1,14 @@
+"""Figure 3 bench: STREAM bandwidth vs PERIOD; BDP constancy.
+
+Paper series: bandwidth collapses with delay while the bandwidth-delay
+product stays ~16.5 kB.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig3_stream_bandwidth
+
+
+def test_fig3_stream_bandwidth(benchmark):
+    result = run_and_report(benchmark, fig3_stream_bandwidth.run, mode="des")
+    bdps = [row[2] for row in result.rows]
+    benchmark.extra_info["bdp_kib_range"] = (min(bdps), max(bdps))

@@ -1,0 +1,19 @@
+"""Figure 4 bench: reliability under exponentially increasing delay.
+
+Paper series: functional through PERIOD=1000 (~400 us accesses); FPGA
+undetectable at PERIOD=10000 (~4 ms per transaction).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig4_resilience
+from repro.workloads.stream import StreamConfig
+
+
+def test_fig4_resilience(benchmark):
+    result = run_and_report(
+        benchmark, fig4_resilience.run, stream=StreamConfig(n_elements=20_000)
+    )
+    statuses = {row[0]: row[1] for row in result.rows}
+    benchmark.extra_info["first_failure_period"] = next(
+        (p for p, s in sorted(statuses.items()) if s != "alive"), None
+    )

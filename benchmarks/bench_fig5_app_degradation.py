@@ -1,0 +1,18 @@
+"""Figure 5 bench: degradation vs vanilla ThymesisFlow across a sweep.
+
+Paper series: Redis ~1.01x throughout; Graph500 BFS up to ~10.7x and
+SSSP up to ~8x; ~7x Graph500 at the ~30 us operating point.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig5_app_degradation
+
+
+def test_fig5_app_degradation(benchmark):
+    result = run_and_report(benchmark, fig5_app_degradation.run, mode="fluid")
+    last = result.rows[-1]
+    benchmark.extra_info["max_degradation"] = {
+        "redis": last[2],
+        "bfs": last[3],
+        "sssp": last[4],
+    }

@@ -1,0 +1,14 @@
+"""Figure 6 bench: borrower-side contention (MCBN) on the DES testbed.
+
+Paper series: per-instance STREAM bandwidth divides equally among N
+competing instances (network is the shared bottleneck).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig6_mcbn
+
+
+def test_fig6_mcbn(benchmark):
+    result = run_and_report(benchmark, fig6_mcbn.run, mode="des")
+    benchmark.extra_info["per_instance_gbs"] = [row[1] for row in result.rows]
+    benchmark.extra_info["jain"] = [row[3] for row in result.rows]

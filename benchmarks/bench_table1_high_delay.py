@@ -1,0 +1,15 @@
+"""Table I bench: slowdown vs local memory at PERIOD = 1 and 1000.
+
+Paper rows: Redis 1.01x/1.73x, Graph500 BFS 6x/2209x, SSSP 5.3x/1800x.
+Fluid engine for the PERIOD=1000 points (hundreds of thousands of
+gate-bound transactions), with trace-driven workload profiles from the
+real Graph500/Redis implementations.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import table1_high_delay
+
+
+def test_table1_high_delay(benchmark):
+    result = run_and_report(benchmark, table1_high_delay.run, mode="fluid")
+    benchmark.extra_info["rows"] = {row[0]: row[1:] for row in result.rows}

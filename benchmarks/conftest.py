@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_<artifact>`` module regenerates one paper table/figure:
+it runs the experiment once under ``pytest-benchmark`` timing, prints
+the same rows the paper reports, records headline values in
+``benchmark.extra_info``, and asserts the DESIGN.md shape criteria.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+
+
+def run_and_report(benchmark, runner, **kwargs) -> ExperimentResult:
+    """Execute *runner* once under benchmark timing and report it."""
+    result: ExperimentResult = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    benchmark.extra_info["experiment"] = result.experiment
+    benchmark.extra_info["checks_passed"] = result.passed
+    assert result.passed, f"shape criteria failed: {result.failed_checks()}"
+    return result

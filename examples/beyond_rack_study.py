@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Beyond-rack what-if study: switched fabric, incast, failures, CC.
+
+The paper characterizes a two-node prototype and *extrapolates* to a
+datacenter deployment; this example runs that extrapolation on the
+simulator's beyond-rack substrates:
+
+1. four borrower-lender pairs through a shared switch — distinct
+   lenders (no contention) vs incast onto one popular lender;
+2. a link blackout sweep — the survive/crash boundary the paper's
+   resilience discussion anticipates;
+3. Swift-style congestion control taming shared-path RTT for the
+   incast scenario.
+
+Run:  python examples/beyond_rack_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.calibration import paper_cluster_config
+from repro.core.resilience import blackout_survival_sweep
+from repro.engine import DesPhaseDriver, Location
+from repro.engine.model import PathModel
+from repro.net.congestion import (
+    SharedBottleneck,
+    SwiftController,
+    run_congestion_epochs,
+)
+from repro.node.multipair import BeyondRackDeployment
+from repro.units import MS, US, microseconds, milliseconds
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+
+def fabric_study() -> None:
+    rows = []
+    for label, assignment in (("distinct lenders", None), ("incast -> l0", [0, 0, 0, 0])):
+        deployment = BeyondRackDeployment(
+            4, lender_assignment=assignment, cluster=paper_cluster_config()
+        )
+        deployment.attach_all()
+        drivers = [
+            DesPhaseDriver(
+                pair,
+                StreamWorkload(StreamConfig(n_elements=6000)).program(Location.REMOTE),
+                instance=f"pair{i}",
+            )
+            for i, pair in enumerate(deployment.pairs)
+        ]
+        for d in drivers:
+            d.start()
+        deployment.sim.run()
+        bws = [d.result.bandwidth_bytes_per_s / 1e9 for d in drivers]
+        rows.append((label, round(sum(bws), 2), round(min(bws), 2), round(max(bws), 2)))
+    print(render_table(
+        "Four pairs through one switch (STREAM, GB/s)",
+        ("scenario", "aggregate", "min_pair", "max_pair"),
+        rows,
+    ))
+    print()
+
+
+def failure_study() -> None:
+    sweep = blackout_survival_sweep(
+        durations=(milliseconds(1), milliseconds(10), milliseconds(30), milliseconds(64)),
+        config=paper_cluster_config(),
+        stall_tolerance=milliseconds(32),
+    )
+    rows = [
+        (
+            round(r["blackout_ps"] / MS, 1),
+            "survived" if r["survived"] else "HOST CRASH",
+            round(r["duration_ps"] / MS, 2) if r["survived"] else "-",
+        )
+        for r in sweep
+    ]
+    print(render_table(
+        "Link blackout sweep (32 ms stall tolerance)",
+        ("blackout_ms", "outcome", "JCT_ms"),
+        rows,
+    ))
+    print()
+
+
+def congestion_study() -> None:
+    model = PathModel.from_config(paper_cluster_config())
+    plant = SharedBottleneck(
+        base_rtt_ps=model.base_latency,
+        service_ps_per_line=round(model.link_interval(0.0)),
+    )
+    fixed_rtt = plant.rtt_for_load(8 * 128) / US
+    flows = [
+        SwiftController(target_rtt_ps=microseconds(10), flow_scaling_ps=microseconds(4))
+        for _ in range(8)
+    ]
+    out = run_congestion_epochs(flows, plant, n_epochs=800)
+    cc_rtt = float(np.median(out["rtts"][-200:])) / US
+    print("Incast with 8 tenants on one egress:")
+    print(f"  fixed 128-deep windows : shared RTT {fixed_rtt:6.1f} us")
+    print(f"  Swift-style control    : shared RTT {cc_rtt:6.1f} us "
+          f"(target 10 us, fair windows)")
+
+
+def main() -> None:
+    fabric_study()
+    failure_study()
+    congestion_study()
+
+
+if __name__ == "__main__":
+    main()

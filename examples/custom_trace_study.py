@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Study a custom workload from its address trace (docs/TUTORIAL.md §2).
+
+Synthesizes three access patterns — streaming, uniform random, and a
+Zipf hot set — and pushes each through the full mechanistic loop: LLC
+filtering, optional stride prefetching, and the delay-injected remote
+path.  Two lessons fall out: locality (cache hits) is the first line
+of defense against remote delay, and stride prefetching rescues
+streams but not pointer chases.
+
+Run:  python examples/custom_trace_study.py
+"""
+
+import numpy as np
+
+from repro import Location, ThymesisFlowSystem, paper_cluster_config
+from repro.analysis.report import render_table
+from repro.config import CacheConfig
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.prefetch import StridePrefetcher
+from repro.units import US
+from repro.workloads import TraceReplayConfig, TraceReplayWorkload, synthesize_trace
+
+CACHE = CacheConfig(size_bytes=64 * 1024, line_bytes=128, associativity=4)
+N_ACCESSES = 4000
+FOOTPRINT = 4 << 20  # 4 MiB, well beyond the LLC
+
+
+def trace_for(kind: str):
+    rng = np.random.default_rng(11)
+    return synthesize_trace(kind, N_ACCESSES, FOOTPRINT, rng, stride=128)
+
+
+def phase_model_rows():
+    """Miss profiles + delay sensitivity via the trace-replay workload."""
+    rows = []
+    for kind in ("sequential", "random", "zipf"):
+        addrs, writes = trace_for(kind)
+        workload = TraceReplayWorkload(
+            addrs, writes, TraceReplayConfig(cache=CACHE, concurrency=32), name=kind
+        )
+        profile = workload.miss_profile
+        durations = {}
+        for period in (1, 128):
+            system = ThymesisFlowSystem(paper_cluster_config(period=period))
+            system.attach_or_raise()
+            durations[period] = workload.run_des(system, Location.REMOTE).duration_ps
+        rows.append(
+            (
+                kind,
+                round(profile["hit_rate"], 3),
+                profile["misses"],
+                round(durations[1] / US, 1),
+                round(durations[128] / durations[1], 2),
+            )
+        )
+    return rows
+
+
+def prefetcher_rows():
+    """The live hierarchy with/without a stride prefetcher."""
+    rows = []
+    for kind in ("sequential", "random"):
+        addrs, _ = trace_for(kind)
+        timings = {}
+        for label, prefetcher in (("off", None), ("on", StridePrefetcher(depth=8))):
+            system = ThymesisFlowSystem(paper_cluster_config(period=1))
+            system.attach_or_raise()
+            hierarchy = MemoryHierarchy(system, cache=CACHE, prefetcher=prefetcher)
+            start = system.sim.now
+            end = hierarchy.run_trace(addrs, concurrency=8)
+            timings[label] = (end - start, hierarchy.stats.fills)
+        speedup = timings["off"][0] / timings["on"][0]
+        rows.append((kind, timings["off"][1], timings["on"][1], round(speedup, 2)))
+    return rows
+
+
+def main() -> None:
+    print(
+        render_table(
+            "Access patterns through LLC + remote path (4 MiB footprint)",
+            ("pattern", "hit_rate", "misses", "JCT@P1_us", "deg@P128"),
+            phase_model_rows(),
+        )
+    )
+    print()
+    print("All-miss traces pay the gate on every line, whatever their order;")
+    print("the Zipf hot set's 79% hit rate shields most accesses from the")
+    print("network entirely — locality, or compute between misses (Redis's")
+    print("serving stack), is what buys delay insensitivity.")
+    print()
+    print(
+        render_table(
+            "Stride prefetcher on the live write-back hierarchy (PERIOD=1)",
+            ("pattern", "demand_fills(off)", "demand_fills(on)", "speedup"),
+            prefetcher_rows(),
+        )
+    )
+    print()
+    print("The prefetcher rescues streams (demand fills become hits) and is")
+    print("powerless against random access — why STREAM saturates the window")
+    print("the paper's BDP measurement reveals, and Graph500 cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+`pip install -e .` on this machine has no network access and no `wheel`
+distribution, so the PEP 660 path (which builds an editable wheel) is
+unavailable; `python setup.py develop` provides the same result.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — simulation reproduction of *Evaluating Hardware Memory
+Disaggregation under Delay and Contention* (Patke et al., IPPS 2022).
+
+The package simulates a ThymesisFlow-style hardware memory
+disaggregation testbed — borrower/lender POWER9-class nodes, an
+OpenCAPI-attached FPGA NIC with the paper's delay-injection module, and
+a 100 Gb/s link — and regenerates every table and figure of the
+paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import paper_cluster_config, ThymesisFlowSystem
+>>> from repro.workloads import StreamWorkload, StreamConfig
+>>> from repro.engine import Location
+>>> system = ThymesisFlowSystem(paper_cluster_config(period=100))
+>>> system.attach_or_raise()
+>>> run = StreamWorkload(StreamConfig(n_elements=2000)).run_des(system)
+>>> run.mean_sojourn_ps > 30_000_000  # gate adds ~40us at PERIOD=100
+True
+
+See ``examples/`` for runnable scenarios, ``repro.experiments`` (or the
+``repro-experiments`` CLI) for the paper reproductions.
+"""
+
+from repro.calibration import paper_cluster_config
+from repro.config import (
+    ClusterConfig,
+    DelayInjectionConfig,
+    NodeConfig,
+    default_cluster_config,
+)
+from repro.core.delay import DelayInjector, DelaySchedule
+from repro.engine import DesPhaseDriver, FluidEngine, Location, PhaseProgram
+from repro.node.cluster import ThymesisFlowSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "paper_cluster_config",
+    "default_cluster_config",
+    "ClusterConfig",
+    "NodeConfig",
+    "DelayInjectionConfig",
+    "DelayInjector",
+    "DelaySchedule",
+    "ThymesisFlowSystem",
+    "FluidEngine",
+    "DesPhaseDriver",
+    "PhaseProgram",
+    "Location",
+]

@@ -1,0 +1,25 @@
+"""Analysis utilities: statistics, degradation ratios, text reports."""
+
+from repro.analysis.degradation import DegradationTable, degradation_ratio
+from repro.analysis.export import read_result_csv, result_to_csv, write_result_csv
+from repro.analysis.report import render_series, render_table
+from repro.analysis.stats import (
+    bandwidth_delay_product,
+    bdp_constancy,
+    jain_fairness,
+    linear_correlation,
+)
+
+__all__ = [
+    "linear_correlation",
+    "bandwidth_delay_product",
+    "bdp_constancy",
+    "jain_fairness",
+    "degradation_ratio",
+    "DegradationTable",
+    "render_table",
+    "render_series",
+    "result_to_csv",
+    "write_result_csv",
+    "read_result_csv",
+]

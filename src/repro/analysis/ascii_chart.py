@@ -1,0 +1,97 @@
+"""Terminal plots: render figure series without a plotting stack.
+
+The experiments regenerate the *data* of the paper's figures; these
+helpers make them legible in a terminal — log/linear scatter for the
+latency/bandwidth sweeps (Figs. 2/3), horizontal bars for the
+contention comparisons (Figs. 6/7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "scatter"]
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(no data)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart expects non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = round(width * value / peak)
+        bar = "#" * n if n else ("|" if value > 0 else "")
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Character-grid scatter plot with optional log axes."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if len(xs) < 2:
+        raise ValueError("scatter needs at least two points")
+
+    def tx(v: float, log: bool) -> float:
+        if not log:
+            return float(v)
+        if v <= 0:
+            raise ValueError("log axis requires positive values")
+        return math.log10(v)
+
+    px = [tx(v, log_x) for v in xs]
+    py = [tx(v, log_y) for v in ys]
+    x_lo, x_hi = min(px), max(px)
+    y_lo, y_hi = min(py), max(py)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(px, py):
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+
+    lines = [title] if title else []
+    y_top = f"{ys and max(ys):g}"
+    y_bot = f"{min(ys):g}"
+    gutter = max(len(y_top), len(y_bot))
+    for idx, row in enumerate(grid):
+        tick = y_top if idx == 0 else (y_bot if idx == height - 1 else "")
+        lines.append(f"{tick:>{gutter}} |{''.join(row)}")
+    lines.append(f"{'':>{gutter}} +{'-' * width}")
+    x_axis = f"{min(xs):g}"
+    x_right = f"{max(xs):g}"
+    pad = width - len(x_axis) - len(x_right)
+    lines.append(f"{'':>{gutter}}  {x_axis}{' ' * max(1, pad)}{x_right}")
+    scale = []
+    if log_x:
+        scale.append("log x")
+    if log_y:
+        scale.append("log y")
+    suffix = f"  [{', '.join(scale)}]" if scale else ""
+    lines.append(f"{'':>{gutter}}  {x_label} vs {y_label}{suffix}")
+    return "\n".join(lines)

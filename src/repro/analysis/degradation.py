@@ -1,0 +1,62 @@
+"""Performance-degradation accounting (paper sections IV-C/IV-D).
+
+Two baselines appear in the paper and must not be conflated:
+
+* **Table I** divides delayed disaggregated runtime by *local memory*
+  runtime;
+* **Figure 5** divides it by *vanilla ThymesisFlow* (PERIOD = 1
+  disaggregated) runtime.
+
+:func:`degradation_ratio` handles a single pair;
+:class:`DegradationTable` accumulates a workload x operating-point grid
+with an explicit baseline label so reports carry their denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["degradation_ratio", "DegradationTable"]
+
+
+def degradation_ratio(duration_ps: float, baseline_duration_ps: float) -> float:
+    """Slowdown factor of *duration* relative to *baseline*."""
+    if baseline_duration_ps <= 0:
+        raise ValueError(f"baseline duration must be positive, got {baseline_duration_ps}")
+    if duration_ps < 0:
+        raise ValueError(f"duration must be non-negative, got {duration_ps}")
+    return duration_ps / baseline_duration_ps
+
+
+@dataclass
+class DegradationTable:
+    """Grid of slowdowns: workloads x operating points."""
+
+    baseline_label: str
+    points: List[str] = field(default_factory=list)
+    _rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def record(self, workload: str, point: str, duration_ps: float, baseline_ps: float) -> float:
+        """Store (and return) the slowdown of *workload* at *point*."""
+        ratio = degradation_ratio(duration_ps, baseline_ps)
+        row = self._rows.setdefault(workload, {})
+        row[point] = ratio
+        if point not in self.points:
+            self.points.append(point)
+        return ratio
+
+    def ratio(self, workload: str, point: str) -> float:
+        """Stored slowdown for (*workload*, *point*)."""
+        return self._rows[workload][point]
+
+    def workloads(self) -> List[str]:
+        """Workloads in insertion order."""
+        return list(self._rows)
+
+    def as_rows(self) -> List[Tuple[str, List[float]]]:
+        """``(workload, [ratio per point])`` rows for rendering."""
+        return [
+            (name, [row.get(p, float("nan")) for p in self.points])
+            for name, row in self._rows.items()
+        ]

@@ -1,0 +1,76 @@
+"""CSV export/import of experiment results.
+
+Downstream users typically want the regenerated series as data files
+(for their own plotting pipelines); these helpers write and read the
+exact rows an :class:`~repro.experiments.base.ExperimentResult`
+carries, plus a small metadata header recording provenance.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (analysis <- experiments)
+    from repro.experiments.base import ExperimentResult
+
+__all__ = ["result_to_csv", "write_result_csv", "read_result_csv"]
+
+_META_PREFIX = "#"
+
+
+def result_to_csv(result: "ExperimentResult") -> str:
+    """Render *result* as CSV text with a commented metadata header."""
+    buf = io.StringIO()
+    buf.write(f"{_META_PREFIX} experiment: {result.experiment}\n")
+    buf.write(f"{_META_PREFIX} title: {result.title}\n")
+    buf.write(f"{_META_PREFIX} checks_passed: {result.passed}\n")
+    for name, ok in result.checks.items():
+        buf.write(f"{_META_PREFIX} check[{'PASS' if ok else 'FAIL'}]: {name}\n")
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_result_csv(result: "ExperimentResult", path: str | Path) -> Path:
+    """Write *result* to *path*; returns the written path."""
+    path = Path(path)
+    path.write_text(result_to_csv(result))
+    return path
+
+
+def read_result_csv(path: str | Path) -> Tuple[dict, List[str], List[List[str]]]:
+    """Read a result CSV back: ``(metadata, columns, rows)``.
+
+    Values come back as strings; the caller casts as needed (the CSV
+    layer is intentionally type-agnostic).
+    """
+    path = Path(path)
+    metadata: dict = {"checks": []}
+    columns: List[str] = []
+    rows: List[List[str]] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if line.startswith(_META_PREFIX):
+                body = line[len(_META_PREFIX) :].strip()
+                if ": " not in body:
+                    raise ExperimentError(f"malformed metadata line: {line!r}")
+                key, value = body.split(": ", 1)
+                if key.startswith("check["):
+                    metadata["checks"].append((key[6:-1], value))
+                else:
+                    metadata[key] = value
+            elif not columns:
+                columns = next(csv.reader([line]))
+            else:
+                rows.append(next(csv.reader([line])))
+    if not columns:
+        raise ExperimentError(f"{path} contains no column header")
+    return metadata, columns, rows

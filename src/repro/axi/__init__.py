@@ -1,0 +1,15 @@
+"""AXI4-Stream channel primitives.
+
+ThymesisFlow's internal FPGA blocks are interconnected with AXI4-Stream
+(paper section III-B).  This package models the protocol at *beat*
+(transfer) granularity, event-driven rather than per-cycle: the VALID /
+READY two-way handshake is preserved — a beat moves only when the
+upstream has data (VALID) and the downstream can accept it (READY) —
+but waiting is expressed with events instead of polling every clock.
+"""
+
+from repro.axi.flit import Beat
+from repro.axi.ratelimit import SlotGate
+from repro.axi.stream import AxiStream
+
+__all__ = ["Beat", "AxiStream", "SlotGate"]

@@ -1,0 +1,38 @@
+"""AXI4-Stream beat (single transfer) representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Beat"]
+
+
+@dataclass
+class Beat:
+    """One AXI4-Stream transfer.
+
+    Attributes
+    ----------
+    payload:
+        Opaque payload carried by the beat (here: a
+        :class:`~repro.nic.packet.Packet` or raw bytes).
+    nbytes:
+        Width of the transfer in bytes (TDATA width actually used).
+    last:
+        TLAST — marks the final beat of a packet.
+    dest:
+        TDEST — routing hint consumed by the mux/demux blocks.
+    meta:
+        Free-form metadata (timestamps for latency accounting, etc.).
+    """
+
+    payload: Any
+    nbytes: int = 64
+    last: bool = True
+    dest: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"beat nbytes must be positive, got {self.nbytes}")

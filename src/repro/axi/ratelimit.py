@@ -1,0 +1,93 @@
+"""Slot-aligned rate gating — the timing core of the delay injector.
+
+The paper's injector keeps VALID untouched and rewrites READY as::
+
+    READY_NEW = READY_OLD & (COUNTER % PERIOD == 0)
+
+where COUNTER counts FPGA clock cycles since system start.  A transfer
+therefore completes only on clock cycles that are integer multiples of
+PERIOD — the gate's grant opportunities lie on an *absolute* time grid,
+and at most one transfer proceeds per grid point.
+
+:class:`SlotGate` reproduces that contract analytically: ``reserve``
+returns the earliest grid-aligned grant time not earlier than the
+request and strictly after the previous grant.  Cost is O(1) per
+transaction, so simulating millions of gated transfers never requires
+iterating over clock cycles.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.units import Duration, Time
+
+__all__ = ["SlotGate"]
+
+
+class SlotGate:
+    """Grants transactions on an absolute grid of ``interval`` picoseconds.
+
+    Parameters
+    ----------
+    interval:
+        Grid spacing in picoseconds (``PERIOD * T_CYC`` for the paper's
+        injector).  ``interval`` equal to the clock period means a grant
+        opportunity every cycle — the vanilla, pass-through behaviour.
+    origin:
+        Absolute time of grid point zero (the COUNTER reset instant).
+
+    Notes
+    -----
+    The gate is work-conserving and order-preserving: grants are issued
+    in reservation order and never two per grid point.
+    """
+
+    __slots__ = ("interval", "origin", "_last_grant", "grants")
+
+    def __init__(self, interval: Duration, origin: Time = 0) -> None:
+        if interval < 1:
+            raise ConfigError(f"gate interval must be >= 1 ps, got {interval}")
+        self.interval = int(interval)
+        self.origin = int(origin)
+        self._last_grant: Time = origin - interval  # no grants issued yet
+        self.grants = 0
+
+    def next_slot(self, at: Time) -> Time:
+        """Earliest grid point at or after *at* (ignores occupancy)."""
+        if at <= self.origin:
+            return self.origin
+        # ceil((at - origin) / interval) * interval + origin, integer math
+        offset = at - self.origin
+        return self.origin + -(-offset // self.interval) * self.interval
+
+    def reserve(self, at: Time) -> Time:
+        """Reserve the next free grant for a transaction arriving at *at*.
+
+        Returns the absolute grant time: the earliest grid point that is
+        ``>= at`` and strictly later than the previous grant.
+        """
+        candidate = self.next_slot(at)
+        earliest_free = self._last_grant + self.interval
+        grant = candidate if candidate >= earliest_free else earliest_free
+        self._last_grant = grant
+        self.grants += 1
+        return grant
+
+    def set_interval(self, interval: Duration, now: Time) -> None:
+        """Change the grid spacing at time *now* (time-varying injection).
+
+        The new grid is re-anchored at *now* so past grants stay valid.
+        """
+        if interval < 1:
+            raise ConfigError(f"gate interval must be >= 1 ps, got {interval}")
+        self.interval = int(interval)
+        self.origin = int(now)
+        if self._last_grant > now - interval:
+            # keep minimum spacing across the change
+            self._last_grant = max(self._last_grant, now - interval)
+        else:
+            self._last_grant = now - interval
+
+    def busy_until(self) -> Time:
+        """Earliest time a new arrival could be granted."""
+        return self._last_grant + self.interval

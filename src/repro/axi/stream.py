@@ -1,0 +1,66 @@
+"""Event-driven AXI4-Stream channel with VALID/READY semantics.
+
+The channel is a bounded FIFO: ``send`` asserts VALID and completes when
+the downstream slot accepts the beat (READY); ``recv`` asserts READY and
+completes when a beat is available (VALID).  With ``depth=1`` this is a
+registered skid-buffer stage; larger depths model FIFOs between blocks.
+
+Backpressure propagates naturally: a full channel blocks senders, which
+blocks their upstream channels, exactly like chained READY deassertion
+in RTL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.axi.flit import Beat
+from repro.sim import Simulator, Store, Waitable
+
+__all__ = ["AxiStream"]
+
+
+class AxiStream:
+    """A point-to-point AXI4-Stream channel between two blocks.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    depth:
+        FIFO depth in beats (``None`` = unbounded, for model boundaries
+        where backpressure is accounted analytically).
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, sim: Simulator, depth: Optional[int] = 2, name: str = "axis") -> None:
+        self.sim = sim
+        self.name = name
+        self._fifo = Store(sim, capacity=depth, name=name)
+        self.beats_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, beat: Beat) -> Waitable:
+        """Offer *beat* (assert VALID); triggers when the beat is accepted."""
+        self.beats_sent += 1
+        self.bytes_sent += beat.nbytes
+        return self._fifo.put(beat)
+
+    def recv(self) -> Waitable:
+        """Assert READY; the waitable's value is the received :class:`Beat`."""
+        return self._fifo.get()
+
+    def try_recv(self) -> tuple[bool, Optional[Beat]]:
+        """Non-blocking receive."""
+        return self._fifo.try_get()
+
+    @property
+    def occupancy(self) -> int:
+        """Beats currently buffered in the channel."""
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        """True when the channel cannot accept another beat (READY low)."""
+        return self._fifo.full

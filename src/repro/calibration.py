@@ -1,0 +1,162 @@
+"""Calibration constants tying the simulator to the paper's anchors.
+
+The paper (section IV) reports a handful of absolute numbers from the
+physical ThymesisFlow testbed.  The simulator's default parameters are
+chosen once, here, so that those anchors *emerge from the mechanics*
+rather than being hard-coded into experiment outputs:
+
+========================  =======================  =========================
+Paper anchor              Value                    Mechanism in the simulator
+========================  =======================  =========================
+BDP constant (Fig. 3)     ~16.5 kB                 ``W * LINE = 128 * 128 B
+                                                   = 16384 B`` (Little's law:
+                                                   a closed window of W
+                                                   outstanding line requests)
+STREAM latency at         ~400 us                  ``W * PERIOD * T_CYC =
+PERIOD = 1000 (Fig. 4)                             128 * 1000 * 3.125 ns``
+PERIOD = 10000 delay      "a delay of 4 ms"        same slope, 10x PERIOD
+(Fig. 4 / section IV-C)
+Vanilla remote latency    ~1.2 us (Fig. 2,         sum of pipeline stage
+(PERIOD = 1)              PERIOD = 1)              latencies below
+STREAM latency range      1.2 - 150 us over the    PERIOD sweep 1..384
+(Fig. 2)                  validation sweep
+========================  =======================  =========================
+
+Derived choices
+---------------
+* ``T_CYC = 3.125 ns`` (320 MHz FPGA clock).  The ThymesisFlow AFU runs
+  in the hundreds of MHz; 320 MHz is the unique value consistent with
+  the paper's own (PERIOD=1000 -> 400 us, W=128) and (PERIOD=10000 ->
+  4 ms) statements.
+* ``W = 128`` outstanding cache-line requests.  Matches both the 128
+  hardware threads of the dual-socket POWER9 and the observed 16.4 kB
+  bandwidth-delay product.
+* Baseline remote-access latency ~1.2 us, decomposed over OpenCAPI,
+  FPGA pipeline, wire, and lender DRAM stages (see
+  :func:`baseline_remote_latency_ps`).
+
+Workload-model calibration (Table I / Fig. 5)
+---------------------------------------------
+* Redis: request time is dominated by the network/serving stack
+  (``REDIS_STACK_OVERHEAD``); each request touches a few remote lines.
+* Graph500: dominated by dependent graph-memory accesses with a modest
+  cache-hit fraction; SSSP performs more arithmetic per access than BFS
+  so it is slightly less memory-bound (paper: 2209x vs 1800x).
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig, default_cluster_config
+from repro.units import Duration, nanoseconds
+
+__all__ = [
+    "T_CYC_PS",
+    "FPGA_CLOCK_HZ",
+    "CACHE_LINE_BYTES",
+    "OUTSTANDING_WINDOW",
+    "BDP_BYTES",
+    "LINK_GBPS",
+    "paper_cluster_config",
+    "baseline_remote_latency_ps",
+    "gate_interval_ps",
+    "expected_sojourn_ps",
+]
+
+#: FPGA clock period (picoseconds) — 320 MHz, see module docstring.
+T_CYC_PS: int = 3125
+
+#: FPGA clock frequency implied by :data:`T_CYC_PS`.
+FPGA_CLOCK_HZ: float = 1e12 / T_CYC_PS
+
+#: POWER9 cache-line size in bytes.
+CACHE_LINE_BYTES: int = 128
+
+#: Maximum outstanding remote cache-line requests (MSHR window, W).
+OUTSTANDING_WINDOW: int = 128
+
+#: The bandwidth-delay product implied by the closed window:
+#: W * line = 16384 B, matching the paper's "~16.5 kB".
+BDP_BYTES: int = OUTSTANDING_WINDOW * CACHE_LINE_BYTES
+
+#: Link rate of the point-to-point cable.
+LINK_GBPS: float = 100.0
+
+# Pipeline stage latencies for one remote read (request out + data back).
+_OPENCAPI_LATENCY = nanoseconds(300)  # CPU <-> FPGA via OpenCAPI, round trip
+_FPGA_PIPELINE = nanoseconds(250)  # routing/mux/packetize, each direction
+_WIRE = nanoseconds(50)  # propagation, each direction
+_LENDER_DRAM = nanoseconds(95)  # lender local access
+_LENDER_NIC = nanoseconds(80)  # lender-side FPGA turnaround
+
+
+def baseline_remote_latency_ps() -> Duration:
+    """Unloaded round-trip latency of one remote cache-line read.
+
+    Delegates to the analytic path model over the default configuration
+    (single source of truth with the DES datapath); the stage
+    decomposition sums to ~1.1 us, so the STREAM-measured PERIOD=1
+    point lands near the paper's 1.2 us once queueing at the gate is
+    added.
+    """
+    from repro.engine.model import PathModel
+
+    return PathModel.from_config(default_cluster_config()).base_latency
+
+
+def gate_interval_ps(period: int) -> Duration:
+    """Inter-departure time of the delay-injection gate for PERIOD."""
+    return period * T_CYC_PS
+
+
+def expected_sojourn_ps(period: int, window: int = OUTSTANDING_WINDOW) -> Duration:
+    """Little's-law sojourn time when the gate is the bottleneck.
+
+    With a closed window of *window* requests and the gate serving one
+    transaction every ``period * T_CYC`` ps, each request waits for the
+    whole window to drain ahead of it:  ``sojourn = window * interval``.
+    The observable latency is ``max(baseline, sojourn)``.
+    """
+    return max(baseline_remote_latency_ps(), window * gate_interval_ps(period))
+
+
+def paper_cluster_config(period: int = 1, seed: int = 1234) -> ClusterConfig:
+    """The calibrated two-node testbed configuration."""
+    return default_cluster_config(period=period, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Workload-model calibration (documented constants; see DESIGN.md section 2).
+# ---------------------------------------------------------------------------
+
+#: Per-request network-stack + event-loop overhead of the Redis model.
+#: Dominates request time so that remote-memory delay moves Redis little
+#: (paper: 1.01x at PERIOD=1, 1.73x at PERIOD=1000).  The value is the
+#: service time of a small GET on an unpipelined TCP connection
+#: (syscalls, TCP/IP, epoll, RESP parse, response build).
+REDIS_STACK_OVERHEAD_PS: int = nanoseconds(55_000)  # 55 us/request
+
+#: Remote cache lines missed per Redis request (dict bucket + entry +
+#: value + connection/query buffers).  Matches the trace-driven count
+#: from the kvstore model at its default sizing.
+REDIS_LINES_PER_REQUEST: int = 12
+
+#: Effective concurrent in-flight memory requests while Redis serves a
+#: request (event-loop data structures + kernel DMA overlap).
+REDIS_MEMORY_CONCURRENCY: int = 32
+
+#: Memory-level parallelism of the Graph500 kernels: frontier-parallel
+#: expansion overlaps misses up to this depth on POWER9-class cores.
+GRAPH500_CONCURRENCY: int = 32
+
+#: Serial think time per missed line, BFS.  Absorbs the per-miss
+#: amortized arithmetic plus the cache-hit accesses riding along;
+#: pinned so that the remote/local runtime ratio at PERIOD=1 lands on
+#: the paper's 6x (Table I).
+GRAPH500_BFS_THINK_PS: int = nanoseconds(113)
+
+#: Serial think time per missed line, SSSP.  Delta-stepping performs
+#: more arithmetic (relaxations, bucket moves) per miss than BFS, which
+#: is why the paper sees smaller degradations for SSSP (5.3x vs 6x at
+#: PERIOD=1; 1800x vs 2209x at PERIOD=1000).  Pinned to land near the
+#: 5.3x anchor.
+GRAPH500_SSSP_THINK_PS: int = nanoseconds(160)

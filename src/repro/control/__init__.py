@@ -1,0 +1,34 @@
+"""Control plane: roles, reservations, allocation policy, QoS.
+
+The paper's model (section II-A) has a control plane that assigns
+borrower/lender roles, sizes reservations, and configures the NICs;
+its insights call for the mechanisms implemented here as extensions —
+contention-aware allocation (section IV-E) and QoS features (section
+IV-D: traffic prioritization, page migration).
+"""
+
+from repro.control.allocation import (
+    AllocationPolicy,
+    ContentionAwarePolicy,
+    FirstFitPolicy,
+    LeastLoadedPolicy,
+)
+from repro.control.plane import ControlPlane, NodeInventory, NodeRole, Reservation
+from repro.control.provision import ProvisionedPair, provision_pair
+from repro.control.qos import MigrationDecision, PageMigrationPolicy, QosClassifier
+
+__all__ = [
+    "NodeRole",
+    "NodeInventory",
+    "Reservation",
+    "ControlPlane",
+    "AllocationPolicy",
+    "FirstFitPolicy",
+    "LeastLoadedPolicy",
+    "ContentionAwarePolicy",
+    "QosClassifier",
+    "PageMigrationPolicy",
+    "MigrationDecision",
+    "ProvisionedPair",
+    "provision_pair",
+]

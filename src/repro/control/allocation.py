@@ -1,0 +1,73 @@
+"""Lender-selection policies.
+
+The paper's contention result (section IV-E) motivates
+:class:`ContentionAwarePolicy`: because lender-side memory contention
+barely affects the borrower, "a lender node with multiple running
+applications and an idle lender node can be equally viable candidates
+for remote memory reservation".  A naive policy that shuns busy
+lenders (:class:`LeastLoadedPolicy`) therefore fragments the pool for
+no benefit — the ablation benchmark quantifies this.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.control.plane import NodeInventory
+
+__all__ = [
+    "AllocationPolicy",
+    "FirstFitPolicy",
+    "LeastLoadedPolicy",
+    "ContentionAwarePolicy",
+]
+
+
+class AllocationPolicy(abc.ABC):
+    """Strategy choosing a lender among feasible candidates."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def choose(self, candidates: Sequence["NodeInventory"], size: int) -> "NodeInventory":
+        """Pick one of *candidates* (all have ``free_bytes >= size``)."""
+
+
+class FirstFitPolicy(AllocationPolicy):
+    """First feasible lender in registration order."""
+
+    name = "first_fit"
+
+    def choose(self, candidates: Sequence["NodeInventory"], size: int) -> "NodeInventory":
+        return candidates[0]
+
+
+class LeastLoadedPolicy(AllocationPolicy):
+    """Prefer lenders with the fewest running applications.
+
+    The intuitive-but-unnecessary policy: it treats lender-side
+    application count as a contention signal, which the paper shows is
+    not predictive of borrower-visible performance.
+    """
+
+    name = "least_loaded"
+
+    def choose(self, candidates: Sequence["NodeInventory"], size: int) -> "NodeInventory":
+        return min(candidates, key=lambda inv: (inv.running_apps, -inv.free_bytes))
+
+
+class ContentionAwarePolicy(AllocationPolicy):
+    """Ignore lender application count; maximize pool consolidation.
+
+    Per the paper's insight, lender-side load is irrelevant to borrower
+    performance (the network dominates), so the policy packs
+    reservations onto the lender with the most free memory, keeping
+    more nodes entirely free for large future reservations.
+    """
+
+    name = "contention_aware"
+
+    def choose(self, candidates: Sequence["NodeInventory"], size: int) -> "NodeInventory":
+        return max(candidates, key=lambda inv: inv.free_bytes)

@@ -1,0 +1,165 @@
+"""Control plane: node inventory, role assignment, reservations.
+
+Implements the memory-borrowing model's control decisions (section
+II-A): "each node in the system is designated a role of either
+'borrower' or 'lender' ... Role assignment is dynamic and dependent on
+real-time memory availability and demand", and "the control plane
+decides the size of memory reservations at each lender node".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.control.allocation import AllocationPolicy, FirstFitPolicy
+from repro.errors import AllocationError
+
+__all__ = ["NodeRole", "NodeInventory", "Reservation", "ControlPlane"]
+
+
+class NodeRole(enum.Enum):
+    """Role assigned by the control plane."""
+
+    BORROWER = "borrower"
+    LENDER = "lender"
+    NEUTRAL = "neutral"
+
+
+@dataclass
+class NodeInventory:
+    """Real-time memory state of one datacenter node.
+
+    Attributes
+    ----------
+    name:
+        Node identifier.
+    total_bytes:
+        Installed DRAM.
+    used_bytes:
+        Locally consumed DRAM (resident sets of local jobs).
+    demand_bytes:
+        Unmet memory demand of local jobs (> 0 makes it a borrower).
+    running_apps:
+        Concurrent applications on the node (the contention signal the
+        paper shows is *not* decisive for lender choice).
+    lent_bytes:
+        Currently reserved for remote borrowers.
+    """
+
+    name: str
+    total_bytes: int
+    used_bytes: int = 0
+    demand_bytes: int = 0
+    running_apps: int = 0
+    lent_bytes: int = 0
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes available for new reservations."""
+        return max(0, self.total_bytes - self.used_bytes - self.lent_bytes)
+
+    @property
+    def role(self) -> NodeRole:
+        """Role implied by current demand/slack."""
+        if self.demand_bytes > 0:
+            return NodeRole.BORROWER
+        if self.free_bytes > 0:
+            return NodeRole.LENDER
+        return NodeRole.NEUTRAL
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One granted remote-memory window."""
+
+    reservation_id: int
+    borrower: str
+    lender: str
+    lender_base: int
+    size: int
+
+
+class ControlPlane:
+    """Datacenter-level broker of remote-memory reservations.
+
+    Parameters
+    ----------
+    policy:
+        Lender-selection policy (see :mod:`repro.control.allocation`).
+    """
+
+    def __init__(self, policy: Optional[AllocationPolicy] = None) -> None:
+        self.policy = policy or FirstFitPolicy()
+        self._nodes: Dict[str, NodeInventory] = {}
+        self._reservations: Dict[int, Reservation] = {}
+        self._next_base: Dict[str, int] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def register(self, inventory: NodeInventory) -> None:
+        """Add (or replace) a node's inventory."""
+        self._nodes[inventory.name] = inventory
+        self._next_base.setdefault(inventory.name, 0)
+
+    def node(self, name: str) -> NodeInventory:
+        """Inventory of *name*."""
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise AllocationError(f"unknown node {name!r}") from exc
+
+    def roles(self) -> Dict[str, NodeRole]:
+        """Current role of every registered node."""
+        return {name: inv.role for name, inv in self._nodes.items()}
+
+    def lenders(self) -> List[NodeInventory]:
+        """Nodes currently able to lend."""
+        return [inv for inv in self._nodes.values() if inv.role is NodeRole.LENDER]
+
+    # ------------------------------------------------------------------
+    def reserve(self, borrower: str, size: int) -> Reservation:
+        """Reserve *size* bytes for *borrower* at a policy-chosen lender."""
+        if size <= 0:
+            raise AllocationError(f"reservation size must be positive, got {size}")
+        borrower_inv = self.node(borrower)
+        candidates = [
+            inv
+            for inv in self.lenders()
+            if inv.name != borrower and inv.free_bytes >= size
+        ]
+        if not candidates:
+            raise AllocationError(
+                f"no lender can satisfy {size} bytes for {borrower!r}"
+            )
+        lender = self.policy.choose(candidates, size)
+        base = self._next_base[lender.name]
+        self._next_base[lender.name] = base + size
+        lender.lent_bytes += size
+        borrower_inv.demand_bytes = max(0, borrower_inv.demand_bytes - size)
+        reservation = Reservation(
+            reservation_id=next(self._ids),
+            borrower=borrower,
+            lender=lender.name,
+            lender_base=base,
+            size=size,
+        )
+        self._reservations[reservation.reservation_id] = reservation
+        return reservation
+
+    def release(self, reservation_id: int) -> None:
+        """Return a reservation's memory to its lender."""
+        reservation = self._reservations.pop(reservation_id, None)
+        if reservation is None:
+            raise AllocationError(f"unknown reservation {reservation_id}")
+        self.node(reservation.lender).lent_bytes -= reservation.size
+
+    def reservations(self) -> List[Reservation]:
+        """Live reservations."""
+        return list(self._reservations.values())
+
+    def total_lent_bytes(self) -> int:
+        """Bytes currently lent across the cluster."""
+        return sum(r.size for r in self._reservations.values())

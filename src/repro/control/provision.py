@@ -1,0 +1,104 @@
+"""Provisioning: from a control-plane reservation to a live testbed.
+
+Ties the layers together the way the paper's workflow does — "we rely
+on libthymesisflow ... [which] takes care of reserving the memory at
+the lender node and hot-plugging it to the borrower node" (section
+III-A): the control plane picks a lender and a window
+(:class:`~repro.control.plane.ControlPlane`), provisioning sizes the
+borrower's remote region to the grant and runs the attach handshake
+(which can fail under heavy delay, exactly as in Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.config import ClusterConfig
+from repro.control.plane import ControlPlane, Reservation
+from repro.errors import AllocationError
+from repro.node.cluster import ThymesisFlowSystem
+
+__all__ = ["ProvisionedPair", "provision_pair"]
+
+
+class ProvisionedPair:
+    """A reservation bound to a live, attached testbed.
+
+    Attributes
+    ----------
+    reservation:
+        The control-plane grant backing the window.
+    system:
+        The attached :class:`ThymesisFlowSystem`.
+    """
+
+    def __init__(
+        self, plane: ControlPlane, reservation: Reservation, system: ThymesisFlowSystem
+    ) -> None:
+        self._plane = plane
+        self.reservation = reservation
+        self.system = system
+        self._released = False
+
+    def release(self) -> None:
+        """Return the memory to the lender (idempotent)."""
+        if not self._released:
+            self._plane.release(self.reservation.reservation_id)
+            self._released = True
+
+    @property
+    def released(self) -> bool:
+        """True once the reservation has been returned."""
+        return self._released
+
+
+def provision_pair(
+    plane: ControlPlane,
+    borrower: str,
+    size: int,
+    template: ClusterConfig,
+    period: Optional[int] = None,
+) -> ProvisionedPair:
+    """Reserve *size* bytes for *borrower* and attach a testbed to it.
+
+    The returned pair's remote window matches the reservation; the
+    translation table maps it to the lender window the control plane
+    granted.  If the attach handshake fails (e.g. PERIOD = 10000), the
+    reservation is rolled back and the failure propagates — memory is
+    never left stranded at the lender.
+    """
+    reservation = plane.reserve(borrower, size)
+    config = replace(template, remote_region_bytes=reservation.size)
+    if period is not None:
+        config = config.with_period(period)
+    system = ThymesisFlowSystem(config)
+    try:
+        system.attach_or_raise()
+    except Exception:
+        plane.release(reservation.reservation_id)
+        raise
+    # Re-anchor the translation to the lender window actually granted.
+    system.translator.remove(config.remote_region_base)
+    from repro.nic.translation import WindowMapping
+
+    system.translator.install(
+        WindowMapping(
+            borrower_base=config.remote_region_base,
+            lender_base=reservation.lender_base,
+            size=reservation.size,
+        )
+    )
+    return ProvisionedPair(plane, reservation, system)
+
+
+def provision_or_explain(
+    plane: ControlPlane, borrower: str, size: int, template: ClusterConfig
+) -> tuple[Optional[ProvisionedPair], str]:
+    """Convenience wrapper returning (pair, reason) instead of raising."""
+    try:
+        return provision_pair(plane, borrower, size, template), "ok"
+    except AllocationError as exc:
+        return None, f"allocation failed: {exc}"
+    except Exception as exc:  # attach and others
+        return None, f"attach failed: {exc}"

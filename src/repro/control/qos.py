@@ -1,0 +1,140 @@
+"""QoS mechanisms the paper's insights call for (section IV-D).
+
+"Resource allocation mechanisms across the system stack should enable
+Quality-of-Service (QoS) features to benefit sensitive applications.
+Examples ... include: memory allocation at the control plane,
+congestion control at the network, and page migration at the
+operating system."
+
+Two of those are implemented here as extensions:
+
+* :class:`QosClassifier` — maps a workload's measured delay
+  sensitivity to a NIC traffic class (consumed by the multiplexer's
+  priority arbitration).
+* :class:`PageMigrationPolicy` — the OS-level mechanism: under
+  elevated delay, migrate the hottest remote pages to local memory,
+  subject to a local-memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nic.mux import TrafficClass
+from repro.units import Duration
+
+__all__ = ["QosClassifier", "PageMigrationPolicy", "MigrationDecision"]
+
+
+class QosClassifier:
+    """Assigns NIC traffic classes from measured delay sensitivity.
+
+    Sensitivity is the slope of a workload's degradation versus
+    injected delay (unitless slowdown per microsecond) — exactly what
+    the Figure 5 characterization measures.
+    """
+
+    def __init__(
+        self, sensitive_threshold: float = 0.05, bulk_threshold: float = 0.005
+    ) -> None:
+        if sensitive_threshold <= bulk_threshold:
+            raise ConfigError("sensitive_threshold must exceed bulk_threshold")
+        self.sensitive_threshold = sensitive_threshold
+        self.bulk_threshold = bulk_threshold
+
+    def classify(self, slowdown_per_us: float) -> TrafficClass:
+        """Traffic class for a workload with the given sensitivity."""
+        if slowdown_per_us >= self.sensitive_threshold:
+            return TrafficClass.LATENCY_SENSITIVE
+        if slowdown_per_us <= self.bulk_threshold:
+            return TrafficClass.BULK
+        return TrafficClass.NORMAL
+
+    @staticmethod
+    def sensitivity(
+        delays_us: Sequence[float], degradations: Sequence[float]
+    ) -> float:
+        """Least-squares slope of degradation vs injected delay."""
+        x = np.asarray(delays_us, dtype=np.float64)
+        y = np.asarray(degradations, dtype=np.float64)
+        if x.size < 2 or x.shape != y.shape:
+            raise ConfigError("sensitivity needs >= 2 aligned samples")
+        xc = x - x.mean()
+        denom = (xc * xc).sum()
+        if denom == 0:
+            return 0.0
+        return float((xc * (y - y.mean())).sum() / denom)
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """Outcome of one page-migration evaluation."""
+
+    pages_to_migrate: np.ndarray  # page indices, hottest first
+    migrated_access_fraction: float  # share of accesses made local
+    cost_ps: int  # one-time migration traffic cost
+
+
+class PageMigrationPolicy:
+    """Hot-page promotion under elevated remote latency.
+
+    Parameters
+    ----------
+    page_bytes:
+        OS page size.
+    local_budget_pages:
+        Free local pages available to receive migrations.
+    trigger_latency:
+        Remote sojourn (ps) above which migration engages.
+    """
+
+    def __init__(
+        self,
+        page_bytes: int = 65536,
+        local_budget_pages: int = 128,
+        trigger_latency: Duration = 10_000_000,  # 10 us
+    ) -> None:
+        if page_bytes < 1 or local_budget_pages < 0:
+            raise ConfigError("invalid page size or budget")
+        self.page_bytes = page_bytes
+        self.local_budget_pages = local_budget_pages
+        self.trigger_latency = trigger_latency
+
+    def decide(
+        self,
+        page_access_counts: Sequence[int],
+        observed_latency_ps: Duration,
+        migration_bandwidth_bytes_per_s: float = 12.5e9,
+    ) -> MigrationDecision:
+        """Choose pages to promote given an access histogram.
+
+        Picks the hottest pages up to the local budget when observed
+        latency exceeds the trigger; otherwise migrates nothing.
+        """
+        counts = np.asarray(page_access_counts, dtype=np.int64)
+        if observed_latency_ps < self.trigger_latency or counts.size == 0:
+            return MigrationDecision(
+                pages_to_migrate=np.empty(0, dtype=np.int64),
+                migrated_access_fraction=0.0,
+                cost_ps=0,
+            )
+        order = np.argsort(counts)[::-1]
+        chosen = order[: self.local_budget_pages]
+        chosen = chosen[counts[chosen] > 0]
+        total = int(counts.sum())
+        fraction = float(counts[chosen].sum() / total) if total else 0.0
+        cost_bytes = int(chosen.size) * self.page_bytes
+        cost_ps = round(cost_bytes * 1e12 / migration_bandwidth_bytes_per_s)
+        return MigrationDecision(
+            pages_to_migrate=chosen.astype(np.int64),
+            migrated_access_fraction=fraction,
+            cost_ps=cost_ps,
+        )
+
+    def effective_remote_fraction(self, decision: MigrationDecision) -> float:
+        """Remote share of accesses after applying *decision*."""
+        return 1.0 - decision.migrated_access_fraction

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: delay injection + characterization.
+
+Subpackages
+-----------
+:mod:`repro.core.delay`
+    The delay-injection framework (section III-B): constant-PERIOD
+    READY gating, plus the future-work extensions (distribution-driven
+    and time-varying injection).
+:mod:`repro.core.characterization`
+    The characterization harness: PERIOD sweeps, metric collection, and
+    the validation analyses of section IV-B (linearity, BDP constancy).
+:mod:`repro.core.resilience`
+    The resilience-assessment methodology of section IV-C (exponential
+    delay stress, detection-timeout failures).
+"""
+
+from repro.core.delay import DelayInjector, DelaySchedule, make_delay_distribution
+
+__all__ = ["DelayInjector", "DelaySchedule", "make_delay_distribution"]

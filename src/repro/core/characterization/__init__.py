@@ -1,0 +1,16 @@
+"""Characterization harness: sweeps, validation analyses, calibration."""
+
+from repro.core.characterization.calibrator import CalibrationFit, fit_sweep
+from repro.core.characterization.harness import (
+    SweepPoint,
+    SweepResult,
+    validation_sweep,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "validation_sweep",
+    "CalibrationFit",
+    "fit_sweep",
+]

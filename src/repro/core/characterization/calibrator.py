@@ -1,0 +1,100 @@
+"""Inverse calibration: recover system constants from a measured sweep.
+
+Given the (PERIOD, latency, bandwidth) points a validation sweep
+produces — from this simulator or from a real delay-injected testbed —
+the calibrator fits the closed-window model::
+
+    latency(P)  = max(L0, W * P * t_cyc)
+    BDP         = W * line_bytes        (in the saturated regime)
+
+and returns the implied FPGA clock, outstanding window and baseline
+latency.  This is exactly the reasoning used to set this repository's
+calibration constants from the paper's published anchors (DESIGN.md
+section 2), packaged as a reusable tool: run the STREAM sweep on any
+ThymesisFlow-like system and read off its hidden parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.characterization.harness import SweepResult
+from repro.errors import ExperimentError
+
+__all__ = ["CalibrationFit", "fit_sweep"]
+
+
+@dataclass(frozen=True)
+class CalibrationFit:
+    """Model constants implied by a measured sweep."""
+
+    window: int
+    t_cyc_ps: float
+    base_latency_ps: float
+    bdp_bytes: float
+    slope_ps_per_period: float
+    residual: float  # RMS relative error of the latency fit
+
+    @property
+    def fpga_clock_hz(self) -> float:
+        """FPGA clock frequency implied by the fitted cycle time."""
+        return 1e12 / self.t_cyc_ps
+
+
+def fit_sweep(sweep: SweepResult, line_bytes: int = 128) -> CalibrationFit:
+    """Fit the closed-window model to a validation sweep.
+
+    Parameters
+    ----------
+    sweep:
+        Output of :func:`repro.core.characterization.validation_sweep`
+        (or equivalent measurements from real hardware).
+    line_bytes:
+        Transaction payload size (needed to split W from t_cyc).
+
+    Notes
+    -----
+    * W comes from the saturated-regime BDP: ``W = BDP / line``.
+    * The latency slope over the gate-bound points gives
+      ``W * t_cyc``; dividing by W yields the FPGA clock.
+    * L0 is the latency floor (minimum over the sweep).
+    """
+    periods = sweep.periods.astype(np.float64)
+    latencies = sweep.latencies_ps.astype(np.float64)
+    bandwidths = sweep.bandwidths.astype(np.float64)
+    if periods.size < 3:
+        raise ExperimentError("calibration needs at least 3 sweep points")
+
+    base_latency = float(latencies.min())
+    # Gate-bound points: latency clearly above the floor.
+    saturated = latencies >= 1.5 * base_latency
+    if saturated.sum() < 2:
+        raise ExperimentError(
+            "sweep has too few gate-bound points; extend the PERIOD range"
+        )
+    bdp = float((bandwidths[saturated] * latencies[saturated]).mean() / 1e12)
+    window = max(1, round(bdp / line_bytes))
+
+    # Least-squares slope through the origin region of the gate-bound
+    # points: latency = slope * PERIOD (+ intercept absorbed into L0).
+    x = periods[saturated]
+    y = latencies[saturated]
+    slope = float(np.polyfit(x, y, 1)[0])
+    if slope <= 0:
+        raise ExperimentError("latency does not grow with PERIOD; nothing to fit")
+    t_cyc = slope / window
+
+    predicted = np.maximum(base_latency, window * periods * t_cyc)
+    residual = float(
+        np.sqrt(np.mean(((predicted - latencies) / latencies) ** 2))
+    )
+    return CalibrationFit(
+        window=window,
+        t_cyc_ps=t_cyc,
+        base_latency_ps=base_latency,
+        bdp_bytes=bdp,
+        slope_ps_per_period=slope,
+        residual=residual,
+    )

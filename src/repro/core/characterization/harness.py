@@ -1,0 +1,124 @@
+"""The injector-validation sweep (paper section IV-B).
+
+Runs STREAM on the borrower (lender idle) across a PERIOD sweep and
+collects the three quantities of Figures 2 and 3: STREAM-measured
+latency, STREAM-measured bandwidth, and their product (the BDP, whose
+constancy validates the closed-window model).
+
+Both engines are supported; ``mode="des"`` executes every transaction
+through the event-driven testbed, ``mode="fluid"`` evaluates the
+closed forms (vectorized) — the test suite pins their agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import bdp_constancy, linear_correlation
+from repro.calibration import paper_cluster_config
+from repro.engine.des import DesPhaseDriver
+from repro.engine.fluid import FluidEngine
+from repro.engine.phases import Location
+from repro.errors import ExperimentError
+from repro.node.cluster import ThymesisFlowSystem
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+__all__ = ["SweepPoint", "SweepResult", "validation_sweep"]
+
+Mode = Literal["des", "fluid"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One operating point of the validation sweep."""
+
+    period: int
+    latency_ps: float
+    bandwidth_bytes_per_s: float
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product at this point."""
+        return self.bandwidth_bytes_per_s * self.latency_ps / 1e12
+
+
+@dataclass
+class SweepResult:
+    """Full validation sweep (Figures 2 and 3 data)."""
+
+    mode: str
+    points: List[SweepPoint]
+
+    @property
+    def periods(self) -> np.ndarray:
+        """PERIOD values swept."""
+        return np.asarray([p.period for p in self.points])
+
+    @property
+    def latencies_ps(self) -> np.ndarray:
+        """STREAM-measured latency per point."""
+        return np.asarray([p.latency_ps for p in self.points])
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        """STREAM-measured bandwidth per point."""
+        return np.asarray([p.bandwidth_bytes_per_s for p in self.points])
+
+    def latency_correlation(self) -> float:
+        """Pearson r between PERIOD and latency (section III-B claim)."""
+        return linear_correlation(self.periods, self.latencies_ps)
+
+    def bdp(self) -> tuple[float, float]:
+        """(mean BDP bytes, max relative deviation) across the sweep.
+
+        Deviation is computed over the gate-bound regime (points whose
+        latency clearly exceeds the unloaded baseline), matching how
+        the paper reads Figure 3.
+        """
+        lat = self.latencies_ps
+        bw = self.bandwidths
+        saturated = lat >= 1.5 * lat.min() if len(lat) > 1 else np.ones_like(lat, bool)
+        if saturated.sum() < 2:
+            saturated = np.ones_like(lat, dtype=bool)
+        return bdp_constancy(bw[saturated], lat[saturated])
+
+
+def validation_sweep(
+    periods: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 384),
+    mode: Mode = "fluid",
+    stream: StreamConfig | None = None,
+    seed: int = 1234,
+) -> SweepResult:
+    """Run the section IV-B sweep; returns per-PERIOD latency/bandwidth.
+
+    STREAM "latency" is the mean transaction sojourn (what a
+    load-latency probe reports) and "bandwidth" is payload bytes moved
+    over elapsed time, both as in the paper's Figures 2/3.
+    """
+    if not periods:
+        raise ExperimentError("validation_sweep requires at least one PERIOD")
+    stream_cfg = stream or StreamConfig(n_elements=20_000)
+    workload = StreamWorkload(stream_cfg)
+    points: List[SweepPoint] = []
+    for period in periods:
+        config = paper_cluster_config(period=period, seed=seed)
+        if mode == "des":
+            system = ThymesisFlowSystem(config)
+            system.attach_or_raise()
+            driver = DesPhaseDriver(system, workload.program(Location.REMOTE))
+            result = driver.run_to_completion()
+            latency = result.mean_latency_ps
+            bandwidth = result.bandwidth_bytes_per_s
+        elif mode == "fluid":
+            run = FluidEngine(config).run(workload.program(Location.REMOTE))
+            latency = run.mean_sojourn_ps
+            bandwidth = run.bandwidth_bytes_per_s
+        else:  # pragma: no cover - literal type guards this
+            raise ExperimentError(f"unknown mode {mode!r}")
+        points.append(
+            SweepPoint(period=period, latency_ps=latency, bandwidth_bytes_per_s=bandwidth)
+        )
+    return SweepResult(mode=mode, points=points)

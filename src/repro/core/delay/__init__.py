@@ -1,0 +1,12 @@
+"""Delay-injection framework (paper section III-B plus extensions)."""
+
+from repro.core.delay.distributions import DelayDistribution, make_delay_distribution
+from repro.core.delay.injector import DelayInjector
+from repro.core.delay.schedule import DelaySchedule
+
+__all__ = [
+    "DelayInjector",
+    "DelayDistribution",
+    "make_delay_distribution",
+    "DelaySchedule",
+]

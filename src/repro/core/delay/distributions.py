@@ -1,0 +1,125 @@
+"""Per-transaction delay distributions (paper section VII future work).
+
+The published injector applies a *constant* PERIOD.  The paper's
+conclusion names "injecting delays according to a distribution instead
+of fixed values" as future work; this module implements that
+extension.  A distribution draws, per transaction, the gate spacing in
+FPGA clock cycles (always >= 1, since a transaction can never complete
+in less than one cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DelayInjectionConfig
+from repro.errors import ConfigError
+
+__all__ = ["DelayDistribution", "make_delay_distribution"]
+
+
+class DelayDistribution:
+    """Draws per-transaction gate spacings, in FPGA cycles.
+
+    Parameters
+    ----------
+    sampler:
+        Callable ``(rng, n) -> ndarray`` of raw cycle draws.
+    name:
+        Distribution label.
+    rng:
+        NumPy generator; draws are batched for speed and refilled
+        lazily (vectorized, per the HPC guides).
+    """
+
+    _BATCH = 4096
+
+    def __init__(
+        self,
+        sampler: Callable[[np.random.Generator, int], np.ndarray],
+        name: str,
+        rng: np.random.Generator,
+    ) -> None:
+        self._sampler = sampler
+        self.name = name
+        self._rng = rng
+        self._buffer: np.ndarray = np.empty(0, dtype=np.int64)
+        self._pos = 0
+
+    def draw_cycles(self) -> int:
+        """One spacing draw, clamped to >= 1 cycle."""
+        if self._pos >= self._buffer.shape[0]:
+            raw = np.asarray(self._sampler(self._rng, self._BATCH), dtype=np.float64)
+            self._buffer = np.maximum(1, np.rint(raw)).astype(np.int64)
+            self._pos = 0
+        value = int(self._buffer[self._pos])
+        self._pos += 1
+        return value
+
+    def draw_many(self, n: int) -> np.ndarray:
+        """Vectorized draw of *n* spacings (used by the fluid engine)."""
+        raw = np.asarray(self._sampler(self._rng, n), dtype=np.float64)
+        return np.maximum(1, np.rint(raw)).astype(np.int64)
+
+    def mean_cycles(self, n: int = 65536) -> float:
+        """Monte-Carlo mean spacing (fresh draws; does not disturb state)."""
+        raw = np.asarray(self._sampler(self._rng, n), dtype=np.float64)
+        return float(np.maximum(1, np.rint(raw)).mean())
+
+
+def make_delay_distribution(
+    config: DelayInjectionConfig,
+    rng: np.random.Generator,
+    empirical_cycles: Optional[Sequence[float]] = None,
+) -> Optional[DelayDistribution]:
+    """Build the distribution described by *config*.
+
+    Returns None for ``"constant"`` — the injector then uses the pure
+    PERIOD grid, which is the exact published behaviour.
+    """
+    kind = config.distribution
+    if kind == "constant":
+        return None
+    if kind == "uniform":
+        low = max(1.0, config.low_cycles)
+        high = max(low, config.high_cycles)
+
+        def sampler(r: np.random.Generator, n: int) -> np.ndarray:
+            return r.uniform(low, high, size=n)
+
+        return DelayDistribution(sampler, f"uniform[{low},{high}]", rng)
+    if kind == "exponential":
+        scale = config.scale_cycles
+        if scale <= 0:
+            raise ConfigError("exponential distribution requires scale_cycles > 0")
+
+        def sampler(r: np.random.Generator, n: int) -> np.ndarray:
+            return r.exponential(scale, size=n)
+
+        return DelayDistribution(sampler, f"exp(scale={scale})", rng)
+    if kind == "lognormal":
+        scale = config.scale_cycles
+        if scale <= 0:
+            raise ConfigError("lognormal distribution requires scale_cycles > 0")
+        sigma = config.sigma
+        # choose mu so the distribution mean equals scale_cycles
+        mu = np.log(scale) - 0.5 * sigma * sigma
+
+        def sampler(r: np.random.Generator, n: int) -> np.ndarray:
+            return r.lognormal(mu, sigma, size=n)
+
+        return DelayDistribution(sampler, f"lognormal(mean={scale},sigma={sigma})", rng)
+    if kind == "empirical":
+        if not empirical_cycles:
+            raise ConfigError("empirical distribution requires empirical_cycles samples")
+        table = np.asarray(empirical_cycles, dtype=np.float64)
+        if (table < 0).any():
+            raise ConfigError("empirical_cycles must be non-negative")
+
+        def sampler(r: np.random.Generator, n: int) -> np.ndarray:
+            return r.choice(table, size=n, replace=True)
+
+        return DelayDistribution(sampler, f"empirical(n={table.size})", rng)
+    raise ConfigError(f"unknown distribution {kind!r}")  # pragma: no cover

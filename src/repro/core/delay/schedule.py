@@ -1,0 +1,95 @@
+"""Time-varying injection schedules.
+
+The paper's limitation discussion (section V) notes the published
+injector keeps delay constant within an application run and names
+short-timescale variation as an open question.  :class:`DelaySchedule`
+answers it: a piecewise-constant map from simulated time to PERIOD that
+the injector consults on every transaction.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.units import Time
+
+__all__ = ["DelaySchedule"]
+
+
+class DelaySchedule:
+    """Piecewise-constant PERIOD schedule.
+
+    Parameters
+    ----------
+    steps:
+        ``(start_time_ps, period)`` pairs; each period applies from its
+        start time until the next step.  Times must be strictly
+        increasing and the first step must start at 0.
+
+    Examples
+    --------
+    >>> sched = DelaySchedule([(0, 1), (1_000_000, 100), (2_000_000, 1)])
+    >>> sched.period_at(0), sched.period_at(1_500_000), sched.period_at(5_000_000)
+    (1, 100, 1)
+    """
+
+    def __init__(self, steps: Iterable[Tuple[Time, int]]) -> None:
+        entries = sorted(steps)
+        if not entries:
+            raise ConfigError("DelaySchedule requires at least one step")
+        if entries[0][0] != 0:
+            raise ConfigError("DelaySchedule must start at time 0")
+        times = [t for t, _ in entries]
+        if len(set(times)) != len(times):
+            raise ConfigError("DelaySchedule step times must be unique")
+        for _, period in entries:
+            if period < 1:
+                raise ConfigError(f"PERIOD must be >= 1, got {period}")
+        self._times: Sequence[Time] = times
+        self._periods: Sequence[int] = [p for _, p in entries]
+
+    @classmethod
+    def constant(cls, period: int) -> "DelaySchedule":
+        """A schedule that never changes (the published behaviour)."""
+        return cls([(0, period)])
+
+    @classmethod
+    def square_wave(
+        cls, low: int, high: int, half_period_ps: Time, cycles: int
+    ) -> "DelaySchedule":
+        """Alternate between *low* and *high* PERIOD every *half_period_ps*."""
+        if cycles < 1:
+            raise ConfigError("square_wave requires cycles >= 1")
+        steps = []
+        t = 0
+        for _ in range(cycles):
+            steps.append((t, low))
+            t += half_period_ps
+            steps.append((t, high))
+            t += half_period_ps
+        return cls(steps)
+
+    def period_at(self, time: Time) -> int:
+        """PERIOD in force at simulated time *time*."""
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            idx = 0
+        return self._periods[idx]
+
+    def next_change_after(self, time: Time) -> Time | None:
+        """Start of the next step strictly after *time* (None if last)."""
+        idx = bisect.bisect_right(self._times, time)
+        if idx >= len(self._times):
+            return None
+        return self._times[idx]
+
+    @property
+    def is_constant(self) -> bool:
+        """True when only one step exists."""
+        return len(self._periods) == 1
+
+    def steps(self) -> list[Tuple[Time, int]]:
+        """All ``(start, period)`` steps (copy)."""
+        return list(zip(self._times, self._periods))

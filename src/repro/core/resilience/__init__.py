@@ -1,0 +1,23 @@
+"""Resilience assessment: delay stress and link-failure injection."""
+
+from repro.core.resilience.assessment import (
+    ResiliencePoint,
+    ResilienceReport,
+    resilience_sweep,
+)
+from repro.core.resilience.failures import (
+    FailureInjectedSystem,
+    HostCrash,
+    LinkFailureSchedule,
+    blackout_survival_sweep,
+)
+
+__all__ = [
+    "ResiliencePoint",
+    "ResilienceReport",
+    "resilience_sweep",
+    "LinkFailureSchedule",
+    "FailureInjectedSystem",
+    "HostCrash",
+    "blackout_survival_sweep",
+]

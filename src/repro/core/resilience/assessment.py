@@ -1,0 +1,93 @@
+"""Resilience assessment (paper section IV-C, Figure 4).
+
+Stress-tests the stack with exponentially increasing PERIOD: at each
+level, attempt the attach handshake and — if the FPGA is still
+detected — run STREAM and record the measured access time.  The paper
+finds the stack functional through PERIOD = 1000 (~400 us accesses)
+and the FPGA undetectable at PERIOD = 10000 (~4 ms per transaction,
+beyond any handshake deadline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.calibration import paper_cluster_config
+from repro.engine.des import DesPhaseDriver
+from repro.engine.phases import Location
+from repro.errors import AttachError
+from repro.node.cluster import ThymesisFlowSystem
+from repro.units import to_microseconds
+from repro.workloads.stream import StreamConfig, StreamWorkload
+
+__all__ = ["ResiliencePoint", "ResilienceReport", "resilience_sweep"]
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """Outcome of one stress level."""
+
+    period: int
+    attached: bool
+    failure: str
+    latency_ps: float  # NaN when not attached
+
+    @property
+    def latency_us(self) -> float:
+        """Measured STREAM latency in microseconds."""
+        return to_microseconds(self.latency_ps) if self.attached else float("nan")
+
+
+@dataclass
+class ResilienceReport:
+    """Full Figure 4 stress series."""
+
+    points: List[ResiliencePoint]
+
+    def max_survivable_period(self) -> int:
+        """Largest PERIOD at which the system still attached."""
+        alive = [p.period for p in self.points if p.attached]
+        return max(alive) if alive else 0
+
+    def first_failing_period(self) -> int:
+        """Smallest PERIOD at which attach failed (0 = none failed)."""
+        dead = [p.period for p in self.points if not p.attached]
+        return min(dead) if dead else 0
+
+
+def resilience_sweep(
+    periods: Sequence[int] = (1, 10, 100, 1000, 10_000),
+    stream: StreamConfig | None = None,
+    seed: int = 1234,
+) -> ResilienceReport:
+    """Run the exponential stress test on the DES testbed."""
+    stream_cfg = stream or StreamConfig(n_elements=4_000)
+    workload = StreamWorkload(stream_cfg)
+    points: List[ResiliencePoint] = []
+    for period in periods:
+        config = paper_cluster_config(period=period, seed=seed)
+        system = ThymesisFlowSystem(config)
+        try:
+            system.attach_or_raise()
+        except AttachError as exc:
+            points.append(
+                ResiliencePoint(
+                    period=period,
+                    attached=False,
+                    failure=str(exc),
+                    latency_ps=float("nan"),
+                )
+            )
+            continue
+        driver = DesPhaseDriver(system, workload.program(Location.REMOTE))
+        result = driver.run_to_completion()
+        points.append(
+            ResiliencePoint(
+                period=period,
+                attached=True,
+                failure="",
+                latency_ps=result.mean_latency_ps,
+            )
+        )
+    return ResilienceReport(points=points)

@@ -1,0 +1,182 @@
+"""Failure injection beyond delay: link flaps and blackout windows.
+
+The paper motivates delay injection by noting that network delays
+"can arise due to multiple performance (such as network congestion)
+and reliability (such as link repair) failures" (section I).  Delay is
+the *manifestation* it injects; this module injects the *causes*
+directly — transient link blackouts (flaps, repair windows) — and
+models the borrower-side consequence the paper's resilience discussion
+turns on: an outstanding remote access that stalls longer than the
+processor/OS tolerance crashes the node, one that resumes in time is
+just (severe) delay.
+
+:class:`LinkFailureSchedule` describes down windows;
+:class:`FailureInjectedSystem` wraps the standard testbed so remote
+transactions stall across blackouts and a configurable stall tolerance
+converts long blackouts into crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Sequence, Tuple
+
+from repro.config import ClusterConfig
+from repro.core.delay import DelaySchedule
+from repro.errors import ReproError
+from repro.node.cluster import ThymesisFlowSystem
+from repro.sim import Simulator, Timeout
+from repro.units import Duration, Time, format_time, milliseconds
+
+__all__ = ["HostCrash", "LinkFailureSchedule", "FailureInjectedSystem"]
+
+
+class HostCrash(ReproError):
+    """A stalled remote access exceeded the host's stall tolerance.
+
+    Models the paper's crash mode: on POWER9/OpenCAPI a sufficiently
+    long unanswered memory operation surfaces as a checkstop/machine
+    check rather than an error return.
+    """
+
+
+@dataclass(frozen=True)
+class LinkFailureSchedule:
+    """Down windows of the borrower-lender link.
+
+    Attributes
+    ----------
+    outages:
+        ``(start_ps, duration_ps)`` windows during which no transaction
+        can traverse the link; transactions in flight stall until the
+        window ends.
+    """
+
+    outages: Tuple[Tuple[Time, Duration], ...] = ()
+
+    def __post_init__(self) -> None:
+        last_end = -1
+        for start, duration in self.outages:
+            if start < 0 or duration <= 0:
+                raise ReproError("outage windows need start >= 0, duration > 0")
+            if start <= last_end:
+                raise ReproError("outage windows must be disjoint and ordered")
+            last_end = start + duration
+
+    @classmethod
+    def periodic(
+        cls, first_start: Time, duration: Duration, gap: Duration, count: int
+    ) -> "LinkFailureSchedule":
+        """Evenly spaced flaps (e.g. a misbehaving transceiver)."""
+        if count < 1:
+            raise ReproError("count must be >= 1")
+        outages = tuple(
+            (first_start + i * (duration + gap), duration) for i in range(count)
+        )
+        return cls(outages=outages)
+
+    def stall_until(self, t: Time) -> Time:
+        """When a transaction attempting the link at *t* can proceed."""
+        for start, duration in self.outages:
+            if start <= t < start + duration:
+                return start + duration
+            if t < start:
+                break
+        return t
+
+    def total_downtime(self) -> Duration:
+        """Sum of outage durations."""
+        return sum(duration for _, duration in self.outages)
+
+
+class FailureInjectedSystem(ThymesisFlowSystem):
+    """Testbed whose link suffers scheduled blackouts.
+
+    Parameters
+    ----------
+    config:
+        Standard testbed configuration.
+    failures:
+        Link down windows.
+    stall_tolerance:
+        Longest stall the host survives; a transaction stalled beyond
+        this raises :class:`HostCrash` (the paper's crash mode).
+        Defaults to 32 ms — an OpenCAPI-class completion timeout.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        failures: LinkFailureSchedule,
+        stall_tolerance: Duration = milliseconds(32),
+        schedule: DelaySchedule | None = None,
+        sim: Simulator | None = None,
+    ) -> None:
+        super().__init__(config, schedule=schedule, sim=sim)
+        if stall_tolerance <= 0:
+            raise ReproError("stall_tolerance must be positive")
+        self.failures = failures
+        self.stall_tolerance = stall_tolerance
+        self.stalls_observed = 0
+        self.longest_stall: Duration = 0
+
+    def _transact(self, addr, kind, payload_bytes, traffic_class=None) -> Generator:
+        """Insert the blackout stall ahead of the link traversal."""
+        resume = self.failures.stall_until(self.sim.now)
+        stall = resume - self.sim.now
+        if stall > 0:
+            self.stalls_observed += 1
+            if stall > self.longest_stall:
+                self.longest_stall = stall
+            if stall > self.stall_tolerance:
+                raise HostCrash(
+                    f"remote access stalled {format_time(stall)} > tolerance "
+                    f"{format_time(self.stall_tolerance)} (link blackout)"
+                )
+            yield Timeout(self.sim, stall)
+        result = yield from super()._transact(
+            addr, kind, payload_bytes, traffic_class=traffic_class
+        )
+        return result
+
+
+def blackout_survival_sweep(
+    durations: Sequence[Duration],
+    config: ClusterConfig,
+    stall_tolerance: Duration = milliseconds(32),
+    n_lines: int = 8000,
+    blackout_at: Time = 50_000_000,  # 50 us: after attach, mid-burst
+) -> List[dict]:
+    """Survive/crash boundary versus blackout duration.
+
+    For each duration: attach cleanly, start a streaming burst, drop
+    the link mid-run for that long, and report whether the host
+    survived and the completion-time inflation when it did.
+    """
+    from repro.engine import AccessPhase, DesPhaseDriver, PhaseProgram
+
+    rows: List[dict] = []
+    for duration in durations:
+        failures = LinkFailureSchedule(outages=((blackout_at, duration),))
+        system = FailureInjectedSystem(
+            config, failures, stall_tolerance=stall_tolerance
+        )
+        system.attach_or_raise()
+        program = PhaseProgram("burst").add(
+            AccessPhase("stream", n_lines=n_lines, concurrency=128, write_fraction=0.5)
+        )
+        driver = DesPhaseDriver(system, program)
+        proc = driver.start()
+        system.sim.run()
+        crashed = not proc.ok and isinstance(proc._exc, HostCrash)  # noqa: SLF001
+        if not proc.ok and not crashed:
+            _ = proc.value  # unexpected failure: surface it
+        rows.append(
+            {
+                "blackout_ps": int(duration),
+                "survived": not crashed,
+                "duration_ps": driver.result.duration_ps if proc.ok else None,
+                "longest_stall_ps": system.longest_stall,
+            }
+        )
+    return rows

@@ -1,0 +1,122 @@
+"""Phase programs: the workload↔engine contract.
+
+A workload compiles itself into a :class:`PhaseProgram` — an ordered
+list of :class:`AccessPhase` steps, optionally repeated — that either
+engine can execute.  A phase bundles a batch of cache-line transactions
+with the concurrency available to overlap them and any serial compute
+attached to the batch.
+
+This factoring keeps workload knowledge (how many lines, how much
+overlap, how much arithmetic) separate from system knowledge (how long
+a line transaction takes under a given PERIOD), mirroring the paper's
+separation between benchmarks and testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.errors import WorkloadError
+from repro.units import Duration
+
+__all__ = ["Location", "AccessPhase", "PhaseProgram"]
+
+
+class Location(enum.Enum):
+    """Which memory a phase's lines live in."""
+
+    REMOTE = "remote"
+    LOCAL = "local"
+    LENDER_LOCAL = "lender_local"  # runs *on the lender node's* DRAM
+
+
+@dataclass(frozen=True)
+class AccessPhase:
+    """A batch of line transactions plus attached serial compute.
+
+    Attributes
+    ----------
+    name:
+        Label (e.g. ``"triad"``).
+    n_lines:
+        Number of cache-line transactions in the batch.
+    concurrency:
+        Maximum transactions the workload can keep in flight during
+        this phase (bounded by the hardware window at execution time).
+    write_fraction:
+        Fraction of transactions that are writes.
+    location:
+        Memory the lines live in.
+    compute_ps:
+        Serial compute executed once, before the batch (think time).
+    compute_ps_per_line:
+        Serial compute interleaved per transaction (per-worker).
+    repeats:
+        The whole phase repeats this many times back to back.
+    """
+
+    name: str
+    n_lines: int
+    concurrency: int = 1
+    write_fraction: float = 0.0
+    location: Location = Location.REMOTE
+    compute_ps: Duration = 0
+    compute_ps_per_line: Duration = 0
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_lines < 0:
+            raise WorkloadError(f"n_lines must be >= 0, got {self.n_lines}")
+        if self.concurrency < 1:
+            raise WorkloadError(f"concurrency must be >= 1, got {self.concurrency}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise WorkloadError(f"write_fraction must be in [0,1], got {self.write_fraction}")
+        if self.compute_ps < 0 or self.compute_ps_per_line < 0:
+            raise WorkloadError("compute times must be non-negative")
+        if self.repeats < 1:
+            raise WorkloadError(f"repeats must be >= 1, got {self.repeats}")
+
+    @property
+    def total_lines(self) -> int:
+        """Lines including repeats."""
+        return self.n_lines * self.repeats
+
+    @property
+    def payload_bytes_per_line(self) -> int:
+        """Payload bytes moved per transaction (set at engine time)."""
+        return 128  # engines use the system's configured line size
+
+
+@dataclass
+class PhaseProgram:
+    """An ordered sequence of phases forming one workload run."""
+
+    name: str
+    phases: List[AccessPhase] = field(default_factory=list)
+
+    def add(self, phase: AccessPhase) -> "PhaseProgram":
+        """Append *phase* (chainable)."""
+        self.phases.append(phase)
+        return self
+
+    def extend(self, phases: Iterable[AccessPhase]) -> "PhaseProgram":
+        """Append several phases (chainable)."""
+        self.phases.extend(phases)
+        return self
+
+    @property
+    def total_lines(self) -> int:
+        """All transactions across all phases and repeats."""
+        return sum(p.total_lines for p in self.phases)
+
+    def remote_lines(self) -> int:
+        """Transactions bound for remote memory."""
+        return sum(p.total_lines for p in self.phases if p.location is Location.REMOTE)
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self):
+        return iter(self.phases)

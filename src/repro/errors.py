@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ProcessKilled",
+    "ConfigError",
+    "AddressError",
+    "TranslationFault",
+    "LinkDetectionTimeout",
+    "AttachError",
+    "AllocationError",
+    "ProtocolError",
+    "ChecksumError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel reached an inconsistent state."""
+
+
+class ProcessKilled(ReproError):
+    """Raised inside a simulated process that has been killed/interrupted."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration value."""
+
+
+class AddressError(ReproError, ValueError):
+    """Address outside any mapped region."""
+
+
+class TranslationFault(AddressError):
+    """Borrower address has no mapping at the lender (NIC translation miss)."""
+
+
+class LinkDetectionTimeout(ReproError):
+    """The FPGA/link was not detected within the detection timeout.
+
+    Mirrors the paper's observation that at ``PERIOD = 10000`` the
+    ThymesisFlow compute-side FPGA "is no longer detected due to timeout
+    and the disaggregated memory cannot be attached" (section IV-C).
+    """
+
+
+class AttachError(ReproError):
+    """Remote memory hotplug/attach failed."""
+
+
+class AllocationError(ReproError):
+    """Control plane could not satisfy a reservation request."""
+
+
+class ProtocolError(ReproError):
+    """Malformed packet or AXI-stream protocol violation."""
+
+
+class ChecksumError(ProtocolError):
+    """Packet integrity check failed."""
+
+
+class WorkloadError(ReproError):
+    """Workload configuration or execution failure."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness failure (unknown experiment, bad sweep, ...)."""

@@ -1,0 +1,18 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every experiment returns an :class:`~repro.experiments.base.ExperimentResult`
+carrying the same rows/series the paper reports plus machine-checkable
+shape criteria (see DESIGN.md section 4).  The registry maps experiment
+ids (``fig2`` ... ``fig7``, ``table1``) to runners; the CLI
+(``python -m repro``) prints any of them.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

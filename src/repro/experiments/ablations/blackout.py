@@ -1,0 +1,76 @@
+"""Ablation: link blackouts — the failure causes behind delay (§I).
+
+Maps the survive/crash boundary versus blackout duration: short
+blackouts are absorbed as (severe) delay with JCT inflating by exactly
+the outage; blackouts beyond the host's stall tolerance crash the
+borrower.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.calibration import paper_cluster_config
+from repro.core.resilience import blackout_survival_sweep
+from repro.experiments.base import ExperimentResult
+from repro.units import MS, milliseconds
+
+__all__ = ["run"]
+
+DEFAULT_DURATIONS = (
+    milliseconds(0.1),
+    milliseconds(1),
+    milliseconds(10),
+    milliseconds(30),
+    milliseconds(50),
+    milliseconds(100),
+)
+
+
+def run(
+    durations: Sequence[int] = DEFAULT_DURATIONS,
+    stall_tolerance: int = milliseconds(32),
+    n_lines: int = 8000,
+) -> ExperimentResult:
+    """Blackout-duration sweep against a fixed stall tolerance."""
+    sweep = blackout_survival_sweep(
+        durations=durations,
+        config=paper_cluster_config(period=1),
+        stall_tolerance=stall_tolerance,
+        n_lines=n_lines,
+    )
+    rows = [
+        (
+            round(r["blackout_ps"] / MS, 2),
+            "survived" if r["survived"] else "HOST CRASH",
+            round(r["duration_ps"] / MS, 3) if r["survived"] else "-",
+        )
+        for r in sweep
+    ]
+    by_duration = {r["blackout_ps"]: r for r in sweep}
+    boundary_ok = all(
+        r["survived"] == (d < stall_tolerance) for d, r in by_duration.items()
+    )
+    survivors = sorted(
+        (d, r["duration_ps"]) for d, r in by_duration.items() if r["survived"]
+    )
+    inflation_ok = True
+    if len(survivors) >= 2:
+        (d0, t0), (d1, t1) = survivors[0], survivors[-1]
+        inflation_ok = abs((t1 - t0) - (d1 - d0)) / max(1, d1 - d0) < 0.25
+    checks = {
+        "survive/crash boundary sits at the stall tolerance": boundary_ok,
+        "survivors' JCT inflates by ~the blackout length": inflation_ok,
+    }
+    return ExperimentResult(
+        experiment="ablation-blackout",
+        title=f"Link blackout sweep (stall tolerance {stall_tolerance / MS:.0f} ms)",
+        columns=("blackout_ms", "outcome", "JCT_ms"),
+        rows=rows,
+        checks=checks,
+        notes=(
+            "Below the tolerance a blackout is indistinguishable from delay "
+            "injection — the paper's framing of delay as the common failure "
+            "manifestation; above it the failure mode changes kind (crash)."
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Common result container for experiment reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + shape checks for one reproduced table/figure.
+
+    Attributes
+    ----------
+    experiment:
+        Registry id (``fig2``, ``table1``, ...).
+    title:
+        Human-readable description matching the paper artifact.
+    columns / rows:
+        The regenerated data, in the paper's layout.
+    checks:
+        Named shape criteria and whether each held (DESIGN.md sec. 4).
+    notes:
+        Free-form commentary (calibration caveats etc.).
+    """
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Tuple]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """True when every shape criterion held."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        """Names of criteria that did not hold."""
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        """Printable reproduction of the table/figure plus check status."""
+        body = render_table(f"[{self.experiment}] {self.title}", self.columns, self.rows)
+        lines = [body, ""]
+        for name, ok in self.checks.items():
+            lines.append(f"  check {'PASS' if ok else 'FAIL'}: {name}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run fig2 --mode des
+    repro-experiments all --mode fluid
+    python -m repro run table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables/figures of 'Evaluating Hardware Memory "
+            "Disaggregation under Delay and Contention' (IPPS 2022) on the "
+            "simulated ThymesisFlow testbed."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (fig2..fig7, table1, ablation-*)")
+    run_p.add_argument(
+        "--mode",
+        choices=("des", "fluid"),
+        default=None,
+        help="engine (default: each experiment's native engine)",
+    )
+    run_p.add_argument("--quick", action="store_true", help="reduced problem sizes")
+    run_p.add_argument(
+        "--plot", action="store_true", help="render the figure as an ASCII chart"
+    )
+    run_p.add_argument(
+        "--csv", metavar="PATH", default=None, help="also write the rows as CSV"
+    )
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--mode", choices=("des", "fluid"), default=None)
+    all_p.add_argument("--quick", action="store_true")
+
+    sub.add_parser(
+        "summary", help="one-screen paper-vs-measured scoreboard (fast settings)"
+    )
+    return parser
+
+
+#: How to chart each figure: (x column, y column, log_x, log_y) for
+#: scatter, or ("bar", label column, value column).
+_PLOT_HINTS = {
+    "fig2": ("scatter", 0, 1, True, True),
+    "fig3": ("scatter", 0, 1, True, True),
+    "fig5": ("scatter", 1, 3, False, False),
+    "fig6": ("bar", 0, 1),
+    "fig7": ("bar", 0, 1),
+}
+
+
+def _plot(result) -> None:
+    hint = _PLOT_HINTS.get(result.experiment)
+    if hint is None:
+        print("  (no plot hint for this experiment)")
+        return
+    from repro.analysis.ascii_chart import bar_chart, scatter
+
+    if hint[0] == "bar":
+        _, label_col, value_col = hint
+        print(
+            bar_chart(
+                [row[label_col] for row in result.rows],
+                [float(row[value_col]) for row in result.rows],
+                title=result.title,
+                unit=f" {result.columns[value_col]}",
+            )
+        )
+    else:
+        _, x_col, y_col, log_x, log_y = hint
+        print(
+            scatter(
+                [float(row[x_col]) for row in result.rows],
+                [float(row[y_col]) for row in result.rows],
+                title=result.title,
+                log_x=log_x,
+                log_y=log_y,
+                x_label=str(result.columns[x_col]),
+                y_label=str(result.columns[y_col]),
+            )
+        )
+    print()
+
+
+def _run_one(
+    name: str,
+    mode: Optional[str],
+    quick: bool,
+    plot: bool = False,
+    csv_path: Optional[str] = None,
+) -> bool:
+    kwargs = {}
+    if mode is not None and not name.startswith("ablation-"):
+        kwargs["mode"] = mode
+    if name in ("table1", "fig5"):
+        kwargs["quick"] = quick
+    result = run_experiment(name, **kwargs)
+    print(result.render())
+    print()
+    if plot:
+        _plot(result)
+    if csv_path:
+        from repro.analysis.export import write_result_csv
+
+        written = write_result_csv(result, csv_path)
+        print(f"  rows written to {written}")
+    return result.passed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, description in list_experiments():
+            print(f"{name:<20s} {description}")
+        return 0
+    if args.command == "run":
+        return (
+            0
+            if _run_one(args.experiment, args.mode, args.quick, args.plot, args.csv)
+            else 1
+        )
+    if args.command == "summary":
+        from repro.experiments.summary import render_summary
+
+        text, ok = render_summary()
+        print(text)
+        return 0 if ok else 1
+    # all
+    ok = True
+    for name, _ in list_experiments():
+        ok = _run_one(name, args.mode, args.quick) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Experiment registry: id → runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    fig2_stream_latency,
+    fig3_stream_bandwidth,
+    fig4_resilience,
+    fig5_app_degradation,
+    fig6_mcbn,
+    fig7_mcln,
+    table1_high_delay,
+)
+from repro.experiments.ablations import (
+    blackout,
+    distribution,
+    pooling,
+    qos_priority,
+    timevarying,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["get_experiment", "list_experiments", "run_experiment"]
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": fig2_stream_latency.run,
+    "fig3": fig3_stream_bandwidth.run,
+    "fig4": fig4_resilience.run,
+    "fig5": fig5_app_degradation.run,
+    "fig6": fig6_mcbn.run,
+    "fig7": fig7_mcln.run,
+    "table1": table1_high_delay.run,
+    "ablation-dist": distribution.run,
+    "ablation-wave": timevarying.run,
+    "ablation-qos": qos_priority.run,
+    "ablation-blackout": blackout.run,
+    "ablation-pooling": pooling.run,
+}
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "fig2": "STREAM latency vs delay injection PERIOD",
+    "fig3": "STREAM bandwidth vs PERIOD; BDP constancy",
+    "fig4": "Resilience under heavy delay (attach failure at PERIOD=1e4)",
+    "fig5": "Application degradation vs vanilla ThymesisFlow",
+    "fig6": "Borrower-side contention (MCBN): equal bandwidth division",
+    "fig7": "Lender-side contention (MCLN): borrower bandwidth flat",
+    "table1": "High-delay impact vs local memory (Redis / BFS / SSSP)",
+    "ablation-dist": "Extension: distribution-driven injection at equal mean",
+    "ablation-wave": "Extension: delay varying within a run (square wave)",
+    "ablation-qos": "Extension: priority arbitration at the delay gate",
+    "ablation-blackout": "Extension: link blackout survive/crash boundary",
+    "ablation-pooling": "Extension: memory pooling vs borrowing bottleneck shift",
+}
+
+#: Experiments reproducing paper artifacts (vs extension studies).
+PAPER_ARTIFACTS = ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1")
+
+
+def list_experiments() -> List[tuple[str, str]]:
+    """All experiment ids with one-line descriptions."""
+    return [(name, _DESCRIPTIONS[name]) for name in sorted(_REGISTRY)]
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Runner for experiment *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run experiment *name* with runner-specific keyword options."""
+    return get_experiment(name)(**kwargs)

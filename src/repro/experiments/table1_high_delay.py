@@ -1,0 +1,95 @@
+"""Table I: impact of high delay on application performance.
+
+Reproduces the paper's table — completion time on disaggregated memory
+under injection divided by completion time on *local* memory — at
+PERIOD = 1 and PERIOD = 1000:
+
+    =============  ========  ===========
+    (paper)        PERIOD=1  PERIOD=1000
+    =============  ========  ===========
+    Redis          1.01x     1.73x
+    Graph500 BFS   6x        2209x
+    Graph500 SSSP  5.3x      1800x
+    =============  ========  ===========
+
+Checked shape criteria: Redis is barely affected while Graph500
+degrades by orders of magnitude; BFS degrades more than SSSP (SSSP
+does more arithmetic per miss); at PERIOD = 1000 the Graph500 kernels
+are effectively unusable (paper: "renders the application unusable").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.degradation import DegradationTable
+from repro.analysis.report import format_ratio
+from repro.calibration import paper_cluster_config
+from repro.engine.fluid import FluidEngine
+from repro.engine.phases import Location
+from repro.experiments.base import ExperimentResult
+from repro.experiments.workload_suite import build_suite
+from repro.node.cluster import ThymesisFlowSystem
+
+__all__ = ["run"]
+
+DEFAULT_PERIODS: tuple[int, ...] = (1, 1000)
+
+
+def run(
+    mode: str = "fluid",
+    periods: Sequence[int] = DEFAULT_PERIODS,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Regenerate Table I."""
+    suite = build_suite(quick=quick)
+    table = DegradationTable(baseline_label="local memory")
+    durations: Dict[tuple[str, int], float] = {}
+    for name, workload in suite.items():
+        # Local baseline: injection is irrelevant off the remote path.
+        baseline = _duration(workload, period=1, location=Location.LOCAL, mode=mode)
+        for period in periods:
+            duration = _duration(workload, period=period, location=Location.REMOTE, mode=mode)
+            durations[(name, period)] = duration
+            table.record(name, f"PERIOD={period}", duration, baseline)
+
+    rows = [
+        (name, *[format_ratio(r) for r in ratios]) for name, ratios in table.as_rows()
+    ]
+    r = table.ratio
+    checks = {
+        "Redis barely degrades at PERIOD=1 (< 1.1x)": r("Redis", "PERIOD=1") < 1.1,
+        "Redis under 2.5x at PERIOD=1000": r("Redis", "PERIOD=1000") < 2.5,
+        "Graph500 BFS ~6x at PERIOD=1 (3-12x)": 3 <= r("Graph500 BFS", "PERIOD=1") <= 12,
+        "Graph500 SSSP ~5.3x at PERIOD=1 (3-12x)": 3 <= r("Graph500 SSSP", "PERIOD=1") <= 12,
+        "BFS catastrophic at PERIOD=1000 (> 300x)": r("Graph500 BFS", "PERIOD=1000") > 300,
+        "SSSP catastrophic at PERIOD=1000 (> 250x)": r("Graph500 SSSP", "PERIOD=1000") > 250,
+        "ordering BFS > SSSP > Redis at PERIOD=1000": (
+            r("Graph500 BFS", "PERIOD=1000")
+            > r("Graph500 SSSP", "PERIOD=1000")
+            > r("Redis", "PERIOD=1000")
+        ),
+    }
+    return ExperimentResult(
+        experiment="table1",
+        title="Impact of high delay on application performance (vs local memory)",
+        columns=("workload", *[f"PERIOD={p}" for p in periods]),
+        rows=rows,
+        checks=checks,
+        notes=(
+            "Paper: Redis 1.01x/1.73x, BFS 6x/2209x, SSSP 5.3x/1800x. The "
+            "simulated Graph500 PERIOD=1000 factors land in the high hundreds "
+            "rather than ~2000x because the model's local baseline is slightly "
+            "slower than the authors' hardware; ordering and orders of "
+            "magnitude are preserved (see EXPERIMENTS.md)."
+        ),
+    )
+
+
+def _duration(workload, period: int, location: Location, mode: str) -> float:
+    config = paper_cluster_config(period=period)
+    if mode == "des":
+        system = ThymesisFlowSystem(config)
+        system.attach_or_raise()
+        return workload.run_des(system, location).duration_ps
+    return workload.run_fluid(FluidEngine(config), location).duration_ps

@@ -1,0 +1,40 @@
+"""Shared workload construction for the application experiments.
+
+Table I and Figure 5 use the same three workloads (Redis+Memtier,
+Graph500 BFS, Graph500 SSSP); this module builds them at a consistent
+simulation scale so the experiments share trace-derived profiles (the
+graph and the request sample are cached per workload instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.base import Workload
+from repro.workloads.graph500 import Graph500Config, Graph500Workload
+from repro.workloads.kvstore import RedisWorkload, RedisWorkloadConfig
+
+__all__ = ["build_suite"]
+
+
+def build_suite(quick: bool = False, seed: int = 20) -> Dict[str, Workload]:
+    """The paper's application suite at simulation scale.
+
+    ``quick=True`` shrinks the graph and request sample for tests;
+    the default sizing is used by the benchmark harness.
+    """
+    scale = 9 if quick else 11
+    n_roots = 1 if quick else 2
+    redis_cfg = RedisWorkloadConfig(
+        n_requests=100 if quick else 500,
+        trace_sample=400 if quick else 2000,
+    )
+    return {
+        "Redis": RedisWorkload(redis_cfg),
+        "Graph500 BFS": Graph500Workload(
+            Graph500Config(scale=scale, kernel="bfs", n_roots=n_roots, seed=seed)
+        ),
+        "Graph500 SSSP": Graph500Workload(
+            Graph500Config(scale=scale, kernel="sssp", n_roots=n_roots, seed=seed)
+        ),
+    }

@@ -1,0 +1,22 @@
+"""Memory substrate: address spaces, LLC model, DRAM timing, shared bus."""
+
+from repro.mem.address import AddressRegion, RegionKind, RegionMap
+from repro.mem.bus import BandwidthServer
+from repro.mem.cache import CacheStats, SetAssociativeCache
+from repro.mem.dram import DramModule
+from repro.mem.hierarchy import HierarchyStats, MemoryHierarchy
+from repro.mem.prefetch import PrefetcherStats, StridePrefetcher
+
+__all__ = [
+    "AddressRegion",
+    "RegionKind",
+    "RegionMap",
+    "SetAssociativeCache",
+    "CacheStats",
+    "DramModule",
+    "BandwidthServer",
+    "MemoryHierarchy",
+    "HierarchyStats",
+    "StridePrefetcher",
+    "PrefetcherStats",
+]

@@ -1,0 +1,114 @@
+"""Physical address regions and the local/remote region map.
+
+The borrower node sees a flat physical address space in which a window
+(hot-plugged by the control plane) is backed by lender memory.  The
+:class:`RegionMap` steers each access to the region containing it; the
+NIC performs borrower→lender translation separately
+(:mod:`repro.nic.translation`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.errors import AddressError
+
+__all__ = ["RegionKind", "AddressRegion", "RegionMap"]
+
+
+class RegionKind(enum.Enum):
+    """Where a physical region is backed."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A contiguous physical address range.
+
+    Attributes
+    ----------
+    base:
+        First byte address of the region.
+    size:
+        Region length in bytes.
+    kind:
+        LOCAL (node DRAM) or REMOTE (disaggregated, behind the NIC).
+    name:
+        Diagnostic label.
+    """
+
+    base: int
+    size: int
+    kind: RegionKind
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise AddressError(f"region base must be >= 0, got {self.base}")
+        if self.size <= 0:
+            raise AddressError(f"region size must be positive, got {self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """True if *addr* falls inside this region."""
+        return self.base <= addr < self.end
+
+    def offset(self, addr: int) -> int:
+        """Byte offset of *addr* within the region."""
+        if not self.contains(addr):
+            raise AddressError(f"address {addr:#x} outside region {self.name!r}")
+        return addr - self.base
+
+
+class RegionMap:
+    """Sorted, non-overlapping set of address regions with O(log n) lookup."""
+
+    def __init__(self, regions: Iterable[AddressRegion] = ()) -> None:
+        self._regions: List[AddressRegion] = []
+        self._bases: List[int] = []
+        for region in regions:
+            self.add(region)
+
+    def add(self, region: AddressRegion) -> None:
+        """Insert *region*, rejecting overlaps."""
+        idx = bisect.bisect_right(self._bases, region.base)
+        if idx > 0 and self._regions[idx - 1].end > region.base:
+            raise AddressError(
+                f"region {region.name!r} overlaps {self._regions[idx - 1].name!r}"
+            )
+        if idx < len(self._regions) and region.end > self._regions[idx].base:
+            raise AddressError(
+                f"region {region.name!r} overlaps {self._regions[idx].name!r}"
+            )
+        self._regions.insert(idx, region)
+        self._bases.insert(idx, region.base)
+
+    def find(self, addr: int) -> Optional[AddressRegion]:
+        """Region containing *addr*, or None."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0 and self._regions[idx].contains(addr):
+            return self._regions[idx]
+        return None
+
+    def lookup(self, addr: int) -> AddressRegion:
+        """Region containing *addr*; raises :class:`AddressError` if unmapped."""
+        region = self.find(addr)
+        if region is None:
+            raise AddressError(f"address {addr:#x} is not mapped")
+        return region
+
+    def regions(self) -> List[AddressRegion]:
+        """All regions in ascending base order (copy)."""
+        return list(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

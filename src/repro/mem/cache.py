@@ -1,0 +1,227 @@
+"""Set-associative last-level cache simulator with LRU replacement.
+
+Two interfaces are provided, per the project's HPC style guides:
+
+* :meth:`SetAssociativeCache.access` — one address at a time, for
+  event-driven use inside the DES engine;
+* :meth:`SetAssociativeCache.access_trace` — a whole NumPy address
+  trace at once; the set/tag arithmetic is vectorized and only the
+  per-set LRU update runs in Python, grouped by set.
+
+The cache is a *tag store only* (no data array) — sufficient for timing
+and hit/miss characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CacheConfig
+
+__all__ = ["CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by access type."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (NaN when no accesses)."""
+        total = self.accesses
+        return self.hits / total if total else float("nan")
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache tag store.
+
+    Parameters
+    ----------
+    config:
+        Geometry and latency parameters.
+
+    Notes
+    -----
+    Tags are stored in an ``(n_sets, associativity)`` int64 array and
+    recency in a same-shaped int64 array holding a global access clock;
+    the LRU victim is the way with the smallest stamp.  This layout
+    keeps each set contiguous in memory (row-major), which the style
+    guides call out as cache-friendly for the *host* machine too.
+    """
+
+    EMPTY = -1
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._n_sets = config.n_sets
+        self._assoc = config.associativity
+        self._tags = np.full((self._n_sets, self._assoc), self.EMPTY, dtype=np.int64)
+        self._stamps = np.zeros((self._n_sets, self._assoc), dtype=np.int64)
+        self._dirty = np.zeros((self._n_sets, self._assoc), dtype=bool)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        """Line number containing byte address *addr*."""
+        return addr >> self._line_shift
+
+    def set_index(self, line: int) -> int:
+        """Cache set holding *line*."""
+        return line % self._n_sets
+
+    # ------------------------------------------------------------------
+    # Scalar access (DES path)
+    # ------------------------------------------------------------------
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access byte address *addr*; returns True on hit.
+
+        On a miss the line is installed, evicting the LRU way; a dirty
+        eviction counts as a writeback (the DES engine charges the
+        writeback traffic to the appropriate memory).
+        """
+        hit, _victim = self.access_detailed(addr, write)
+        return hit
+
+    def access_detailed(self, addr: int, write: bool = False) -> tuple[int, int]:
+        """Access with eviction reporting.
+
+        Returns ``(hit, victim_addr)`` where ``hit`` is truthy on a
+        cache hit and ``victim_addr`` is the byte address of a *dirty*
+        line evicted by the fill (-1 when nothing dirty was evicted) —
+        the information a write-back hierarchy needs to emit the
+        victim's memory write.
+        """
+        line = addr >> self._line_shift
+        set_idx = line % self._n_sets
+        tags = self._tags[set_idx]
+        self._clock += 1
+
+        hit_ways = np.nonzero(tags == line)[0]
+        if hit_ways.size:
+            way = int(hit_ways[0])
+            self._stamps[set_idx, way] = self._clock
+            if write:
+                self._dirty[set_idx, way] = True
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return True, -1
+
+        # Miss: fill into empty or LRU way.
+        victim_addr = -1
+        empty_ways = np.nonzero(tags == self.EMPTY)[0]
+        if empty_ways.size:
+            way = int(empty_ways[0])
+        else:
+            way = int(np.argmin(self._stamps[set_idx]))
+            self.stats.evictions += 1
+            if self._dirty[set_idx, way]:
+                self.stats.writebacks += 1
+                victim_addr = int(tags[way]) << self._line_shift
+        tags[way] = line
+        self._stamps[set_idx, way] = self._clock
+        self._dirty[set_idx, way] = write
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        return False, victim_addr
+
+    # ------------------------------------------------------------------
+    # Vectorized trace access (characterization path)
+    # ------------------------------------------------------------------
+    def access_trace(self, addrs: np.ndarray, writes: np.ndarray | None = None) -> np.ndarray:
+        """Run a whole address trace; returns a boolean hit mask.
+
+        The set/tag decomposition is fully vectorized; the sequential
+        LRU state update is done per-set in Python but touches only the
+        small ``associativity``-wide state row per access.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if writes is None:
+            writes = np.zeros(addrs.shape, dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape != addrs.shape:
+                raise ValueError("writes mask shape must match addrs")
+
+        lines = addrs >> self._line_shift
+        set_idx = lines % self._n_sets
+        hits = np.empty(addrs.shape, dtype=bool)
+        # Sequential semantics are required for correct LRU behaviour;
+        # iterate but with all per-access arithmetic precomputed above.
+        for i in range(addrs.shape[0]):
+            hits[i] = self._access_line(int(lines[i]), int(set_idx[i]), bool(writes[i]))
+        return hits
+
+    def _access_line(self, line: int, set_idx: int, write: bool) -> bool:
+        tags = self._tags[set_idx]
+        self._clock += 1
+        hit_ways = np.nonzero(tags == line)[0]
+        if hit_ways.size:
+            way = int(hit_ways[0])
+            self._stamps[set_idx, way] = self._clock
+            if write:
+                self._dirty[set_idx, way] = True
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return True
+        empty_ways = np.nonzero(tags == self.EMPTY)[0]
+        if empty_ways.size:
+            way = int(empty_ways[0])
+        else:
+            way = int(np.argmin(self._stamps[set_idx]))
+            self.stats.evictions += 1
+            if self._dirty[set_idx, way]:
+                self.stats.writebacks += 1
+        tags[way] = line
+        self._stamps[set_idx, way] = self._clock
+        self._dirty[set_idx, way] = write
+        if write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        return False
+
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines flushed."""
+        dirty = int(self._dirty.sum())
+        self._tags.fill(self.EMPTY)
+        self._stamps.fill(0)
+        self._dirty.fill(False)
+        return dirty
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return int((self._tags != self.EMPTY).sum())

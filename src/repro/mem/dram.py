@@ -1,0 +1,54 @@
+"""Local DRAM module: fixed access latency behind a shared bus.
+
+The lender node's memory in the paper is ordinary node DRAM reached
+over the local memory bus; the MCLN experiment (Fig. 7) depends on its
+bus bandwidth (100s of GB/s) dwarfing the network's (100 Gb/s).  The
+model is deliberately simple: per-access latency plus serialization on
+a :class:`~repro.mem.bus.BandwidthServer` shared with every other
+consumer on the node.
+"""
+
+from __future__ import annotations
+
+from repro.config import DramConfig
+from repro.mem.bus import BandwidthServer
+from repro.units import Time
+
+__all__ = ["DramModule"]
+
+
+class DramModule:
+    """DRAM with a shared-bus front end.
+
+    Parameters
+    ----------
+    config:
+        Latency/bandwidth/capacity parameters.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, config: DramConfig, name: str = "dram") -> None:
+        self.config = config
+        self.name = name
+        self.bus = BandwidthServer(config.bus_bandwidth_bytes_per_s, name=f"{name}.bus")
+        self.reads = 0
+        self.writes = 0
+
+    def access(self, nbytes: int, at: Time, write: bool = False) -> Time:
+        """Serve an access of *nbytes* arriving at *at*; returns completion time.
+
+        The transfer first serializes on the shared bus, then pays the
+        array access latency.
+        """
+        if write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        _, bus_done = self.bus.reserve(nbytes, at)
+        return bus_done + self.config.access_latency
+
+    @property
+    def bytes_served(self) -> int:
+        """Total bytes moved over the bus."""
+        return self.bus.bytes_served

@@ -1,0 +1,124 @@
+"""Hardware stride prefetcher model.
+
+POWER9-class cores detect streaming access patterns and prefetch lines
+ahead of demand — the mechanism that lets STREAM keep the full miss
+window occupied while pointer-chasing code (Graph500) cannot.  This
+module models the classic reference-prediction table: track recent
+access streams, confirm a stride after a few hits, then issue
+prefetches ``depth`` lines ahead of the demand stream.
+
+Used by :class:`~repro.mem.hierarchy.MemoryHierarchy` (optional): a
+demand access that hits a previously prefetched line costs a hit, and
+prefetch fills consume real backing-store bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["StridePrefetcher", "PrefetcherStats"]
+
+
+@dataclass
+class PrefetcherStats:
+    """Issue/accuracy counters."""
+
+    lookups: int = 0
+    prefetches_issued: int = 0
+    streams_confirmed: int = 0
+
+    @property
+    def issue_rate(self) -> float:
+        """Prefetches per lookup."""
+        return self.prefetches_issued / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _StreamEntry:
+    last_line: int
+    stride: int
+    confidence: int
+    next_prefetch: int
+
+
+class StridePrefetcher:
+    """Reference-prediction-table stride prefetcher.
+
+    Parameters
+    ----------
+    n_streams:
+        Concurrent streams tracked (table entries, LRU-replaced).
+    depth:
+        Prefetch distance in lines once a stream is confirmed.
+    confirm_after:
+        Consecutive same-stride accesses required before issuing.
+    max_stride:
+        Largest |stride| (in lines) treated as a stream.
+    """
+
+    def __init__(
+        self,
+        n_streams: int = 16,
+        depth: int = 8,
+        confirm_after: int = 2,
+        max_stride: int = 4,
+    ) -> None:
+        if min(n_streams, depth, confirm_after, max_stride) < 1:
+            raise ConfigError("prefetcher parameters must be >= 1")
+        self.n_streams = n_streams
+        self.depth = depth
+        self.confirm_after = confirm_after
+        self.max_stride = max_stride
+        self._table: List[_StreamEntry] = []
+        self.stats = PrefetcherStats()
+
+    def _find(self, line: int) -> Optional[_StreamEntry]:
+        # Match the stream whose predicted next access is this line (or
+        # whose last access is nearby).
+        for entry in self._table:
+            if abs(line - entry.last_line) <= self.max_stride:
+                return entry
+        return None
+
+    def observe(self, line: int) -> List[int]:
+        """Record a demand access to *line*; returns lines to prefetch."""
+        self.stats.lookups += 1
+        entry = self._find(line)
+        if entry is None:
+            entry = _StreamEntry(last_line=line, stride=0, confidence=0, next_prefetch=line)
+            self._table.insert(0, entry)
+            del self._table[self.n_streams :]
+            return []
+        stride = line - entry.last_line
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 1
+            entry.next_prefetch = line + stride
+        entry.last_line = line
+        # LRU-refresh.
+        self._table.remove(entry)
+        self._table.insert(0, entry)
+        if entry.confidence < self.confirm_after:
+            return []
+        if entry.confidence == self.confirm_after:
+            self.stats.streams_confirmed += 1
+        # Issue up to `depth` lines ahead of the demand stream.
+        horizon = line + entry.stride * self.depth
+        prefetches: List[int] = []
+        nxt = max(entry.next_prefetch, line + entry.stride) if entry.stride > 0 else min(
+            entry.next_prefetch, line + entry.stride
+        )
+        step = entry.stride
+        while (step > 0 and nxt <= horizon) or (step < 0 and nxt >= horizon):
+            prefetches.append(nxt)
+            nxt += step
+        entry.next_prefetch = nxt
+        self.stats.prefetches_issued += len(prefetches)
+        return prefetches

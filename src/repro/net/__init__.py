@@ -1,0 +1,19 @@
+"""Network substrate: links, switches, fabrics, latency profiles."""
+
+from repro.net.congestion import SharedBottleneck, SwiftController, run_congestion_epochs
+from repro.net.fabric import Fabric
+from repro.net.latency import DatacenterLatencyProfile, named_profile
+from repro.net.link import DuplexLink, SimplexChannel
+from repro.net.switch import Switch
+
+__all__ = [
+    "SimplexChannel",
+    "DuplexLink",
+    "Switch",
+    "Fabric",
+    "DatacenterLatencyProfile",
+    "named_profile",
+    "SwiftController",
+    "SharedBottleneck",
+    "run_congestion_epochs",
+]

@@ -1,0 +1,160 @@
+"""Delay-based congestion control for disaggregated memory traffic.
+
+The paper names "congestion control and packet scheduling at the
+network" among the QoS mechanisms beyond-rack disaggregation will need
+(sections I and IV-D), citing Swift [24] — Google's delay-based
+datacenter congestion control.  This module implements a Swift-style
+controller adapted to the cache-miss transport: each borrower NIC
+carries a *window* of outstanding line transactions and adjusts it
+from measured round-trip delay against a target.
+
+Control law (per RTT epoch, as in Swift's AIMD core):
+
+* ``rtt < target``  → additive increase, ``w += ai`` (per epoch);
+* ``rtt >= target`` → multiplicative decrease proportional to the
+  overshoot, ``w *= max(1 - beta * (rtt - target)/rtt, min_factor)``,
+  at most once per RTT.
+
+Like Swift, the target is *flow-scaled*: ``target(w) = base_target +
+flow_scaling / sqrt(w)``.  Without it, delay-based AIMD freezes at
+whatever window split first drives RTT to the target — a large
+incumbent permanently starves late joiners; flow scaling gives small
+windows headroom to grow until windows (and therefore targets)
+equalize, which is exactly why Swift includes the mechanism.
+
+:class:`SharedBottleneck` provides a minimal epoch-level plant: N
+flows share one serializing resource, each epoch's RTT follows from
+the total outstanding load (queueing = backlog / capacity), which is
+enough to study convergence, fairness and tail behaviour without the
+full DES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import Duration
+
+__all__ = ["SwiftController", "SharedBottleneck", "run_congestion_epochs"]
+
+
+@dataclass
+class SwiftController:
+    """Swift-style delay-based AIMD window controller.
+
+    Parameters
+    ----------
+    target_rtt_ps:
+        Delay target; the controller holds measured RTT near it.
+    additive_increase:
+        Window gain per epoch below target.
+    beta:
+        Multiplicative-decrease aggressiveness.
+    min_window / max_window:
+        Window clamps (hardware MSHR bounds).
+    """
+
+    target_rtt_ps: Duration
+    additive_increase: float = 1.0
+    beta: float = 0.8
+    min_window: float = 1.0
+    max_window: float = 128.0
+    flow_scaling_ps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.target_rtt_ps <= 0:
+            raise ConfigError("target_rtt_ps must be positive")
+        if not 0 < self.beta <= 1:
+            raise ConfigError("beta must be in (0, 1]")
+        if self.min_window < 1 or self.max_window < self.min_window:
+            raise ConfigError("invalid window clamps")
+        if self.flow_scaling_ps < 0:
+            raise ConfigError("flow_scaling_ps must be >= 0")
+        self.window: float = self.min_window
+        self._decrease_armed = True
+
+    def effective_target_ps(self) -> float:
+        """Flow-scaled target: smaller windows tolerate more delay."""
+        return self.target_rtt_ps + self.flow_scaling_ps / (self.window**0.5)
+
+    def on_rtt_sample(self, rtt_ps: float) -> float:
+        """Update the window from one epoch's RTT; returns the new window."""
+        if rtt_ps <= 0:
+            raise ConfigError("rtt sample must be positive")
+        if rtt_ps < self.effective_target_ps():
+            self.window += self.additive_increase
+            self._decrease_armed = True
+        elif self._decrease_armed:
+            overshoot = (rtt_ps - self.effective_target_ps()) / rtt_ps
+            factor = max(1.0 - self.beta * overshoot, 0.5)
+            self.window *= factor
+            # One decrease per congestion event (per RTT), as in Swift.
+            self._decrease_armed = False
+        else:
+            self._decrease_armed = True
+        self.window = min(max(self.window, self.min_window), self.max_window)
+        return self.window
+
+
+class SharedBottleneck:
+    """Epoch-level model of N flows sharing one serializing stage.
+
+    Parameters
+    ----------
+    base_rtt_ps:
+        Unloaded round-trip time.
+    service_ps_per_line:
+        Bottleneck service time per transaction.
+    """
+
+    def __init__(self, base_rtt_ps: Duration, service_ps_per_line: Duration) -> None:
+        if base_rtt_ps <= 0 or service_ps_per_line <= 0:
+            raise ConfigError("timings must be positive")
+        self.base_rtt_ps = base_rtt_ps
+        self.service_ps_per_line = service_ps_per_line
+
+    def rtt_for_load(self, total_outstanding: float) -> float:
+        """RTT when *total_outstanding* transactions share the stage.
+
+        Closed-network approximation: each transaction queues behind
+        the backlog, ``rtt = base + outstanding * service``.
+        """
+        return self.base_rtt_ps + max(0.0, total_outstanding) * self.service_ps_per_line
+
+    def throughput_lines_per_s(self, total_outstanding: float) -> float:
+        """Aggregate delivery rate at the given load (Little's law)."""
+        rtt = self.rtt_for_load(total_outstanding)
+        return total_outstanding * 1e12 / rtt
+
+
+def run_congestion_epochs(
+    controllers: Sequence[SwiftController],
+    plant: SharedBottleneck,
+    n_epochs: int,
+) -> dict:
+    """Co-evolve N controllers against the shared bottleneck.
+
+    Each epoch: compute RTT from current total load, feed the same
+    sample to every flow (they share the path), collect window and RTT
+    trajectories.
+
+    Returns ``{"windows": (n_epochs, n_flows), "rtts": (n_epochs,)}``.
+    """
+    if n_epochs < 1:
+        raise ConfigError("n_epochs must be >= 1")
+    n_flows = len(controllers)
+    if n_flows == 0:
+        raise ConfigError("need at least one controller")
+    windows = np.zeros((n_epochs, n_flows))
+    rtts = np.zeros(n_epochs)
+    for epoch in range(n_epochs):
+        total = sum(c.window for c in controllers)
+        rtt = plant.rtt_for_load(total)
+        rtts[epoch] = rtt
+        for j, controller in enumerate(controllers):
+            windows[epoch, j] = controller.on_rtt_sample(rtt)
+    return {"windows": windows, "rtts": rtts}

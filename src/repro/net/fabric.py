@@ -1,0 +1,98 @@
+"""Multi-node switched fabric (beyond-rack extension).
+
+Connects several borrower/lender pairs through shared switches so that
+the congestion scenarios the paper motivates (section II-B) can be
+constructed: multiple tenants whose traffic shares output ports and
+therefore sees variable, load-dependent latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+from repro.config import LinkConfig
+from repro.errors import ConfigError
+from repro.net.link import SimplexChannel
+from repro.net.switch import Switch
+from repro.units import Time
+
+__all__ = ["Fabric"]
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One directed hop: either an end-host link or a switch port."""
+
+    channel: SimplexChannel
+
+
+class Fabric:
+    """A directed network of nodes and switches.
+
+    Nodes and switches are vertices; ``connect`` adds a bidirectional
+    pair of serialization channels.  ``transmit`` walks the shortest
+    path (by hop count) and reserves each hop in sequence —
+    store-and-forward with per-hop queueing, which is where shared-port
+    congestion appears.
+    """
+
+    def __init__(self, link_config: LinkConfig) -> None:
+        self.link_config = link_config
+        self._graph = nx.DiGraph()
+        self._switches: Dict[Hashable, Switch] = {}
+
+    def add_node(self, node: Hashable) -> None:
+        """Register an end host."""
+        self._graph.add_node(node, kind="host")
+
+    def add_switch(self, switch_id: Hashable, port_rate_bytes_per_s: float | None = None) -> None:
+        """Register a switch vertex."""
+        rate = port_rate_bytes_per_s or self.link_config.bandwidth_bytes_per_s
+        self._switches[switch_id] = Switch(rate, name=f"switch[{switch_id}]")
+        self._graph.add_node(switch_id, kind="switch")
+
+    def connect(self, a: Hashable, b: Hashable) -> None:
+        """Add a full-duplex link between vertices *a* and *b*."""
+        for u, v in ((a, b), (b, a)):
+            if u not in self._graph or v not in self._graph:
+                raise ConfigError(f"connect({a!r}, {b!r}): unknown vertex")
+            channel = SimplexChannel(self.link_config, name=f"{u}->{v}")
+            self._graph.add_edge(u, v, edge=_Edge(channel))
+
+    def path(self, src: Hashable, dst: Hashable) -> List[Hashable]:
+        """Shortest path from *src* to *dst* (hop count)."""
+        try:
+            return nx.shortest_path(self._graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise ConfigError(f"no path {src!r} -> {dst!r}") from exc
+
+    def transmit(self, nbytes: int, src: Hashable, dst: Hashable, at: Time) -> Time:
+        """Send *nbytes* along the shortest path; returns arrival time.
+
+        Each hop serializes on its channel; switch vertices add their
+        forwarding latency via the *next* hop's reservation time.
+        """
+        vertices = self.path(src, dst)
+        t = at
+        for u, v in zip(vertices, vertices[1:]):
+            edge: _Edge = self._graph.edges[u, v]["edge"]
+            if u in self._switches:
+                t += self._switches[u].forwarding_latency
+                self._switches[u].packets_forwarded += 1
+            t = edge.channel.transmit(nbytes, t)
+        return t
+
+    def hop_count(self, src: Hashable, dst: Hashable) -> int:
+        """Number of hops on the shortest path."""
+        return len(self.path(src, dst)) - 1
+
+    def channel(self, u: Hashable, v: Hashable) -> SimplexChannel:
+        """Direct channel u→v (for inspection in tests/benchmarks)."""
+        return self._graph.edges[u, v]["edge"].channel
+
+    def pairs(self) -> List[Tuple[Hashable, Hashable]]:
+        """All directed edges."""
+        return list(self._graph.edges())

@@ -1,0 +1,107 @@
+"""Datacenter network latency profiles.
+
+The paper validates its injector by mapping achievable injected delays
+onto production latency distributions: the measured 1.2–150 us STREAM
+latency range "corresponds to the [0-90th]-percentile network latency
+in production datacenter networks" (Pingmesh [13], Swift [24]), and a
+30 us injection is used as a 99th-percentile-like operating point.
+
+:class:`DatacenterLatencyProfile` stores a percentile table and
+interpolates between knots; :func:`named_profile` ships two profiles
+shaped after the cited systems (values are representative shapes, not
+the papers' raw data):
+
+* ``"pingmesh_intra_dc"`` — wide intra-datacenter distribution with a
+  heavy tail reaching ~150 us at p90.
+* ``"swift_fabric"`` — tight fabric RTT distribution with p99 ≈ 30 us.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import microseconds
+
+__all__ = ["DatacenterLatencyProfile", "named_profile"]
+
+
+class DatacenterLatencyProfile:
+    """Percentile table of one-way network latency, in picoseconds.
+
+    Parameters
+    ----------
+    knots:
+        ``(percentile, latency_ps)`` pairs, strictly increasing in both
+        coordinates, spanning at least [0, 99].
+    name:
+        Profile label.
+    """
+
+    def __init__(self, knots: Sequence[Tuple[float, int]], name: str = "profile") -> None:
+        if len(knots) < 2:
+            raise ConfigError("profile requires at least two knots")
+        pct = np.asarray([k[0] for k in knots], dtype=np.float64)
+        lat = np.asarray([k[1] for k in knots], dtype=np.float64)
+        if (np.diff(pct) <= 0).any() or (np.diff(lat) <= 0).any():
+            raise ConfigError("profile knots must be strictly increasing")
+        if pct[0] > 0 or pct[-1] < 99:
+            raise ConfigError("profile must span percentiles [0, 99]")
+        self._pct = pct
+        self._lat = lat
+        self.name = name
+
+    def percentile(self, q: float) -> float:
+        """Latency (ps) at percentile *q* (linear interpolation)."""
+        if not 0 <= q <= 100:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        return float(np.interp(q, self._pct, self._lat))
+
+    def percentile_of(self, latency_ps: float) -> float:
+        """Approximate percentile rank of *latency_ps* within the profile."""
+        return float(np.interp(latency_ps, self._lat, self._pct))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* latencies (ps) by inverse-transform sampling."""
+        u = rng.uniform(0.0, 100.0, size=n)
+        return np.interp(u, self._pct, self._lat)
+
+    def coverage_of_range(self, lo_ps: float, hi_ps: float) -> Tuple[float, float]:
+        """Percentile band covered by the latency range [lo, hi]."""
+        return self.percentile_of(lo_ps), self.percentile_of(hi_ps)
+
+
+_PROFILES: Dict[str, Sequence[Tuple[float, int]]] = {
+    # Wide intra-DC distribution (Pingmesh-like shape): sub-10us median,
+    # heavy tail; p90 ~ 150us, p99 ~ 900us.
+    "pingmesh_intra_dc": (
+        (0.0, microseconds(1.0)),
+        (50.0, microseconds(8.0)),
+        (75.0, microseconds(40.0)),
+        (90.0, microseconds(150.0)),
+        (99.0, microseconds(900.0)),
+        (100.0, microseconds(4000.0)),
+    ),
+    # Tight fabric RTT (Swift-like shape): tens of microseconds at the
+    # tail; p99 ~ 30us.
+    "swift_fabric": (
+        (0.0, microseconds(0.5)),
+        (50.0, microseconds(3.0)),
+        (90.0, microseconds(10.0)),
+        (99.0, microseconds(30.0)),
+        (100.0, microseconds(120.0)),
+    ),
+}
+
+
+def named_profile(name: str) -> DatacenterLatencyProfile:
+    """Return one of the shipped profiles by name."""
+    try:
+        knots = _PROFILES[name]
+    except KeyError as exc:
+        raise ConfigError(
+            f"unknown latency profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from exc
+    return DatacenterLatencyProfile(knots, name=name)

@@ -1,0 +1,72 @@
+"""Output-queued switch for beyond-rack fabrics.
+
+The paper motivates its study with the move from point-to-point links
+to "a network shared between multiple borrower-lender node pairs and
+[which] can include intermediate switches" (section II-A).  This switch
+model provides per-output-port serialization (where congestion forms)
+plus a fixed forwarding latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.mem.bus import BandwidthServer
+from repro.units import Duration, Time
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """Output-queued switch with per-port line-rate servers.
+
+    Parameters
+    ----------
+    port_rate_bytes_per_s:
+        Line rate of each output port.
+    forwarding_latency:
+        Fixed per-packet pipeline latency through the switch.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(
+        self,
+        port_rate_bytes_per_s: float,
+        forwarding_latency: Duration = 0,
+        name: str = "switch",
+    ) -> None:
+        if port_rate_bytes_per_s <= 0:
+            raise ValueError("port rate must be positive")
+        self.port_rate = float(port_rate_bytes_per_s)
+        self.forwarding_latency = forwarding_latency
+        self.name = name
+        self._ports: Dict[Hashable, BandwidthServer] = {}
+        self.packets_forwarded = 0
+
+    def _port(self, port: Hashable) -> BandwidthServer:
+        server = self._ports.get(port)
+        if server is None:
+            server = self._ports[port] = BandwidthServer(
+                self.port_rate, name=f"{self.name}.port[{port}]"
+            )
+        return server
+
+    def forward(self, nbytes: int, out_port: Hashable, at: Time) -> Time:
+        """Forward a packet to *out_port*; returns its egress completion time."""
+        self.packets_forwarded += 1
+        start = at + self.forwarding_latency
+        _, eot = self._port(out_port).reserve(nbytes, start)
+        return eot
+
+    def port_utilization(self, port: Hashable, now: Time) -> float:
+        """Utilization of *port* up to *now* (0 if never used)."""
+        server = self._ports.get(port)
+        return server.utilization(now) if server else 0.0
+
+    def queue_delay_estimate(self, port: Hashable, at: Time) -> Duration:
+        """Backlog currently ahead of a new arrival on *port*."""
+        server = self._ports.get(port)
+        if server is None:
+            return 0
+        return max(0, server.busy_until() - at)

@@ -1,0 +1,29 @@
+"""Disaggregated-memory NIC: the FPGA datapath of Figure 1.
+
+A borrower-side NIC turns last-level-cache misses into network packets
+(routing → *delay injector* → multiplexer → packetizer), and a
+lender-side NIC turns arriving packets back into local memory accesses
+(address translation → memory bus).  The delay-injection module itself
+— the paper's contribution — lives in :mod:`repro.core.delay`; the NIC
+exposes the slot where it is inserted, "between the routing and
+multiplexer modules at the compute node egress" (section III-B).
+"""
+
+from repro.nic.packet import Packet, PacketKind
+from repro.nic.router import Route, Router
+from repro.nic.mux import Multiplexer, TrafficClass
+from repro.nic.qos_gate import PriorityGateServer
+from repro.nic.timeout import DetectionWatchdog
+from repro.nic.translation import WindowTranslator
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "Router",
+    "Route",
+    "Multiplexer",
+    "TrafficClass",
+    "PriorityGateServer",
+    "WindowTranslator",
+    "DetectionWatchdog",
+]

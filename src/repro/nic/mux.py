@@ -1,0 +1,69 @@
+"""Multiplexer block: merges NIC-internal streams onto the egress.
+
+Downstream of the delay injector (paper section III-B: the injector
+sits "between the routing and multiplexer modules").  The multiplexer
+arbitrates between traffic classes before handing transactions to the
+link.  In the baseline it is a plain FIFO; with QoS enabled
+(:class:`TrafficClass` priorities, an extension the paper's insights
+call for) latency-sensitive traffic is granted first.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import Optional
+
+from repro.nic.packet import Packet
+from repro.units import Duration, Time
+
+__all__ = ["TrafficClass", "Multiplexer"]
+
+
+class TrafficClass(enum.IntEnum):
+    """Arbitration priority (lower value wins)."""
+
+    LATENCY_SENSITIVE = 0
+    NORMAL = 1
+    BULK = 2
+
+
+class Multiplexer:
+    """Priority-aware arbiter with a fixed traversal latency.
+
+    ``enqueue`` admits a packet at a given time and class; ``grant_next``
+    pops the next packet to transmit.  With ``qos_enabled=False`` all
+    classes collapse into arrival order (strict FIFO), matching the
+    vanilla ThymesisFlow datapath.
+    """
+
+    def __init__(self, latency: Duration = 0, qos_enabled: bool = False) -> None:
+        self.latency = latency
+        self.qos_enabled = qos_enabled
+        self._heap: list[tuple[int, Time, int, Packet]] = []
+        self._seq = 0
+        self.admitted = 0
+        self.granted = 0
+
+    def enqueue(
+        self,
+        packet: Packet,
+        at: Time,
+        traffic_class: TrafficClass = TrafficClass.NORMAL,
+    ) -> None:
+        """Admit *packet* to the arbiter at time *at*."""
+        key_class = int(traffic_class) if self.qos_enabled else 0
+        heapq.heappush(self._heap, (key_class, at, self._seq, packet))
+        self._seq += 1
+        self.admitted += 1
+
+    def grant_next(self) -> Optional[tuple[Packet, Time]]:
+        """Pop the next packet: ``(packet, ready_time)`` or None if empty."""
+        if not self._heap:
+            return None
+        _cls, at, _seq, packet = heapq.heappop(self._heap)
+        self.granted += 1
+        return packet, at + self.latency
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,141 @@
+"""Structural borrower-NIC datapath: blocks connected by AXI streams.
+
+The fast path used by :class:`~repro.node.cluster.ThymesisFlowSystem`
+computes egress times with O(1) reservation arithmetic.  This module
+builds the same datapath *structurally* — router → delay injector →
+multiplexer → packetizer as independent processes joined by
+:class:`~repro.axi.AxiStream` channels with real VALID/READY
+backpressure — mirroring how the blocks sit in the ThymesisFlow FPGA
+design (section III-B: the injector is "between the routing and
+multiplexer modules at the compute node egress").
+
+Its role is validation and experimentation: the test suite pins the
+structural pipeline's egress times against the reservation fast path,
+beat for beat, so the O(1) arithmetic is *proven* equivalent to the
+handshake semantics rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.axi import AxiStream, Beat
+from repro.config import FpgaConfig, NicConfig
+from repro.core.delay import DelayInjector, DelaySchedule
+from repro.nic.packet import Packet
+from repro.sim import RngStreams, Simulator, Timeout
+from repro.units import Time
+
+__all__ = ["EgressRecord", "StructuralBorrowerNic"]
+
+
+@dataclass(frozen=True)
+class EgressRecord:
+    """One transaction's observed timing through the structural path."""
+
+    packet: Packet
+    enter_time: Time
+    grant_time: Time
+    egress_time: Time
+
+
+class StructuralBorrowerNic:
+    """Router → injector → mux → packetizer as live processes.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    config:
+        NIC configuration (the injector is built from its
+        ``injection``/``fpga`` sections).
+    schedule:
+        Optional time-varying PERIOD schedule.
+
+    Notes
+    -----
+    Per-block latency placement matches the fast path: the combined
+    host-interface + pipeline latency is charged before the injector
+    (egress side), matching
+    ``ThymesisFlowSystem``'s ``_egress_latency``.  Downstream of the
+    packetizer, transactions are handed to the caller (normally a link
+    model).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NicConfig,
+        rng: Optional[RngStreams] = None,
+        schedule: Optional[DelaySchedule] = None,
+        fifo_depth: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        fpga: FpgaConfig = config.fpga
+        self.injector = DelayInjector(
+            config.injection, fpga, rng=rng or RngStreams(0), schedule=schedule
+        )
+        self._ingress_latency = fpga.host_interface_latency + fpga.pipeline_latency
+        # Inter-block channels (bounded: real FIFOs between RTL blocks).
+        self.router_to_injector = AxiStream(sim, depth=fifo_depth, name="router->inj")
+        self.injector_to_mux = AxiStream(sim, depth=fifo_depth, name="inj->mux")
+        self.mux_to_packetizer = AxiStream(sim, depth=fifo_depth, name="mux->pkt")
+        self.egress: List[EgressRecord] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the block processes (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._injector_block(), name="nic.injector")
+        self.sim.process(self._mux_block(), name="nic.mux")
+        self.sim.process(self._packetizer_block(), name="nic.packetizer")
+
+    def submit(self, packet: Packet, at_valid: Optional[Time] = None) -> Generator:
+        """Offer *packet* to the datapath (generator; ``yield from`` it).
+
+        Models the routing stage: the transaction becomes VALID at the
+        injector's input after the host-interface + pipeline latency.
+        """
+        delay = self._ingress_latency
+        if delay:
+            yield Timeout(self.sim, delay)
+        beat = Beat(payload=packet, nbytes=packet.wire_bytes, last=True)
+        beat.meta["enter"] = at_valid if at_valid is not None else self.sim.now
+        yield self.router_to_injector.send(beat)
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def _injector_block(self) -> Generator:
+        """The delay-injection module: gates READY per the paper."""
+        while True:
+            beat: Beat = yield self.router_to_injector.recv()
+            grant = self.injector.admit(self.sim.now)
+            if grant > self.sim.now:
+                yield Timeout(self.sim, grant - self.sim.now)
+            beat.meta["grant"] = grant
+            yield self.injector_to_mux.send(beat)
+
+    def _mux_block(self) -> Generator:
+        """Multiplexer: merges (here: forwards) onto the packetizer."""
+        while True:
+            beat: Beat = yield self.injector_to_mux.recv()
+            yield self.mux_to_packetizer.send(beat)
+
+    def _packetizer_block(self) -> Generator:
+        """Packetizer: records the finished egress transaction."""
+        while True:
+            beat: Beat = yield self.mux_to_packetizer.recv()
+            self.egress.append(
+                EgressRecord(
+                    packet=beat.payload,
+                    enter_time=beat.meta["enter"],
+                    grant_time=beat.meta["grant"],
+                    egress_time=self.sim.now,
+                )
+            )

@@ -1,0 +1,50 @@
+"""Routing module: steers cache misses toward local DRAM or the NIC.
+
+In the ThymesisFlow design the routing block decides, per transaction,
+which egress the request takes.  Here the decision is address-based via
+a :class:`~repro.mem.address.RegionMap` plus a fixed per-transaction
+pipeline latency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mem.address import RegionKind, RegionMap
+from repro.units import Duration
+
+__all__ = ["Route", "Router"]
+
+
+class Route(enum.Enum):
+    """Egress chosen by the routing block."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+
+
+class Router:
+    """Address-range router with a fixed pipeline latency.
+
+    Parameters
+    ----------
+    region_map:
+        Physical regions of the node.
+    latency:
+        Per-transaction traversal latency of the routing block.
+    """
+
+    def __init__(self, region_map: RegionMap, latency: Duration = 0) -> None:
+        self.region_map = region_map
+        self.latency = latency
+        self.routed_local = 0
+        self.routed_remote = 0
+
+    def route(self, addr: int) -> Route:
+        """Classify *addr*; counts are kept for diagnostics."""
+        region = self.region_map.lookup(addr)
+        if region.kind is RegionKind.REMOTE:
+            self.routed_remote += 1
+            return Route.REMOTE
+        self.routed_local += 1
+        return Route.LOCAL

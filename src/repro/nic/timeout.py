@@ -1,0 +1,58 @@
+"""Detection watchdog: models the FPGA/link presence timeout.
+
+The paper observes (section IV-C) that at ``PERIOD = 10000`` "the
+ThymesisFlow compute-side FPGA is no longer detected due to timeout and
+the disaggregated memory cannot be attached", while ``PERIOD = 1000``
+(~400 us effective access time) still attaches.  The watchdog models
+the attach-path deadline: if the gap between consecutive handshake
+completions (or issue→completion sojourn) exceeds the detection
+timeout, the device is declared absent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LinkDetectionTimeout
+from repro.units import Duration, Time, format_time
+
+__all__ = ["DetectionWatchdog"]
+
+
+class DetectionWatchdog:
+    """Progress deadline on a handshake/attach sequence.
+
+    Parameters
+    ----------
+    timeout:
+        Maximum tolerated gap (picoseconds) between observed completions,
+        and maximum tolerated single-transaction sojourn.
+    """
+
+    def __init__(self, timeout: Duration) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._last_progress: Time | None = None
+        self.observations = 0
+
+    def start(self, at: Time) -> None:
+        """Arm the watchdog at time *at*."""
+        self._last_progress = at
+        self.observations = 0
+
+    def observe(self, completion_time: Time, sojourn: Duration) -> None:
+        """Record one handshake completion; raises on a deadline miss."""
+        if self._last_progress is None:
+            raise RuntimeError("watchdog not started")
+        gap = completion_time - self._last_progress
+        if sojourn > self.timeout:
+            raise LinkDetectionTimeout(
+                f"handshake sojourn {format_time(sojourn)} exceeded detection "
+                f"timeout {format_time(self.timeout)}"
+            )
+        if gap > self.timeout:
+            raise LinkDetectionTimeout(
+                f"no handshake progress for {format_time(gap)} (timeout "
+                f"{format_time(self.timeout)})"
+            )
+        self._last_progress = completion_time
+        self.observations += 1

@@ -1,0 +1,84 @@
+"""Borrower→lender address translation.
+
+The NIC implements "address translation ... to convert addresses at the
+borrower node to corresponding addresses at the lender node" (section
+II-A).  :class:`WindowTranslator` maintains the window mappings the
+control plane installs at reservation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import TranslationFault
+
+__all__ = ["WindowMapping", "WindowTranslator"]
+
+
+@dataclass(frozen=True)
+class WindowMapping:
+    """One contiguous borrower-window → lender-region mapping."""
+
+    borrower_base: int
+    lender_base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise TranslationFault(f"mapping size must be positive, got {self.size}")
+        if self.borrower_base < 0 or self.lender_base < 0:
+            raise TranslationFault("mapping bases must be non-negative")
+
+    @property
+    def borrower_end(self) -> int:
+        """One past the last mapped borrower address."""
+        return self.borrower_base + self.size
+
+
+class WindowTranslator:
+    """Translates borrower physical addresses to lender physical addresses."""
+
+    def __init__(self) -> None:
+        self._mappings: List[WindowMapping] = []
+
+    def install(self, mapping: WindowMapping) -> None:
+        """Install a mapping; overlapping borrower windows are rejected."""
+        for existing in self._mappings:
+            if (
+                mapping.borrower_base < existing.borrower_end
+                and existing.borrower_base < mapping.borrower_end
+            ):
+                raise TranslationFault(
+                    f"borrower window {mapping.borrower_base:#x} overlaps an existing mapping"
+                )
+        self._mappings.append(mapping)
+
+    def remove(self, borrower_base: int) -> None:
+        """Remove the mapping starting at *borrower_base*."""
+        for idx, existing in enumerate(self._mappings):
+            if existing.borrower_base == borrower_base:
+                del self._mappings[idx]
+                return
+        raise TranslationFault(f"no mapping at {borrower_base:#x}")
+
+    def translate(self, borrower_addr: int) -> int:
+        """Lender address for *borrower_addr*; raises on a miss."""
+        for mapping in self._mappings:
+            if mapping.borrower_base <= borrower_addr < mapping.borrower_end:
+                return mapping.lender_base + (borrower_addr - mapping.borrower_base)
+        raise TranslationFault(f"no mapping covers {borrower_addr:#x}")
+
+    def covers(self, borrower_addr: int) -> bool:
+        """True if some installed window maps *borrower_addr*."""
+        return any(
+            m.borrower_base <= borrower_addr < m.borrower_end for m in self._mappings
+        )
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total borrower bytes currently mapped."""
+        return sum(m.size for m in self._mappings)
+
+    def __len__(self) -> int:
+        return len(self._mappings)

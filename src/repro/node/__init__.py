@@ -1,0 +1,20 @@
+"""Node and cluster composition: the end-to-end simulated testbed."""
+
+from repro.node.cpu import MemoryWindow
+from repro.node.node import Node
+from repro.node.cluster import AccessResult, ThymesisFlowSystem
+from repro.node.multipair import BeyondRackDeployment, FabricPairSystem
+from repro.node.pool import MemoryPoolFabric, PoolConfig
+from repro.node.qos import QosThymesisFlowSystem
+
+__all__ = [
+    "MemoryWindow",
+    "Node",
+    "ThymesisFlowSystem",
+    "AccessResult",
+    "MemoryPoolFabric",
+    "PoolConfig",
+    "BeyondRackDeployment",
+    "FabricPairSystem",
+    "QosThymesisFlowSystem",
+]

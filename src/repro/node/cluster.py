@@ -1,0 +1,331 @@
+"""The two-node ThymesisFlow testbed: end-to-end remote-access path.
+
+:class:`ThymesisFlowSystem` composes every substrate into the datapath
+of the paper's Figure 1::
+
+    borrower CPU --OpenCAPI--> [router -> DELAY INJECTOR -> mux ->
+    packetizer] --link--> [lender NIC: translate -> memory bus/DRAM]
+    --link--> borrower NIC ingress --OpenCAPI--> CPU
+
+Timing is reservation-based: stateful servers (the injector gate, each
+link direction, the lender memory bus) hand out absolute service
+windows in O(1), so one remote cache-line transaction costs a small
+constant number of simulation events regardless of PERIOD.
+
+The access entry points (:meth:`remote_access`, :meth:`local_access`,
+:meth:`access`) are *generators* meant to be driven with ``yield from``
+inside a workload process — they compose without spawning extra
+Process objects per transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.config import ClusterConfig
+from repro.core.delay import DelayInjector, DelaySchedule
+from repro.errors import AttachError, LinkDetectionTimeout
+from repro.net.link import DuplexLink
+from repro.nic.mux import Multiplexer, TrafficClass
+from repro.nic.packet import HEADER_BYTES, Packet, PacketKind
+from repro.nic.router import Route, Router
+from repro.nic.timeout import DetectionWatchdog
+from repro.nic.translation import WindowMapping, WindowTranslator
+from repro.node.node import Node
+from repro.sim import Process, RngStreams, Simulator, StatRecorder, Timeout
+from repro.units import Duration, Time
+
+__all__ = ["AccessResult", "ThymesisFlowSystem"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Completion record of one memory transaction."""
+
+    issue_time: Time
+    complete_time: Time
+    write: bool
+    remote: bool
+
+    @property
+    def latency(self) -> Duration:
+        """Sojourn time from issue to response."""
+        return self.complete_time - self.issue_time
+
+
+class ThymesisFlowSystem:
+    """Borrower + lender pair with a delay-injected interconnect.
+
+    Parameters
+    ----------
+    config:
+        Full testbed configuration (see
+        :func:`repro.calibration.paper_cluster_config`).
+    schedule:
+        Optional time-varying PERIOD schedule for the injector.
+    sim:
+        Supply an existing simulator to co-simulate several systems;
+        a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        schedule: Optional[DelaySchedule] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.rng = RngStreams(config.seed)
+        self.stats = StatRecorder(self.sim)
+
+        self.borrower = Node(self.sim, config.borrower)
+        self.lender = Node(self.sim, config.lender)
+
+        fpga = config.borrower.nic.fpga
+        self.injector = DelayInjector(
+            config.borrower.nic.injection, fpga, rng=self.rng, schedule=schedule
+        )
+        self.link = DuplexLink(config.link)
+        self.router = Router(self.borrower.regions, latency=0)
+        self.mux = Multiplexer(latency=0, qos_enabled=config.borrower.nic.response_priority)
+        self.translator = WindowTranslator()
+        self.watchdog = DetectionWatchdog(fpga.detection_timeout)
+
+        self._attached = False
+        self._seq = 0
+        self._line = config.borrower.cache.line_bytes
+        # Per-direction fixed latencies (see repro.calibration).
+        self._egress_latency = fpga.host_interface_latency + fpga.pipeline_latency
+        self._ingress_latency = fpga.pipeline_latency + fpga.host_interface_latency
+        self._lender_latency = (
+            config.borrower.nic.translation_latency + fpga.turnaround_latency
+        )
+
+    # ------------------------------------------------------------------
+    # Control-plane operations
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """True once remote memory is hot-plugged and usable."""
+        return self._attached
+
+    def attach(self, n_probes: int = 256) -> Process:
+        """Start the attach/hotplug handshake as a process.
+
+        The handshake drives a pipelined burst of PROBE transactions
+        through the full egress path (they traverse the injector like
+        any other transaction) and feeds completions to the detection
+        watchdog.  If per-transaction delay reaches the detection
+        timeout — as at ``PERIOD = 10000``, where it is ~4 ms — the FPGA
+        is declared absent and :class:`LinkDetectionTimeout` propagates
+        (paper section IV-C).
+        """
+        return self.sim.process(self._attach_proc(n_probes), name="attach")
+
+    def _attach_proc(self, n_probes: int) -> Generator:
+        self.watchdog.start(self.sim.now)
+        failures: list[BaseException] = []
+        done: list[Process] = []
+
+        def probe() -> Generator:
+            result = yield from self._transact(
+                addr=self.config.remote_region_base,
+                kind=PacketKind.PROBE,
+                payload_bytes=0,
+            )
+            return result
+
+        procs = [self.sim.process(probe(), name=f"probe{i}") for i in range(n_probes)]
+        for proc in procs:
+            try:
+                result: AccessResult = yield proc
+            except LinkDetectionTimeout as exc:
+                failures.append(exc)
+                break
+            try:
+                self.watchdog.observe(result.complete_time, result.latency)
+            except LinkDetectionTimeout as exc:
+                failures.append(exc)
+                break
+            done.append(proc)
+        if failures:
+            raise AttachError(
+                f"remote memory cannot be attached: {failures[0]}"
+            ) from failures[0]
+        # Handshake succeeded: install the translation window and
+        # hot-plug the region into the borrower's physical map.
+        mapping = WindowMapping(
+            borrower_base=self.config.remote_region_base,
+            lender_base=0,
+            size=self.config.remote_region_bytes,
+        )
+        self.translator.install(mapping)
+        self.borrower.add_remote_region(
+            base=self.config.remote_region_base,
+            size=self.config.remote_region_bytes,
+            name="thymesisflow",
+        )
+        self._attached = True
+        return self.sim.now
+
+    def attach_or_raise(self, n_probes: int = 256) -> None:
+        """Run the attach handshake to completion synchronously."""
+        proc = self.attach(n_probes)
+        self.sim.run()
+        if not proc.ok:
+            _ = proc.value  # re-raise the stored failure
+        if not self._attached:  # pragma: no cover - defensive
+            raise AttachError("attach did not complete")
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # Link traversal legs: overridable so beyond-rack variants can send
+    # the same transactions through a switched fabric instead of the
+    # point-to-point cable (see repro.node.multipair).
+    def _leg_to_lender(self, nbytes: int, depart: Time) -> Time:
+        return self.link.forward.transmit(nbytes, depart)
+
+    def _leg_to_borrower(self, nbytes: int, depart: Time) -> Time:
+        return self.link.reverse.transmit(nbytes, depart)
+
+    def _admit(self, valid_at: Time, traffic_class: TrafficClass) -> Generator:
+        """Gate admission hook (generator returning the grant time).
+
+        The base system uses the O(1) reservation injector and ignores
+        the traffic class (FIFO, as vanilla ThymesisFlow).  QoS-enabled
+        variants override this to arbitrate by priority
+        (:class:`repro.node.qos.QosThymesisFlowSystem`).
+        """
+        del traffic_class
+        return self.injector.admit(valid_at)
+        yield  # pragma: no cover - makes this a generator for yield-from
+
+    def _transact(
+        self,
+        addr: int,
+        kind: PacketKind,
+        payload_bytes: int,
+        traffic_class: Optional[TrafficClass] = None,
+    ) -> Generator:
+        """Drive one transaction through the full remote path.
+
+        Generator — ``yield from`` it inside a process.  Returns an
+        :class:`AccessResult`.
+        """
+        if traffic_class is None:
+            traffic_class = TrafficClass.NORMAL
+        sim = self.sim
+        write = kind is PacketKind.WRITE_REQ
+        token_holder = yield self.borrower.window.acquire()
+        del token_holder
+        issue = sim.now
+
+        request = Packet(
+            kind=kind,
+            src=0,
+            dst=1,
+            seq=self._next_seq(),
+            addr=addr,
+            size=payload_bytes,
+        )
+
+        # Egress: OpenCAPI + router/pipeline, then the delay injector.
+        valid_at = issue + self._egress_latency
+        grant = yield from self._admit(valid_at, traffic_class)
+        # Mux + packetize + serialize onto the wire.
+        arrive_lender = self._leg_to_lender(request.wire_bytes, grant)
+
+        # Wait until the request is at the lender before touching the
+        # lender's (shared) memory bus, so cross-traffic ordering there
+        # reflects real arrival times.
+        if arrive_lender > sim.now:
+            yield Timeout(sim, arrive_lender - sim.now)
+
+        t = sim.now + self._lender_latency
+        if kind in (PacketKind.READ_REQ, PacketKind.WRITE_REQ):
+            self.translator.translate(addr)  # faults surface here
+            t = self.lender.dram.access(self._line, t, write=write)
+
+        response = request.make_response()
+        arrive_back = self._leg_to_borrower(response.wire_bytes, t)
+        complete = arrive_back + self._ingress_latency
+        if complete > sim.now:
+            yield Timeout(sim, complete - sim.now)
+
+        self.borrower.window.release()
+        result = AccessResult(
+            issue_time=issue, complete_time=complete, write=write, remote=True
+        )
+        if kind is not PacketKind.PROBE:
+            self.stats.sample("remote.latency_ps", result.latency)
+            self.stats.count("remote.transactions")
+            self.stats.count("remote.payload_bytes", self._line)
+        return result
+
+    def remote_access(
+        self,
+        addr: int,
+        write: bool = False,
+        traffic_class: Optional[TrafficClass] = None,
+    ) -> Generator:
+        """One remote cache-line transaction at *addr* (generator).
+
+        Reads fetch a line (data returns on the response); writes push
+        a line (data rides the request, an ack returns).
+        ``traffic_class`` tags the transaction for QoS-enabled systems
+        (ignored by the vanilla FIFO datapath).
+        """
+        if not self._attached:
+            raise AttachError("remote memory is not attached")
+        kind = PacketKind.WRITE_REQ if write else PacketKind.READ_REQ
+        payload = self._line  # data size either direction
+        result = yield from self._transact(addr, kind, payload, traffic_class=traffic_class)
+        return result
+
+    def local_access(
+        self, node: Node, addr: int, write: bool = False
+    ) -> Generator:
+        """One local cache-line access on *node*'s DRAM (generator)."""
+        sim = self.sim
+        issue = sim.now
+        complete = node.dram.access(self._line, issue + node.config.cpu.issue_overhead, write=write)
+        if complete > sim.now:
+            yield Timeout(sim, complete - sim.now)
+        self.stats.count(f"{node.name}.local.transactions")
+        return AccessResult(issue_time=issue, complete_time=complete, write=write, remote=False)
+
+    def access(self, addr: int, write: bool = False) -> Generator:
+        """Route an access by address: local DRAM or the remote path."""
+        route = self.router.route(addr)
+        if route is Route.REMOTE:
+            result = yield from self.remote_access(addr, write)
+        else:
+            result = yield from self.local_access(self.borrower, addr, write)
+        return result
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    @property
+    def line_bytes(self) -> int:
+        """Cache-line transaction size."""
+        return self._line
+
+    def remote_latency_mean_ps(self) -> float:
+        """Mean measured remote sojourn so far."""
+        return self.stats.get_series("remote.latency_ps").mean()
+
+    def remote_bytes_moved(self) -> float:
+        """Remote payload bytes transferred so far."""
+        return self.stats.counters.get("remote.payload_bytes", 0.0)
+
+    def header_bytes(self) -> int:
+        """Encapsulation header size used on the wire."""
+        return HEADER_BYTES

@@ -1,0 +1,60 @@
+"""CPU-side miss handling: the outstanding-request window.
+
+A POWER9 core tracks in-flight cache misses in miss-status holding
+registers (MSHRs); the node-wide window bounds how many remote
+cache-line transactions can be outstanding simultaneously.  This bound
+is what makes the system a *closed* queueing network, and — by
+Little's law — what produces the constant bandwidth-delay product the
+paper measures (Fig. 3): ``BDP = window x line_bytes``.
+"""
+
+from __future__ import annotations
+
+from repro.config import CpuConfig
+from repro.sim import Resource, Simulator, Waitable
+
+__all__ = ["MemoryWindow"]
+
+
+class MemoryWindow:
+    """Bounded window of outstanding memory transactions.
+
+    Thin wrapper over :class:`~repro.sim.Resource` with occupancy
+    statistics; shared by every workload instance on the node, as the
+    hardware window is.
+    """
+
+    def __init__(self, sim: Simulator, config: CpuConfig, name: str = "mshr") -> None:
+        self.sim = sim
+        self.config = config
+        self._slots = Resource(sim, config.max_outstanding_misses, name=name)
+        self.peak_occupancy = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum outstanding transactions (W)."""
+        return self._slots.capacity
+
+    @property
+    def outstanding(self) -> int:
+        """Transactions currently in flight."""
+        return self._slots.in_use
+
+    def acquire(self) -> Waitable:
+        """Claim a window slot (blocks the caller when the window is full)."""
+        req = self._slots.acquire()
+
+        def _track(_w: Waitable) -> None:
+            if self._slots.in_use > self.peak_occupancy:
+                self.peak_occupancy = self._slots.in_use
+
+        req.add_callback(_track)
+        return req
+
+    def release(self) -> None:
+        """Return a slot when the transaction's response arrives."""
+        self._slots.release()
+
+    def utilization(self) -> float:
+        """Mean occupied fraction of the window since simulation start."""
+        return self._slots.utilization()

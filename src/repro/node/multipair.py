@@ -1,0 +1,123 @@
+"""Beyond-rack deployment: many borrower-lender pairs on a shared fabric.
+
+The paper's model (section II-A) has "a network shared between
+multiple borrower-lender node pairs [which] can include intermediate
+switches to support a large-scale datacenter"; its prototype collapses
+that to one cable.  This module builds the general case on the DES
+substrate: each pair is a full testbed (window, injector, lender bus),
+but its transactions traverse a shared :class:`~repro.net.fabric.Fabric`
+instead of a private link — so switch-egress congestion, incast toward
+a popular lender, and multi-tenant interference all emerge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.config import ClusterConfig, default_cluster_config
+from repro.errors import ConfigError
+from repro.net.fabric import Fabric
+from repro.node.cluster import ThymesisFlowSystem
+from repro.sim import Simulator
+from repro.units import Time
+
+__all__ = ["FabricPairSystem", "BeyondRackDeployment"]
+
+
+class FabricPairSystem(ThymesisFlowSystem):
+    """One borrower-lender pair whose wire legs ride a shared fabric."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        fabric: Fabric,
+        borrower_id: Hashable,
+        lender_id: Hashable,
+        sim: Simulator,
+    ) -> None:
+        super().__init__(config, sim=sim)
+        self.fabric = fabric
+        self.borrower_id = borrower_id
+        self.lender_id = lender_id
+
+    def _leg_to_lender(self, nbytes: int, depart: Time) -> Time:
+        return self.fabric.transmit(nbytes, self.borrower_id, self.lender_id, depart)
+
+    def _leg_to_borrower(self, nbytes: int, depart: Time) -> Time:
+        return self.fabric.transmit(nbytes, self.lender_id, self.borrower_id, depart)
+
+
+class BeyondRackDeployment:
+    """N pairs joined through one top-of-rack-style switch.
+
+    Parameters
+    ----------
+    n_pairs:
+        Number of borrower nodes.
+    lender_assignment:
+        For each borrower, the lender index it borrows from.  Defaults
+        to distinct lenders (``i -> i``); pass ``[0] * n`` for an
+        incast toward one popular lender.
+    cluster:
+        Per-pair configuration template.
+    """
+
+    def __init__(
+        self,
+        n_pairs: int,
+        lender_assignment: Optional[Sequence[int]] = None,
+        cluster: ClusterConfig | None = None,
+    ) -> None:
+        if n_pairs < 1:
+            raise ConfigError("need at least one pair")
+        assignment = (
+            list(lender_assignment) if lender_assignment is not None else list(range(n_pairs))
+        )
+        if len(assignment) != n_pairs:
+            raise ConfigError("lender_assignment must have one entry per borrower")
+        if any(a < 0 for a in assignment):
+            raise ConfigError("lender indices must be >= 0")
+        self.cluster = cluster or default_cluster_config()
+        self.sim = Simulator()
+        self.fabric = Fabric(self.cluster.link)
+        self.fabric.add_switch("tor")
+
+        lender_ids = sorted(set(assignment))
+        from repro.node.node import Node
+
+        # One physical lender node per lender id: borrowers assigned to
+        # the same lender share its (real) memory bus.
+        self.lender_nodes: Dict[int, Node] = {}
+        for j in lender_ids:
+            self.fabric.add_node(f"l{j}")
+            self.fabric.connect(f"l{j}", "tor")
+            self.lender_nodes[j] = Node(self.sim, self.cluster.lender)
+        self.pairs: List[FabricPairSystem] = []
+        for i, lender in enumerate(assignment):
+            borrower_id = f"b{i}"
+            self.fabric.add_node(borrower_id)
+            self.fabric.connect(borrower_id, "tor")
+            pair = FabricPairSystem(
+                self.cluster,
+                self.fabric,
+                borrower_id=borrower_id,
+                lender_id=f"l{lender}",
+                sim=self.sim,
+            )
+            pair.lender = self.lender_nodes[lender]
+            self.pairs.append(pair)
+
+    def attach_all(self) -> None:
+        """Hotplug every pair's remote window (handshakes co-run)."""
+        procs = [pair.attach() for pair in self.pairs]
+        self.sim.run()
+        for proc in procs:
+            if not proc.ok:
+                _ = proc.value
+
+    def lender_fanin(self) -> Dict[str, int]:
+        """Borrowers per lender (incast degree)."""
+        counts: Dict[str, int] = {}
+        for pair in self.pairs:
+            counts[str(pair.lender_id)] = counts.get(str(pair.lender_id), 0) + 1
+        return counts

@@ -1,0 +1,186 @@
+"""Memory pooling: CPU-less pool devices shared by many borrowers.
+
+The paper's discussion (section V) contrasts its *borrowing* model
+with *pooling*, "where the dedicated memory is managed by a controller
+without any attached CPUs", and predicts that under pooling "the
+bottleneck could shift from the network to the memory pool itself".
+
+:class:`MemoryPoolFabric` builds that topology on the DES substrate:
+N borrowers, each with its own NIC (delay injector included) and its
+own link, all terminating at one pool device whose internal bandwidth
+is configurable — typically a small multiple of one link, unlike a
+full lender node's memory bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+from repro.config import ClusterConfig, default_cluster_config
+from repro.core.delay import DelayInjector
+from repro.errors import ConfigError
+from repro.mem.bus import BandwidthServer
+from repro.net.link import DuplexLink
+from repro.nic.packet import HEADER_BYTES
+from repro.node.cpu import MemoryWindow
+from repro.sim import RngStreams, SampleSeries, Simulator, Timeout
+from repro.units import Duration, nanoseconds
+
+__all__ = ["PoolConfig", "BorrowerPort", "MemoryPoolFabric"]
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """The pool device.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Internal bandwidth of the pool's memory controller — the
+        quantity whose (relative) smallness shifts the bottleneck.
+    access_latency:
+        Media access latency.
+    capacity_bytes:
+        Pool size.
+    """
+
+    bandwidth_bytes_per_s: float = 25e9  # ~2x one 100Gb/s link
+    access_latency: Duration = nanoseconds(120)
+    capacity_bytes: int = 1 << 40
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("pool bandwidth must be positive")
+        if self.access_latency < 0:
+            raise ConfigError("pool access latency must be >= 0")
+
+
+class BorrowerPort:
+    """One borrower's attachment to the pool: window, injector, link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        cluster: ClusterConfig,
+        rng: RngStreams,
+    ) -> None:
+        self.index = index
+        self.sim = sim
+        self.window = MemoryWindow(sim, cluster.borrower.cpu, name=f"b{index}.mshr")
+        fpga = cluster.borrower.nic.fpga
+        self.injector = DelayInjector(
+            cluster.borrower.nic.injection, fpga, rng=rng.spawn(f"b{index}")
+        )
+        self.link = DuplexLink(cluster.link, name=f"b{index}.link")
+        self._egress_latency = fpga.host_interface_latency + fpga.pipeline_latency
+        self._ingress_latency = fpga.pipeline_latency + fpga.host_interface_latency
+        self.latencies = SampleSeries(f"b{index}.latency")
+        self.lines = 0
+
+
+class MemoryPoolFabric:
+    """N borrowers sharing one CPU-less memory pool.
+
+    Parameters
+    ----------
+    n_borrowers:
+        Number of attached borrower nodes.
+    pool:
+        Pool device parameters.
+    cluster:
+        Per-borrower node/link/injection template (the standard
+        testbed config).
+    """
+
+    def __init__(
+        self,
+        n_borrowers: int,
+        pool: PoolConfig | None = None,
+        cluster: ClusterConfig | None = None,
+        sim: Simulator | None = None,
+    ) -> None:
+        if n_borrowers < 1:
+            raise ConfigError("need at least one borrower")
+        self.sim = sim if sim is not None else Simulator()
+        self.pool = pool or PoolConfig()
+        self.cluster = cluster or default_cluster_config()
+        rng = RngStreams(self.cluster.seed, prefix="pool")
+        self.pool_bus = BandwidthServer(self.pool.bandwidth_bytes_per_s, name="pool.bus")
+        self.ports: List[BorrowerPort] = [
+            BorrowerPort(self.sim, i, self.cluster, rng) for i in range(n_borrowers)
+        ]
+        self._line = self.cluster.borrower.cache.line_bytes
+        self._controller_latency = nanoseconds(60)  # pool controller turnaround
+
+    @property
+    def line_bytes(self) -> int:
+        """Transaction payload size."""
+        return self._line
+
+    def pool_access(self, port: BorrowerPort, write: bool = False) -> Generator:
+        """One cache-line transaction from *port* to the pool (generator)."""
+        sim = self.sim
+        yield port.window.acquire()
+        issue = sim.now
+        line = self._line
+        req_bytes = HEADER_BYTES + (line if write else 0)
+        resp_bytes = HEADER_BYTES + (0 if write else line)
+
+        valid = issue + port._egress_latency
+        grant = port.injector.admit(valid)
+        arrive = port.link.forward.transmit(req_bytes, grant)
+        if arrive > sim.now:
+            yield Timeout(sim, arrive - sim.now)
+        # The shared pool controller: every borrower's transactions
+        # serialize here — the pooling bottleneck.
+        t = sim.now + self._controller_latency
+        _, served = self.pool_bus.reserve(line, t)
+        done_media = served + self.pool.access_latency
+        back = port.link.reverse.transmit(resp_bytes, done_media)
+        complete = back + port._ingress_latency
+        if complete > sim.now:
+            yield Timeout(sim, complete - sim.now)
+        port.window.release()
+        port.latencies.add(complete - issue)
+        port.lines += 1
+        return complete
+
+    # ------------------------------------------------------------------
+    def run_streams(self, lines_per_borrower: int, concurrency: int = 128) -> List[dict]:
+        """Drive a streaming burst from every borrower simultaneously.
+
+        Returns per-borrower ``{bandwidth_bytes_per_s, mean_latency_ps}``.
+        """
+        sim = self.sim
+        results: List[dict] = [dict() for _ in self.ports]
+
+        def instance(port: BorrowerPort) -> Generator:
+            start = sim.now
+            state = {"left": lines_per_borrower}
+            procs = []
+
+            def worker() -> Generator:
+                while state["left"] > 0:
+                    state["left"] -= 1
+                    yield from self.pool_access(port, write=False)
+
+            from repro.sim import AllOf
+
+            n_workers = min(concurrency, lines_per_borrower)
+            for w in range(n_workers):
+                procs.append(sim.process(worker(), name=f"b{port.index}.w{w}"))
+            yield AllOf(sim, procs)
+            elapsed = sim.now - start
+            results[port.index] = {
+                "bandwidth_bytes_per_s": port.lines * self._line * 1e12 / max(1, elapsed),
+                "mean_latency_ps": port.latencies.mean(),
+            }
+
+        roots = [sim.process(instance(p), name=f"b{p.index}") for p in self.ports]
+        sim.run()
+        for proc in roots:
+            if not proc.ok:  # pragma: no cover - defensive
+                _ = proc.value
+        return results

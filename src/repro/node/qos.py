@@ -1,0 +1,48 @@
+"""QoS-enabled testbed: priority arbitration at the delay gate.
+
+Swaps the vanilla FIFO injector admission for the
+:class:`~repro.nic.qos_gate.PriorityGateServer`, so latency-sensitive
+transactions overtake waiting bulk traffic at every grant opportunity —
+the "network packet prioritization" mechanism the paper's section IV-D
+insight calls for.  The grant grid itself is unchanged: QoS reorders
+*who* gets each opportunity, it does not create capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.config import ClusterConfig
+from repro.core.delay import DelaySchedule
+from repro.nic.mux import TrafficClass
+from repro.nic.qos_gate import PriorityGateServer
+from repro.node.cluster import ThymesisFlowSystem
+from repro.sim import Simulator, Timeout
+from repro.units import Time
+
+__all__ = ["QosThymesisFlowSystem"]
+
+
+class QosThymesisFlowSystem(ThymesisFlowSystem):
+    """Testbed whose egress gate arbitrates by traffic class."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        schedule: Optional[DelaySchedule] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        super().__init__(config, schedule=schedule, sim=sim)
+        self.qos_gate = PriorityGateServer(
+            self.sim, interval=self.injector.interval_ps, name="nic.qos-gate"
+        )
+
+    def _admit(self, valid_at: Time, traffic_class: TrafficClass) -> Generator:
+        if traffic_class is None:
+            traffic_class = TrafficClass.NORMAL
+        # A transaction enters the gate's waiting pool only once it is
+        # actually VALID at the injector's input.
+        if valid_at > self.sim.now:
+            yield Timeout(self.sim, valid_at - self.sim.now)
+        grant = yield self.qos_gate.request(traffic_class)
+        return grant

@@ -1,0 +1,215 @@
+"""Event queue and simulation clock.
+
+The kernel is callback-based at the bottom: :class:`Simulator` owns a
+binary heap of ``(time, sequence, EventHandle)`` entries and fires each
+handle's callback at its scheduled time.  Processes and waitables
+(:mod:`repro.sim.process`) are built on top of this primitive.
+
+Determinism: events scheduled for the same simulated time fire in the
+order they were scheduled (the monotonically increasing sequence number
+breaks ties), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.units import Duration, Time
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: Time,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if already fired)."""
+        self.cancelled = True
+        # Drop references so cancelled events don't pin objects while
+        # they sit in the heap waiting to be popped.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-picosecond clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock (picoseconds).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5, fired.append, 'a')
+    >>> _ = sim.schedule(3, fired.append, 'b')
+    >>> sim.run()
+    5
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    5
+    """
+
+    def __init__(self, start_time: Time = 0) -> None:
+        self._now: Time = start_time
+        self._heap: list[EventHandle] = []
+        self._seq: int = 0
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Time:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (diagnostics)."""
+        return self._event_count
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: Duration, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(*args)* to fire ``delay`` ps from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: Time, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(*args)* at absolute simulated time *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if none remain."""
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event heap yielded an event in the past")
+            self._now = handle.time
+            self._event_count += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[Time] = None,
+        max_events: Optional[int] = None,
+    ) -> Time:
+        """Run until the event queue drains, or *until* / *max_events*.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulated time at which to stop.  Events scheduled
+            exactly at *until* are still fired; the clock never exceeds
+            *until* on return unless an event fired at a later time was
+            already due.
+        max_events:
+            Safety valve; raise :class:`SimulationError` when exceeded.
+
+        Returns
+        -------
+        Time
+            The simulated clock at exit.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            heap = self._heap
+            while heap:
+                nxt = heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    break
+                if not self.step():  # pragma: no cover - heap nonempty above
+                    break
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> Optional[Time]:
+        """Time of the next pending event, or None if the queue is empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    # Convenience wiring for processes (implemented in process.py; imported
+    # lazily to avoid a module cycle).
+    def process(self, generator: Any, name: str = "") -> "Any":
+        """Start a generator as a simulated :class:`~repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: Duration) -> "Any":
+        """Create a :class:`~repro.sim.process.Timeout` waitable."""
+        from repro.sim.process import Timeout
+
+        return Timeout(self, delay)

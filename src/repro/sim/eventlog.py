@@ -1,0 +1,105 @@
+"""Structured event logging for simulation debugging.
+
+A bounded, categorized log of simulation events — the tool you reach
+for when a run's timing looks wrong.  Components call
+``log.emit(category, message)``; the log stamps entries with the
+simulated clock, keeps the newest ``capacity`` entries, and renders
+filtered views.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+from repro.sim.core import Simulator
+from repro.units import Time, format_time
+
+__all__ = ["LogEntry", "EventLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged event."""
+
+    time: Time
+    sequence: int
+    category: str
+    message: str
+
+    def render(self) -> str:
+        """Human-readable single-line rendering."""
+        return f"[{format_time(self.time):>10}] {self.category:<12} {self.message}"
+
+
+class EventLog:
+    """Bounded in-memory event log tied to a simulator clock.
+
+    Parameters
+    ----------
+    sim:
+        Clock source.
+    capacity:
+        Newest entries kept (older entries are dropped silently; the
+        per-category counters keep counting).
+    enabled_categories:
+        When given, only these categories are stored (all are counted).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 4096,
+        enabled_categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._entries: Deque[LogEntry] = deque(maxlen=capacity)
+        self._seq = 0
+        self._enabled = None if enabled_categories is None else set(enabled_categories)
+        self.counts: Counter = Counter()
+
+    def emit(self, category: str, message: str) -> None:
+        """Record one event at the current simulated time."""
+        self.counts[category] += 1
+        if self._enabled is not None and category not in self._enabled:
+            return
+        self._entries.append(
+            LogEntry(
+                time=self.sim.now,
+                sequence=self._seq,
+                category=category,
+                message=message,
+            )
+        )
+        self._seq += 1
+
+    def entries(self, category: Optional[str] = None) -> List[LogEntry]:
+        """Stored entries, optionally filtered to one category."""
+        if category is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.category == category]
+
+    def tail(self, n: int = 20) -> List[LogEntry]:
+        """The newest *n* stored entries."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        items = list(self._entries)
+        return items[-n:] if n else []
+
+    def render(self, category: Optional[str] = None, limit: int = 50) -> str:
+        """Printable view of the newest entries."""
+        selected = self.entries(category)[-limit:]
+        if not selected:
+            return "(event log empty)"
+        return "\n".join(entry.render() for entry in selected)
+
+    def clear(self) -> None:
+        """Drop stored entries (counters are preserved)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

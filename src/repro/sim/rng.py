@@ -1,0 +1,67 @@
+"""Reproducible, named random-number streams.
+
+Every source of randomness in the simulator draws from a named child
+stream of a single root seed, so that adding a new random component
+never perturbs the draws seen by existing components, and any component
+can be re-run in isolation with identical randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """Factory of independent :class:`numpy.random.Generator` streams.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Two :class:`RngStreams` with the same seed produce
+        identical streams for identical names.
+    prefix:
+        Optional namespace prepended (with a dot) to every stream name.
+
+    Examples
+    --------
+    >>> a = RngStreams(42).get("workload.redis")
+    >>> b = RngStreams(42).get("workload.redis")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0, prefix: str = "") -> None:
+        self.seed = int(seed)
+        self.prefix = prefix
+        self._cache: dict[str, np.random.Generator] = {}
+
+    def _entropy(self, name: str) -> list[int]:
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the (cached) generator for stream *name*."""
+        full = self._qualify(name)
+        gen = self._cache.get(full)
+        if gen is None:
+            gen = self.fresh(name)
+            self._cache[full] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a new, uncached generator for stream *name* (state reset)."""
+        full = self._qualify(name)
+        return np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(self._entropy(full)))
+        )
+
+    def spawn(self, prefix: str) -> "RngStreams":
+        """A namespaced view: ``spawn('a').get('b')`` == ``get('a.b')``."""
+        return RngStreams(self.seed, prefix=self._qualify(prefix))

@@ -1,0 +1,166 @@
+"""Lightweight statistics recording for simulation components.
+
+Three primitives cover everything the experiments need:
+
+:class:`SampleSeries`
+    A growable array of scalar samples (e.g. per-request latencies) with
+    percentile/mean reductions done vectorized in NumPy at read time.
+:class:`TimeWeightedValue`
+    A piecewise-constant signal (e.g. queue depth) integrated over
+    simulated time.
+:class:`StatRecorder`
+    A named registry of counters, series, and time-weighted values owned
+    by one simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.sim.core import Simulator
+from repro.units import Time
+
+__all__ = ["SampleSeries", "TimeWeightedValue", "StatRecorder"]
+
+
+class SampleSeries:
+    """Append-only scalar samples with vectorized reductions.
+
+    Samples are buffered in a Python list and materialized into a NumPy
+    array lazily — appends are O(1) and reductions are vectorized, per
+    the project's HPC style guides.
+    """
+
+    __slots__ = ("name", "_buf", "_arr")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._buf: list[float] = []
+        self._arr: Optional[np.ndarray] = None
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self._buf.append(value)
+        self._arr = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        self._buf.extend(values)
+        self._arr = None
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def values(self) -> np.ndarray:
+        """All samples as a float64 array (cached until next append)."""
+        if self._arr is None:
+            self._arr = np.asarray(self._buf, dtype=np.float64)
+        return self._arr
+
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty)."""
+        return float(self.values.mean()) if self._buf else float("nan")
+
+    def sum(self) -> float:
+        """Sum of samples."""
+        return float(self.values.sum()) if self._buf else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0-100)."""
+        if not self._buf:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+    def max(self) -> float:
+        """Largest sample (NaN when empty)."""
+        return float(self.values.max()) if self._buf else float("nan")
+
+    def min(self) -> float:
+        """Smallest sample (NaN when empty)."""
+        return float(self.values.min()) if self._buf else float("nan")
+
+
+class TimeWeightedValue:
+    """Integrates a piecewise-constant signal over simulated time."""
+
+    __slots__ = ("sim", "name", "_value", "_last_time", "_integral", "_start")
+
+    def __init__(self, sim: Simulator, initial: float = 0.0, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value = initial
+        self._last_time: Time = sim.now
+        self._integral = 0.0
+        self._start: Time = sim.now
+
+    @property
+    def value(self) -> float:
+        """Current signal level."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the signal level at the current simulated time."""
+        now = self.sim.now
+        self._integral += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+
+    def adjust(self, delta: float) -> None:
+        """Add *delta* to the signal level."""
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        """Mean level from creation until now (NaN if no time elapsed)."""
+        now = self.sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return float("nan")
+        integral = self._integral + self._value * (now - self._last_time)
+        return integral / elapsed
+
+
+class StatRecorder:
+    """Named registry of counters, sample series and time-weighted values."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.counters: Dict[str, float] = {}
+        self.series: Dict[str, SampleSeries] = {}
+        self.levels: Dict[str, TimeWeightedValue] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* by *amount*."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def sample(self, name: str, value: float) -> None:
+        """Append *value* to sample series *name*."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = SampleSeries(name)
+        series.add(value)
+
+    def level(self, name: str) -> TimeWeightedValue:
+        """Return (creating if needed) the time-weighted value *name*."""
+        lvl = self.levels.get(name)
+        if lvl is None:
+            lvl = self.levels[name] = TimeWeightedValue(self.sim, name=name)
+        return lvl
+
+    def get_series(self, name: str) -> SampleSeries:
+        """Return series *name*, creating an empty one if absent."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = SampleSeries(name)
+        return series
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of counters plus per-series means (for quick dumps)."""
+        out: Dict[str, float] = dict(self.counters)
+        for name, series in self.series.items():
+            if len(series):
+                out[f"{name}.mean"] = series.mean()
+                out[f"{name}.count"] = float(len(series))
+        return out

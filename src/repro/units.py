@@ -1,0 +1,168 @@
+"""Time, size, and rate units used throughout the simulator.
+
+Simulated time is kept as an **integer number of picoseconds** so that
+event ordering is exact and reproducible (no floating-point drift).  The
+helpers below convert between human units and picoseconds, and between
+byte counts / rates and their picosecond forms.
+
+Conventions
+-----------
+* ``Time``    -- ``int`` picoseconds since simulation start.
+* ``Duration``-- ``int`` picoseconds.
+* rates are expressed as bytes per second (``float``) at API boundaries
+  and converted to picoseconds-per-byte internally where exactness
+  matters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Time",
+    "Duration",
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "picoseconds",
+    "nanoseconds",
+    "microseconds",
+    "milliseconds",
+    "seconds",
+    "to_seconds",
+    "to_microseconds",
+    "to_nanoseconds",
+    "gbit_per_s_to_bytes_per_s",
+    "bytes_per_s_to_ps_per_byte",
+    "transfer_time_ps",
+    "bandwidth_bytes_per_s",
+    "format_time",
+    "format_bytes",
+    "format_rate",
+]
+
+# Type aliases (documentation only; both are plain ints).
+Time = int
+Duration = int
+
+# Base unit: 1 picosecond.
+PS: int = 1
+NS: int = 1_000
+US: int = 1_000_000
+MS: int = 1_000_000_000
+SEC: int = 1_000_000_000_000
+
+# Sizes in bytes.
+KIB: int = 1024
+MIB: int = 1024 * 1024
+GIB: int = 1024 * 1024 * 1024
+KB: int = 1000
+MB: int = 1000 * 1000
+GB: int = 1000 * 1000 * 1000
+
+
+def picoseconds(value: float) -> Duration:
+    """Return *value* picoseconds as an integer duration."""
+    return round(value)
+
+
+def nanoseconds(value: float) -> Duration:
+    """Return *value* nanoseconds as an integer picosecond duration."""
+    return round(value * NS)
+
+
+def microseconds(value: float) -> Duration:
+    """Return *value* microseconds as an integer picosecond duration."""
+    return round(value * US)
+
+
+def milliseconds(value: float) -> Duration:
+    """Return *value* milliseconds as an integer picosecond duration."""
+    return round(value * MS)
+
+
+def seconds(value: float) -> Duration:
+    """Return *value* seconds as an integer picosecond duration."""
+    return round(value * SEC)
+
+
+def to_seconds(t: Duration) -> float:
+    """Convert a picosecond duration to (float) seconds."""
+    return t / SEC
+
+
+def to_microseconds(t: Duration) -> float:
+    """Convert a picosecond duration to (float) microseconds."""
+    return t / US
+
+
+def to_nanoseconds(t: Duration) -> float:
+    """Convert a picosecond duration to (float) nanoseconds."""
+    return t / NS
+
+
+def gbit_per_s_to_bytes_per_s(gbps: float) -> float:
+    """Convert a link rate in Gbit/s to bytes/s (decimal Gb, as in '100Gb/s')."""
+    return gbps * 1e9 / 8.0
+
+
+def bytes_per_s_to_ps_per_byte(rate: float) -> float:
+    """Convert a bytes/s rate to picoseconds needed per byte."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    return SEC / rate
+
+
+def transfer_time_ps(nbytes: int, rate_bytes_per_s: float) -> Duration:
+    """Serialization time for *nbytes* at *rate_bytes_per_s*, in picoseconds.
+
+    Rounds up so a transfer never takes zero time for a positive payload.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes!r}")
+    if nbytes == 0:
+        return 0
+    ps = nbytes * SEC / rate_bytes_per_s
+    return max(1, round(ps))
+
+
+def bandwidth_bytes_per_s(nbytes: int, elapsed_ps: Duration) -> float:
+    """Average bandwidth in bytes/s over *elapsed_ps* picoseconds."""
+    if elapsed_ps <= 0:
+        raise ValueError(f"elapsed_ps must be positive, got {elapsed_ps!r}")
+    return nbytes * SEC / elapsed_ps
+
+
+def format_time(t: Duration) -> str:
+    """Human-readable rendering of a picosecond duration."""
+    if t < NS:
+        return f"{t}ps"
+    if t < US:
+        return f"{t / NS:.2f}ns"
+    if t < MS:
+        return f"{t / US:.2f}us"
+    if t < SEC:
+        return f"{t / MS:.2f}ms"
+    return f"{t / SEC:.3f}s"
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable rendering of a byte count."""
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f}{unit}"
+    return f"{n:.0f}B"
+
+
+def format_rate(bytes_per_s: float) -> str:
+    """Human-readable rendering of a bytes/s rate."""
+    for unit, div in (("GB/s", GB), ("MB/s", MB), ("KB/s", KB)):
+        if abs(bytes_per_s) >= div:
+            return f"{bytes_per_s / div:.2f}{unit}"
+    return f"{bytes_per_s:.0f}B/s"

@@ -1,0 +1,92 @@
+"""Workload abstraction shared by every benchmark model.
+
+A workload knows how to compile itself into a
+:class:`~repro.engine.phases.PhaseProgram` for a given memory placement
+and how to turn an engine result into its application-level metric
+(bandwidth for STREAM, requests/s for Redis, traversal time for
+Graph500) — mirroring the paper's per-application performance
+definitions (section IV-D).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.engine.des import DesPhaseDriver, InstanceResult
+from repro.engine.fluid import FluidEngine, FluidRun
+from repro.engine.phases import Location, PhaseProgram
+from repro.node.cluster import ThymesisFlowSystem
+
+__all__ = ["WorkloadRun", "Workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """Engine-agnostic outcome of one workload execution."""
+
+    workload: str
+    location: str
+    duration_ps: float
+    payload_bytes: float
+    mean_sojourn_ps: float
+    metric_name: str
+    metric_value: float
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Payload bandwidth over the run."""
+        if self.duration_ps <= 0:
+            return 0.0
+        return self.payload_bytes * 1e12 / self.duration_ps
+
+
+class Workload(abc.ABC):
+    """Base class for benchmark models."""
+
+    name: str = "workload"
+    metric_name: str = "duration_ps"
+    #: True when a larger metric value means better performance.
+    higher_is_better: bool = False
+
+    @abc.abstractmethod
+    def program(self, location: Location = Location.REMOTE) -> PhaseProgram:
+        """Compile to a phase program with data placed at *location*."""
+
+    def metric_from_duration(self, duration_ps: float) -> float:
+        """Application metric for a run of *duration_ps* (default: time)."""
+        return duration_ps
+
+    # ------------------------------------------------------------------
+    # Engine entry points
+    # ------------------------------------------------------------------
+    def run_fluid(
+        self, engine: FluidEngine, location: Location = Location.REMOTE
+    ) -> WorkloadRun:
+        """Evaluate analytically."""
+        result: FluidRun = engine.run(self.program(location))
+        return WorkloadRun(
+            workload=self.name,
+            location=location.value,
+            duration_ps=result.duration_ps,
+            payload_bytes=result.payload_bytes,
+            mean_sojourn_ps=result.mean_sojourn_ps,
+            metric_name=self.metric_name,
+            metric_value=self.metric_from_duration(result.duration_ps),
+        )
+
+    def run_des(
+        self, system: ThymesisFlowSystem, location: Location = Location.REMOTE
+    ) -> WorkloadRun:
+        """Execute on the discrete-event testbed."""
+        driver = DesPhaseDriver(system, self.program(location), instance=self.name)
+        result: InstanceResult = driver.run_to_completion()
+        return WorkloadRun(
+            workload=self.name,
+            location=location.value,
+            duration_ps=float(result.duration_ps),
+            payload_bytes=float(result.payload_bytes),
+            mean_sojourn_ps=result.mean_latency_ps,
+            metric_name=self.metric_name,
+            metric_value=self.metric_from_duration(float(result.duration_ps)),
+        )

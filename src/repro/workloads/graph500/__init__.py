@@ -1,0 +1,28 @@
+"""Graph500 benchmark: Kronecker generation, BFS and SSSP kernels.
+
+A real (scaled-down) implementation of the Graph500 workflow the paper
+runs (section IV-A): generate a Kronecker graph (edgefactor 16), run
+breadth-first searches and single-source shortest paths from sampled
+roots, validate the outputs, and — for the simulator — record the
+memory-access trace the kernels produce so the cache model can turn it
+into the miss stream that actually hits disaggregated memory.
+"""
+
+from repro.workloads.graph500.csr import CsrGraph, build_csr
+from repro.workloads.graph500.generator import kronecker_edges, permute_vertices
+from repro.workloads.graph500.bfs import bfs
+from repro.workloads.graph500.sssp import delta_stepping
+from repro.workloads.graph500.trace import TraceRecorder
+from repro.workloads.graph500.workload import Graph500Workload, Graph500Config
+
+__all__ = [
+    "kronecker_edges",
+    "permute_vertices",
+    "CsrGraph",
+    "build_csr",
+    "bfs",
+    "delta_stepping",
+    "TraceRecorder",
+    "Graph500Workload",
+    "Graph500Config",
+]

@@ -1,0 +1,108 @@
+"""Compressed-sparse-row graph container and construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["CsrGraph", "build_csr"]
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """Undirected graph in CSR form.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    xadj:
+        ``(n+1,)`` int64 row pointers.
+    adjncy:
+        ``(2m,)`` int64 column indices (both directions stored).
+    weights:
+        Optional ``(2m,)`` float64 edge weights aligned with *adjncy*.
+    """
+
+    n: int
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.xadj.shape != (self.n + 1,):
+            raise WorkloadError("xadj must have shape (n+1,)")
+        if self.xadj[0] != 0 or self.xadj[-1] != self.adjncy.shape[0]:
+            raise WorkloadError("xadj endpoints inconsistent with adjncy")
+        if self.weights is not None and self.weights.shape != self.adjncy.shape:
+            raise WorkloadError("weights must align with adjncy")
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Stored directed edges (2x the undirected count)."""
+        return int(self.adjncy.shape[0])
+
+    def degree(self, v: int) -> int:
+        """Out-degree of vertex *v*."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Adjacency slice of *v* (view, not copy)."""
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weight slice of *v* (view); raises if unweighted."""
+        if self.weights is None:
+            raise WorkloadError("graph has no weights")
+        return self.weights[self.xadj[v] : self.xadj[v + 1]]
+
+
+def build_csr(
+    edges: np.ndarray,
+    n_vertices: int,
+    weights: Optional[np.ndarray] = None,
+    drop_self_loops: bool = True,
+) -> CsrGraph:
+    """Build an undirected CSR graph from a directed edge list.
+
+    Each input edge is stored in both directions (Graph500 treats the
+    generated edges as undirected).  Self-loops are dropped by default;
+    duplicate edges are kept, as the specification allows.
+
+    All steps — filtering, symmetrization, counting sort — are
+    vectorized.
+    """
+    if edges.ndim != 2 or edges.shape[0] != 2:
+        raise WorkloadError(f"edges must have shape (2, m), got {edges.shape}")
+    src, dst = edges[0].astype(np.int64), edges[1].astype(np.int64)
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise WorkloadError("negative vertex id")
+    if src.size and max(int(src.max()), int(dst.max())) >= n_vertices:
+        raise WorkloadError("vertex id out of range")
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    if w is not None and w.shape != src.shape:
+        raise WorkloadError("weights must align with edges")
+
+    if drop_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+
+    # Symmetrize.
+    all_src = np.concatenate((src, dst))
+    all_dst = np.concatenate((dst, src))
+    all_w = None if w is None else np.concatenate((w, w))
+
+    # Counting sort by source vertex -> CSR.
+    counts = np.bincount(all_src, minlength=n_vertices)
+    xadj = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=xadj[1:])
+    order = np.argsort(all_src, kind="stable")
+    adjncy = all_dst[order]
+    out_w = None if all_w is None else all_w[order]
+    return CsrGraph(n=n_vertices, xadj=xadj, adjncy=adjncy, weights=out_w)

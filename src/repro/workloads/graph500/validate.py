@@ -1,0 +1,85 @@
+"""Graph500-style output validation for the BFS and SSSP kernels.
+
+The official benchmark validates every search; these checks mirror the
+specification's invariants and are exercised by the test suite (the
+reference comparisons against networkx/scipy live in the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.graph500.bfs import BfsResult
+from repro.workloads.graph500.csr import CsrGraph
+from repro.workloads.graph500.sssp import SsspResult
+
+__all__ = ["validate_bfs", "validate_sssp"]
+
+
+def _edge_exists(graph: CsrGraph, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Vectorized membership test: is (u[i], v[i]) an edge?"""
+    out = np.zeros(u.shape, dtype=bool)
+    for i in range(u.shape[0]):
+        out[i] = bool(np.any(graph.neighbors(int(u[i])) == v[i]))
+    return out
+
+
+def validate_bfs(graph: CsrGraph, result: BfsResult) -> None:
+    """Check the Graph500 BFS invariants; raises on violation.
+
+    1. The source is its own parent at level 0.
+    2. Every reached vertex's parent edge exists in the graph.
+    3. Levels increase by exactly one along parent edges.
+    4. Reached vertices form a connected tree rooted at the source.
+    """
+    parent, level = result.parent, result.level
+    s = result.source
+    if parent[s] != s or level[s] != 0:
+        raise WorkloadError("BFS source must be its own parent at level 0")
+    reached = np.nonzero(parent >= 0)[0]
+    others = reached[reached != s]
+    if others.size == 0:
+        return
+    p = parent[others]
+    if not _edge_exists(graph, p, others).all():
+        raise WorkloadError("BFS parent edge missing from graph")
+    if not np.array_equal(level[others], level[p] + 1):
+        raise WorkloadError("BFS level must increase by one along parent edges")
+    if (level[reached] < 0).any():
+        raise WorkloadError("reached vertex lacks a level")
+    # Tree connectivity: walking parents must reach the source in
+    # <= n steps from every reached vertex.
+    cur = others.copy()
+    for _ in range(graph.n):
+        cur = parent[cur]
+        if (cur == s).all():
+            return
+        cur = cur[cur != s]
+        if cur.size == 0:
+            return
+    raise WorkloadError("BFS parent pointers contain a cycle")
+
+
+def validate_sssp(graph: CsrGraph, result: SsspResult) -> None:
+    """Check the SSSP optimality conditions; raises on violation.
+
+    1. ``dist[source] == 0``.
+    2. Triangle inequality holds on every edge:
+       ``dist[v] <= dist[u] + w(u, v)`` for reachable ``u``.
+    """
+    if graph.weights is None:
+        raise WorkloadError("validate_sssp requires a weighted graph")
+    dist = result.dist
+    if dist[result.source] != 0.0:
+        raise WorkloadError("SSSP source distance must be 0")
+    reachable = np.nonzero(np.isfinite(dist))[0]
+    for u in reachable:
+        nbrs = graph.neighbors(int(u))
+        w = graph.neighbor_weights(int(u))
+        if (dist[nbrs] > dist[u] + w + 1e-9).any():
+            raise WorkloadError(f"edge out of vertex {u} violates optimality")
+    # Anything adjacent to a reachable vertex must itself be reachable.
+    for u in reachable:
+        if not np.isfinite(dist[graph.neighbors(int(u))]).all():
+            raise WorkloadError("vertex adjacent to reachable set left unreached")

@@ -1,0 +1,206 @@
+"""Graph500 as a simulator workload.
+
+Pipeline: generate a Kronecker graph → run the *real* BFS / SSSP
+kernels with trace recording → replay the trace through the LLC model
+→ the resulting miss stream becomes the phase program that crosses the
+(delay-injected) disaggregation path.
+
+The paper runs problem scale 20 / edgefactor 16 (~1 GB working set,
+section IV-A); defaults here are scaled down together with the cache so
+that the working set exceeds the LLC by a comparable factor and the
+miss behaviour is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import List
+
+import numpy as np
+
+from repro.calibration import (
+    GRAPH500_BFS_THINK_PS,
+    GRAPH500_CONCURRENCY,
+    GRAPH500_SSSP_THINK_PS,
+)
+from repro.config import CacheConfig
+from repro.engine.phases import AccessPhase, Location, PhaseProgram
+from repro.errors import WorkloadError
+from repro.mem.cache import SetAssociativeCache
+from repro.sim import RngStreams
+from repro.workloads.base import Workload
+from repro.workloads.graph500.bfs import bfs
+from repro.workloads.graph500.csr import CsrGraph, build_csr
+from repro.workloads.graph500.generator import (
+    kronecker_edges,
+    permute_vertices,
+    uniform_weights,
+)
+from repro.workloads.graph500.sssp import delta_stepping
+from repro.workloads.graph500.trace import TraceRecorder
+
+__all__ = ["Graph500Config", "Graph500Workload"]
+
+
+@dataclass(frozen=True)
+class Graph500Config:
+    """Graph500 sizing and kernel selection.
+
+    Attributes
+    ----------
+    scale:
+        log2(vertices).  The paper uses 20; simulation default 11.
+    edgefactor:
+        Edges per vertex (paper: 16).
+    kernel:
+        ``"bfs"`` or ``"sssp"``.
+    n_roots:
+        Searches per run (the official benchmark runs 64; scaled down).
+    seed:
+        Generator seed.
+    cache:
+        LLC the trace is filtered through.  Default is sized so the
+        graph exceeds it by roughly the paper's working-set/LLC ratio.
+    """
+
+    scale: int = 11
+    edgefactor: int = 16
+    kernel: str = "bfs"
+    n_roots: int = 4
+    seed: int = 20
+    cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=64 * 1024, associativity=8)
+    )
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("bfs", "sssp"):
+            raise WorkloadError(f"kernel must be 'bfs' or 'sssp', got {self.kernel!r}")
+        if self.n_roots < 1:
+            raise WorkloadError("n_roots must be >= 1")
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices, 2**scale."""
+        return 1 << self.scale
+
+
+class Graph500Workload(Workload):
+    """One Graph500 kernel (BFS or SSSP) as a phase program."""
+
+    metric_name = "job_completion_time_ps"
+    higher_is_better = False
+
+    def __init__(self, config: Graph500Config | None = None) -> None:
+        self.config = config or Graph500Config()
+        self.name = f"graph500-{self.config.kernel}"
+
+    # ------------------------------------------------------------------
+    # Real kernel execution (cached: the graph and trace are a property
+    # of the workload, independent of the system under test).
+    # ------------------------------------------------------------------
+    @cached_property
+    def graph(self) -> CsrGraph:
+        """The generated Kronecker graph (built once)."""
+        cfg = self.config
+        rng = RngStreams(cfg.seed).get("graph500.edges")
+        edges = kronecker_edges(cfg.scale, cfg.edgefactor, rng)
+        edges = permute_vertices(edges, cfg.n_vertices, rng)
+        weights = uniform_weights(edges.shape[1], rng)
+        return build_csr(edges, cfg.n_vertices, weights=weights)
+
+    def sample_roots(self) -> np.ndarray:
+        """Sample search roots with nonzero degree, as the spec requires."""
+        cfg = self.config
+        rng = RngStreams(cfg.seed).get("graph500.roots")
+        degrees = np.diff(self.graph.xadj)
+        candidates = np.nonzero(degrees > 0)[0]
+        if candidates.size == 0:
+            raise WorkloadError("generated graph has no edges")
+        take = min(cfg.n_roots, candidates.size)
+        return rng.choice(candidates, size=take, replace=False)
+
+    @cached_property
+    def trace_stats(self) -> dict:
+        """Run the real kernels, replay the trace through the LLC.
+
+        Returns access/miss/edge counts for the whole multi-root run.
+        """
+        cfg = self.config
+        cache = SetAssociativeCache(cfg.cache)
+        recorder = TraceRecorder()
+        edges = 0
+        for root in self.sample_roots():
+            if cfg.kernel == "bfs":
+                result = bfs(self.graph, int(root), recorder=recorder)
+                edges += result.edges_traversed
+            else:
+                result = delta_stepping(self.graph, int(root), recorder=recorder)
+                edges += result.relaxations
+        counts = recorder.replay_through_cache(cache)
+        counts["edges"] = edges
+        counts["hit_rate"] = 1.0 - counts["misses"] / max(1, counts["accesses"])
+        return counts
+
+    # ------------------------------------------------------------------
+    # Phase compilation
+    # ------------------------------------------------------------------
+    def construction_phase(self, location: Location = Location.REMOTE) -> AccessPhase:
+        """Kernel 1 (graph construction) as a streaming phase.
+
+        The official benchmark times construction separately from the
+        searches; its traffic is the edge list streamed into the CSR
+        arrays (~2 x 8 B per directed edge) — bandwidth-bound and
+        prefetch-friendly, so it runs at full window concurrency.
+        """
+        line = self.config.cache.line_bytes
+        edge_bytes = 2 * 8 * self.graph.n_directed_edges
+        return AccessPhase(
+            name="construction",
+            n_lines=max(1, edge_bytes // line),
+            concurrency=128,
+            write_fraction=0.5,
+            location=location,
+        )
+
+    def program(
+        self, location: Location = Location.REMOTE, include_construction: bool = False
+    ) -> PhaseProgram:
+        """The kernel's miss stream as one traversal phase.
+
+        ``include_construction`` prepends the kernel-1 phase, as the
+        full Graph500 workflow would.
+        """
+        stats = self.trace_stats
+        think = (
+            GRAPH500_BFS_THINK_PS if self.config.kernel == "bfs" else GRAPH500_SSSP_THINK_PS
+        )
+        write_fraction = stats["write_misses"] / max(1, stats["misses"])
+        phase = AccessPhase(
+            name=self.config.kernel,
+            n_lines=max(1, stats["misses"]),
+            concurrency=GRAPH500_CONCURRENCY,
+            write_fraction=write_fraction,
+            location=location,
+            compute_ps_per_line=think,
+        )
+        program = PhaseProgram(self.name)
+        if include_construction:
+            program.add(self.construction_phase(location))
+        return program.add(phase)
+
+    def teps(self, duration_ps: float) -> float:
+        """Traversed edges per second (the Graph500 headline metric)."""
+        if duration_ps <= 0:
+            return 0.0
+        return self.trace_stats["edges"] * 1e12 / duration_ps
+
+
+def graph500_pair(
+    scale: int = 11, n_roots: int = 2, seed: int = 20
+) -> List[Graph500Workload]:
+    """Convenience: the BFS and SSSP workloads the paper tables use."""
+    return [
+        Graph500Workload(Graph500Config(scale=scale, kernel="bfs", n_roots=n_roots, seed=seed)),
+        Graph500Workload(Graph500Config(scale=scale, kernel="sssp", n_roots=n_roots, seed=seed)),
+    ]

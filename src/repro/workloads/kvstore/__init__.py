@@ -1,0 +1,31 @@
+"""Redis-like in-memory KV store plus a Memtier-like load generator.
+
+The paper stresses Redis with Memtier (4 threads x 50 connections x
+10000 requests, ~4 GB working set).  This package implements a real
+hash-table store with an explicit memory layout
+(:mod:`repro.workloads.kvstore.redis`), a closed-loop benchmark client
+(:mod:`repro.workloads.kvstore.memtier`), and the workload adapter
+that turns the store's actual miss stream into simulator traffic
+(:mod:`repro.workloads.kvstore.workload`).
+"""
+
+from repro.workloads.kvstore.memtier import MemtierConfig, MemtierStream
+from repro.workloads.kvstore.redis import RedisStore, StoreLayout
+from repro.workloads.kvstore.server_sim import (
+    RedisServerSimulation,
+    ServerSimConfig,
+    ServerSimResult,
+)
+from repro.workloads.kvstore.workload import RedisWorkload, RedisWorkloadConfig
+
+__all__ = [
+    "RedisStore",
+    "StoreLayout",
+    "MemtierConfig",
+    "MemtierStream",
+    "RedisWorkload",
+    "RedisWorkloadConfig",
+    "RedisServerSimulation",
+    "ServerSimConfig",
+    "ServerSimResult",
+]

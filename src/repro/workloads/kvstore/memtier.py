@@ -1,0 +1,97 @@
+"""Memtier-like load generation.
+
+Reproduces the configuration the paper uses (section IV-A): 4 threads,
+50 connections per thread, 10000 requests per client, with memtier's
+default 1:10 SET:GET ratio.  Request streams are generated vectorized
+and deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["MemtierConfig", "MemtierStream"]
+
+
+@dataclass(frozen=True)
+class MemtierConfig:
+    """Load-generator knobs (memtier_benchmark flag equivalents).
+
+    The paper's run is ``--threads 4 --clients 50 --requests 10000``;
+    scaled-down defaults keep the same shape at simulation-friendly
+    sizes.
+    """
+
+    threads: int = 4
+    clients_per_thread: int = 50
+    requests_per_client: int = 10_000
+    set_ratio: int = 1
+    get_ratio: int = 10
+    key_space: int = 16_384
+    value_bytes: int = 1024
+    key_pattern: str = "uniform"  # or "gaussian"
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if min(self.threads, self.clients_per_thread, self.requests_per_client) < 1:
+            raise WorkloadError("threads/clients/requests must be >= 1")
+        if self.set_ratio < 0 or self.get_ratio < 0 or self.set_ratio + self.get_ratio == 0:
+            raise WorkloadError("set/get ratios must be non-negative, not both zero")
+        if self.key_space < 1:
+            raise WorkloadError("key_space must be >= 1")
+        if self.key_pattern not in ("uniform", "gaussian"):
+            raise WorkloadError(f"unknown key pattern {self.key_pattern!r}")
+
+    @property
+    def n_connections(self) -> int:
+        """Total concurrent connections."""
+        return self.threads * self.clients_per_thread
+
+    @property
+    def total_requests(self) -> int:
+        """Requests across all clients."""
+        return self.n_connections * self.requests_per_client
+
+    @property
+    def set_fraction(self) -> float:
+        """Fraction of requests that are SETs."""
+        return self.set_ratio / (self.set_ratio + self.get_ratio)
+
+
+class MemtierStream:
+    """Deterministic request stream for a :class:`MemtierConfig`."""
+
+    def __init__(self, config: MemtierConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def key_name(self, index: int) -> bytes:
+        """memtier-style key for keyspace slot *index*."""
+        return b"memtier-%d" % index
+
+    def sample(self, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw *n* requests: ``(is_set, key_index, connection)`` arrays."""
+        cfg = self.config
+        is_set = self._rng.random(n) < cfg.set_fraction
+        if cfg.key_pattern == "uniform":
+            keys = self._rng.integers(0, cfg.key_space, size=n)
+        else:
+            centre = cfg.key_space / 2.0
+            sigma = cfg.key_space / 8.0
+            keys = np.clip(
+                np.rint(self._rng.normal(centre, sigma, size=n)), 0, cfg.key_space - 1
+            ).astype(np.int64)
+        conns = self._rng.integers(0, cfg.n_connections, size=n)
+        return is_set, keys.astype(np.int64), conns.astype(np.int64)
+
+    def requests(self, n: int) -> Iterator[Tuple[str, bytes, int]]:
+        """Iterate *n* concrete ``(op, key, connection)`` requests."""
+        is_set, keys, conns = self.sample(n)
+        for i in range(n):
+            op = "set" if is_set[i] else "get"
+            yield op, self.key_name(int(keys[i])), int(conns[i])

@@ -1,0 +1,179 @@
+"""RESP — the REdis Serialization Protocol (v2), for the wire path.
+
+The paper attributes Redis's delay-insensitivity to "significant
+serving overhead" in the network stack; part of that overhead is
+protocol work.  This module implements the actual RESP2 wire format
+(encode + incremental decode), used by the client/server simulation's
+buffers and exercised directly by the test suite.
+
+Supported types: simple strings (``+``), errors (``-``), integers
+(``:``), bulk strings (``$``, including null), arrays (``*``,
+including null, nested).  Commands travel as arrays of bulk strings,
+exactly as real clients send them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "RespError",
+    "encode",
+    "encode_command",
+    "decode",
+    "decode_all",
+]
+
+RespValue = Union[str, int, bytes, None, list, "RespError"]
+
+_CRLF = b"\r\n"
+
+
+class RespError(Exception):
+    """A RESP error value (``-ERR ...``); also a Python exception."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RespError) and other.message == self.message
+
+    def __hash__(self) -> int:
+        return hash(("RespError", self.message))
+
+
+def encode(value: RespValue) -> bytes:
+    """Serialize *value* to RESP2 bytes.
+
+    ``str`` → simple string, ``bytes`` → bulk string, ``int`` →
+    integer, ``None`` → null bulk string, ``list`` → array,
+    :class:`RespError` → error.
+    """
+    if isinstance(value, RespError):
+        if "\r" in value.message or "\n" in value.message:
+            raise ProtocolError("error text cannot contain CR/LF")
+        return b"-" + value.message.encode() + _CRLF
+    if isinstance(value, bool):  # bool is an int subclass: reject explicitly
+        raise ProtocolError("RESP2 has no boolean type")
+    if isinstance(value, str):
+        if "\r" in value or "\n" in value:
+            raise ProtocolError("simple string cannot contain CR/LF (use bytes)")
+        try:
+            return b"+" + value.encode() + _CRLF
+        except UnicodeEncodeError as exc:
+            raise ProtocolError(f"simple string not UTF-8 encodable: {exc}") from exc
+    if isinstance(value, int):
+        return b":" + str(value).encode() + _CRLF
+    if isinstance(value, bytes):
+        return b"$" + str(len(value)).encode() + _CRLF + value + _CRLF
+    if value is None:
+        return b"$-1" + _CRLF
+    if isinstance(value, list):
+        out = [b"*", str(len(value)).encode(), _CRLF]
+        out.extend(encode(item) for item in value)
+        return b"".join(out)
+    raise ProtocolError(f"cannot encode {type(value).__name__} as RESP")
+
+
+def encode_command(*parts: Union[str, bytes, int]) -> bytes:
+    """Encode a client command (array of bulk strings), e.g. SET/GET."""
+    if not parts:
+        raise ProtocolError("empty command")
+    blobs: List[bytes] = []
+    for part in parts:
+        if isinstance(part, bytes):
+            blobs.append(part)
+        elif isinstance(part, str):
+            blobs.append(part.encode())
+        elif isinstance(part, int) and not isinstance(part, bool):
+            blobs.append(str(part).encode())
+        else:
+            raise ProtocolError(f"bad command part {part!r}")
+    return encode(blobs)  # type: ignore[arg-type]
+
+
+def _find_line(data: bytes, start: int) -> Tuple[bytes, int]:
+    end = data.find(_CRLF, start)
+    if end < 0:
+        raise _Incomplete()
+    return data[start:end], end + 2
+
+
+class _Incomplete(Exception):
+    """Internal: more bytes needed."""
+
+
+def _decode_at(data: bytes, pos: int) -> Tuple[RespValue, int]:
+    if pos >= len(data):
+        raise _Incomplete()
+    marker = data[pos : pos + 1]
+    if marker == b"+":
+        line, nxt = _find_line(data, pos + 1)
+        return line.decode(), nxt
+    if marker == b"-":
+        line, nxt = _find_line(data, pos + 1)
+        return RespError(line.decode()), nxt
+    if marker == b":":
+        line, nxt = _find_line(data, pos + 1)
+        try:
+            return int(line), nxt
+        except ValueError as exc:
+            raise ProtocolError(f"bad integer {line!r}") from exc
+    if marker == b"$":
+        line, nxt = _find_line(data, pos + 1)
+        length = int(line)
+        if length == -1:
+            return None, nxt
+        if length < 0:
+            raise ProtocolError(f"bad bulk length {length}")
+        end = nxt + length
+        if len(data) < end + 2:
+            raise _Incomplete()
+        if data[end : end + 2] != _CRLF:
+            raise ProtocolError("bulk string not terminated by CRLF")
+        return data[nxt:end], end + 2
+    if marker == b"*":
+        line, nxt = _find_line(data, pos + 1)
+        count = int(line)
+        if count == -1:
+            return None, nxt
+        if count < 0:
+            raise ProtocolError(f"bad array length {count}")
+        items: List[RespValue] = []
+        cursor = nxt
+        for _ in range(count):
+            item, cursor = _decode_at(data, cursor)
+            items.append(item)
+        return items, cursor
+    raise ProtocolError(f"unknown RESP marker {marker!r}")
+
+
+def decode(data: bytes) -> Tuple[Optional[RespValue], int]:
+    """Incremental decode: ``(value, consumed_bytes)``.
+
+    Returns ``(None, 0)`` when *data* holds an incomplete frame (note:
+    a decoded null bulk/array also returns None — disambiguate via the
+    consumed count).
+    """
+    try:
+        value, consumed = _decode_at(data, 0)
+    except _Incomplete:
+        return None, 0
+    return value, consumed
+
+
+def decode_all(data: bytes) -> List[RespValue]:
+    """Decode every complete frame in *data*; raises on trailing bytes."""
+    values: List[RespValue] = []
+    pos = 0
+    while pos < len(data):
+        try:
+            value, nxt = _decode_at(data, pos)
+        except _Incomplete as exc:
+            raise ProtocolError("truncated RESP stream") from exc
+        values.append(value)
+        pos = nxt
+    return values

@@ -1,0 +1,212 @@
+"""A Redis-like in-memory key-value store with an explicit memory map.
+
+A functional hash-table store (SET/GET/DEL/EXISTS/INCR, TTL expiry)
+that additionally models *where* its structures live in memory — hash
+bucket array, entry records, value blobs, connection buffers — so each
+operation can report the exact byte addresses a C implementation would
+touch.  Those addresses feed the LLC model; the misses are what reach
+disaggregated memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["StoreLayout", "RedisStore"]
+
+_ENTRY_BYTES = 64  # key header + pointers + metadata, dictEntry-like
+_BUCKET_BYTES = 8  # pointer slot per hash bucket
+
+
+@dataclass(frozen=True)
+class StoreLayout:
+    """Base addresses of the store's memory regions."""
+
+    buckets_base: int = 0x0000_0000
+    entries_base: int = 0x1000_0000
+    values_base: int = 0x2000_0000
+    buffers_base: int = 0x7000_0000
+
+
+class RedisStore:
+    """Hash-table KV store with address-level access reporting.
+
+    Parameters
+    ----------
+    n_buckets:
+        Hash table width (power of two, as Redis sizes its dict).
+    layout:
+        Memory-region bases.
+
+    Notes
+    -----
+    Values are stored as ``bytes``; entry and value storage use bump
+    allocation (freed space is not recycled, like a short-lived
+    benchmark run against jemalloc arenas).
+    """
+
+    def __init__(self, n_buckets: int = 16384, layout: StoreLayout | None = None) -> None:
+        if n_buckets < 1 or n_buckets & (n_buckets - 1):
+            raise WorkloadError(f"n_buckets must be a power of two, got {n_buckets}")
+        self.n_buckets = n_buckets
+        self.layout = layout or StoreLayout()
+        self._data: Dict[bytes, bytes] = {}
+        self._expiry: Dict[bytes, float] = {}
+        self._entry_addr: Dict[bytes, int] = {}
+        self._value_addr: Dict[bytes, int] = {}
+        self._value_len: Dict[bytes, int] = {}
+        self._entries_used = 0
+        self._values_used = 0
+        self.clock = 0.0  # logical seconds, advanced by the harness
+        # counters
+        self.hits = 0
+        self.misses_lookups = 0
+        self.sets = 0
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    def _bucket_index(self, key: bytes) -> int:
+        # FNV-1a, as a stand-in for siphash; deterministic across runs.
+        h = 0xCBF29CE484222325
+        for b in key:
+            h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h & (self.n_buckets - 1)
+
+    def _bucket_addr(self, key: bytes) -> int:
+        return self.layout.buckets_base + self._bucket_index(key) * _BUCKET_BYTES
+
+    def _alloc_entry(self, key: bytes) -> int:
+        addr = self.layout.entries_base + self._entries_used
+        self._entries_used += _ENTRY_BYTES
+        self._entry_addr[key] = addr
+        return addr
+
+    def _alloc_value(self, key: bytes, length: int) -> int:
+        rounded = max(16, -(-length // 16) * 16)
+        addr = self.layout.values_base + self._values_used
+        self._values_used += rounded
+        self._value_addr[key] = addr
+        self._value_len[key] = length
+        return addr
+
+    def _maybe_expire(self, key: bytes) -> None:
+        deadline = self._expiry.get(key)
+        if deadline is not None and self.clock >= deadline:
+            self._data.pop(key, None)
+            self._expiry.pop(key, None)
+            self._entry_addr.pop(key, None)
+            self._value_addr.pop(key, None)
+            self._value_len.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def set(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        """SET key value [EX ttl]."""
+        self._maybe_expire(key)
+        if key not in self._entry_addr:
+            self._alloc_entry(key)
+        # A changed size forces reallocation, as sds strings do.
+        if key not in self._value_addr or self._value_len.get(key) != len(value):
+            self._alloc_value(key, len(value))
+        self._data[key] = value
+        if ttl is not None:
+            self._expiry[key] = self.clock + ttl
+        else:
+            self._expiry.pop(key, None)
+        self.sets += 1
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """GET key → value or None."""
+        self._maybe_expire(key)
+        value = self._data.get(key)
+        if value is None:
+            self.misses_lookups += 1
+        else:
+            self.hits += 1
+        return value
+
+    def delete(self, key: bytes) -> bool:
+        """DEL key → whether it existed."""
+        self._maybe_expire(key)
+        existed = self._data.pop(key, None) is not None
+        self._expiry.pop(key, None)
+        return existed
+
+    def exists(self, key: bytes) -> bool:
+        """EXISTS key."""
+        self._maybe_expire(key)
+        return key in self._data
+
+    def incr(self, key: bytes) -> int:
+        """INCR key (creates at 1 if absent); raises on non-integer."""
+        self._maybe_expire(key)
+        raw = self._data.get(key, b"0")
+        try:
+            value = int(raw) + 1
+        except ValueError as exc:
+            raise WorkloadError(f"INCR on non-integer value for {key!r}") from exc
+        self.set(key, str(value).encode())
+        return value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def used_bytes(self) -> int:
+        """Approximate resident footprint of the store's structures."""
+        return (
+            self.n_buckets * _BUCKET_BYTES + self._entries_used + self._values_used
+        )
+
+    # ------------------------------------------------------------------
+    # Address reporting
+    # ------------------------------------------------------------------
+    def touched_addresses(
+        self, op: str, key: bytes, connection: int = 0, line_bytes: int = 128
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Byte addresses operation *op* on *key* touches, in order.
+
+        Returns ``(addresses, writes)`` arrays covering: connection
+        read buffer (request parse), hash bucket, entry record, value
+        lines, connection write buffer (response build).
+        """
+        addrs: List[int] = []
+        writes: List[bool] = []
+
+        def touch(span_base: int, span_bytes: int, write: bool) -> None:
+            first = span_base // line_bytes
+            last = (span_base + max(1, span_bytes) - 1) // line_bytes
+            for ln in range(first, last + 1):
+                addrs.append(ln * line_bytes)
+                writes.append(write)
+
+        buf_base = self.layout.buffers_base + connection * 8192
+        touch(buf_base, 256, False)  # parse request from the read buffer
+        touch(self._bucket_addr(key), _BUCKET_BYTES, op == "set" and key not in self._entry_addr)
+        entry = self._entry_addr.get(key)
+        if entry is not None:
+            touch(entry, _ENTRY_BYTES, op in ("set", "del"))
+        value_addr = self._value_addr.get(key)
+        value_len = self._value_len.get(key, 0)
+        if op == "get" and value_addr is not None:
+            touch(value_addr, value_len, False)
+        elif op == "set":
+            if value_addr is None:
+                value_addr = self.layout.values_base + self._values_used
+                value_len = self._value_len.get(key, 64)
+            touch(value_addr, value_len, True)
+        touch(buf_base + 4096, 256, True)  # build response in the write buffer
+        return np.asarray(addrs, dtype=np.int64), np.asarray(writes, dtype=bool)
+
+    def preload(self, keys: Iterable[bytes], value_size: int) -> None:
+        """Populate the keyspace (memtier's load phase)."""
+        filler = bytes(value_size)
+        for key in keys:
+            self.set(key, filler)

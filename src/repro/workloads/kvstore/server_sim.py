@@ -1,0 +1,250 @@
+"""Full client/server DES simulation of Redis under Memtier.
+
+Where :class:`~repro.workloads.kvstore.workload.RedisWorkload` compiles
+Redis into a phase program, this module runs the *actual* serving loop
+on the event-driven testbed: Memtier connection processes issue
+requests over a modeled network, a single-threaded server process
+parses each request, touches the real store's memory through the live
+LLC model, sends every miss through the (delay-injected) remote path,
+and responds.  Client-observed latency and server throughput are then
+measurements, not formulas — the test suite pins the phase model
+against this simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List
+
+import numpy as np
+
+from repro.calibration import REDIS_MEMORY_CONCURRENCY
+from repro.config import CacheConfig
+from repro.engine.phases import Location
+from repro.errors import WorkloadError
+from repro.mem.cache import SetAssociativeCache
+from repro.node.cluster import ThymesisFlowSystem
+from repro.sim import AllOf, SampleSeries, Signal, Store, Timeout
+from repro.units import Duration, microseconds
+from repro.workloads.kvstore.memtier import MemtierConfig, MemtierStream
+from repro.workloads.kvstore.protocol import RespError, decode, encode, encode_command
+from repro.workloads.kvstore.redis import RedisStore
+
+__all__ = ["ServerSimConfig", "ServerSimResult", "RedisServerSimulation"]
+
+
+@dataclass(frozen=True)
+class ServerSimConfig:
+    """Client/server simulation parameters.
+
+    ``parse_ps`` + ``respond_ps`` is the server-side CPU cost per
+    request (the "network stack overhead" the paper identifies as
+    dominant); ``client_rtt_ps`` is the client↔server network round
+    trip, which adds client-observed latency but — with enough
+    connections — not server-side throughput loss.
+    """
+
+    memtier: MemtierConfig = field(default_factory=lambda: MemtierConfig())
+    n_requests: int = 400
+    n_connections: int = 16
+    parse_ps: Duration = microseconds(30)
+    respond_ps: Duration = microseconds(25)
+    client_rtt_ps: Duration = microseconds(80)
+    memory_concurrency: int = REDIS_MEMORY_CONCURRENCY
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    location: Location = Location.REMOTE
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1 or self.n_connections < 1:
+            raise WorkloadError("n_requests and n_connections must be >= 1")
+        if self.memory_concurrency < 1:
+            raise WorkloadError("memory_concurrency must be >= 1")
+
+
+@dataclass
+class ServerSimResult:
+    """Measurements from one client/server run."""
+
+    requests: int
+    duration_ps: int
+    client_latency: SampleSeries
+    server_busy_ps: int
+    misses: int
+    store_lookup_hit_rate: float
+
+    @property
+    def requests_per_s(self) -> float:
+        """Served request rate."""
+        if self.duration_ps <= 0:
+            return 0.0
+        return self.requests * 1e12 / self.duration_ps
+
+    @property
+    def mean_misses_per_request(self) -> float:
+        """LLC misses per request observed during the run."""
+        return self.misses / max(1, self.requests)
+
+
+class RedisServerSimulation:
+    """Single-threaded Redis event loop + Memtier clients on the DES.
+
+    Parameters
+    ----------
+    system:
+        Attached testbed the server's memory misses traverse.
+    config:
+        Simulation parameters.
+    """
+
+    def __init__(self, system: ThymesisFlowSystem, config: ServerSimConfig | None = None) -> None:
+        self.system = system
+        self.config = config or ServerSimConfig()
+        cfg = self.config
+        self.store = RedisStore(n_buckets=max(1024, cfg.memtier.key_space))
+        self.stream = MemtierStream(cfg.memtier)
+        self.cache = SetAssociativeCache(cfg.cache)
+        self._queue = Store(system.sim, name="redis.queue")
+        self.client_latency = SampleSeries("redis.client_latency")
+        self._served = 0
+        self._misses = 0
+        self._server_busy = 0
+
+    # ------------------------------------------------------------------
+    def _memory_burst(self, op: str, key: bytes, conn: int) -> Generator:
+        """Touch the store's real addresses; misses cross the testbed."""
+        sim = self.system.sim
+        line = self.config.cache.line_bytes
+        addrs, writes = self.store.touched_addresses(op, key, connection=conn, line_bytes=line)
+        hit_mask = self.cache.access_trace(addrs, writes)
+        miss_addrs = addrs[~hit_mask]
+        miss_writes = writes[~hit_mask]
+        self._misses += int(miss_addrs.size)
+        base = self.system.config.remote_region_base
+        # Issue misses in waves bounded by the event loop's MLP.
+        wave = self.config.memory_concurrency
+        for lo in range(0, miss_addrs.size, wave):
+            chunk = range(lo, min(lo + wave, miss_addrs.size))
+
+            def one(i: int) -> Generator:
+                if self.config.location is Location.REMOTE:
+                    result = yield from self.system.remote_access(
+                        base + int(miss_addrs[i]) % self.system.config.remote_region_bytes,
+                        write=bool(miss_writes[i]),
+                    )
+                else:
+                    result = yield from self.system.local_access(
+                        self.system.borrower, int(miss_addrs[i]), write=bool(miss_writes[i])
+                    )
+                return result
+
+            procs = [sim.process(one(i), name=f"redis.m{i}") for i in chunk]
+            yield AllOf(sim, procs)
+
+    def _server(self) -> Generator:
+        """The single-threaded event loop.
+
+        Requests arrive as real RESP-encoded command frames; the
+        server decodes them, touches memory, and produces a real RESP
+        response — the protocol work the paper's "serving overhead"
+        includes.
+        """
+        sim = self.system.sim
+        cfg = self.config
+        filler = bytes(cfg.memtier.value_bytes)
+        while self._served < cfg.n_requests:
+            wire, conn, done = yield self._queue.get()
+            busy_start = sim.now
+            yield Timeout(sim, cfg.parse_ps)
+            try:
+                command, consumed = decode(wire)
+            except Exception:  # bad marker, corrupt length, ...
+                command, consumed = None, -1
+            if consumed != len(wire) or not isinstance(command, list) or not command:
+                response = encode(RespError("ERR protocol error"))
+                done.trigger(response)
+                self._served += 1
+                continue
+            op = command[0].decode().lower()
+            key = command[1] if len(command) > 1 else b""
+            yield from self._memory_burst(op if op in ("set", "get", "del") else "get", key, conn)
+            if op == "set":
+                self.store.set(key, filler)
+                response = encode("OK")
+            elif op == "get":
+                value = self.store.get(key)
+                # Header-only response model: the value payload's wire
+                # cost rides the client RTT, not the server CPU.
+                response = encode(value[:16] if value is not None else None)
+            elif op == "del":
+                response = encode(int(self.store.delete(key)))
+            elif op == "exists":
+                response = encode(int(self.store.exists(key)))
+            elif op == "incr":
+                try:
+                    response = encode(self.store.incr(key))
+                except WorkloadError:
+                    response = encode(
+                        RespError("ERR value is not an integer or out of range")
+                    )
+            else:
+                response = encode(RespError(f"ERR unknown command '{op}'"))
+            yield Timeout(sim, cfg.respond_ps)
+            self._server_busy += sim.now - busy_start
+            self._served += 1
+            done.trigger(response)
+
+    def _client(self, requests: List[tuple]) -> Generator:
+        """One Memtier connection: closed-loop RESP request/response."""
+        sim = self.system.sim
+        cfg = self.config
+        half_rtt = cfg.client_rtt_ps // 2
+        filler = bytes(min(16, cfg.memtier.value_bytes))
+        for op, key, conn in requests:
+            sent = sim.now
+            if op == "set":
+                wire = encode_command("SET", key, filler)
+            else:
+                wire = encode_command("GET", key)
+            yield Timeout(sim, half_rtt)
+            done = Signal(sim)
+            yield self._queue.put((wire, conn, done))
+            response = yield done
+            yield Timeout(sim, half_rtt)
+            decoded, _ = decode(response)
+            if isinstance(decoded, RespError):  # pragma: no cover - defensive
+                raise WorkloadError(f"server error: {decoded.message}")
+            self.client_latency.add(sim.now - sent)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ServerSimResult:
+        """Preload, run all clients + the server, return measurements."""
+        cfg = self.config
+        sim = self.system.sim
+        self.store.preload(
+            (self.stream.key_name(i) for i in range(cfg.memtier.key_space)),
+            cfg.memtier.value_bytes,
+        )
+        requests = list(self.stream.requests(cfg.n_requests))
+        shares = np.array_split(np.arange(len(requests)), cfg.n_connections)
+        start = sim.now
+        server = sim.process(self._server(), name="redis.server")
+        clients = [
+            sim.process(
+                self._client([requests[i] for i in share]), name=f"memtier.c{ci}"
+            )
+            for ci, share in enumerate(shares)
+            if share.size
+        ]
+        sim.run()
+        for proc in (server, *clients):
+            if not proc.ok and proc.triggered:
+                _ = proc.value
+        return ServerSimResult(
+            requests=self._served,
+            duration_ps=sim.now - start,
+            client_latency=self.client_latency,
+            server_busy_ps=self._server_busy,
+            misses=self._misses,
+            store_lookup_hit_rate=self.store.hits
+            / max(1, self.store.hits + self.store.misses_lookups),
+        )

@@ -1,0 +1,234 @@
+"""STREAM memory benchmark model (McCalpin).
+
+Faithful to the paper's description (section IV-A): each run executes
+the four kernels with their exact per-iteration traffic —
+
+=======  =====================  ========  ==========
+kernel   statement              bytes/it  FLOPs/it
+=======  =====================  ========  ==========
+copy     ``c[i] = a[i]``        16 (1R1W)  0
+scale    ``b[i] = s*c[i]``      16 (1R1W)  1
+add      ``c[i] = a[i]+b[i]``   24 (2R1W)  1
+triad    ``a[i] = b[i]+s*c[i]`` 24 (2R1W)  2
+=======  =====================  ========  ==========
+
+The paper configures 10 million elements (0.2 GiB, beyond the 120 MiB
+cache); this model defaults to a scaled-down array that maintains the
+same property relative to the scaled-down simulated cache, so every
+line access misses and streams to (remote) memory.
+
+STREAM's arrays are streamed sequentially, so the hardware can keep
+the full miss window occupied — ``concurrency`` defaults to the
+window size, which is what makes STREAM the right probe for the
+injector-validation figures (2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.engine.phases import AccessPhase, Location, PhaseProgram
+from repro.errors import WorkloadError
+from repro.units import Duration, picoseconds
+from repro.workloads.base import Workload
+
+__all__ = ["StreamKernel", "STREAM_KERNELS", "StreamConfig", "StreamWorkload"]
+
+
+@dataclass(frozen=True)
+class StreamKernel:
+    """Static description of one STREAM kernel."""
+
+    name: str
+    reads_per_iter: int
+    writes_per_iter: int
+    flops_per_iter: int
+
+    @property
+    def bytes_per_iter(self) -> int:
+        """Traffic per iteration with 8-byte elements."""
+        return 8 * (self.reads_per_iter + self.writes_per_iter)
+
+    @property
+    def write_fraction(self) -> float:
+        """Share of line transactions that are writes."""
+        total = self.reads_per_iter + self.writes_per_iter
+        return self.writes_per_iter / total
+
+
+STREAM_KERNELS: Tuple[StreamKernel, ...] = (
+    StreamKernel("copy", reads_per_iter=1, writes_per_iter=1, flops_per_iter=0),
+    StreamKernel("scale", reads_per_iter=1, writes_per_iter=1, flops_per_iter=1),
+    StreamKernel("add", reads_per_iter=2, writes_per_iter=1, flops_per_iter=1),
+    StreamKernel("triad", reads_per_iter=2, writes_per_iter=1, flops_per_iter=2),
+)
+
+#: Vectorized double-precision FLOP cost on a POWER9-class core.
+_FLOP_TIME_PS = 125  # 0.125 ns
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """STREAM sizing.
+
+    Attributes
+    ----------
+    n_elements:
+        Array length (8-byte doubles).  The paper uses 10 million; the
+        default here is scaled down for simulation speed — results are
+        rates, so the shape is unaffected once arrays exceed the cache.
+    reps:
+        Benchmark repetitions per kernel (STREAM's NTIMES).
+    concurrency:
+        Outstanding line transactions the streaming access pattern can
+        sustain (defaults to the full hardware window).
+    element_bytes / line_bytes:
+        Element and cache-line sizes.
+    """
+
+    n_elements: int = 100_000
+    reps: int = 1
+    concurrency: int = 128
+    element_bytes: int = 8
+    line_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.n_elements < 1:
+            raise WorkloadError("n_elements must be >= 1")
+        if self.reps < 1:
+            raise WorkloadError("reps must be >= 1")
+        if self.line_bytes % self.element_bytes:
+            raise WorkloadError("line_bytes must be a multiple of element_bytes")
+
+    @property
+    def elements_per_line(self) -> int:
+        """Array elements per cache line."""
+        return self.line_bytes // self.element_bytes
+
+    @property
+    def lines_per_array(self) -> int:
+        """Cache lines in one array pass."""
+        return -(-self.n_elements // self.elements_per_line)
+
+    @property
+    def array_bytes(self) -> int:
+        """Footprint of one array."""
+        return self.n_elements * self.element_bytes
+
+    @property
+    def total_footprint_bytes(self) -> int:
+        """Footprint of the three arrays a, b, c."""
+        return 3 * self.array_bytes
+
+
+class StreamWorkload(Workload):
+    """The four-kernel STREAM run as a phase program."""
+
+    name = "stream"
+    metric_name = "bandwidth_bytes_per_s"
+    higher_is_better = True
+
+    def __init__(self, config: StreamConfig | None = None) -> None:
+        self.config = config or StreamConfig()
+
+    def kernel_phase(self, kernel: StreamKernel, location: Location) -> AccessPhase:
+        """Phase for one kernel pass."""
+        cfg = self.config
+        lines = cfg.lines_per_array * (kernel.reads_per_iter + kernel.writes_per_iter)
+        flop_ps = kernel.flops_per_iter * cfg.elements_per_line * _FLOP_TIME_PS
+        # FLOPs vectorize across the elements of each line and overlap
+        # with outstanding misses; charge them per line, spread across
+        # the concurrent workers.
+        compute_per_line: Duration = picoseconds(flop_ps / max(1, cfg.concurrency))
+        return AccessPhase(
+            name=kernel.name,
+            n_lines=lines,
+            concurrency=cfg.concurrency,
+            write_fraction=kernel.write_fraction,
+            location=location,
+            compute_ps_per_line=compute_per_line,
+            repeats=cfg.reps,
+        )
+
+    def program(self, location: Location = Location.REMOTE) -> PhaseProgram:
+        """All four kernels, in STREAM order."""
+        program = PhaseProgram(self.name)
+        for kernel in STREAM_KERNELS:
+            program.add(self.kernel_phase(kernel, location))
+        return program
+
+    def kernel_programs(self, location: Location = Location.REMOTE) -> Dict[str, PhaseProgram]:
+        """One single-kernel program per kernel (per-kernel measurement)."""
+        return {
+            kernel.name: PhaseProgram(f"{self.name}.{kernel.name}").add(
+                self.kernel_phase(kernel, location)
+            )
+            for kernel in STREAM_KERNELS
+        }
+
+    def kernel_traffic_bytes(self, kernel: StreamKernel) -> int:
+        """Bytes STREAM itself reports moving for one kernel pass."""
+        return kernel.bytes_per_iter * self.config.n_elements * self.config.reps
+
+    def metric_from_duration(self, duration_ps: float) -> float:
+        """Aggregate STREAM bandwidth over the whole four-kernel run."""
+        total_bytes = sum(self.kernel_traffic_bytes(k) for k in STREAM_KERNELS)
+        if duration_ps <= 0:
+            return 0.0
+        return total_bytes * 1e12 / duration_ps
+
+
+def stream_instances(n: int, config: StreamConfig | None = None) -> List["StreamWorkload"]:
+    """N identical STREAM instances (contention experiments)."""
+    return [StreamWorkload(config) for _ in range(n)]
+
+
+def stream_report(system, config: StreamConfig | None = None) -> str:
+    """Run STREAM on *system* and render the classic report table.
+
+    Produces the familiar output format of McCalpin's STREAM::
+
+        Function    Best Rate MB/s  Avg time     Min time     Max time
+        Copy:            1234.5     0.012345     0.012345     0.012345
+        ...
+
+    Each kernel is executed separately on the DES testbed (per-kernel
+    rates, as the real benchmark reports).  With ``reps > 1`` the
+    avg/min/max columns resolve run-to-run variation; at ``reps == 1``
+    they coincide, as in a single-trial STREAM run.
+    """
+    from repro.engine.des import DesPhaseDriver
+    from repro.engine.phases import Location, PhaseProgram
+
+    cfg = config or StreamConfig()
+    workload = StreamWorkload(cfg)
+    lines = [
+        "-" * 62,
+        f"Function{'Best Rate MB/s':>20}{'Avg time':>13}{'Min time':>13}{'Max time':>13}",
+    ]
+    for kernel in STREAM_KERNELS:
+        times_s = []
+        for rep in range(cfg.reps):
+            single = StreamConfig(
+                n_elements=cfg.n_elements,
+                reps=1,
+                concurrency=cfg.concurrency,
+                element_bytes=cfg.element_bytes,
+                line_bytes=cfg.line_bytes,
+            )
+            program = PhaseProgram(f"stream.{kernel.name}.{rep}").add(
+                StreamWorkload(single).kernel_phase(kernel, Location.REMOTE)
+            )
+            result = DesPhaseDriver(
+                system, program, instance=f"stream.{kernel.name}.{rep}"
+            ).run_to_completion()
+            times_s.append(result.duration_ps / 1e12)
+        traffic = kernel.bytes_per_iter * cfg.n_elements
+        best_rate_mbs = traffic / min(times_s) / 1e6
+        lines.append(
+            f"{kernel.name.capitalize() + ':':<8}{best_rate_mbs:>20.1f}"
+            f"{sum(times_s) / len(times_s):>13.6f}{min(times_s):>13.6f}{max(times_s):>13.6f}"
+        )
+    lines.append("-" * 62)
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Trace-replay workload: arbitrary address traces through the testbed.
+
+Bridges recorded (or synthetic) memory-access traces to both engines:
+the trace is filtered through the LLC model and the resulting miss
+stream becomes a phase program.  This is how a user studies *their own
+application* on the simulated disaggregated testbed — record an
+address trace (e.g. with a PIN/DynamoRIO tool on real hardware, or
+from the instrumented kernels in :mod:`repro.workloads.graph500`),
+then replay it here under any delay-injection operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.engine.phases import AccessPhase, Location, PhaseProgram
+from repro.errors import WorkloadError
+from repro.mem.cache import SetAssociativeCache
+from repro.workloads.base import Workload
+
+__all__ = ["TraceReplayConfig", "TraceReplayWorkload", "synthesize_trace"]
+
+
+@dataclass(frozen=True)
+class TraceReplayConfig:
+    """Replay parameters.
+
+    Attributes
+    ----------
+    concurrency:
+        Outstanding misses the traced application can sustain (its
+        memory-level parallelism).
+    compute_ps_per_miss:
+        Serial work between misses (covers arithmetic and cache hits).
+    cache:
+        LLC the raw trace is filtered through.
+    chunk_phases:
+        Split the miss stream into this many sequential phases, so
+        phase-level statistics resolve the trace's temporal structure.
+    """
+
+    concurrency: int = 32
+    compute_ps_per_miss: int = 0
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    chunk_phases: int = 1
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise WorkloadError("concurrency must be >= 1")
+        if self.compute_ps_per_miss < 0:
+            raise WorkloadError("compute_ps_per_miss must be >= 0")
+        if self.chunk_phases < 1:
+            raise WorkloadError("chunk_phases must be >= 1")
+
+
+class TraceReplayWorkload(Workload):
+    """A recorded address trace as a simulator workload.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses in program order.
+    writes:
+        Optional aligned write mask (default: all reads).
+    config:
+        Replay parameters.
+    name:
+        Workload label.
+    """
+
+    metric_name = "replay_time_ps"
+    higher_is_better = False
+
+    def __init__(
+        self,
+        addresses: np.ndarray,
+        writes: Optional[np.ndarray] = None,
+        config: TraceReplayConfig | None = None,
+        name: str = "trace-replay",
+    ) -> None:
+        self.addresses = np.asarray(addresses, dtype=np.int64)
+        if self.addresses.ndim != 1 or self.addresses.size == 0:
+            raise WorkloadError("trace must be a non-empty 1-D address array")
+        if writes is None:
+            self.writes = np.zeros(self.addresses.shape, dtype=bool)
+        else:
+            self.writes = np.asarray(writes, dtype=bool)
+            if self.writes.shape != self.addresses.shape:
+                raise WorkloadError("writes mask must align with addresses")
+        self.config = config or TraceReplayConfig()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def miss_profile(self) -> dict:
+        """Filter the trace through the LLC; per-chunk miss counts."""
+        cfg = self.config
+        cache = SetAssociativeCache(cfg.cache)
+        hits = cache.access_trace(self.addresses, self.writes)
+        misses = ~hits
+        chunk_edges = np.linspace(
+            0, self.addresses.size, cfg.chunk_phases + 1, dtype=np.int64
+        )
+        chunk_misses = []
+        chunk_write_misses = []
+        for lo, hi in zip(chunk_edges, chunk_edges[1:]):
+            m = misses[lo:hi]
+            chunk_misses.append(int(m.sum()))
+            chunk_write_misses.append(int((m & self.writes[lo:hi]).sum()))
+        return {
+            "accesses": int(self.addresses.size),
+            "misses": int(misses.sum()),
+            "hit_rate": float(hits.mean()),
+            "chunk_misses": chunk_misses,
+            "chunk_write_misses": chunk_write_misses,
+        }
+
+    def program(self, location: Location = Location.REMOTE) -> PhaseProgram:
+        """Miss stream as one phase per chunk."""
+        cfg = self.config
+        profile = self.miss_profile
+        program = PhaseProgram(self.name)
+        for idx, (misses, write_misses) in enumerate(
+            zip(profile["chunk_misses"], profile["chunk_write_misses"])
+        ):
+            if misses == 0:
+                continue
+            program.add(
+                AccessPhase(
+                    name=f"chunk{idx}",
+                    n_lines=misses,
+                    concurrency=cfg.concurrency,
+                    write_fraction=write_misses / misses,
+                    location=location,
+                    compute_ps_per_line=cfg.compute_ps_per_miss,
+                )
+            )
+        if len(program) == 0:
+            # Everything hit: represent the run as pure compute.
+            program.add(
+                AccessPhase(
+                    name="all-hits",
+                    n_lines=0,
+                    compute_ps=profile["accesses"] * max(1, cfg.compute_ps_per_miss),
+                )
+            )
+        return program
+
+
+def synthesize_trace(
+    kind: str,
+    n_accesses: int,
+    footprint_bytes: int,
+    rng: np.random.Generator,
+    stride: int = 8,
+    write_fraction: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a synthetic trace with a named access pattern.
+
+    Patterns
+    --------
+    ``"sequential"``
+        Streaming walk (prefetch-friendly, cache-hostile beyond the LLC).
+    ``"random"``
+        Uniform random accesses over the footprint (cache-hostile).
+    ``"zipf"``
+        Skewed hot-set accesses (cache-friendly head, long tail).
+    """
+    if n_accesses < 1 or footprint_bytes < stride:
+        raise WorkloadError("invalid trace synthesis parameters")
+    slots = footprint_bytes // stride
+    if kind == "sequential":
+        idx = np.arange(n_accesses, dtype=np.int64) % slots
+    elif kind == "random":
+        idx = rng.integers(0, slots, size=n_accesses)
+    elif kind == "zipf":
+        raw = rng.zipf(1.3, size=n_accesses)
+        idx = (raw - 1) % slots
+    else:
+        raise WorkloadError(f"unknown trace kind {kind!r}")
+    addrs = idx.astype(np.int64) * stride
+    writes = rng.random(n_accesses) < write_fraction
+    return addrs, writes

@@ -1,0 +1,70 @@
+"""Calibrator round-trip: recover the configured constants from a sweep."""
+
+import pytest
+
+from repro.calibration import (
+    BDP_BYTES,
+    OUTSTANDING_WINDOW,
+    T_CYC_PS,
+    baseline_remote_latency_ps,
+)
+from repro.core.characterization import fit_sweep, validation_sweep
+from repro.core.characterization.harness import SweepPoint, SweepResult
+from repro.errors import ExperimentError
+
+
+class TestFitSweep:
+    def test_roundtrip_from_fluid_sweep(self):
+        """Fitting our own sweep recovers the configured constants."""
+        sweep = validation_sweep(
+            periods=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512), mode="fluid"
+        )
+        fit = fit_sweep(sweep)
+        assert fit.window == OUTSTANDING_WINDOW
+        assert fit.t_cyc_ps == pytest.approx(T_CYC_PS, rel=0.02)
+        assert fit.fpga_clock_hz == pytest.approx(320e6, rel=0.02)
+        assert fit.base_latency_ps == pytest.approx(
+            baseline_remote_latency_ps(), rel=0.2
+        )
+        assert fit.bdp_bytes == pytest.approx(BDP_BYTES, rel=0.05)
+        assert fit.residual < 0.1
+
+    def test_roundtrip_from_des_sweep(self):
+        from repro.workloads.stream import StreamConfig
+
+        sweep = validation_sweep(
+            periods=(1, 16, 64, 256),
+            mode="des",
+            stream=StreamConfig(n_elements=6000),
+        )
+        fit = fit_sweep(sweep)
+        assert abs(fit.window - OUTSTANDING_WINDOW) <= 12  # ramp-up drags the measured BDP a little low
+        assert fit.t_cyc_ps == pytest.approx(T_CYC_PS, rel=0.1)
+
+    def test_paper_anchor_synthetic_sweep(self):
+        """Feeding the paper's published anchors recovers its implied
+        320 MHz clock and 128-deep window (DESIGN.md's argument)."""
+        points = [
+            SweepPoint(period=1, latency_ps=1_200_000, bandwidth_bytes_per_s=13.7e9),
+            SweepPoint(period=375, latency_ps=150_000_000, bandwidth_bytes_per_s=0.109e9),
+            SweepPoint(period=1000, latency_ps=400_000_000, bandwidth_bytes_per_s=0.041e9),
+        ]
+        fit = fit_sweep(SweepResult(mode="paper", points=points))
+        assert fit.window == 128
+        assert fit.fpga_clock_hz == pytest.approx(320e6, rel=0.05)
+
+    def test_too_few_points(self):
+        points = [
+            SweepPoint(period=1, latency_ps=1.0, bandwidth_bytes_per_s=1.0),
+            SweepPoint(period=2, latency_ps=2.0, bandwidth_bytes_per_s=1.0),
+        ]
+        with pytest.raises(ExperimentError):
+            fit_sweep(SweepResult(mode="x", points=points))
+
+    def test_flat_sweep_rejected(self):
+        points = [
+            SweepPoint(period=p, latency_ps=100.0, bandwidth_bytes_per_s=1e9)
+            for p in (1, 2, 3, 4)
+        ]
+        with pytest.raises(ExperimentError):
+            fit_sweep(SweepResult(mode="x", points=points))

@@ -1,0 +1,108 @@
+"""Unit tests for delay distributions and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.config import DelayInjectionConfig
+from repro.core.delay import DelaySchedule, make_delay_distribution
+from repro.errors import ConfigError
+
+
+def dist(**kw):
+    rng = np.random.default_rng(3)
+    empirical = kw.pop("empirical_cycles", None)
+    return make_delay_distribution(DelayInjectionConfig(**kw), rng, empirical_cycles=empirical)
+
+
+class TestDistributions:
+    def test_constant_returns_none(self):
+        assert dist(distribution="constant") is None
+
+    def test_draws_at_least_one_cycle(self):
+        d = dist(distribution="exponential", scale_cycles=0.001)
+        assert all(d.draw_cycles() >= 1 for _ in range(100))
+
+    def test_draw_many_matches_scale(self):
+        d = dist(distribution="exponential", scale_cycles=40)
+        draws = d.draw_many(20_000)
+        assert draws.dtype == np.int64
+        assert 35 < draws.mean() < 45
+
+    def test_uniform_range(self):
+        d = dist(distribution="uniform", low_cycles=5, high_cycles=9)
+        draws = d.draw_many(1000)
+        assert draws.min() >= 5 and draws.max() <= 9
+
+    def test_lognormal_mean_calibrated(self):
+        d = dist(distribution="lognormal", scale_cycles=100, sigma=0.5)
+        draws = d.draw_many(50_000)
+        assert 85 < draws.mean() < 115
+
+    def test_empirical_samples_from_table(self):
+        d = dist(distribution="empirical", empirical_cycles=[10, 20, 30])
+        draws = set(d.draw_many(200).tolist())
+        assert draws <= {10, 20, 30} and len(draws) == 3
+
+    def test_empirical_requires_samples(self):
+        with pytest.raises(ConfigError):
+            dist(distribution="empirical")
+
+    def test_exponential_requires_scale(self):
+        with pytest.raises(ConfigError):
+            dist(distribution="exponential", scale_cycles=0)
+
+    def test_lognormal_requires_scale(self):
+        with pytest.raises(ConfigError):
+            dist(distribution="lognormal", scale_cycles=0)
+
+    def test_mean_cycles_estimate(self):
+        d = dist(distribution="uniform", low_cycles=10, high_cycles=10)
+        assert d.mean_cycles() == pytest.approx(10)
+
+    def test_buffer_refill(self):
+        d = dist(distribution="exponential", scale_cycles=5)
+        n = d._BATCH + 10
+        draws = [d.draw_cycles() for _ in range(n)]
+        assert len(draws) == n and min(draws) >= 1
+
+
+class TestDelaySchedule:
+    def test_lookup_steps(self):
+        s = DelaySchedule([(0, 1), (100, 50), (200, 3)])
+        assert s.period_at(0) == 1
+        assert s.period_at(99) == 1
+        assert s.period_at(100) == 50
+        assert s.period_at(150) == 50
+        assert s.period_at(10_000) == 3
+
+    def test_constant_factory(self):
+        s = DelaySchedule.constant(42)
+        assert s.is_constant and s.period_at(10**12) == 42
+
+    def test_square_wave(self):
+        s = DelaySchedule.square_wave(low=1, high=100, half_period_ps=1000, cycles=2)
+        assert s.period_at(0) == 1
+        assert s.period_at(1000) == 100
+        assert s.period_at(2000) == 1
+        assert s.period_at(3500) == 100
+        assert len(s.steps()) == 4
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ConfigError):
+            DelaySchedule([(10, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            DelaySchedule([])
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ConfigError):
+            DelaySchedule([(0, 1), (0, 2)])
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigError):
+            DelaySchedule([(0, 0)])
+
+    def test_unsorted_input_sorted(self):
+        s = DelaySchedule([(100, 2), (0, 1)])
+        assert s.period_at(50) == 1 and s.period_at(150) == 2

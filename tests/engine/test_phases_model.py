@@ -1,0 +1,105 @@
+"""Unit tests for phase programs and the analytic path model."""
+
+import pytest
+
+from repro.calibration import (
+    BDP_BYTES,
+    OUTSTANDING_WINDOW,
+    T_CYC_PS,
+    baseline_remote_latency_ps,
+    paper_cluster_config,
+)
+from repro.engine import AccessPhase, Location, PathModel, PhaseProgram
+from repro.errors import WorkloadError
+
+
+class TestAccessPhase:
+    def test_defaults(self):
+        phase = AccessPhase("p", n_lines=10)
+        assert phase.location is Location.REMOTE
+        assert phase.total_lines == 10
+
+    def test_repeats_multiply(self):
+        assert AccessPhase("p", n_lines=10, repeats=3).total_lines == 30
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_lines": -1},
+            {"n_lines": 1, "concurrency": 0},
+            {"n_lines": 1, "write_fraction": 1.5},
+            {"n_lines": 1, "compute_ps": -1},
+            {"n_lines": 1, "repeats": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            AccessPhase("p", **kwargs)
+
+
+class TestPhaseProgram:
+    def test_accumulation(self):
+        prog = PhaseProgram("w")
+        prog.add(AccessPhase("a", n_lines=5)).add(
+            AccessPhase("b", n_lines=7, location=Location.LOCAL)
+        )
+        assert prog.total_lines == 12
+        assert prog.remote_lines() == 5
+        assert len(prog) == 2
+        assert [p.name for p in prog] == ["a", "b"]
+
+    def test_extend(self):
+        prog = PhaseProgram("w").extend([AccessPhase("a", n_lines=1)] * 3)
+        assert len(prog) == 3
+
+
+class TestPathModel:
+    def model(self, period=1):
+        return PathModel.from_config(paper_cluster_config(period=period))
+
+    def test_base_latency_matches_calibration(self):
+        assert self.model().base_latency == baseline_remote_latency_ps()
+
+    def test_gate_interval(self):
+        assert self.model(period=7).gate_interval == 7 * T_CYC_PS
+
+    def test_link_interval_direction_awareness(self):
+        m = self.model()
+        reads = m.link_interval(write_fraction=0.0)
+        mixed = m.link_interval(write_fraction=0.5)
+        writes = m.link_interval(write_fraction=1.0)
+        # Pure streams load one direction with every payload; a mixed
+        # stream splits payloads across directions and is cheaper.
+        assert reads == pytest.approx(writes)
+        assert mixed < reads
+
+    def test_bottleneck_transitions_from_link_to_gate(self):
+        slow = self.model(period=1000)
+        fast = self.model(period=1)
+        assert slow.remote_bottleneck_interval() == slow.gate_interval
+        assert fast.remote_bottleneck_interval() == fast.link_interval(0.0)
+
+    def test_throughput_bounds(self):
+        m = self.model(period=1000)
+        x = m.remote_throughput_lines_per_s(concurrency=128)
+        assert x == pytest.approx(1e12 / (1000 * T_CYC_PS))
+
+    def test_throughput_latency_bound_with_low_concurrency(self):
+        m = self.model(period=1)
+        x = m.remote_throughput_lines_per_s(concurrency=1)
+        assert x == pytest.approx(1e12 / m.base_latency, rel=1e-6)
+
+    def test_concurrency_clamped_to_window(self):
+        m = self.model()
+        assert m.remote_throughput_lines_per_s(10_000) == m.remote_throughput_lines_per_s(
+            OUTSTANDING_WINDOW
+        )
+
+    def test_bdp(self):
+        m = self.model()
+        assert m.bdp_bytes() == BDP_BYTES
+        assert m.bdp_bytes(concurrency=64) == 64 * 128
+
+    def test_local_latency_much_smaller(self):
+        m = self.model()
+        assert m.local_latency * 5 < m.base_latency

@@ -1,0 +1,93 @@
+"""Unit tests for address regions and the region map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.mem.address import AddressRegion, RegionKind, RegionMap
+
+
+def region(base, size, kind=RegionKind.LOCAL, name=""):
+    return AddressRegion(base=base, size=size, kind=kind, name=name)
+
+
+class TestAddressRegion:
+    def test_bounds(self):
+        r = region(100, 50)
+        assert r.end == 150
+        assert r.contains(100) and r.contains(149)
+        assert not r.contains(99) and not r.contains(150)
+
+    def test_offset(self):
+        assert region(100, 50).offset(120) == 20
+
+    def test_offset_outside_raises(self):
+        with pytest.raises(AddressError):
+            region(100, 50).offset(99)
+
+    @pytest.mark.parametrize("base,size", [(-1, 10), (0, 0), (0, -5)])
+    def test_invalid(self, base, size):
+        with pytest.raises(AddressError):
+            region(base, size)
+
+
+class TestRegionMap:
+    def test_lookup_steering(self):
+        rm = RegionMap(
+            [
+                region(0, 1000, RegionKind.LOCAL, "dram"),
+                region(1 << 40, 1000, RegionKind.REMOTE, "thymesisflow"),
+            ]
+        )
+        assert rm.lookup(500).kind is RegionKind.LOCAL
+        assert rm.lookup((1 << 40) + 5).kind is RegionKind.REMOTE
+
+    def test_find_unmapped_is_none(self):
+        rm = RegionMap([region(0, 10)])
+        assert rm.find(100) is None
+
+    def test_lookup_unmapped_raises(self):
+        with pytest.raises(AddressError):
+            RegionMap().lookup(0)
+
+    def test_overlap_rejected_left_and_right(self):
+        rm = RegionMap([region(100, 100, name="mid")])
+        with pytest.raises(AddressError):
+            rm.add(region(150, 10, name="inside"))
+        with pytest.raises(AddressError):
+            rm.add(region(50, 60, name="left-overlap"))
+        with pytest.raises(AddressError):
+            rm.add(region(199, 10, name="right-overlap"))
+
+    def test_adjacent_regions_allowed(self):
+        rm = RegionMap([region(0, 100)])
+        rm.add(region(100, 100))
+        assert len(rm) == 2
+
+    def test_regions_sorted(self):
+        rm = RegionMap([region(200, 10), region(0, 10), region(100, 10)])
+        assert [r.base for r in rm.regions()] == [0, 100, 200]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), st.integers(1, 100)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_property_every_added_address_resolvable(self, raw):
+        """Whatever subset of regions survives overlap rejection, every
+        address inside a surviving region resolves to it."""
+        rm = RegionMap()
+        accepted = []
+        for base, size in raw:
+            r = region(base, size, name=f"{base}+{size}")
+            try:
+                rm.add(r)
+                accepted.append(r)
+            except AddressError:
+                pass
+        for r in accepted:
+            assert rm.lookup(r.base) is r
+            assert rm.lookup(r.end - 1) is r

@@ -1,0 +1,92 @@
+"""Unit tests for the bandwidth server and DRAM module."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DramConfig
+from repro.mem.bus import BandwidthServer
+from repro.mem.dram import DramModule
+
+
+class TestBandwidthServer:
+    def test_service_time(self):
+        bus = BandwidthServer(1e9)  # 1 GB/s -> 1 ns/byte -> 1000 ps/byte
+        assert bus.service_time(100) == 100_000
+
+    def test_fifo_reservation(self):
+        bus = BandwidthServer(1e9)
+        s0, f0 = bus.reserve(100, at=0)
+        s1, f1 = bus.reserve(100, at=0)
+        assert (s0, f0) == (0, 100_000)
+        assert (s1, f1) == (100_000, 200_000)
+
+    def test_idle_gap_no_carryover(self):
+        bus = BandwidthServer(1e9)
+        bus.reserve(100, at=0)
+        s, f = bus.reserve(100, at=1_000_000)
+        assert s == 1_000_000 and f == 1_100_000
+
+    def test_counters(self):
+        bus = BandwidthServer(1e9)
+        bus.reserve(10, 0)
+        bus.reserve(20, 0)
+        assert bus.bytes_served == 30 and bus.transfers == 2
+
+    def test_utilization(self):
+        bus = BandwidthServer(1e9)
+        bus.reserve(100, at=0)  # busy 100k ps
+        assert bus.utilization(200_000) == pytest.approx(0.5)
+
+    def test_utilization_excludes_future(self):
+        bus = BandwidthServer(1e9)
+        bus.reserve(100, at=500)
+        # at t=600: only ~100ps of service has happened
+        assert 0 <= bus.utilization(600) <= 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BandwidthServer(0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 10_000), st.integers(0, 10**9)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_property_no_overlap_and_rate_respected(self, reqs):
+        """Reserved windows never overlap and each lasts bytes/rate."""
+        bus = BandwidthServer(1e9)
+        windows = []
+        t = 0
+        for nbytes, gap in reqs:
+            t += gap
+            windows.append((bus.reserve(nbytes, at=t), nbytes))
+        prev_finish = 0
+        for (start, finish), nbytes in windows:
+            assert start >= prev_finish
+            assert finish - start == bus.service_time(nbytes)
+            prev_finish = finish
+
+
+class TestDramModule:
+    def test_access_latency_added(self):
+        cfg = DramConfig(access_latency=95_000, bus_bandwidth_bytes_per_s=128e9)
+        dram = DramModule(cfg)
+        done = dram.access(128, at=0)
+        assert done == dram.bus.service_time(128) + 95_000
+
+    def test_contention_serializes_on_bus(self):
+        cfg = DramConfig(access_latency=0, bus_bandwidth_bytes_per_s=1e9)
+        dram = DramModule(cfg)
+        first = dram.access(1000, at=0)
+        second = dram.access(1000, at=0)
+        assert second == 2 * first
+
+    def test_counters(self):
+        dram = DramModule(DramConfig())
+        dram.access(128, 0, write=False)
+        dram.access(128, 0, write=True)
+        assert dram.reads == 1 and dram.writes == 1
+        assert dram.bytes_served == 256

@@ -1,0 +1,151 @@
+"""Unit + property tests for the set-associative LRU cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import SetAssociativeCache
+
+
+def small_cache(size=4096, line=64, assoc=2, **kw):
+    return SetAssociativeCache(CacheConfig(size_bytes=size, line_bytes=line, associativity=assoc, **kw))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.access(0x1008) is True  # same line
+
+    def test_different_lines_independent(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_stats_split_by_type(self):
+        cache = small_cache()
+        cache.access(0, write=False)  # read miss
+        cache.access(0, write=True)  # write hit
+        cache.access(64, write=True)  # write miss
+        s = cache.stats
+        assert s.read_misses == 1 and s.write_hits == 1 and s.write_misses == 1
+        assert s.accesses == 3 and s.hits == 1 and s.misses == 2
+        assert s.hit_rate == pytest.approx(1 / 3)
+
+    def test_hit_rate_nan_when_empty(self):
+        import math
+
+        assert math.isnan(small_cache().stats.hit_rate)
+
+    def test_geometry_helpers(self):
+        cache = small_cache(line=64)
+        assert cache.line_of(130) == 2
+        assert cache.set_index(cache.line_of(0)) == 0
+
+    def test_occupancy_and_flush(self):
+        cache = small_cache()
+        for i in range(5):
+            cache.access(i * 64, write=True)
+        assert cache.occupancy == 5
+        flushed = cache.flush()
+        assert flushed == 5  # all dirty
+        assert cache.occupancy == 0
+
+
+class TestLruReplacement:
+    def test_lru_victim_evicted(self):
+        # 2-way cache: fill one set with 2 lines, touch the first,
+        # insert a third -> the second (LRU) is evicted.
+        cache = small_cache(size=256, line=64, assoc=2)  # 2 sets
+        n_sets = cache.config.n_sets
+        stride = n_sets * 64  # same set
+        a, b, c = 0, stride, 2 * stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False  # was evicted
+
+    def test_eviction_counts_writebacks(self):
+        cache = small_cache(size=256, line=64, assoc=2)
+        stride = cache.config.n_sets * 64
+        cache.access(0, write=True)  # dirty
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts dirty line 0
+        assert cache.stats.evictions == 1
+        assert cache.stats.writebacks == 1
+
+    def test_working_set_within_capacity_all_hits_on_second_pass(self):
+        cache = small_cache(size=4096, line=64, assoc=4)
+        lines = cache.config.size_bytes // 64
+        addrs = [i * 64 for i in range(lines)]
+        for a in addrs:
+            cache.access(a)
+        assert all(cache.access(a) for a in addrs)
+
+    def test_streaming_beyond_capacity_always_misses(self):
+        cache = small_cache(size=1024, line=64, assoc=2)
+        addrs = [i * 64 for i in range(64)]  # 4x capacity
+        for rep in range(2):
+            for a in addrs:
+                cache.access(a)
+        # second pass also misses: pure streaming defeats LRU
+        assert cache.stats.hits == 0
+
+
+class TestTraceInterface:
+    def test_trace_matches_scalar(self):
+        cfg = CacheConfig(size_bytes=4096, line_bytes=64, associativity=2)
+        scalar = SetAssociativeCache(cfg)
+        traced = SetAssociativeCache(cfg)
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 14, size=500, dtype=np.int64)
+        writes = rng.random(500) < 0.3
+        expected = np.asarray([scalar.access(int(a), bool(w)) for a, w in zip(addrs, writes)])
+        got = traced.access_trace(addrs, writes)
+        assert np.array_equal(expected, got)
+        assert scalar.stats.misses == traced.stats.misses
+        assert scalar.stats.writebacks == traced.stats.writebacks
+
+    def test_trace_default_reads(self):
+        cache = small_cache()
+        hits = cache.access_trace(np.asarray([0, 0, 64]))
+        assert list(hits) == [False, True, False]
+
+    def test_trace_shape_mismatch(self):
+        cache = small_cache()
+        with pytest.raises(ValueError):
+            cache.access_trace(np.asarray([0, 64]), np.asarray([True]))
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300),
+)
+def test_property_counters_consistent(addrs):
+    cache = small_cache(size=2048, line=64, assoc=2)
+    for a in addrs:
+        cache.access(a)
+    s = cache.stats
+    assert s.hits + s.misses == len(addrs)
+    assert cache.occupancy <= cache.config.size_bytes // 64
+    # Evictions = installs beyond capacity.
+    assert s.misses - s.evictions == cache.occupancy
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    addr=st.integers(min_value=0, max_value=1 << 20),
+    filler=st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=20),
+)
+def test_property_immediate_reaccess_hits(addr, filler):
+    """A line is always resident immediately after being accessed."""
+    cache = small_cache()
+    for a in filler:
+        cache.access(a)
+    cache.access(addr)
+    assert cache.access(addr) is True

@@ -1,0 +1,113 @@
+"""Tests for the stride prefetcher and its hierarchy integration."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import paper_cluster_config
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.prefetch import StridePrefetcher
+from repro.node.cluster import ThymesisFlowSystem
+
+
+class TestStridePrefetcher:
+    def test_no_prefetch_before_confirmation(self):
+        pf = StridePrefetcher(confirm_after=2)
+        assert pf.observe(100) == []
+        assert pf.observe(101) == []  # stride seen once
+
+    def test_confirmed_stream_prefetches_ahead(self):
+        pf = StridePrefetcher(depth=4, confirm_after=2)
+        pf.observe(100)
+        pf.observe(101)
+        fetched = pf.observe(102)
+        assert fetched == [103, 104, 105, 106]
+        assert pf.stats.streams_confirmed == 1
+
+    def test_steady_stream_issues_incrementally(self):
+        pf = StridePrefetcher(depth=4, confirm_after=2)
+        for line in range(100, 103):
+            pf.observe(line)
+        # Next demand access extends the horizon by one line.
+        assert pf.observe(103) == [107]
+        assert pf.observe(104) == [108]
+
+    def test_negative_stride_stream(self):
+        pf = StridePrefetcher(depth=2, confirm_after=2)
+        pf.observe(200)
+        pf.observe(198)
+        fetched = pf.observe(196)
+        assert fetched == [194, 192]
+
+    def test_large_strides_not_tracked(self):
+        pf = StridePrefetcher(max_stride=4, confirm_after=2)
+        out = []
+        for line in (0, 1000, 2000, 3000, 4000):
+            out += pf.observe(line)
+        assert out == []  # every access opens a fresh stream
+
+    def test_random_pattern_issues_nothing(self):
+        pf = StridePrefetcher()
+        rng = np.random.default_rng(0)
+        issued = []
+        for line in rng.integers(0, 1 << 20, size=300):
+            issued += pf.observe(int(line))
+        assert pf.stats.issue_rate < 0.05
+        # tolerate coincidental short runs
+        assert len(issued) < 15
+
+    def test_table_capacity_lru(self):
+        pf = StridePrefetcher(n_streams=2, confirm_after=2)
+        pf.observe(0)
+        pf.observe(1000)
+        pf.observe(2000)  # evicts the stream at 0
+        assert len(pf._table) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StridePrefetcher(depth=0)
+
+
+class TestHierarchyIntegration:
+    def _hierarchy(self, prefetcher):
+        system = ThymesisFlowSystem(paper_cluster_config(period=1))
+        system.attach_or_raise()
+        cache = CacheConfig(size_bytes=64 * 1024, line_bytes=128, associativity=4)
+        return MemoryHierarchy(system, cache=cache, prefetcher=prefetcher)
+
+    def test_streaming_demand_misses_become_hits(self):
+        addrs = np.arange(0, 300 * 128, 128)
+        plain = self._hierarchy(None)
+        plain.run_trace(addrs, concurrency=1)
+        fetched = self._hierarchy(StridePrefetcher(depth=8))
+        fetched.run_trace(addrs, concurrency=1)
+        # The prefetcher converts most demand fills into hits.
+        assert fetched.stats.fills < 0.2 * plain.stats.fills
+        assert fetched.stats.prefetch_fills > 0
+
+    def test_streaming_runtime_improves(self):
+        addrs = np.arange(0, 300 * 128, 128)
+        plain = self._hierarchy(None)
+        t_plain = plain.run_trace(addrs, concurrency=1)
+        fetched = self._hierarchy(StridePrefetcher(depth=8))
+        t_fetched = fetched.run_trace(addrs, concurrency=1)
+        assert t_fetched < 0.6 * t_plain
+
+    def test_total_backing_traffic_conserved(self):
+        """Prefetching moves fills off the critical path, it does not
+        skip them: demand + prefetch fills ~ the line count."""
+        addrs = np.arange(0, 200 * 128, 128)
+        fetched = self._hierarchy(StridePrefetcher(depth=8))
+        fetched.run_trace(addrs, concurrency=1)
+        total = fetched.stats.fills + fetched.stats.prefetch_fills
+        assert total == pytest.approx(200, abs=12)
+
+    def test_pointer_chase_unaffected(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 22, size=300) * 128 % (1 << 22)
+        plain = self._hierarchy(None)
+        t_plain = plain.run_trace(addrs, concurrency=1)
+        fetched = self._hierarchy(StridePrefetcher(depth=8))
+        t_fetched = fetched.run_trace(addrs, concurrency=1)
+        assert t_fetched == pytest.approx(t_plain, rel=0.15)

@@ -1,0 +1,135 @@
+"""Tests for the Swift-style delay-based congestion controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.congestion import (
+    SharedBottleneck,
+    SwiftController,
+    run_congestion_epochs,
+)
+from repro.units import microseconds, nanoseconds
+
+
+def controller(**kw):
+    defaults = dict(target_rtt_ps=microseconds(10), additive_increase=1.0, beta=0.8)
+    defaults.update(kw)
+    return SwiftController(**defaults)
+
+
+def plant():
+    # base 2 us, 100 ns of queueing per outstanding line
+    return SharedBottleneck(
+        base_rtt_ps=microseconds(2), service_ps_per_line=nanoseconds(100)
+    )
+
+
+class TestSwiftController:
+    def test_increase_below_target(self):
+        c = controller()
+        w0 = c.window
+        c.on_rtt_sample(microseconds(5))
+        assert c.window == w0 + 1.0
+
+    def test_decrease_above_target(self):
+        c = controller()
+        c.window = 50.0
+        c.on_rtt_sample(microseconds(20))  # 2x target
+        assert c.window < 50.0
+
+    def test_one_decrease_per_congestion_event(self):
+        c = controller()
+        c.window = 50.0
+        c.on_rtt_sample(microseconds(20))
+        after_first = c.window
+        c.on_rtt_sample(microseconds(20))  # decrease disarmed
+        assert c.window == after_first
+
+    def test_clamps(self):
+        c = controller(min_window=2, max_window=10)
+        c.window = 10
+        for _ in range(20):
+            c.on_rtt_sample(microseconds(1))
+        assert c.window == 10
+        for _ in range(50):
+            c.on_rtt_sample(microseconds(100))
+        assert c.window >= 2
+
+    def test_decrease_bounded_to_half(self):
+        c = controller()
+        c.window = 64
+        c.on_rtt_sample(microseconds(10_000))  # enormous overshoot
+        assert c.window >= 32
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_rtt_ps": 0},
+            {"beta": 0},
+            {"beta": 1.5},
+            {"min_window": 0},
+            {"min_window": 10, "max_window": 5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            controller(**kwargs)
+
+    def test_bad_rtt_sample(self):
+        with pytest.raises(ConfigError):
+            controller().on_rtt_sample(0)
+
+
+class TestSharedBottleneck:
+    def test_rtt_grows_with_load(self):
+        p = plant()
+        assert p.rtt_for_load(0) == microseconds(2)
+        assert p.rtt_for_load(100) == microseconds(2) + 100 * nanoseconds(100)
+
+    def test_throughput_littles_law(self):
+        p = plant()
+        x = p.throughput_lines_per_s(10)
+        assert x == pytest.approx(10 * 1e12 / p.rtt_for_load(10))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SharedBottleneck(0, 1)
+
+
+class TestClosedLoop:
+    def test_converges_near_target_rtt(self):
+        flows = [controller() for _ in range(4)]
+        out = run_congestion_epochs(flows, plant(), n_epochs=400)
+        tail_rtt = out["rtts"][-100:]
+        target = microseconds(10)
+        assert np.median(tail_rtt) == pytest.approx(target, rel=0.25)
+
+    def test_fair_windows_at_steady_state(self):
+        flows = [controller(flow_scaling_ps=microseconds(4)) for _ in range(4)]
+        out = run_congestion_epochs(flows, plant(), n_epochs=600)
+        tail = out["windows"][-100:].mean(axis=0)
+        assert tail.max() / tail.min() < 1.3
+
+    def test_late_joiner_converges(self):
+        """A flow starting at max window yields to the others
+        (requires Swift's flow scaling; pure AIMD freezes unfairly)."""
+        flows = [controller(flow_scaling_ps=microseconds(4)) for _ in range(3)]
+        flows[0].window = 128.0
+        out = run_congestion_epochs(flows, plant(), n_epochs=800)
+        tail = out["windows"][-100:].mean(axis=0)
+        assert tail[0] / tail[1:].mean() < 1.5
+
+    def test_single_flow_fills_to_target(self):
+        """One flow should grow its window until RTT reaches the target."""
+        flow = controller()
+        out = run_congestion_epochs([flow], plant(), n_epochs=400)
+        expected_outstanding = (microseconds(10) - microseconds(2)) / nanoseconds(100)
+        tail_window = out["windows"][-50:].mean()
+        assert tail_window == pytest.approx(expected_outstanding, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_congestion_epochs([], plant(), 10)
+        with pytest.raises(ConfigError):
+            run_congestion_epochs([controller()], plant(), 0)

@@ -1,0 +1,63 @@
+"""Unit tests for datacenter latency profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.latency import DatacenterLatencyProfile, named_profile
+from repro.units import microseconds
+
+
+class TestProfiles:
+    def test_named_profiles_exist(self):
+        for name in ("pingmesh_intra_dc", "swift_fabric"):
+            assert named_profile(name).name == name
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            named_profile("nope")
+
+    def test_swift_p99_is_30us(self):
+        # The paper's "30 us" operating point is a Swift-like 99th pct.
+        profile = named_profile("swift_fabric")
+        assert profile.percentile(99) == pytest.approx(microseconds(30))
+
+    def test_pingmesh_p90_is_150us(self):
+        # Fig 2's 1.2-150us range maps to the [0-90th] pct band.
+        profile = named_profile("pingmesh_intra_dc")
+        assert profile.percentile(90) == pytest.approx(microseconds(150))
+
+    def test_interpolation_monotone(self):
+        profile = named_profile("pingmesh_intra_dc")
+        qs = np.linspace(0, 100, 33)
+        vals = [profile.percentile(q) for q in qs]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_percentile_of_inverts_percentile(self):
+        profile = named_profile("swift_fabric")
+        for q in (10, 50, 90, 99):
+            assert profile.percentile_of(profile.percentile(q)) == pytest.approx(q, abs=0.5)
+
+    def test_coverage_of_range(self):
+        profile = named_profile("pingmesh_intra_dc")
+        lo, hi = profile.coverage_of_range(microseconds(1.2), microseconds(150))
+        assert lo < 10 and hi == pytest.approx(90, abs=1)
+
+    def test_sampling_within_support(self):
+        profile = named_profile("swift_fabric")
+        rng = np.random.default_rng(0)
+        draws = profile.sample(rng, 1000)
+        assert draws.min() >= profile.percentile(0)
+        assert draws.max() <= profile.percentile(100)
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ConfigError):
+            named_profile("swift_fabric").percentile(101)
+
+    def test_invalid_knots(self):
+        with pytest.raises(ConfigError):
+            DatacenterLatencyProfile([(0, 100)])
+        with pytest.raises(ConfigError):
+            DatacenterLatencyProfile([(0, 100), (50, 50), (99, 200)])  # non-monotone
+        with pytest.raises(ConfigError):
+            DatacenterLatencyProfile([(10, 1), (99, 2)])  # doesn't span 0

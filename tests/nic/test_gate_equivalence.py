@@ -1,0 +1,80 @@
+"""Property test: the priority gate degenerates to the reservation gate.
+
+With a single traffic class, the process-based
+:class:`PriorityGateServer` must produce exactly the grant schedule of
+the O(1) :class:`SlotGate` — the two implementations are
+interchangeable when no prioritization happens, which is what lets the
+fast path stand in for the QoS path everywhere else.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.axi import SlotGate
+from repro.nic.qos_gate import PriorityGateServer
+from repro.sim import Simulator, Timeout
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    interval=st.integers(min_value=1, max_value=5000),
+    gaps=st.lists(st.integers(min_value=0, max_value=20_000), min_size=1, max_size=60),
+)
+def test_single_class_grants_match_reservation_gate(interval, gaps):
+    # Drive the process-based gate with arrivals spaced by `gaps`.
+    sim = Simulator()
+    server = PriorityGateServer(sim, interval=interval)
+    grants: list[int] = []
+    arrivals: list[int] = []
+
+    def feeder():
+        for gap in gaps:
+            if gap:
+                yield Timeout(sim, gap)
+            arrivals.append(sim.now)
+
+            def one():
+                g = yield server.request()
+                grants.append(g)
+
+            sim.process(one())
+
+    sim.process(feeder())
+    sim.run()
+    assert len(grants) == len(gaps)
+
+    # Reservation gate on the same arrival times.
+    gate = SlotGate(interval=interval)
+    expected = [gate.reserve(t) for t in arrivals]
+    assert sorted(grants) == expected
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    interval=st.integers(min_value=10, max_value=1000),
+    n=st.integers(min_value=2, max_value=40),
+)
+def test_property_priority_never_starves_forever(interval, n):
+    """Even with continuous high-priority pressure, every queued bulk
+    request is eventually granted once the pressure ends."""
+    from repro.nic.mux import TrafficClass
+
+    sim = Simulator()
+    server = PriorityGateServer(sim, interval=interval)
+    done = {"bulk": 0, "hot": 0}
+
+    def bulk():
+        yield server.request(TrafficClass.BULK)
+        done["bulk"] += 1
+
+    def hot():
+        yield server.request(TrafficClass.LATENCY_SENSITIVE)
+        done["hot"] += 1
+
+    for _ in range(n):
+        sim.process(bulk())
+    for _ in range(n):
+        sim.process(hot())
+    sim.run()
+    assert done == {"bulk": n, "hot": n}
+    assert server.waiting() == 0

@@ -1,0 +1,117 @@
+"""Structural-pipeline tests: handshake path vs reservation fast path.
+
+The load-bearing check: the structural datapath (real AXI channels,
+real backpressure, a live injector block) produces exactly the grant
+schedule the O(1) reservation arithmetic predicts.
+"""
+
+import pytest
+
+from repro.axi import SlotGate
+from repro.config import FpgaConfig, NicConfig
+from repro.nic.packet import Packet, PacketKind
+from repro.nic.pipeline import StructuralBorrowerNic
+from repro.sim import AllOf, Simulator, Timeout
+
+T_CYC = FpgaConfig().clock_period
+
+
+def make_packet(seq):
+    return Packet(kind=PacketKind.READ_REQ, src=0, dst=1, seq=seq, addr=seq * 128, size=128)
+
+
+def drive(nic, n, spacing_ps=0):
+    """Submit n packets, optionally spaced; run to completion."""
+    sim = nic.sim
+    nic.start()
+
+    def feeder():
+        procs = []
+        for i in range(n):
+
+            def one(i=i):
+                result = yield from nic.submit(make_packet(i))
+                return result
+
+            procs.append(sim.process(one(), name=f"tx{i}"))
+            if spacing_ps:
+                yield Timeout(sim, spacing_ps)
+        yield AllOf(sim, procs)
+
+    sim.process(feeder())
+    sim.run()
+    return nic.egress
+
+
+class TestStructuralPipeline:
+    def test_all_transactions_egress_in_order(self):
+        sim = Simulator()
+        nic = StructuralBorrowerNic(sim, NicConfig())
+        records = drive(nic, 20)
+        assert len(records) == 20
+        assert [r.packet.seq for r in records] == list(range(20))
+
+    def test_grants_match_reservation_fast_path(self):
+        """Structural grants == SlotGate reservations for the same arrivals."""
+        period = 10
+        sim = Simulator()
+        nic = StructuralBorrowerNic(sim, NicConfig().with_period(period))
+        records = drive(nic, 30)
+        gate = SlotGate(interval=period * T_CYC)
+        expected = [gate.reserve(r.enter_time) for r in records]
+        assert [r.grant_time for r in records] == expected
+
+    def test_saturated_interdeparture_equals_period(self):
+        period = 16
+        sim = Simulator()
+        nic = StructuralBorrowerNic(sim, NicConfig().with_period(period))
+        records = drive(nic, 20)
+        gaps = [
+            b.grant_time - a.grant_time for a, b in zip(records, records[1:])
+        ]
+        # After the pipe fills, one grant per PERIOD.
+        assert all(g == period * T_CYC for g in gaps[4:])
+
+    def test_spaced_arrivals_pass_through(self):
+        """Arrivals slower than PERIOD wait only for grid alignment."""
+        period = 4
+        sim = Simulator()
+        nic = StructuralBorrowerNic(sim, NicConfig().with_period(period))
+        records = drive(nic, 10, spacing_ps=period * T_CYC * 3)
+        for r in records:
+            assert r.grant_time - r.enter_time < period * T_CYC
+
+    def test_backpressure_bounds_channel_occupancy(self):
+        """With a slow gate, the bounded FIFOs throttle the feeder."""
+        sim = Simulator()
+        nic = StructuralBorrowerNic(sim, NicConfig().with_period(1000), fifo_depth=2)
+        nic.start()
+        max_occupancy = []
+
+        def feeder():
+            for i in range(12):
+                yield from nic.submit(make_packet(i))
+                max_occupancy.append(nic.router_to_injector.occupancy)
+
+        sim.process(feeder())
+        sim.run()
+        assert max(max_occupancy) <= 2
+        assert len(nic.egress) == 12
+
+    def test_egress_time_equals_grant_time(self):
+        """Mux and packetizer are zero-latency in the default config."""
+        sim = Simulator()
+        nic = StructuralBorrowerNic(sim, NicConfig().with_period(8))
+        records = drive(nic, 8)
+        # Downstream FIFO handoffs are same-instant; egress == grant
+        # unless backpressure delayed the handoff.
+        assert all(r.egress_time >= r.grant_time for r in records)
+        assert all(r.egress_time == r.grant_time for r in records)
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        nic = StructuralBorrowerNic(sim, NicConfig())
+        nic.start()
+        nic.start()
+        drive(nic, 3)
+        assert len(nic.egress) == 3

@@ -1,0 +1,51 @@
+"""Unit tests for the detection watchdog."""
+
+import pytest
+
+from repro.errors import LinkDetectionTimeout
+from repro.nic.timeout import DetectionWatchdog
+from repro.units import milliseconds, microseconds
+
+
+class TestDetectionWatchdog:
+    def test_healthy_sequence_passes(self):
+        wd = DetectionWatchdog(timeout=milliseconds(2))
+        wd.start(at=0)
+        t = 0
+        for _ in range(10):
+            t += microseconds(100)
+            wd.observe(t, sojourn=microseconds(400))
+        assert wd.observations == 10
+
+    def test_sojourn_over_deadline_raises(self):
+        wd = DetectionWatchdog(timeout=milliseconds(2))
+        wd.start(at=0)
+        with pytest.raises(LinkDetectionTimeout, match="sojourn"):
+            wd.observe(microseconds(100), sojourn=milliseconds(4))
+
+    def test_progress_gap_raises(self):
+        wd = DetectionWatchdog(timeout=milliseconds(2))
+        wd.start(at=0)
+        with pytest.raises(LinkDetectionTimeout, match="progress"):
+            wd.observe(milliseconds(3), sojourn=microseconds(1))
+
+    def test_exact_timeout_boundary_ok(self):
+        wd = DetectionWatchdog(timeout=1000)
+        wd.start(at=0)
+        wd.observe(1000, sojourn=1000)  # equal is within deadline
+
+    def test_observe_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            DetectionWatchdog(timeout=1).observe(0, 0)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            DetectionWatchdog(timeout=0)
+
+    def test_restart_resets_progress(self):
+        wd = DetectionWatchdog(timeout=1000)
+        wd.start(at=0)
+        wd.observe(500, sojourn=10)
+        wd.start(at=10_000)
+        wd.observe(10_500, sojourn=10)
+        assert wd.observations == 1

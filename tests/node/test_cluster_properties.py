@@ -1,0 +1,64 @@
+"""Property tests over the full DES testbed at random operating points.
+
+Physical sanity bounds that must hold for *any* (PERIOD, concurrency)
+combination: latency never undercuts the unloaded round trip,
+bandwidth never exceeds the link or the gate, and the measured BDP
+never exceeds the window's worth of lines.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import (
+    BDP_BYTES,
+    T_CYC_PS,
+    baseline_remote_latency_ps,
+    paper_cluster_config,
+)
+from repro.engine import AccessPhase, DesPhaseDriver, PhaseProgram
+
+
+def run_point(period: int, concurrency: int, n_lines: int = 600):
+    from repro.node.cluster import ThymesisFlowSystem
+
+    system = ThymesisFlowSystem(paper_cluster_config(period=period))
+    system.attach_or_raise()
+    program = PhaseProgram("w").add(
+        AccessPhase("p", n_lines=n_lines, concurrency=concurrency, write_fraction=0.5)
+    )
+    return DesPhaseDriver(system, program).run_to_completion()
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    period=st.integers(min_value=1, max_value=512),
+    concurrency=st.integers(min_value=1, max_value=128),
+)
+def test_property_physical_bounds(period, concurrency):
+    result = run_point(period, concurrency)
+    base = baseline_remote_latency_ps()
+    link_rate = 12.5e9
+
+    # Latency: at least one unloaded round trip, at most window-queueing
+    # behind the slowest stage plus the round trip.
+    assert result.latencies.min() >= base
+    worst_interval = max(period * T_CYC_PS, 13_000)  # gate or ~link per txn
+    assert result.latencies.max() <= base + (concurrency + 1) * worst_interval
+
+    # Bandwidth: cannot exceed the wire or the gate.
+    gate_rate = 128 * 1e12 / (period * T_CYC_PS)
+    assert result.bandwidth_bytes_per_s <= min(1.35 * link_rate, 1.01 * gate_rate)
+
+    # BDP: never above the window's worth of lines (Little's law cap).
+    bdp = result.bandwidth_bytes_per_s * result.mean_latency_ps / 1e12
+    assert bdp <= BDP_BYTES * 1.05
+
+
+@settings(deadline=None, max_examples=10)
+@given(period=st.integers(min_value=1, max_value=256))
+def test_property_work_conservation(period):
+    """Every issued line completes exactly once; stats agree."""
+    result = run_point(period, concurrency=64, n_lines=400)
+    assert result.lines == 400
+    assert len(result.latencies) == 400
+    assert result.payload_bytes == 400 * 128

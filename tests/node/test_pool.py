@@ -1,0 +1,58 @@
+"""Tests for the memory-pooling fabric (paper section V discussion)."""
+
+import pytest
+
+from repro.calibration import paper_cluster_config
+from repro.errors import ConfigError
+from repro.node.pool import MemoryPoolFabric, PoolConfig
+
+
+def fabric(n, pool_gbs=25.0, period=1):
+    return MemoryPoolFabric(
+        n,
+        pool=PoolConfig(bandwidth_bytes_per_s=pool_gbs * 1e9),
+        cluster=paper_cluster_config(period=period),
+    )
+
+
+class TestPoolFabric:
+    def test_single_borrower_link_bound(self):
+        """With a wide pool, one borrower is link-bound as under borrowing."""
+        results = fabric(1, pool_gbs=100.0).run_streams(lines_per_borrower=4000)
+        bw = results[0]["bandwidth_bytes_per_s"]
+        assert 9e9 < bw < 13e9  # ~link rate for a read-only stream
+
+    def test_bottleneck_shifts_to_pool(self):
+        """Four borrowers against a 25 GB/s pool: ~6 GB/s each."""
+        results = fabric(4, pool_gbs=25.0).run_streams(lines_per_borrower=3000)
+        bws = [r["bandwidth_bytes_per_s"] for r in results]
+        total = sum(bws)
+        assert total == pytest.approx(25e9, rel=0.15)
+        mean = total / 4
+        assert all(abs(b - mean) / mean < 0.15 for b in bws)
+
+    def test_two_borrowers_fit_in_pool(self):
+        """2 borrowers x ~11 GB/s < 25 GB/s: still link-bound each."""
+        results = fabric(2, pool_gbs=25.0).run_streams(lines_per_borrower=3000)
+        solo = fabric(1, pool_gbs=25.0).run_streams(lines_per_borrower=3000)
+        for r in results:
+            assert r["bandwidth_bytes_per_s"] == pytest.approx(
+                solo[0]["bandwidth_bytes_per_s"], rel=0.1
+            )
+
+    def test_latency_grows_under_pool_saturation(self):
+        unloaded = fabric(1, pool_gbs=25.0).run_streams(lines_per_borrower=3000)
+        loaded = fabric(6, pool_gbs=25.0).run_streams(lines_per_borrower=3000)
+        assert loaded[0]["mean_latency_ps"] > 1.5 * unloaded[0]["mean_latency_ps"]
+
+    def test_injection_applies_per_borrower(self):
+        """Delay injection still gates each borrower's egress."""
+        slow = fabric(1, pool_gbs=100.0, period=200).run_streams(lines_per_borrower=2000)
+        fast = fabric(1, pool_gbs=100.0, period=1).run_streams(lines_per_borrower=2000)
+        assert slow[0]["bandwidth_bytes_per_s"] < 0.1 * fast[0]["bandwidth_bytes_per_s"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryPoolFabric(0)
+        with pytest.raises(ConfigError):
+            PoolConfig(bandwidth_bytes_per_s=0)

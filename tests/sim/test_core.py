@@ -1,0 +1,196 @@
+"""Unit tests for the event queue and simulation clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=100).now == 100
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "late")
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(30, fired.append, "mid")
+    sim.run()
+    assert fired == ["early", "mid", "late"]
+    assert sim.now == 50
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(5, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(42, fired.append, "x")
+    sim.run()
+    assert fired == ["x"] and sim.now == 42
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, "no")
+    sim.schedule(5, fired.append, "yes")
+    handle.cancel()
+    sim.run()
+    assert fired == ["yes"]
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(1, lambda: None)
+    sim.run()
+    handle.cancel()  # must not raise
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(100, fired.append, "b")
+    sim.run(until=50)
+    assert fired == ["a"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_fires_events_at_boundary():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, fired.append, "edge")
+    sim.run(until=50)
+    assert fired == ["edge"]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=1000)
+    assert sim.now == 1000
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    h.cancel()
+    assert sim.peek() == 9
+
+
+def test_peek_empty_is_none():
+    assert Simulator().peek() is None
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    err = {}
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            err["exc"] = exc
+
+    sim.schedule(1, reenter)
+    sim.run()
+    assert "exc" in err
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+def test_property_fire_order_is_sorted_stable(delays):
+    """Whatever the schedule order, firing order is (time, insertion) sorted."""
+    sim = Simulator()
+    fired = []
+    for idx, delay in enumerate(delays):
+        sim.schedule(delay, fired.append, (delay, idx))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1000), st.booleans()),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for idx, (delay, cancel) in enumerate(entries):
+        handles.append((sim.schedule(delay, fired.append, idx), cancel))
+    for handle, cancel in handles:
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(entries) if not cancel}
+    assert set(fired) == expected

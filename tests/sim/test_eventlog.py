@@ -1,0 +1,120 @@
+"""Tests for the structured event log and kernel determinism."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.sim.eventlog import EventLog
+
+
+class TestEventLog:
+    def test_entries_stamped_with_sim_time(self):
+        sim = Simulator()
+        log = EventLog(sim)
+
+        def proc():
+            log.emit("gate", "grant 0")
+            yield Timeout(sim, 100)
+            log.emit("gate", "grant 1")
+
+        sim.process(proc())
+        sim.run()
+        entries = log.entries()
+        assert [e.time for e in entries] == [0, 100]
+        assert [e.sequence for e in entries] == [0, 1]
+
+    def test_category_filtering_and_counts(self):
+        sim = Simulator()
+        log = EventLog(sim)
+        log.emit("gate", "a")
+        log.emit("link", "b")
+        log.emit("gate", "c")
+        assert len(log.entries("gate")) == 2
+        assert log.counts["gate"] == 2 and log.counts["link"] == 1
+
+    def test_capacity_bounded_but_counts_continue(self):
+        sim = Simulator()
+        log = EventLog(sim, capacity=3)
+        for i in range(10):
+            log.emit("x", str(i))
+        assert len(log) == 3
+        assert [e.message for e in log.entries()] == ["7", "8", "9"]
+        assert log.counts["x"] == 10
+
+    def test_enabled_categories_stored_selectively(self):
+        sim = Simulator()
+        log = EventLog(sim, enabled_categories=["gate"])
+        log.emit("gate", "kept")
+        log.emit("link", "dropped")
+        assert [e.category for e in log.entries()] == ["gate"]
+        assert log.counts["link"] == 1  # still counted
+
+    def test_tail(self):
+        sim = Simulator()
+        log = EventLog(sim)
+        for i in range(5):
+            log.emit("x", str(i))
+        assert [e.message for e in log.tail(2)] == ["3", "4"]
+        assert log.tail(0) == []
+        with pytest.raises(ValueError):
+            log.tail(-1)
+
+    def test_render(self):
+        sim = Simulator()
+        log = EventLog(sim)
+        assert log.render() == "(event log empty)"
+        log.emit("gate", "hello")
+        out = log.render()
+        assert "gate" in out and "hello" in out
+
+    def test_clear_keeps_counts(self):
+        sim = Simulator()
+        log = EventLog(sim)
+        log.emit("x", "1")
+        log.clear()
+        assert len(log) == 0 and log.counts["x"] == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(Simulator(), capacity=0)
+
+
+class TestDeterminism:
+    """Two identical runs must produce identical behaviour."""
+
+    def _run_system(self):
+        from repro.calibration import paper_cluster_config
+        from repro.engine import AccessPhase, DesPhaseDriver, PhaseProgram
+        from repro.node.cluster import ThymesisFlowSystem
+
+        system = ThymesisFlowSystem(paper_cluster_config(period=7, seed=99))
+        system.attach_or_raise()
+        program = PhaseProgram("w").add(
+            AccessPhase("p", n_lines=400, concurrency=32, write_fraction=0.3)
+        )
+        result = DesPhaseDriver(system, program).run_to_completion()
+        return (
+            result.duration_ps,
+            tuple(result.latencies.values.tolist()),
+            system.sim.events_processed,
+        )
+
+    def test_full_system_run_is_bit_identical(self):
+        assert self._run_system() == self._run_system()
+
+    def test_distribution_injection_deterministic(self):
+        from repro.config import DelayInjectionConfig, default_cluster_config
+        from repro.engine import AccessPhase, DesPhaseDriver, PhaseProgram
+        from repro.node.cluster import ThymesisFlowSystem
+
+        def run():
+            inj = DelayInjectionConfig(
+                period=1, distribution="lognormal", scale_cycles=40, sigma=0.7
+            )
+            system = ThymesisFlowSystem(default_cluster_config(injection=inj, seed=5))
+            system.attach_or_raise()
+            program = PhaseProgram("w").add(
+                AccessPhase("p", n_lines=300, concurrency=64)
+            )
+            return DesPhaseDriver(system, program).run_to_completion().duration_ps
+
+        assert run() == run()

@@ -1,0 +1,126 @@
+"""Unit tests for RNG streams and statistics recording."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import RngStreams, SampleSeries, Simulator, StatRecorder, TimeWeightedValue
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).get("x")
+        b = RngStreams(7).get("x")
+        assert list(a.random(5)) == list(b.random(5))
+
+    def test_different_names_differ(self):
+        streams = RngStreams(7)
+        assert list(streams.get("x").random(5)) != list(streams.get("y").random(5))
+
+    def test_different_seeds_differ(self):
+        assert list(RngStreams(1).get("x").random(5)) != list(
+            RngStreams(2).get("x").random(5)
+        )
+
+    def test_get_is_cached_fresh_is_not(self):
+        streams = RngStreams(7)
+        first = streams.get("x").random()
+        second = streams.get("x").random()
+        assert first != second  # same generator advances
+        assert streams.fresh("x").random() == first  # fresh restarts
+
+    def test_spawn_namespacing(self):
+        root = RngStreams(7)
+        view = root.spawn("a")
+        assert view.fresh("b").random() == root.fresh("a.b").random()
+
+    def test_nested_spawn(self):
+        root = RngStreams(7)
+        assert (
+            root.spawn("a").spawn("b").fresh("c").random()
+            == root.fresh("a.b.c").random()
+        )
+
+
+class TestSampleSeries:
+    def test_empty_stats_are_nan(self):
+        s = SampleSeries()
+        assert math.isnan(s.mean()) and math.isnan(s.percentile(50))
+        assert math.isnan(s.max()) and math.isnan(s.min())
+        assert s.sum() == 0.0
+
+    def test_basic_reductions(self):
+        s = SampleSeries()
+        s.extend([1, 2, 3, 4])
+        assert s.mean() == 2.5
+        assert s.sum() == 10
+        assert s.min() == 1 and s.max() == 4
+        assert s.percentile(50) == 2.5
+        assert len(s) == 4
+
+    def test_cache_invalidation_on_append(self):
+        s = SampleSeries()
+        s.add(1.0)
+        assert s.mean() == 1.0
+        s.add(3.0)
+        assert s.mean() == 2.0
+
+    def test_values_array_dtype(self):
+        s = SampleSeries()
+        s.extend(range(10))
+        assert s.values.dtype == np.float64
+
+
+class TestTimeWeightedValue:
+    def test_time_average_piecewise(self):
+        sim = Simulator()
+        lvl = TimeWeightedValue(sim, initial=0.0)
+
+        def proc():
+            yield sim.timeout(10)
+            lvl.set(4.0)
+            yield sim.timeout(10)
+            lvl.set(0.0)
+            yield sim.timeout(20)
+
+        sim.process(proc())
+        sim.run()
+        # 10ps at 0, 10ps at 4, 20ps at 0 -> 40/40 = 1.0
+        assert lvl.time_average() == pytest.approx(1.0)
+
+    def test_adjust(self):
+        sim = Simulator()
+        lvl = TimeWeightedValue(sim, initial=1.0)
+        lvl.adjust(2.0)
+        assert lvl.value == 3.0
+
+    def test_no_elapsed_time_is_nan(self):
+        sim = Simulator()
+        lvl = TimeWeightedValue(sim)
+        assert math.isnan(lvl.time_average())
+
+
+class TestStatRecorder:
+    def test_counters(self):
+        rec = StatRecorder(Simulator())
+        rec.count("reads")
+        rec.count("reads", 2)
+        assert rec.counters["reads"] == 3
+
+    def test_samples_and_summary(self):
+        rec = StatRecorder(Simulator())
+        rec.sample("latency", 10.0)
+        rec.sample("latency", 20.0)
+        summary = rec.summary()
+        assert summary["latency.mean"] == 15.0
+        assert summary["latency.count"] == 2
+
+    def test_level_registry(self):
+        sim = Simulator()
+        rec = StatRecorder(sim)
+        assert rec.level("q") is rec.level("q")
+
+    def test_get_series_creates_empty(self):
+        rec = StatRecorder(Simulator())
+        assert len(rec.get_series("nothing")) == 0

@@ -1,0 +1,70 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.analysis.ascii_chart import bar_chart, scatter
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        out = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [1.0], title="T", unit="GB/s")
+        assert out.startswith("T")
+        assert "GB/s" in out
+
+    def test_zero_value_marked(self):
+        out = bar_chart(["zero", "one"], [0.0, 1.0])
+        assert "#" not in out.splitlines()[0]
+
+    def test_tiny_nonzero_still_visible(self):
+        out = bar_chart(["tiny", "big"], [0.001, 100.0], width=10)
+        assert "|" in out.splitlines()[0].split("|", 1)[1] + "|"
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestScatter:
+    def test_monotone_series_renders_corner_points(self):
+        out = scatter([1, 2, 3, 4], [1, 2, 3, 4], width=20, height=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "*" in lines[0]  # max y at the top row
+        assert "*" in lines[-1]  # min y at the bottom row
+
+    def test_log_axes(self):
+        out = scatter(
+            [1, 10, 100, 1000], [1.2, 4, 40, 400], log_x=True, log_y=True,
+            x_label="PERIOD", y_label="latency_us",
+        )
+        assert "log x" in out and "log y" in out
+        assert "PERIOD vs latency_us" in out
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter([0, 1], [1, 2], log_x=True)
+
+    def test_point_count_preserved_distinct_columns(self):
+        out = scatter([0, 1, 2, 3], [0, 0, 0, 0], width=8, height=4)
+        assert sum(line.count("*") for line in out.splitlines()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter([1], [1])
+        with pytest.raises(ValueError):
+            scatter([1, 2], [1])
+
+    def test_axis_labels_rendered(self):
+        out = scatter([1, 384], [1.19, 150.5])
+        assert "1.19" in out and "150.5" in out
+        assert "384" in out

@@ -1,0 +1,57 @@
+"""Tests pinning the calibration constants to the paper's anchors.
+
+These are the load-bearing numbers of the whole reproduction (see
+DESIGN.md section 2); if any drifts, every figure moves.
+"""
+
+import pytest
+
+from repro import calibration
+from repro.units import US, MS
+
+
+class TestAnchors:
+    def test_fpga_clock_is_320mhz(self):
+        assert calibration.T_CYC_PS == 3125
+        assert calibration.FPGA_CLOCK_HZ == pytest.approx(320e6)
+
+    def test_bdp_matches_paper(self):
+        # W * line = 16384 B, the paper's "~16.5 kB" BDP.
+        assert calibration.BDP_BYTES == 16384
+        assert abs(calibration.BDP_BYTES - 16_500) / 16_500 < 0.01
+
+    def test_sojourn_400us_at_period_1000(self):
+        # Paper Fig. 4: ~400 us measured access time at PERIOD=1000.
+        assert calibration.expected_sojourn_ps(1000) == 400 * US
+
+    def test_delay_4ms_at_period_10000(self):
+        # Paper section IV-C: PERIOD=10000 "corresponds to a delay of 4 ms".
+        assert calibration.expected_sojourn_ps(10_000) == 4 * MS
+
+    def test_baseline_remote_latency_near_paper(self):
+        # Vanilla ThymesisFlow remote access ~1.2 us (Fig. 2 PERIOD=1).
+        base = calibration.baseline_remote_latency_ps()
+        assert 0.9 * US < base < 1.3 * US
+
+    def test_small_period_sojourn_floors_at_baseline(self):
+        assert calibration.expected_sojourn_ps(1) == calibration.baseline_remote_latency_ps()
+
+    def test_gate_interval_linear(self):
+        assert calibration.gate_interval_ps(7) == 7 * calibration.T_CYC_PS
+
+
+class TestClusterFactory:
+    def test_paper_cluster_config_period(self):
+        cfg = calibration.paper_cluster_config(period=123)
+        assert cfg.borrower.nic.injection.period == 123
+
+    def test_window_and_line(self):
+        cfg = calibration.paper_cluster_config()
+        assert cfg.borrower.cpu.max_outstanding_misses == calibration.OUTSTANDING_WINDOW
+        assert cfg.borrower.cache.line_bytes == calibration.CACHE_LINE_BYTES
+
+    def test_link_rate(self):
+        cfg = calibration.paper_cluster_config()
+        assert cfg.link.bandwidth_bytes_per_s == pytest.approx(
+            calibration.LINK_GBPS * 1e9 / 8
+        )

@@ -1,0 +1,67 @@
+"""Tests for the characterization harness and resilience assessment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import validation_sweep
+from repro.core.resilience import resilience_sweep
+from repro.errors import ExperimentError
+from repro.units import US
+from repro.workloads.stream import StreamConfig
+
+
+class TestValidationSweep:
+    def test_fluid_sweep_shape(self):
+        sweep = validation_sweep(periods=(1, 10, 100), mode="fluid")
+        assert list(sweep.periods) == [1, 10, 100]
+        assert np.all(np.diff(sweep.latencies_ps) > 0)
+        assert np.all(np.diff(sweep.bandwidths) < 0)
+
+    def test_des_sweep_small(self):
+        sweep = validation_sweep(
+            periods=(1, 64), mode="des", stream=StreamConfig(n_elements=2000)
+        )
+        assert sweep.mode == "des"
+        assert sweep.points[1].latency_ps > sweep.points[0].latency_ps
+
+    def test_correlation_near_one(self):
+        sweep = validation_sweep(periods=(8, 16, 32, 64, 128), mode="fluid")
+        assert sweep.latency_correlation() > 0.999
+
+    def test_bdp_constancy(self):
+        sweep = validation_sweep(periods=(4, 16, 64, 256), mode="fluid")
+        mean, dev = sweep.bdp()
+        assert dev < 0.05
+        assert mean == pytest.approx(16384, rel=0.05)
+
+    def test_empty_periods_rejected(self):
+        with pytest.raises(ExperimentError):
+            validation_sweep(periods=())
+
+
+class TestResilienceSweep:
+    def test_paper_failure_boundary(self):
+        # Needs enough lines per kernel (> window) to fill the pipe and
+        # reach the steady-state ~400us sojourn at PERIOD=1000.
+        report = resilience_sweep(
+            periods=(1, 1000, 10_000), stream=StreamConfig(n_elements=8000)
+        )
+        assert report.max_survivable_period() == 1000
+        assert report.first_failing_period() == 10_000
+        by_period = {p.period: p for p in report.points}
+        assert by_period[1000].attached
+        assert 300 < by_period[1000].latency_us < 500
+        assert not by_period[10_000].attached
+        assert "detect" in by_period[10_000].failure.lower() or by_period[10_000].failure
+
+    def test_failed_point_latency_nan(self):
+        report = resilience_sweep(periods=(10_000,), stream=StreamConfig(n_elements=500))
+        assert math.isnan(report.points[0].latency_us)
+        assert report.max_survivable_period() == 0
+
+    def test_all_alive_no_failure(self):
+        report = resilience_sweep(periods=(1, 10), stream=StreamConfig(n_elements=500))
+        assert report.first_failing_period() == 0
+        assert all(p.latency_ps < 100 * US for p in report.points)

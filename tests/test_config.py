@@ -1,0 +1,116 @@
+"""Unit tests for configuration validation and sweep helpers."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ClusterConfig,
+    CpuConfig,
+    DelayInjectionConfig,
+    DramConfig,
+    FpgaConfig,
+    LinkConfig,
+    NicConfig,
+    default_cluster_config,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_defaults_valid(self):
+        cfg = CacheConfig()
+        assert cfg.n_sets * cfg.associativity * cfg.line_bytes == cfg.size_bytes
+
+    def test_power9_line_size_default(self):
+        assert CacheConfig().line_bytes == 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 0},
+            {"line_bytes": 100},  # not a power of two
+            {"associativity": 0},
+            {"hit_latency": -1},
+            {"size_bytes": 1024, "line_bytes": 128, "associativity": 16},  # no whole sets
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheConfig(**kwargs)
+
+
+class TestDelayInjectionConfig:
+    def test_default_is_vanilla(self):
+        cfg = DelayInjectionConfig()
+        assert cfg.period == 1 and cfg.distribution == "constant"
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DelayInjectionConfig(period=0)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigError):
+            DelayInjectionConfig(distribution="weibull")
+
+    def test_uniform_bounds_validated(self):
+        with pytest.raises(ConfigError):
+            DelayInjectionConfig(distribution="uniform", low_cycles=10, high_cycles=5)
+
+    def test_with_period(self):
+        cfg = DelayInjectionConfig(period=1).with_period(500)
+        assert cfg.period == 500
+
+
+class TestFpgaConfig:
+    def test_calibrated_clock(self):
+        assert FpgaConfig().clock_period == 3125  # 320 MHz in ps
+
+    def test_invalid_clock(self):
+        with pytest.raises(ConfigError):
+            FpgaConfig(clock_period=0)
+
+
+class TestLinkConfig:
+    def test_hundred_gbps_default(self):
+        assert LinkConfig().bandwidth_bytes_per_s == pytest.approx(12.5e9)
+
+    def test_header_is_packet_header(self):
+        from repro.nic.packet import HEADER_BYTES
+
+        assert LinkConfig().header_bytes == HEADER_BYTES
+
+
+class TestClusterConfig:
+    def test_default_roles(self):
+        cfg = ClusterConfig()
+        assert cfg.borrower.name == "borrower"
+        assert cfg.lender.name == "lender"
+
+    def test_with_period_changes_only_borrower_injection(self):
+        cfg = default_cluster_config(period=1)
+        swept = cfg.with_period(777)
+        assert swept.borrower.nic.injection.period == 777
+        assert cfg.borrower.nic.injection.period == 1  # original untouched
+        assert swept.lender == cfg.lender
+
+    def test_default_cluster_config_injection_object(self):
+        inj = DelayInjectionConfig(period=9, distribution="exponential", scale_cycles=5)
+        cfg = default_cluster_config(injection=inj)
+        assert cfg.borrower.nic.injection is inj
+
+    def test_frozen(self):
+        cfg = default_cluster_config()
+        with pytest.raises(AttributeError):
+            cfg.seed = 7  # type: ignore[misc]
+
+
+class TestMiscConfigs:
+    def test_cpu_window_default_128(self):
+        assert CpuConfig().max_outstanding_misses == 128
+
+    def test_dram_positive(self):
+        with pytest.raises(ConfigError):
+            DramConfig(bus_bandwidth_bytes_per_s=0)
+
+    def test_nic_with_period(self):
+        assert NicConfig().with_period(42).injection.period == 42

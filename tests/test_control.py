@@ -1,0 +1,170 @@
+"""Unit tests for the control plane, allocation policies and QoS."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    ContentionAwarePolicy,
+    ControlPlane,
+    FirstFitPolicy,
+    LeastLoadedPolicy,
+    NodeInventory,
+    NodeRole,
+    PageMigrationPolicy,
+    QosClassifier,
+)
+from repro.errors import AllocationError, ConfigError
+from repro.nic.mux import TrafficClass
+
+GB = 1 << 30
+
+
+def node(name, total=64 * GB, used=0, demand=0, apps=0):
+    return NodeInventory(
+        name=name, total_bytes=total, used_bytes=used, demand_bytes=demand, running_apps=apps
+    )
+
+
+class TestRoles:
+    def test_role_derivation(self):
+        assert node("a", demand=GB).role is NodeRole.BORROWER
+        assert node("b").role is NodeRole.LENDER
+        assert node("c", total=GB, used=GB).role is NodeRole.NEUTRAL
+
+    def test_roles_listing(self):
+        cp = ControlPlane()
+        cp.register(node("a", demand=GB))
+        cp.register(node("b"))
+        roles = cp.roles()
+        assert roles["a"] is NodeRole.BORROWER and roles["b"] is NodeRole.LENDER
+
+
+class TestReservations:
+    def test_reserve_and_release(self):
+        cp = ControlPlane()
+        cp.register(node("borrower", demand=2 * GB))
+        cp.register(node("lender"))
+        r = cp.reserve("borrower", GB)
+        assert r.lender == "lender" and r.size == GB
+        assert cp.node("lender").lent_bytes == GB
+        assert cp.node("borrower").demand_bytes == GB  # partially met
+        assert cp.total_lent_bytes() == GB
+        cp.release(r.reservation_id)
+        assert cp.node("lender").lent_bytes == 0
+
+    def test_sequential_windows_do_not_overlap(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=8 * GB))
+        cp.register(node("l"))
+        r1 = cp.reserve("b", GB)
+        r2 = cp.reserve("b", GB)
+        assert r2.lender_base >= r1.lender_base + r1.size
+
+    def test_no_capacity_raises(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=GB))
+        cp.register(node("l", total=GB, used=GB))
+        with pytest.raises(AllocationError):
+            cp.reserve("b", GB)
+
+    def test_borrower_cannot_lend_to_itself(self):
+        cp = ControlPlane()
+        cp.register(node("only", demand=0))
+        with pytest.raises(AllocationError):
+            cp.reserve("only", GB)
+
+    def test_release_unknown(self):
+        with pytest.raises(AllocationError):
+            ControlPlane().release(99)
+
+    def test_invalid_size(self):
+        cp = ControlPlane()
+        cp.register(node("b"))
+        with pytest.raises(AllocationError):
+            cp.reserve("b", 0)
+
+    def test_unknown_node(self):
+        with pytest.raises(AllocationError):
+            ControlPlane().node("ghost")
+
+
+class TestPolicies:
+    def _candidates(self):
+        idle = node("idle", apps=0, used=32 * GB)
+        busy = node("busy", apps=8, used=0)
+        return [idle, busy]
+
+    def test_first_fit(self):
+        assert FirstFitPolicy().choose(self._candidates(), GB).name == "idle"
+
+    def test_least_loaded_avoids_busy(self):
+        assert LeastLoadedPolicy().choose(self._candidates(), GB).name == "idle"
+
+    def test_contention_aware_ignores_app_count(self):
+        """Per the paper's insight, the busy-but-roomier lender is fine."""
+        assert ContentionAwarePolicy().choose(self._candidates(), GB).name == "busy"
+
+    def test_policy_wired_into_plane(self):
+        cp = ControlPlane(policy=ContentionAwarePolicy())
+        cp.register(node("b", demand=GB))
+        cp.register(node("idle", used=32 * GB))
+        cp.register(node("busy", apps=16))
+        assert cp.reserve("b", GB).lender == "busy"
+
+
+class TestQosClassifier:
+    def test_classification(self):
+        qc = QosClassifier(sensitive_threshold=0.05, bulk_threshold=0.005)
+        assert qc.classify(0.3) is TrafficClass.LATENCY_SENSITIVE
+        assert qc.classify(0.001) is TrafficClass.BULK
+        assert qc.classify(0.02) is TrafficClass.NORMAL
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            QosClassifier(sensitive_threshold=0.001, bulk_threshold=0.01)
+
+    def test_sensitivity_slope(self):
+        # Graph500-like: +0.19x per us; Redis-like: flat.
+        delays = [0, 10, 20, 30]
+        graph = [1.0, 2.9, 4.8, 6.7]
+        redis = [1.0, 1.001, 1.002, 1.003]
+        assert QosClassifier.sensitivity(delays, graph) == pytest.approx(0.19)
+        assert QosClassifier.sensitivity(delays, redis) < 0.001
+
+    def test_sensitivity_validation(self):
+        with pytest.raises(ConfigError):
+            QosClassifier.sensitivity([1], [1])
+
+
+class TestPageMigration:
+    def test_no_migration_below_trigger(self):
+        policy = PageMigrationPolicy(trigger_latency=10_000_000)
+        decision = policy.decide([100, 50], observed_latency_ps=1_000_000)
+        assert decision.pages_to_migrate.size == 0
+        assert policy.effective_remote_fraction(decision) == 1.0
+
+    def test_hottest_pages_first(self):
+        policy = PageMigrationPolicy(local_budget_pages=2, trigger_latency=0)
+        counts = [5, 100, 1, 50]
+        decision = policy.decide(counts, observed_latency_ps=1)
+        assert set(decision.pages_to_migrate.tolist()) == {1, 3}
+        assert decision.migrated_access_fraction == pytest.approx(150 / 156)
+
+    def test_budget_respected(self):
+        policy = PageMigrationPolicy(local_budget_pages=3, trigger_latency=0)
+        decision = policy.decide(list(range(1, 11)), observed_latency_ps=1)
+        assert decision.pages_to_migrate.size == 3
+
+    def test_cold_pages_not_migrated(self):
+        policy = PageMigrationPolicy(local_budget_pages=10, trigger_latency=0)
+        decision = policy.decide([5, 0, 0], observed_latency_ps=1)
+        assert decision.pages_to_migrate.tolist() == [0]
+
+    def test_cost_accounting(self):
+        policy = PageMigrationPolicy(page_bytes=65536, local_budget_pages=1, trigger_latency=0)
+        decision = policy.decide([10], observed_latency_ps=1, migration_bandwidth_bytes_per_s=65536e12 / 1)
+        assert decision.cost_ps == pytest.approx(1, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PageMigrationPolicy(page_bytes=0)

@@ -1,0 +1,25 @@
+"""Executable documentation: the docstring examples must stay true."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.delay.schedule
+import repro.sim.core
+import repro.sim.rng
+
+MODULES = [
+    repro,
+    repro.sim.core,
+    repro.sim.rng,
+    repro.core.delay.schedule,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    # Each listed module carries at least one example worth keeping.
+    assert results.attempted > 0

@@ -1,0 +1,123 @@
+"""Edge-case and error-path tests across module boundaries."""
+
+import pytest
+
+from repro.calibration import paper_cluster_config
+from repro.errors import (
+    AddressError,
+    AttachError,
+    ChecksumError,
+    ConfigError,
+    ExperimentError,
+    LinkDetectionTimeout,
+    ProcessKilled,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TranslationFault,
+    WorkloadError,
+)
+from repro.node.cluster import ThymesisFlowSystem
+
+
+class TestErrorHierarchy:
+    """Every package error derives from ReproError, so callers can
+    catch the whole family with one clause."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SimulationError,
+            ProcessKilled,
+            ConfigError,
+            AddressError,
+            TranslationFault,
+            LinkDetectionTimeout,
+            AttachError,
+            ProtocolError,
+            ChecksumError,
+            WorkloadError,
+            ExperimentError,
+        ],
+    )
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+
+    def test_checksum_is_protocol_error(self):
+        assert issubclass(ChecksumError, ProtocolError)
+
+    def test_translation_fault_is_address_error(self):
+        assert issubclass(TranslationFault, AddressError)
+
+    def test_host_crash_in_family(self):
+        from repro.core.resilience import HostCrash
+
+        assert issubclass(HostCrash, ReproError)
+
+
+class TestClusterErrorPaths:
+    def test_unmapped_address_faults_through_router(self):
+        system = ThymesisFlowSystem(paper_cluster_config())
+        system.attach_or_raise()
+        results = []
+
+        def proc():
+            # Way beyond both the local DRAM and the remote window.
+            result = yield from system.access(1 << 60)
+            results.append(result)
+
+        process = system.sim.process(proc())
+        system.sim.run()
+        assert not process.ok
+        with pytest.raises(AddressError):
+            _ = process.value
+
+    def test_remote_access_within_window_translates(self):
+        system = ThymesisFlowSystem(paper_cluster_config())
+        system.attach_or_raise()
+        base = system.config.remote_region_base
+        last = base + system.config.remote_region_bytes - 128
+
+        def proc():
+            result = yield from system.remote_access(last)
+            return result
+
+        process = system.sim.process(proc())
+        system.sim.run()
+        assert process.ok
+
+    def test_double_attach_translator_conflict(self):
+        """Attaching twice would double-install the window: the second
+        handshake fails fast at the translator."""
+        system = ThymesisFlowSystem(paper_cluster_config())
+        system.attach_or_raise()
+        with pytest.raises((TranslationFault, AttachError, AddressError)):
+            system.attach_or_raise()
+
+    def test_probe_traffic_not_counted_as_workload(self):
+        system = ThymesisFlowSystem(paper_cluster_config())
+        system.attach_or_raise()
+        # Attach issued 256 probes; none appear in workload stats.
+        assert "remote.transactions" not in system.stats.counters
+
+
+class TestConfigEdgeCases:
+    def test_minimum_viable_cache(self):
+        from repro.config import CacheConfig
+
+        cfg = CacheConfig(size_bytes=128, line_bytes=128, associativity=1)
+        assert cfg.n_sets == 1
+
+    def test_with_period_idempotent_on_lender(self):
+        cfg = paper_cluster_config()
+        swept = cfg.with_period(500).with_period(7)
+        assert swept.borrower.nic.injection.period == 7
+        assert swept.lender == cfg.lender
+
+    def test_seed_flows_to_rng(self):
+        a = ThymesisFlowSystem(paper_cluster_config(seed=1))
+        b = ThymesisFlowSystem(paper_cluster_config(seed=1))
+        assert float(a.rng.get("x").random()) == float(b.rng.get("x").random())

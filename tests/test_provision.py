@@ -1,0 +1,73 @@
+"""Tests for control-plane → testbed provisioning."""
+
+import pytest
+
+from repro.calibration import paper_cluster_config
+from repro.control import ControlPlane, NodeInventory
+from repro.control.provision import provision_or_explain, provision_pair
+from repro.errors import AllocationError, AttachError
+
+GB = 1 << 30
+
+
+def plane_with_capacity(lender_free_gb=64):
+    plane = ControlPlane()
+    plane.register(NodeInventory("borrower", total_bytes=64 * GB, demand_bytes=1 << 50))
+    plane.register(NodeInventory("lender", total_bytes=lender_free_gb * GB))
+    return plane
+
+
+class TestProvisionPair:
+    def test_provisions_and_attaches(self):
+        plane = plane_with_capacity()
+        pair = provision_pair(plane, "borrower", 8 * GB, paper_cluster_config())
+        assert pair.system.attached
+        assert pair.reservation.size == 8 * GB
+        assert pair.system.config.remote_region_bytes == 8 * GB
+        assert plane.total_lent_bytes() == 8 * GB
+
+    def test_translation_targets_granted_window(self):
+        plane = plane_with_capacity()
+        first = provision_pair(plane, "borrower", 2 * GB, paper_cluster_config())
+        second = provision_pair(plane, "borrower", 2 * GB, paper_cluster_config())
+        base = paper_cluster_config().remote_region_base
+        # The second reservation starts where the first ended at the
+        # lender, and each pair's translator reflects its own grant.
+        assert first.system.translator.translate(base) == first.reservation.lender_base
+        assert second.system.translator.translate(base) == second.reservation.lender_base
+        assert second.reservation.lender_base >= first.reservation.size
+
+    def test_release_returns_memory(self):
+        plane = plane_with_capacity()
+        pair = provision_pair(plane, "borrower", 8 * GB, paper_cluster_config())
+        pair.release()
+        assert pair.released
+        assert plane.total_lent_bytes() == 0
+        pair.release()  # idempotent
+
+    def test_attach_failure_rolls_back_reservation(self):
+        plane = plane_with_capacity()
+        with pytest.raises(AttachError):
+            provision_pair(
+                plane, "borrower", 8 * GB, paper_cluster_config(), period=10_000
+            )
+        assert plane.total_lent_bytes() == 0  # nothing stranded
+
+    def test_no_capacity(self):
+        plane = plane_with_capacity(lender_free_gb=4)
+        with pytest.raises(AllocationError):
+            provision_pair(plane, "borrower", 8 * GB, paper_cluster_config())
+
+
+class TestProvisionOrExplain:
+    def test_success(self):
+        pair, reason = provision_or_explain(
+            plane_with_capacity(), "borrower", GB, paper_cluster_config()
+        )
+        assert pair is not None and reason == "ok"
+
+    def test_allocation_failure_explained(self):
+        pair, reason = provision_or_explain(
+            plane_with_capacity(lender_free_gb=0), "borrower", GB, paper_cluster_config()
+        )
+        assert pair is None and "allocation failed" in reason

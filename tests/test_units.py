@@ -1,0 +1,100 @@
+"""Unit tests for time/size/rate conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_unit_constants(self):
+        assert units.NS == 1_000
+        assert units.US == 1_000_000
+        assert units.MS == 1_000_000_000
+        assert units.SEC == 1_000_000_000_000
+
+    def test_time_constructors(self):
+        assert units.nanoseconds(1) == units.NS
+        assert units.microseconds(2.5) == 2_500_000
+        assert units.milliseconds(1) == units.MS
+        assert units.seconds(0.001) == units.MS
+        assert units.picoseconds(1.4) == 1
+
+    def test_round_trips(self):
+        assert units.to_seconds(units.seconds(3.5)) == pytest.approx(3.5)
+        assert units.to_microseconds(units.microseconds(7)) == pytest.approx(7)
+        assert units.to_nanoseconds(units.nanoseconds(9)) == pytest.approx(9)
+
+    def test_gbit_conversion(self):
+        # 100 Gb/s = 12.5 GB/s
+        assert units.gbit_per_s_to_bytes_per_s(100) == pytest.approx(12.5e9)
+
+    def test_ps_per_byte(self):
+        assert units.bytes_per_s_to_ps_per_byte(1e12) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            units.bytes_per_s_to_ps_per_byte(0)
+
+
+class TestTransferTime:
+    def test_exact(self):
+        # 125 bytes at 12.5 GB/s -> 10 ns
+        assert units.transfer_time_ps(125, 12.5e9) == 10_000
+
+    def test_zero_bytes_is_zero(self):
+        assert units.transfer_time_ps(0, 1e9) == 0
+
+    def test_positive_bytes_never_zero_time(self):
+        assert units.transfer_time_ps(1, 1e30) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            units.transfer_time_ps(-1, 1e9)
+
+    @given(st.integers(min_value=1, max_value=1 << 40), st.floats(min_value=1e3, max_value=1e12))
+    def test_property_monotone_in_bytes(self, nbytes, rate):
+        assert units.transfer_time_ps(nbytes + 1, rate) >= units.transfer_time_ps(nbytes, rate)
+
+
+class TestBandwidth:
+    def test_bandwidth(self):
+        # 1000 bytes in 1 us -> 1 GB/s
+        assert units.bandwidth_bytes_per_s(1000, units.US) == pytest.approx(1e9)
+
+    def test_zero_elapsed_raises(self):
+        with pytest.raises(ValueError):
+            units.bandwidth_bytes_per_s(1, 0)
+
+    @given(st.integers(min_value=1, max_value=1 << 30), st.integers(min_value=1, max_value=units.SEC))
+    def test_property_roundtrip_with_transfer_time(self, nbytes, _elapsed):
+        rate = 12.5e9
+        t = units.transfer_time_ps(nbytes, rate)
+        measured = units.bandwidth_bytes_per_s(nbytes, t)
+        assert measured == pytest.approx(rate, rel=0.01) or t <= 100
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expect",
+        [
+            (500, "500ps"),
+            (1_500, "1.50ns"),
+            (2_500_000, "2.50us"),
+            (3_000_000_000, "3.00ms"),
+            (2_000_000_000_000, "2.000s"),
+        ],
+    )
+    def test_format_time(self, value, expect):
+        assert units.format_time(value) == expect
+
+    def test_format_bytes(self):
+        assert units.format_bytes(512) == "512B"
+        assert units.format_bytes(2048) == "2.00KiB"
+        assert units.format_bytes(3 * 1024 * 1024) == "3.00MiB"
+        assert units.format_bytes(5 * 1024**3) == "5.00GiB"
+
+    def test_format_rate(self):
+        assert units.format_rate(500) == "500B/s"
+        assert units.format_rate(2e3) == "2.00KB/s"
+        assert units.format_rate(3e6) == "3.00MB/s"
+        assert units.format_rate(12.5e9) == "12.50GB/s"

@@ -1,0 +1,239 @@
+"""Tests for the Graph500 implementation: generator, CSR, BFS, SSSP.
+
+Reference cross-checks use networkx (BFS levels, Dijkstra distances);
+duplicate parallel edges are collapsed to their minimum weight when
+building the reference graph, since the CSR keeps multi-edges as the
+Graph500 spec allows.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.graph500 import (
+    CsrGraph,
+    Graph500Config,
+    Graph500Workload,
+    TraceRecorder,
+    bfs,
+    build_csr,
+    delta_stepping,
+    kronecker_edges,
+    permute_vertices,
+)
+from repro.workloads.graph500.generator import uniform_weights
+from repro.workloads.graph500.validate import validate_bfs, validate_sssp
+
+
+def small_graph(scale=7, seed=5):
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    edges = kronecker_edges(scale, 16, rng)
+    edges = permute_vertices(edges, n, rng)
+    weights = uniform_weights(edges.shape[1], rng)
+    return build_csr(edges, n, weights=weights)
+
+
+def reference_graph(g: CsrGraph) -> nx.Graph:
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    for u in range(g.n):
+        for j in range(int(g.xadj[u]), int(g.xadj[u + 1])):
+            v = int(g.adjncy[j])
+            w = float(g.weights[j])
+            if G.has_edge(u, v):
+                if w < G[u][v]["weight"]:
+                    G[u][v]["weight"] = w
+            else:
+                G.add_edge(u, v, weight=w)
+    return G
+
+
+class TestGenerator:
+    def test_shape_and_range(self):
+        edges = kronecker_edges(6, 16, np.random.default_rng(0))
+        assert edges.shape == (2, 16 * 64)
+        assert edges.min() >= 0 and edges.max() < 64
+
+    def test_deterministic(self):
+        a = kronecker_edges(5, 4, np.random.default_rng(1))
+        b = kronecker_edges(5, 4, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_rmat_skew(self):
+        """R-MAT concentrates edges on low vertex ids before permutation."""
+        edges = kronecker_edges(10, 16, np.random.default_rng(2))
+        low_half = (edges[0] < 512).mean()
+        assert low_half > 0.6  # A+B = 0.76 expected mass in the top half
+
+    def test_permutation_preserves_multiset_degree(self):
+        rng = np.random.default_rng(3)
+        edges = kronecker_edges(6, 8, rng)
+        permuted = permute_vertices(edges, 64, rng)
+        assert sorted(np.bincount(edges.ravel(), minlength=64)) == sorted(
+            np.bincount(permuted.ravel(), minlength=64)
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            kronecker_edges(0)
+        with pytest.raises(WorkloadError):
+            kronecker_edges(4, 0)
+
+
+class TestCsr:
+    def test_symmetrization(self):
+        edges = np.asarray([[0, 1], [1, 2]])
+        g = build_csr(edges, 3)
+        assert g.degree(0) == 1 and g.degree(1) == 2 and g.degree(2) == 1
+        assert set(g.neighbors(1).tolist()) == {0, 2}
+
+    def test_self_loops_dropped(self):
+        g = build_csr(np.asarray([[0, 1], [0, 1]]), 2)
+        assert g.degree(0) == 0  # the 0->0 loop vanished; 1->1 too
+        # only the 0-1 edge... wait: edges are (0->0),(1->1): both loops
+        assert g.n_directed_edges == 0
+
+    def test_weights_follow_edges(self):
+        edges = np.asarray([[0], [1]])
+        g = build_csr(edges, 2, weights=np.asarray([0.5]))
+        assert g.neighbor_weights(0)[0] == 0.5
+        assert g.neighbor_weights(1)[0] == 0.5
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(WorkloadError):
+            build_csr(np.asarray([[0], [5]]), 3)
+
+    def test_unweighted_weight_access_raises(self):
+        g = build_csr(np.asarray([[0], [1]]), 2)
+        with pytest.raises(WorkloadError):
+            g.neighbor_weights(0)
+
+
+class TestBfs:
+    def test_levels_match_networkx(self):
+        g = small_graph()
+        G = reference_graph(g)
+        source = int(np.argmax(np.diff(g.xadj)))
+        result = bfs(g, source)
+        expected = nx.single_source_shortest_path_length(G, source)
+        for v, level in expected.items():
+            assert result.level[v] == level
+        unreached = set(range(g.n)) - set(expected)
+        assert all(result.parent[v] == -1 for v in unreached)
+
+    def test_validates(self):
+        g = small_graph()
+        result = bfs(g, int(np.argmax(np.diff(g.xadj))))
+        validate_bfs(g, result)
+
+    def test_isolated_source(self):
+        g = build_csr(np.asarray([[0], [1]]), 4)
+        result = bfs(g, 3)  # vertex 3 has no edges
+        assert result.n_reached == 1 and result.parent[3] == 3
+
+    def test_source_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            bfs(small_graph(), -1)
+
+    def test_edges_traversed_counts_directed_inspections(self):
+        g = small_graph(scale=5)
+        source = int(np.argmax(np.diff(g.xadj)))
+        result = bfs(g, source)
+        assert 0 < result.edges_traversed <= g.n_directed_edges
+
+    def test_trace_recorded(self):
+        g = small_graph(scale=5)
+        rec = TraceRecorder()
+        bfs(g, int(np.argmax(np.diff(g.xadj))), recorder=rec)
+        assert rec.n_accesses > 0
+        names = set(rec.layouts)
+        assert {"xadj", "adjncy", "parent"} <= names
+
+
+class TestSssp:
+    def test_distances_match_dijkstra(self):
+        g = small_graph()
+        G = reference_graph(g)
+        source = int(np.argmax(np.diff(g.xadj)))
+        result = delta_stepping(g, source)
+        expected = nx.single_source_dijkstra_path_length(G, source)
+        for v, dist in expected.items():
+            assert result.dist[v] == pytest.approx(dist, abs=1e-9)
+        unreached = set(range(g.n)) - set(expected)
+        assert all(np.isinf(result.dist[v]) for v in unreached)
+
+    def test_validates(self):
+        g = small_graph()
+        result = delta_stepping(g, int(np.argmax(np.diff(g.xadj))))
+        validate_sssp(g, result)
+
+    @pytest.mark.parametrize("delta", [0.05, 0.25, 1.0, 10.0])
+    def test_delta_invariance(self, delta):
+        """Any bucket width yields the same distances."""
+        g = small_graph(scale=6)
+        source = int(np.argmax(np.diff(g.xadj)))
+        baseline = delta_stepping(g, source, delta=0.25)
+        result = delta_stepping(g, source, delta=delta)
+        assert np.allclose(
+            np.nan_to_num(result.dist, posinf=-1),
+            np.nan_to_num(baseline.dist, posinf=-1),
+        )
+
+    def test_requires_weights(self):
+        g = build_csr(np.asarray([[0], [1]]), 2)
+        with pytest.raises(WorkloadError):
+            delta_stepping(g, 0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(WorkloadError):
+            delta_stepping(small_graph(scale=4), 0, delta=0)
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_triangle_inequality(self, seed):
+        g = small_graph(scale=5, seed=seed)
+        degrees = np.diff(g.xadj)
+        if degrees.max() == 0:
+            return
+        source = int(np.argmax(degrees))
+        result = delta_stepping(g, source)
+        validate_sssp(g, result)
+
+
+class TestWorkload:
+    def test_trace_stats_mechanistic(self):
+        w = Graph500Workload(Graph500Config(scale=8, n_roots=1))
+        stats = w.trace_stats
+        assert stats["misses"] > 0
+        assert stats["accesses"] > stats["misses"]
+        assert 0 < stats["hit_rate"] < 1
+
+    def test_program_lines_equal_misses(self):
+        w = Graph500Workload(Graph500Config(scale=8, n_roots=1))
+        prog = w.program()
+        assert prog.total_lines == max(1, w.trace_stats["misses"])
+
+    def test_bfs_vs_sssp_distinct(self):
+        bfs_w = Graph500Workload(Graph500Config(scale=8, kernel="bfs", n_roots=1))
+        sssp_w = Graph500Workload(Graph500Config(scale=8, kernel="sssp", n_roots=1))
+        assert bfs_w.name != sssp_w.name
+        bfs_phase = bfs_w.program().phases[0]
+        sssp_phase = sssp_w.program().phases[0]
+        assert sssp_phase.compute_ps_per_line > bfs_phase.compute_ps_per_line
+
+    def test_teps(self):
+        w = Graph500Workload(Graph500Config(scale=8, n_roots=1))
+        assert w.teps(1e12) == pytest.approx(w.trace_stats["edges"])
+
+    def test_invalid_kernel(self):
+        with pytest.raises(WorkloadError):
+            Graph500Config(kernel="pagerank")
+
+    def test_roots_have_degree(self):
+        w = Graph500Workload(Graph500Config(scale=8, n_roots=4))
+        degrees = np.diff(w.graph.xadj)
+        assert all(degrees[r] > 0 for r in w.sample_roots())

@@ -1,0 +1,199 @@
+"""Tests for the Redis-like store, memtier stream and workload adapter."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import paper_cluster_config
+from repro.engine import FluidEngine, Location
+from repro.errors import WorkloadError
+from repro.workloads.kvstore import (
+    MemtierConfig,
+    MemtierStream,
+    RedisStore,
+    RedisWorkload,
+    RedisWorkloadConfig,
+)
+
+
+class TestRedisStoreCommands:
+    def test_set_get(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert len(store) == 1
+
+    def test_get_missing(self):
+        store = RedisStore(n_buckets=1024)
+        assert store.get(b"nope") is None
+        assert store.misses_lookups == 1
+
+    def test_delete(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", b"v")
+        assert store.delete(b"k") is True
+        assert store.delete(b"k") is False
+        assert store.get(b"k") is None
+
+    def test_exists(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", b"v")
+        assert store.exists(b"k") and not store.exists(b"other")
+
+    def test_incr(self):
+        store = RedisStore(n_buckets=1024)
+        assert store.incr(b"c") == 1
+        assert store.incr(b"c") == 2
+        assert store.get(b"c") == b"2"
+
+    def test_incr_non_integer(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", b"abc")
+        with pytest.raises(WorkloadError):
+            store.incr(b"k")
+
+    def test_ttl_expiry(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", b"v", ttl=10.0)
+        store.clock = 5.0
+        assert store.get(b"k") == b"v"
+        store.clock = 10.0
+        assert store.get(b"k") is None
+
+    def test_set_refreshes_ttl(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", b"v", ttl=10.0)
+        store.set(b"k", b"v2")  # persistent now
+        store.clock = 100.0
+        assert store.get(b"k") == b"v2"
+
+    def test_bucket_count_power_of_two(self):
+        with pytest.raises(WorkloadError):
+            RedisStore(n_buckets=1000)
+
+
+class TestRedisStoreLayout:
+    def test_footprint_grows_with_values(self):
+        store = RedisStore(n_buckets=1024)
+        before = store.used_bytes
+        store.set(b"k", bytes(1024))
+        assert store.used_bytes >= before + 1024
+
+    def test_touched_addresses_get(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", bytes(1024))
+        addrs, writes = store.touched_addresses("get", b"k")
+        assert addrs.size >= 1 + 1 + 8  # bucket + entry + 8 value lines
+        assert not writes[np.searchsorted(np.argsort(addrs), 0)] or True
+        # value lines are reads on a GET
+        value_lines = (addrs >= store.layout.values_base) & (
+            addrs < store.layout.buffers_base
+        )
+        assert not writes[value_lines].any()
+
+    def test_touched_addresses_set_writes_value(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", bytes(256))
+        addrs, writes = store.touched_addresses("set", b"k")
+        value_lines = (addrs >= store.layout.values_base) & (
+            addrs < store.layout.buffers_base
+        )
+        assert writes[value_lines].all()
+
+    def test_connections_have_distinct_buffers(self):
+        store = RedisStore(n_buckets=1024)
+        store.set(b"k", b"v")
+        a, _ = store.touched_addresses("get", b"k", connection=0)
+        b, _ = store.touched_addresses("get", b"k", connection=1)
+        buf_a = a[a >= store.layout.buffers_base]
+        buf_b = b[b >= store.layout.buffers_base]
+        assert not np.intersect1d(buf_a, buf_b).size
+
+    def test_preload(self):
+        store = RedisStore(n_buckets=1024)
+        store.preload([b"a", b"b", b"c"], value_size=64)
+        assert len(store) == 3
+
+
+class TestMemtier:
+    def test_paper_configuration_totals(self):
+        cfg = MemtierConfig()  # paper defaults
+        assert cfg.threads == 4 and cfg.clients_per_thread == 50
+        assert cfg.n_connections == 200
+        assert cfg.total_requests == 200 * 10_000
+
+    def test_set_fraction_default(self):
+        assert MemtierConfig().set_fraction == pytest.approx(1 / 11)
+
+    def test_sample_deterministic(self):
+        a = MemtierStream(MemtierConfig(seed=5)).sample(100)
+        b = MemtierStream(MemtierConfig(seed=5)).sample(100)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_sample_ranges(self):
+        cfg = MemtierConfig(key_space=50)
+        is_set, keys, conns = MemtierStream(cfg).sample(500)
+        assert keys.min() >= 0 and keys.max() < 50
+        assert conns.min() >= 0 and conns.max() < cfg.n_connections
+        assert 0.02 < is_set.mean() < 0.2  # near 1/11
+
+    def test_gaussian_pattern_concentrates(self):
+        cfg = MemtierConfig(key_pattern="gaussian", key_space=1000)
+        _, keys, _ = MemtierStream(cfg).sample(2000)
+        middle = ((keys > 250) & (keys < 750)).mean()
+        assert middle > 0.8
+
+    def test_requests_iterator(self):
+        reqs = list(MemtierStream(MemtierConfig()).requests(10))
+        assert len(reqs) == 10
+        assert all(op in ("set", "get") for op, _, _ in reqs)
+        assert all(key.startswith(b"memtier-") for _, key, _ in reqs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threads": 0},
+            {"set_ratio": 0, "get_ratio": 0},
+            {"key_space": 0},
+            {"key_pattern": "zipf"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            MemtierConfig(**kwargs)
+
+
+class TestRedisWorkload:
+    def quick(self):
+        return RedisWorkload(RedisWorkloadConfig(n_requests=50, trace_sample=200))
+
+    def test_profile_trace_driven(self):
+        profile = self.quick().request_profile
+        # With a working set far beyond the LLC, each request misses on
+        # the value lines: roughly value/line + metadata.
+        assert 5 <= profile["mean_misses_per_request"] <= 20
+        assert 0 <= profile["write_fraction"] <= 1
+        assert profile["store_bytes"] > 4 * 1024 * 1024
+
+    def test_program_structure(self):
+        w = self.quick()
+        prog = w.program()
+        assert len(prog) == 1
+        phase = prog.phases[0]
+        assert phase.repeats == 50
+        assert phase.compute_ps == w.config.stack_overhead_ps
+
+    def test_metric_requests_per_second(self):
+        w = self.quick()
+        assert w.metric_from_duration(50 * 1e12) == pytest.approx(1.0)
+
+    def test_stack_dominates_at_vanilla(self):
+        """The paper's Redis result: stack >> memory at PERIOD=1."""
+        w = self.quick()
+        eng = FluidEngine(paper_cluster_config(period=1))
+        remote = w.run_fluid(eng, Location.REMOTE)
+        local = w.run_fluid(eng, Location.LOCAL)
+        assert remote.duration_ps / local.duration_ps < 1.1
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RedisWorkloadConfig(n_requests=0)

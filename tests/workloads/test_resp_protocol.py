@@ -1,0 +1,133 @@
+"""Tests for the RESP2 wire protocol codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.workloads.kvstore.protocol import (
+    RespError,
+    decode,
+    decode_all,
+    encode,
+    encode_command,
+)
+
+
+class TestEncode:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("OK", b"+OK\r\n"),
+            (123, b":123\r\n"),
+            (-1, b":-1\r\n"),
+            (b"hello", b"$5\r\nhello\r\n"),
+            (b"", b"$0\r\n\r\n"),
+            (None, b"$-1\r\n"),
+            ([], b"*0\r\n"),
+            ([b"a", 1], b"*2\r\n$1\r\na\r\n:1\r\n"),
+        ],
+    )
+    def test_basic_values(self, value, expected):
+        assert encode(value) == expected
+
+    def test_error_value(self):
+        assert encode(RespError("ERR unknown command")) == b"-ERR unknown command\r\n"
+
+    def test_nested_array(self):
+        assert encode([[1], [b"x"]]) == b"*2\r\n*1\r\n:1\r\n*1\r\n$1\r\nx\r\n"
+
+    def test_simple_string_rejects_crlf(self):
+        with pytest.raises(ProtocolError):
+            encode("bad\r\nstring")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode(True)
+
+    def test_command_encoding(self):
+        wire = encode_command("SET", b"key", 42)
+        assert wire == b"*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$2\r\n42\r\n"
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_command()
+
+
+class TestDecode:
+    def test_roundtrip_command(self):
+        wire = encode_command("GET", b"memtier-17")
+        value, consumed = decode(wire)
+        assert consumed == len(wire)
+        assert value == [b"GET", b"memtier-17"]
+
+    def test_incomplete_returns_zero(self):
+        wire = encode(b"hello")
+        for cut in range(len(wire)):
+            value, consumed = decode(wire[:cut])
+            assert consumed == 0
+
+    def test_pipelined_frames(self):
+        wire = encode("OK") + encode(5) + encode(None)
+        values = decode_all(wire)
+        assert values == ["OK", 5, None]
+
+    def test_error_roundtrip(self):
+        value, _ = decode(encode(RespError("WRONGTYPE nope")))
+        assert isinstance(value, RespError)
+        assert value.message == "WRONGTYPE nope"
+
+    def test_null_array(self):
+        value, consumed = decode(b"*-1\r\n")
+        assert value is None and consumed == 5
+
+    def test_trailing_garbage_raises_in_decode_all(self):
+        with pytest.raises(ProtocolError):
+            decode_all(encode(1) + b"$5\r\nhel")
+
+    def test_unknown_marker(self):
+        with pytest.raises(ProtocolError):
+            decode_all(b"?what\r\n")
+
+    def test_bad_bulk_termination(self):
+        with pytest.raises(ProtocolError):
+            decode(b"$3\r\nabcXY")
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(b"$-2\r\n")
+        with pytest.raises(ProtocolError):
+            decode(b"*-5\r\n")
+
+
+resp_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**62), max_value=2**62),
+        st.binary(max_size=64),
+        st.none(),
+        st.text(
+            alphabet=st.characters(
+                blacklist_characters="\r\n", blacklist_categories=("Cs",)
+            ),
+            max_size=32,
+        ),
+    ),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(resp_values)
+def test_property_roundtrip(value):
+    wire = encode(value)
+    decoded, consumed = decode(wire)
+    assert consumed == len(wire)
+    assert decoded == value
+
+
+@given(st.lists(st.binary(max_size=32), min_size=1, max_size=6))
+def test_property_command_roundtrip(parts):
+    wire = encode_command(*parts)
+    decoded, consumed = decode(wire)
+    assert consumed == len(wire)
+    assert decoded == parts

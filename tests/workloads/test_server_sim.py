@@ -1,0 +1,96 @@
+"""Tests for the full client/server Redis DES simulation.
+
+The headline check cross-validates the phase model against the live
+client/server loop — two independent derivations of the paper's Redis
+behaviour.
+"""
+
+import pytest
+
+from repro.calibration import REDIS_STACK_OVERHEAD_PS, paper_cluster_config
+from repro.engine import FluidEngine, Location
+from repro.errors import WorkloadError
+from repro.node.cluster import ThymesisFlowSystem
+from repro.workloads.kvstore import (
+    MemtierConfig,
+    RedisServerSimulation,
+    RedisWorkload,
+    RedisWorkloadConfig,
+    ServerSimConfig,
+)
+
+
+def simulate(period=1, **cfg_kw):
+    system = ThymesisFlowSystem(paper_cluster_config(period=period))
+    system.attach_or_raise()
+    cfg = ServerSimConfig(n_requests=cfg_kw.pop("n_requests", 250), **cfg_kw)
+    return RedisServerSimulation(system, cfg).run()
+
+
+class TestServerSimulation:
+    def test_serves_all_requests(self):
+        result = simulate()
+        assert result.requests == 250
+        assert len(result.client_latency) == 250
+        assert result.store_lookup_hit_rate > 0.99  # keyspace preloaded
+
+    def test_throughput_matches_service_time(self):
+        """Serial server: rate ~ 1 / (parse + memory + respond)."""
+        result = simulate(period=1)
+        service = REDIS_STACK_OVERHEAD_PS + 1_400_000  # ~1.4us memory burst
+        assert result.requests_per_s == pytest.approx(1e12 / service, rel=0.1)
+
+    def test_degradation_matches_phase_model(self):
+        """Client/server DES vs phase-model fluid: same Redis slowdown."""
+        des = {p: simulate(period=p).requests_per_s for p in (1, 1000)}
+        des_degradation = des[1] / des[1000]
+        workload = RedisWorkload(RedisWorkloadConfig(n_requests=250, trace_sample=400))
+        fluid = {
+            p: workload.run_fluid(
+                FluidEngine(paper_cluster_config(period=p)), Location.REMOTE
+            ).metric_value
+            for p in (1, 1000)
+        }
+        fluid_degradation = fluid[1] / fluid[1000]
+        assert des_degradation == pytest.approx(fluid_degradation, rel=0.15)
+
+    def test_paper_shape_redis_insensitive_at_low_delay(self):
+        fast = simulate(period=1).requests_per_s
+        slow = simulate(period=64).requests_per_s
+        assert fast / slow < 1.1  # a few percent, as the paper reports
+
+    def test_client_latency_includes_queueing(self):
+        """Closed loop with many connections: latency ~ conns x service."""
+        result = simulate(n_connections=16)
+        service_estimate = 1e12 / result.requests_per_s
+        p50 = result.client_latency.percentile(50)
+        assert p50 == pytest.approx(16 * service_estimate, rel=0.25)
+
+    def test_single_connection_latency_near_service(self):
+        result = simulate(n_connections=1)
+        p50 = result.client_latency.percentile(50)
+        service = 1e12 / result.requests_per_s
+        assert p50 == pytest.approx(service, rel=0.05)
+
+    def test_misses_per_request_trace_driven(self):
+        result = simulate()
+        assert 5 <= result.mean_misses_per_request <= 20
+
+    def test_local_placement_faster(self):
+        remote = simulate(period=1000)
+        local = simulate(period=1000, location=Location.LOCAL)
+        assert local.requests_per_s > remote.requests_per_s
+
+    def test_small_keyspace_hits_cache(self):
+        """A tiny working set fits the LLC: fewer misses per request."""
+        small = simulate(
+            memtier=MemtierConfig(key_space=64, value_bytes=128),
+        )
+        big = simulate()
+        assert small.mean_misses_per_request < big.mean_misses_per_request
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ServerSimConfig(n_requests=0)
+        with pytest.raises(WorkloadError):
+            ServerSimConfig(memory_concurrency=0)

@@ -1,0 +1,80 @@
+"""Tests for the classic STREAM report and Graph500 kernel-1 phase."""
+
+import pytest
+
+from repro.calibration import paper_cluster_config
+from repro.engine import FluidEngine, Location
+from repro.node.cluster import ThymesisFlowSystem
+from repro.workloads import StreamConfig, stream_report
+from repro.workloads.graph500 import Graph500Config, Graph500Workload
+
+
+class TestStreamReport:
+    def _report(self, period=1, reps=1):
+        system = ThymesisFlowSystem(paper_cluster_config(period=period))
+        system.attach_or_raise()
+        return stream_report(system, StreamConfig(n_elements=4000, reps=reps))
+
+    def test_format_matches_classic_stream(self):
+        report = self._report()
+        lines = report.splitlines()
+        assert "Best Rate MB/s" in lines[1]
+        names = [line.split(":")[0] for line in lines[2:6]]
+        assert names == ["Copy", "Scale", "Add", "Triad"]
+
+    def test_add_triad_slower_than_copy_scale(self):
+        """24 B/iter kernels move more lines than 16 B/iter kernels."""
+        report = self._report()
+        rows = {}
+        for line in report.splitlines()[2:6]:
+            name, rest = line.split(":")
+            rows[name] = float(rest.split()[1])  # min time column is 3rd; Best rate is 1st
+        # Best-rate column: copy/scale similar; add/triad have higher
+        # traffic per iteration but also more time — rates comparable;
+        # the discriminating check is on times below.
+        times = {}
+        for line in report.splitlines()[2:6]:
+            name, rest = line.split(":")
+            times[name] = float(rest.split()[2])
+        assert times["Add"] > times["Copy"]
+        assert times["Triad"] > times["Scale"]
+
+    def test_delay_collapses_rates(self):
+        fast = self._report(period=1)
+        slow = self._report(period=256)
+        rate = lambda rep: float(rep.splitlines()[2].split()[1])
+        assert rate(slow) < 0.05 * rate(fast)
+
+    def test_reps_resolve_min_avg_max(self):
+        report = self._report(reps=2)
+        first = report.splitlines()[2].split()
+        avg, mn, mx = float(first[2]), float(first[3]), float(first[4])
+        assert mn <= avg <= mx
+
+
+class TestConstructionPhase:
+    def test_construction_traffic_scales_with_edges(self):
+        w = Graph500Workload(Graph500Config(scale=8, n_roots=1))
+        phase = w.construction_phase()
+        expected_bytes = 2 * 8 * w.graph.n_directed_edges
+        assert phase.n_lines == expected_bytes // 128
+        assert phase.concurrency == 128  # streaming, prefetch-friendly
+
+    def test_program_with_construction(self):
+        w = Graph500Workload(Graph500Config(scale=8, n_roots=1))
+        bare = w.program()
+        full = w.program(include_construction=True)
+        assert len(full) == len(bare) + 1
+        assert full.phases[0].name == "construction"
+
+    def test_construction_fast_relative_to_search_under_delay(self):
+        """Kernel 1 streams at full window; kernel 2 pointer-chases —
+        under heavy delay both collapse to the gate rate, but at low
+        delay construction achieves much higher line throughput."""
+        w = Graph500Workload(Graph500Config(scale=9, n_roots=1))
+        engine = FluidEngine(paper_cluster_config(period=1))
+        build = w.construction_phase()
+        search = w.program().phases[0]
+        build_rate = build.n_lines / engine.phase_duration_ps(build)
+        search_rate = search.n_lines / engine.phase_duration_ps(search)
+        assert build_rate > 2 * search_rate

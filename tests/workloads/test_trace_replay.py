@@ -1,0 +1,124 @@
+"""Tests for the trace-replay workload and trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import paper_cluster_config
+from repro.config import CacheConfig
+from repro.engine import FluidEngine, Location
+from repro.errors import WorkloadError
+from repro.node.cluster import ThymesisFlowSystem
+from repro.workloads.graph500 import Graph500Config, Graph500Workload, TraceRecorder
+from repro.workloads.graph500.bfs import bfs
+from repro.workloads.trace import (
+    TraceReplayConfig,
+    TraceReplayWorkload,
+    synthesize_trace,
+)
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSynthesizeTrace:
+    def test_sequential_walk(self):
+        addrs, writes = synthesize_trace("sequential", 100, 800, rng())
+        assert addrs.tolist()[:5] == [0, 8, 16, 24, 32]
+        assert addrs.max() < 800
+        assert not writes.any()
+
+    def test_random_within_footprint(self):
+        addrs, _ = synthesize_trace("random", 1000, 4096, rng())
+        assert addrs.min() >= 0 and addrs.max() < 4096
+        assert addrs.max() % 8 == 0
+
+    def test_zipf_skew(self):
+        addrs, _ = synthesize_trace("zipf", 5000, 1 << 20, rng())
+        # a heavy head: the most common address dominates
+        _, counts = np.unique(addrs, return_counts=True)
+        assert counts.max() > 0.2 * addrs.size
+
+    def test_write_fraction(self):
+        _, writes = synthesize_trace("random", 5000, 4096, rng(), write_fraction=0.3)
+        assert 0.25 < writes.mean() < 0.35
+
+    def test_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            synthesize_trace("strided", 10, 100, rng())
+
+
+class TestTraceReplayWorkload:
+    def small_cache(self):
+        return CacheConfig(size_bytes=8 * 1024, line_bytes=64, associativity=2)
+
+    def test_miss_profile_streaming(self):
+        """A streaming trace beyond the cache misses once per line."""
+        addrs, writes = synthesize_trace("sequential", 4096, 64 * 1024, rng())
+        w = TraceReplayWorkload(
+            addrs, writes, TraceReplayConfig(cache=self.small_cache())
+        )
+        profile = w.miss_profile
+        # 8-byte stride, 64-byte lines: one miss per 8 accesses.
+        assert profile["misses"] == pytest.approx(addrs.size / 8, rel=0.05)
+
+    def test_hot_set_mostly_hits(self):
+        addrs, _ = synthesize_trace("sequential", 4096, 4 * 1024, rng())
+        w = TraceReplayWorkload(addrs, config=TraceReplayConfig(cache=self.small_cache()))
+        assert w.miss_profile["hit_rate"] > 0.95
+
+    def test_program_chunking(self):
+        addrs, _ = synthesize_trace("random", 8000, 1 << 22, rng())
+        w = TraceReplayWorkload(
+            addrs, config=TraceReplayConfig(cache=self.small_cache(), chunk_phases=4)
+        )
+        program = w.program()
+        assert len(program) == 4
+        assert program.total_lines == w.miss_profile["misses"]
+
+    def test_all_hit_trace_becomes_compute(self):
+        addrs = np.zeros(100, dtype=np.int64)  # one line, hit after first
+        w = TraceReplayWorkload(
+            addrs,
+            config=TraceReplayConfig(cache=self.small_cache(), compute_ps_per_miss=10),
+        )
+        program = w.program()
+        # one miss chunk (the cold miss) — still a valid program
+        assert program.total_lines >= 1 or program.phases[0].compute_ps > 0
+
+    def test_graph500_trace_roundtrip(self):
+        """Replaying the instrumented BFS trace reproduces its miss count."""
+        g500 = Graph500Workload(Graph500Config(scale=8, n_roots=1))
+        recorder = TraceRecorder()
+        bfs(g500.graph, int(g500.sample_roots()[0]), recorder=recorder)
+        addrs = np.concatenate([chunk for chunk, _ in recorder.chunks()])
+        writes = np.concatenate(
+            [np.full(chunk.shape, w) for chunk, w in recorder.chunks()]
+        )
+        replay = TraceReplayWorkload(
+            addrs, writes, TraceReplayConfig(cache=g500.config.cache)
+        )
+        direct = TraceRecorder()
+        bfs(g500.graph, int(g500.sample_roots()[0]), recorder=direct)
+        from repro.mem.cache import SetAssociativeCache
+
+        cache = SetAssociativeCache(g500.config.cache)
+        expected = direct.replay_through_cache(cache)["misses"]
+        assert replay.miss_profile["misses"] == expected
+
+    def test_runs_on_both_engines(self):
+        addrs, _ = synthesize_trace("random", 4000, 1 << 22, rng())
+        w = TraceReplayWorkload(addrs, config=TraceReplayConfig(cache=self.small_cache()))
+        fluid = w.run_fluid(FluidEngine(paper_cluster_config(period=8)), Location.REMOTE)
+        system = ThymesisFlowSystem(paper_cluster_config(period=8))
+        system.attach_or_raise()
+        des = w.run_des(system, Location.REMOTE)
+        assert des.duration_ps == pytest.approx(fluid.duration_ps, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceReplayWorkload(np.empty(0, dtype=np.int64))
+        with pytest.raises(WorkloadError):
+            TraceReplayWorkload(np.asarray([1, 2]), writes=np.asarray([True]))
+        with pytest.raises(WorkloadError):
+            TraceReplayConfig(concurrency=0)
