@@ -6,6 +6,7 @@ Usage::
     repro-experiments run fig2 --mode des
     repro-experiments all --mode fluid
     python -m repro run table1
+    python -m repro lint src/repro
 """
 
 from __future__ import annotations
@@ -55,6 +56,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "summary", help="one-screen paper-vs-measured scoreboard (fast settings)"
     )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="run simlint, the determinism & unit-safety analyzer (SIM001..SIM005)",
+    )
+    from repro.tools.simlint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
     return parser
 
 
@@ -140,6 +149,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if _run_one(args.experiment, args.mode, args.quick, args.plot, args.csv)
             else 1
         )
+    if args.command == "lint":
+        from repro.tools.simlint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "summary":
         from repro.experiments.summary import render_summary
 

@@ -9,10 +9,10 @@ exposes the slot where it is inserted, "between the routing and
 multiplexer modules at the compute node egress" (section III-B).
 """
 
-from repro.nic.packet import Packet, PacketKind
-from repro.nic.router import Route, Router
 from repro.nic.mux import Multiplexer, TrafficClass
+from repro.nic.packet import Packet, PacketKind
 from repro.nic.qos_gate import PriorityGateServer
+from repro.nic.router import Route, Router
 from repro.nic.timeout import DetectionWatchdog
 from repro.nic.translation import WindowTranslator
 

@@ -1,9 +1,9 @@
 """Node and cluster composition: the end-to-end simulated testbed."""
 
-from repro.node.cpu import MemoryWindow
-from repro.node.node import Node
 from repro.node.cluster import AccessResult, ThymesisFlowSystem
+from repro.node.cpu import MemoryWindow
 from repro.node.multipair import BeyondRackDeployment, FabricPairSystem
+from repro.node.node import Node
 from repro.node.pool import MemoryPoolFabric, PoolConfig
 from repro.node.qos import QosThymesisFlowSystem
 

@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the simulator.
+
+Currently one tool lives here: :mod:`repro.tools.simlint`, the
+AST-based determinism / unit-safety analyzer that CI runs over
+``src/repro``.
+"""

@@ -1,0 +1,34 @@
+"""simlint — AST-based determinism & unit-safety analyzer.
+
+The simulator's credibility rests on two invariants the language can't
+enforce: simulated time is exact integer picoseconds, and every random
+draw flows through a named :class:`~repro.sim.rng.RngStreams` child
+stream.  simlint checks them mechanically:
+
+========  ============================================================
+SIM001    no wall-clock reads in simulator code
+SIM002    no unmanaged randomness (raw ``np.random`` / ``random``)
+SIM003    integer-time discipline on schedule delays
+SIM004    no set iteration in modules that schedule events
+SIM005    no module-level mutable state in core packages
+========  ============================================================
+
+Run it as ``python -m repro lint src/repro`` (or ``repro-simlint``);
+suppress a finding inline with ``# simlint: disable=SIM002``.
+"""
+
+from __future__ import annotations
+
+from repro.tools.simlint.registry import Finding, LintConfig, LintError, Rule, all_rules
+from repro.tools.simlint.runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]

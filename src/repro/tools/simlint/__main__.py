@@ -1,0 +1,8 @@
+"""``python -m repro.tools.simlint`` — standalone analyzer entry point."""
+
+import sys
+
+from repro.tools.simlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Baseline files: grandfather existing findings without hiding new ones.
+
+A baseline entry fingerprints a finding by ``(code, path, snippet)`` —
+the stripped source line — rather than by line number, so unrelated
+edits above a grandfathered finding don't resurrect it.  Identical
+lines are counted: three baselined copies of the same offending line
+absorb exactly three findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence, Tuple
+
+from repro.tools.simlint.registry import Finding, LintError
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Key:
+    """Stable identity of a finding across unrelated edits."""
+    return (finding.code, finding.path, finding.snippet)
+
+
+def load_baseline(path: Path | str) -> Counter:
+    """Read a baseline file into a fingerprint multiset."""
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {p}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {p} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {p}: unsupported format (expected version {BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in doc.get("entries", []):
+        try:
+            key = (str(entry["code"]), str(entry["path"]), str(entry["snippet"]))
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LintError(f"baseline {p}: malformed entry {entry!r}") from exc
+        if count < 1:
+            raise LintError(f"baseline {p}: entry count must be >= 1 ({entry!r})")
+        counts[key] += count
+    return counts
+
+
+def write_baseline(findings: Sequence[Finding], path: Path | str) -> int:
+    """Write *findings* as the new baseline; returns the entry count."""
+    counts = Counter(fingerprint(f) for f in findings)
+    entries = [
+        {"code": code, "path": fpath, "snippet": snippet, "count": n}
+        for (code, fpath, snippet), n in sorted(counts.items())
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Split *findings* into (new, n_baselined) against the multiset."""
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    absorbed = 0
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            fresh.append(finding)
+    return fresh, absorbed

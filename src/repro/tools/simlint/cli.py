@@ -1,0 +1,161 @@
+"""Command-line front end for simlint.
+
+Standalone::
+
+    repro-simlint src/repro
+    python -m repro.tools.simlint src/repro --format json
+
+or through the main CLI (``python -m repro lint src/repro``), which
+delegates here.  Exit status: 0 clean, 1 findings, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.tools.simlint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.tools.simlint.registry import LintConfig, LintError, all_rules
+from repro.tools.simlint.reporters import ReportSummary, get_reporter
+from repro.tools.simlint.runner import lint_paths
+
+__all__ = ["add_lint_arguments", "main", "run_lint"]
+
+#: Default baseline location (repo-root relative); only consulted when
+#: the file actually exists, so a clean tree needs no baseline at all.
+DEFAULT_BASELINE = "simlint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach simlint's options to *parser* (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _print_rules() -> None:
+    for cls in all_rules():
+        print(f"{cls.code}  {cls.name}")
+        print(f"       {cls.rationale}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments."""
+    try:
+        return _run_lint(args)
+    except BrokenPipeError:
+        # Reader went away mid-print (e.g. `--list-rules | head`).
+        _detach_stdout()
+        return 0
+
+
+def _detach_stdout() -> None:
+    """Point stdout at /dev/null so shutdown flushing cannot raise."""
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    select = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+
+    try:
+        result = lint_paths(args.paths, select=select, config=LintConfig())
+    except LintError as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+
+    if args.update_baseline:
+        n = write_baseline(result.findings, baseline_path)
+        print(f"simlint: baseline written to {baseline_path} ({n} entry(ies))")
+        return 0
+
+    findings = result.findings
+    baselined = 0
+    if not args.no_baseline and (args.baseline or baseline_path.exists()):
+        try:
+            findings, baselined = apply_baseline(findings, load_baseline(baseline_path))
+        except LintError as exc:
+            print(f"simlint: error: {exc}", file=sys.stderr)
+            return 2
+
+    summary = ReportSummary(
+        files_checked=result.files_checked,
+        findings=len(findings),
+        baselined=baselined,
+        suppressed=result.suppressed,
+    )
+    try:
+        print(get_reporter(args.format)(findings, summary))
+    except BrokenPipeError:
+        # Handled here rather than in run_lint's catch-all so the exit
+        # status still carries the findings verdict.
+        _detach_stdout()
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``repro-simlint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simlint",
+        description=(
+            "AST-based determinism & unit-safety analyzer for the simulator "
+            "(rules SIM001..SIM005; see --list-rules)."
+        ),
+    )
+    add_lint_arguments(parser)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on bad usage
+        return int(exc.code or 0)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

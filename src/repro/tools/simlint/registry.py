@@ -1,0 +1,161 @@
+"""Rule registry: finding record, rule base class, and rule lookup.
+
+Every rule is a class with a unique ``SIMxxx`` code.  Registration is
+explicit (a decorator) so importing :mod:`repro.tools.simlint.rules`
+populates the registry exactly once, and the CLI / tests can enumerate,
+select, and document rules without hard-coding the rule list anywhere
+else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterable, Iterator, Type
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "select_rules",
+]
+
+
+class LintError(ReproError):
+    """Bad analyzer input (unknown rule code, unreadable baseline...)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    Orderable so reports are stable: sorted by path, then position,
+    then code.  ``snippet`` (the stripped source line) rides along for
+    baseline fingerprinting but does not participate in ordering.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        """``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (reporters and baselines)."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs shared by all rules.
+
+    Paths are matched as ``/``-separated suffixes/fragments against the
+    normalized (posix) path of the module under analysis, so the config
+    works no matter which directory the analyzer is invoked from.
+    """
+
+    #: Modules allowed to touch ``numpy.random`` / ``random`` directly:
+    #: the stream registry itself is the single sanctioned constructor.
+    rng_sanctioned_suffixes: tuple[str, ...] = ("repro/sim/rng.py",)
+
+    #: Packages where module-level mutable state breaks run isolation
+    #: (SIM005).  Matched as path fragments.
+    stateful_packages: tuple[str, ...] = (
+        "repro/sim",
+        "repro/engine",
+        "repro/core",
+        "repro/net",
+        "repro/nic",
+        "repro/node",
+        "repro/mem",
+    )
+
+    def is_rng_sanctioned(self, path: str) -> bool:
+        """True if *path* may construct raw generators (the registry)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(norm.endswith("/" + s) for s in self.rng_sanctioned_suffixes)
+
+    def in_stateful_package(self, path: str) -> bool:
+        """True if *path* lives where SIM005 applies."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(f"/{pkg}/" in norm for pkg in self.stateful_packages)
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` objects.  Rules must be stateless across
+    modules — a fresh instance is used per run, and ``check`` receives
+    everything it needs.
+    """
+
+    code: ClassVar[str] = "SIM000"
+    name: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def check(self, module, config: LintConfig) -> Iterator[Finding]:
+        """Yield findings for *module* (a :class:`walker.ModuleInfo`)."""
+        raise NotImplementedError
+
+    def finding(self, module, node, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at an AST *node*."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        snippet = ""
+        if 1 <= line <= len(module.lines):
+            snippet = module.lines[line - 1].strip()
+        return Finding(
+            path=module.rel,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            snippet=snippet,
+        )
+
+
+_RULES: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *cls* to the registry (idempotent)."""
+    code = cls.code
+    existing = _RULES.get(code)
+    if existing is not None and existing is not cls:
+        raise LintError(f"duplicate rule code {code}: {existing.__name__} vs {cls.__name__}")
+    _RULES[code] = cls
+    return cls
+
+
+def all_rules() -> list[Type[Rule]]:
+    """Every registered rule class, sorted by code."""
+    import repro.tools.simlint.rules  # noqa: F401  (registration side effect)
+
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> Type[Rule]:
+    """Look up one rule class by its ``SIMxxx`` code."""
+    for cls in all_rules():
+        if cls.code == code:
+            return cls
+    raise LintError(f"unknown rule code {code!r} (have: {', '.join(sorted(_RULES))})")
+
+
+def select_rules(codes: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the requested rules (all of them when *codes* is None)."""
+    if codes is None:
+        return [cls() for cls in all_rules()]
+    return [get_rule(code)() for code in codes]

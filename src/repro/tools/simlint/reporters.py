@@ -1,0 +1,100 @@
+"""Finding reporters: human text, machine JSON, GitHub annotations.
+
+Each reporter is ``render(findings, summary) -> str``; the registry
+maps the ``--format`` names the CLI accepts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.tools.simlint.registry import Finding, LintError
+
+__all__ = ["ReportSummary", "get_reporter", "render_github", "render_json", "render_text"]
+
+#: Version of the JSON report schema (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReportSummary:
+    """Counts attached to every report."""
+
+    files_checked: int = 0
+    findings: int = 0
+    baselined: int = 0
+    suppressed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "findings": self.findings,
+            "baselined": self.baselined,
+            "suppressed": self.suppressed,
+        }
+
+
+def render_text(findings: Sequence[Finding], summary: ReportSummary) -> str:
+    """``path:line:col: CODE message`` lines plus a one-line summary."""
+    out = [f"{f.location()}: {f.code} {f.message}" for f in findings]
+    tail = (
+        f"simlint: {summary.findings} finding(s) in {summary.files_checked} file(s)"
+    )
+    extras = []
+    if summary.baselined:
+        extras.append(f"{summary.baselined} baselined")
+    if summary.suppressed:
+        extras.append(f"{summary.suppressed} suppressed inline")
+    if extras:
+        tail += f" ({', '.join(extras)})"
+    out.append(tail)
+    return "\n".join(out)
+
+
+def render_json(findings: Sequence[Finding], summary: ReportSummary) -> str:
+    """Stable machine-readable report (schema version 1)."""
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "simlint",
+        "findings": [f.to_dict() for f in findings],
+        "summary": summary.to_dict(),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _escape_gha(text: str) -> str:
+    """Escape message data per the GitHub workflow-command spec."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(findings: Sequence[Finding], summary: ReportSummary) -> str:
+    """``::error`` workflow commands GitHub renders as PR annotations."""
+    out = [
+        f"::error file={f.path},line={f.line},col={f.col},"
+        f"title=simlint {f.code}::{_escape_gha(f.message)}"
+        for f in findings
+    ]
+    out.append(
+        f"::notice title=simlint::{summary.findings} finding(s) in "
+        f"{summary.files_checked} file(s)"
+    )
+    return "\n".join(out)
+
+
+_REPORTERS: dict[str, Callable[[Sequence[Finding], ReportSummary], str]] = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
+
+
+def get_reporter(name: str) -> Callable[[Sequence[Finding], ReportSummary], str]:
+    """Look up a reporter by CLI name."""
+    try:
+        return _REPORTERS[name]
+    except KeyError:
+        raise LintError(
+            f"unknown report format {name!r} (have: {', '.join(sorted(_REPORTERS))})"
+        ) from None

@@ -1,0 +1,534 @@
+"""The simlint rule set (SIM001..SIM005).
+
+Each rule encodes one determinism / unit-safety invariant the simulator
+depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
+"Determinism invariants & simlint").  Rules work on a single module's
+AST; cross-module flow analysis is a ROADMAP item.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.tools.simlint.registry import Finding, LintConfig, Rule, register
+from repro.tools.simlint.walker import ModuleInfo, canonical_name
+
+__all__ = [
+    "WallClockRule",
+    "UnmanagedRandomnessRule",
+    "FloatTimeRule",
+    "SetIterationRule",
+    "ModuleStateRule",
+]
+
+#: Canonical dotted names that read the host's wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Callables that coerce their argument back to an exact integer,
+#: terminating SIM003's float taint.
+_INT_COERCIONS = frozenset({"int", "round", "len", "math.floor", "math.ceil", "math.trunc"})
+
+_SCHEDULE_METHODS = frozenset({"schedule", "schedule_at"})
+
+
+def _call_name(node: ast.Call, imports: dict[str, str]) -> Optional[str]:
+    return canonical_name(node.func, imports)
+
+
+def _is_schedule_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _SCHEDULE_METHODS
+    if isinstance(func, ast.Name):
+        return func.id in _SCHEDULE_METHODS
+    return False
+
+
+def _module_schedules(module: ModuleInfo) -> bool:
+    """True if the module contains any ``schedule``/``schedule_at`` call."""
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and _is_schedule_call(node):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# SIM001 — no wall-clock reads in simulated code
+# ----------------------------------------------------------------------
+@register
+class WallClockRule(Rule):
+    code = "SIM001"
+    name = "wall-clock"
+    rationale = (
+        "Simulated time is the Simulator's integer-picosecond clock; reading "
+        "the host clock (time.time, perf_counter, datetime.now) makes results "
+        "depend on host speed and load, destroying reproducibility."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, module.imports)
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read {name}() in simulator code; use the "
+                    "Simulator clock (sim.now) instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM002 — all randomness flows through RngStreams
+# ----------------------------------------------------------------------
+@register
+class UnmanagedRandomnessRule(Rule):
+    code = "SIM002"
+    name = "unmanaged-randomness"
+    rationale = (
+        "Every random draw must come from a named RngStreams child stream so "
+        "adding a component never perturbs the draws of existing components; "
+        "raw np.random.* or stdlib random.* calls break stream isolation."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if config.is_rng_sanctioned(module.rel):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, module.imports)
+            if name is None:
+                continue
+            if name.startswith("numpy.random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"raw {name}() outside repro/sim/rng.py; draw from a named "
+                    "RngStreams child stream instead",
+                )
+            elif name == "random" or name.startswith("random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib {name}() is unmanaged randomness; draw from a "
+                    "named RngStreams child stream instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM003 — integer-time discipline on delays
+# ----------------------------------------------------------------------
+@register
+class FloatTimeRule(Rule):
+    code = "SIM003"
+    name = "float-time"
+    rationale = (
+        "Simulated time is exact integer picoseconds; a float flowing into a "
+        "schedule() delay or a Time/Duration parameter reintroduces rounding "
+        "drift and platform-dependent event ordering."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        annotated = _collect_time_annotated(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_schedule(module, node)
+            yield from self._check_annotated(module, node, annotated)
+
+    def _check_schedule(self, module: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+        if not _is_schedule_call(node):
+            return
+        args: list[tuple[str, ast.expr]] = []
+        if node.args:
+            args.append(("delay/time argument", node.args[0]))
+        for kw in node.keywords:
+            if kw.arg in ("delay", "time"):
+                args.append((f"{kw.arg}= argument", kw.value))
+        for what, expr in args:
+            reason = _float_reason(expr, module.imports)
+            if reason:
+                yield self.finding(
+                    module,
+                    expr,
+                    f"{reason} flows into the {what} of a schedule call; "
+                    "delays must be exact integer picoseconds "
+                    "(use // or the repro.units helpers)",
+                )
+
+    def _check_annotated(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        annotated: dict[str, dict[str, object]],
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            fname, bound = func.id, False
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            # self.f(...) / obj.f(...): assume a bound method (skip `self`).
+            fname, bound = func.attr, True
+        else:
+            return
+        info = annotated.get(fname)
+        if info is None:
+            return
+        params: list[str] = info["params"]  # type: ignore[assignment]
+        time_params: dict[str, str] = info["time_params"]  # type: ignore[assignment]
+        offset = 1 if (bound and info["is_method"]) else 0
+        for i, arg in enumerate(node.args):
+            idx = i + offset
+            if idx >= len(params):
+                break
+            pname = params[idx]
+            if pname in time_params:
+                reason = _float_reason(arg, module.imports)
+                if reason:
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"{reason} passed for {time_params[pname]}-annotated "
+                        f"parameter {pname!r} of {fname}()",
+                    )
+        for kw in node.keywords:
+            if kw.arg in time_params:
+                reason = _float_reason(kw.value, module.imports)
+                if reason:
+                    yield self.finding(
+                        module,
+                        kw.value,
+                        f"{reason} passed for {time_params[kw.arg]}-annotated "
+                        f"parameter {kw.arg!r} of {fname}()",
+                    )
+
+
+def _annotation_kind(node: Optional[ast.expr]) -> Optional[str]:
+    """'Time' / 'Duration' if the annotation names one of them."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and node.value in ("Time", "Duration"):
+        return str(node.value)
+    if isinstance(node, ast.Name) and node.id in ("Time", "Duration"):
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in ("Time", "Duration"):
+        return node.attr
+    return None
+
+
+def _collect_time_annotated(tree: ast.Module) -> dict[str, dict[str, object]]:
+    """Functions (by bare name) with Time/Duration-annotated parameters."""
+    table: dict[str, dict[str, object]] = {}
+
+    class Collector(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.class_depth = 0
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self.class_depth += 1
+            self.generic_visit(node)
+            self.class_depth -= 1
+
+        def _visit_func(self, node) -> None:
+            params = [a.arg for a in node.args.posonlyargs + node.args.args]
+            time_params = {}
+            for a in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+                kind = _annotation_kind(a.annotation)
+                if kind:
+                    time_params[a.arg] = kind
+            if time_params:
+                is_method = self.class_depth > 0 and params[:1] in (["self"], ["cls"])
+                table[node.name] = {
+                    "params": params,
+                    "time_params": time_params,
+                    "is_method": is_method,
+                }
+            self.generic_visit(node)
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+    Collector().visit(tree)
+    return table
+
+
+def _float_reason(node: ast.expr, imports: dict[str, str]) -> Optional[str]:
+    """Why *node* definitely produces a float, or None if it may not."""
+    if isinstance(node, ast.Constant):
+        return "float literal" if isinstance(node.value, float) else None
+    if isinstance(node, ast.UnaryOp):
+        return _float_reason(node.operand, imports)
+    if isinstance(node, ast.IfExp):
+        return _float_reason(node.body, imports) or _float_reason(node.orelse, imports)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return "true division (/)"
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Mod, ast.Pow)):
+            return _float_reason(node.left, imports) or _float_reason(node.right, imports)
+        return None
+    if isinstance(node, ast.Call):
+        name = canonical_name(node.func, imports)
+        if name == "float":
+            return "float(...) conversion"
+        if name in WALL_CLOCK_CALLS:
+            return f"wall-clock {name}()"
+        # int()/round()/floor()... launder the taint back to an int.
+        return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# SIM004 — no set iteration in scheduling modules
+# ----------------------------------------------------------------------
+@register
+class SetIterationRule(Rule):
+    code = "SIM004"
+    name = "set-iteration"
+    rationale = (
+        "Set iteration order depends on insertion history and (for str keys) "
+        "the per-process hash seed; iterating a set while scheduling events "
+        "makes the event order differ between runs.  Sort first, or keep an "
+        "ordered container."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if not _module_schedules(module):
+            return
+        yield from _SetIterationVisitor(self, module).run()
+
+
+class _SetIterationVisitor(ast.NodeVisitor):
+    """Flags ``for x in <set>`` and comprehensions over sets.
+
+    Tracks, per function scope, local names bound to set-producing
+    expressions, plus ``self.<attr> = <set>`` assignments anywhere in
+    the enclosing class.  ``dict.fromkeys(<set>)`` results inherit the
+    set's (nondeterministic) order and are tracked too.  Iterating
+    ``sorted(s)`` is fine: the flagged expression is the iterable
+    itself, and ``sorted(...)`` is not a set.
+    """
+
+    def __init__(self, rule: Rule, module: ModuleInfo) -> None:
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+        self.local_sets: list[set[str]] = []
+        self.class_set_attrs: list[set[str]] = []
+
+    def run(self) -> list[Finding]:
+        assert self.module.tree is not None
+        self.visit(self.module.tree)
+        return self.findings
+
+    # -- scope management ------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_set_attrs.append(_collect_set_attrs(node))
+        self.generic_visit(node)
+        self.class_set_attrs.pop()
+
+    def _visit_func(self, node) -> None:
+        self.local_sets.append(set())
+        self.generic_visit(node)
+        self.local_sets.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    # -- assignment tracking ---------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.local_sets and self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.local_sets[-1].add(target.id)
+        self.generic_visit(node)
+
+    # -- iteration points ------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_iter(self, expr: ast.expr) -> None:
+        if self._is_set_expr(expr):
+            self.findings.append(
+                self.rule.finding(
+                    self.module,
+                    expr,
+                    "iteration over a set in a module that schedules events; "
+                    "the order is nondeterministic across runs — iterate "
+                    "sorted(...) or an ordered container",
+                )
+            )
+
+    # -- set-expression classification -----------------------------------
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self.local_sets)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return any(node.attr in attrs for attrs in self.class_set_attrs)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            name = canonical_name(node.func, self.module.imports)
+            if name in ("set", "frozenset"):
+                return True
+            if name == "dict.fromkeys" and node.args:
+                return self._is_set_expr(node.args[0])
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return self._is_set_expr(node.func.value)
+        return False
+
+
+def _collect_set_attrs(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self.<attr>`` assigned a set expression in any method."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        )
+        if not is_set:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+# ----------------------------------------------------------------------
+# SIM005 — no module-level mutable state in core packages
+# ----------------------------------------------------------------------
+@register
+class ModuleStateRule(Rule):
+    code = "SIM005"
+    name = "module-state"
+    rationale = (
+        "Module-level mutable containers survive across simulations in the "
+        "same process, so one run's state leaks into the next.  Constants "
+        "are fine (ALL_CAPS names bound to non-empty literals); registries "
+        "and caches must live on per-run objects."
+    )
+
+    #: Constructors that produce a mutable container.
+    _MUTABLE_CALLS = frozenset(
+        {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "collections.defaultdict",
+            "collections.deque",
+            "collections.Counter",
+            "collections.OrderedDict",
+        }
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if not config.in_stateful_package(module.rel):
+            return
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            kind = self._mutable_kind(value, module.imports)
+            if kind is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends
+                if _is_constant_style(name) and not _is_empty_container(value):
+                    continue  # ALL_CAPS non-empty literal: a constant table
+                yield self.finding(
+                    module,
+                    node,
+                    f"module-level mutable {kind} {name!r} breaks run "
+                    "isolation; move it onto a per-run object (or make it an "
+                    "ALL_CAPS constant literal)",
+                )
+
+    def _mutable_kind(self, value: ast.expr, imports: dict[str, str]) -> Optional[str]:
+        if isinstance(value, ast.List):
+            return "list"
+        if isinstance(value, ast.Dict):
+            return "dict"
+        if isinstance(value, ast.Set):
+            return "set"
+        if isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return "comprehension"
+        if isinstance(value, ast.Call):
+            name = canonical_name(value.func, imports)
+            if name in self._MUTABLE_CALLS:
+                return f"{name}()"
+        return None
+
+
+def _is_constant_style(name: str) -> bool:
+    stripped = name.lstrip("_")
+    return bool(stripped) and stripped == stripped.upper()
+
+
+def _is_empty_container(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Set)):
+        return not value.elts
+    if isinstance(value, ast.Dict):
+        return not value.keys
+    if isinstance(value, ast.Call):
+        return not value.args and not value.keywords
+    return False

@@ -1,0 +1,101 @@
+"""Lint driver: run the selected rules over modules and collect findings.
+
+This is the programmatic API the CLI, the tests, and the self-dogfood
+check all share:
+
+>>> from repro.tools.simlint.runner import lint_source
+>>> [f.code for f in lint_source("import time\\nt = time.time()\\n")]
+['SIM001']
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.tools.simlint.registry import Finding, LintConfig, Rule, select_rules
+from repro.tools.simlint.walker import (
+    ModuleInfo,
+    iter_python_files,
+    load_module,
+    module_from_source,
+)
+
+__all__ = ["LintResult", "lint_module", "lint_paths", "lint_source"]
+
+#: Code attached to files that do not parse.
+SYNTAX_ERROR_CODE = "SIM000"
+
+
+class LintResult:
+    """Findings plus the file count (for reporting)."""
+
+    def __init__(self, findings: list[Finding], files_checked: int, suppressed: int) -> None:
+        self.findings = findings
+        self.files_checked = files_checked
+        self.suppressed = suppressed
+
+
+def lint_module(
+    module: ModuleInfo,
+    rules: Sequence[Rule],
+    config: LintConfig,
+) -> tuple[list[Finding], int]:
+    """Run *rules* over one module; returns (findings, n_suppressed)."""
+    if module.tree is None:
+        return (
+            [
+                Finding(
+                    path=module.rel,
+                    line=1,
+                    col=1,
+                    code=SYNTAX_ERROR_CODE,
+                    message=f"file does not parse: {module.syntax_error}",
+                )
+            ],
+            0,
+        )
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(module, config):
+            if module.is_suppressed(finding.line, finding.code):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort()
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    rel: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> list[Finding]:
+    """Lint source text directly (tests and tooling)."""
+    module = module_from_source(source, rel=rel)
+    findings, _ = lint_module(module, select_rules(select), config or LintConfig())
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint files/directories; findings come back globally sorted."""
+    rules = select_rules(select)
+    cfg = config or LintConfig()
+    all_findings: list[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for path in files:
+        module = load_module(path)
+        findings, n_sup = lint_module(module, rules, cfg)
+        all_findings.extend(findings)
+        suppressed += n_sup
+    all_findings.sort()
+    return LintResult(all_findings, files_checked=len(files), suppressed=suppressed)

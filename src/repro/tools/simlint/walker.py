@@ -1,0 +1,178 @@
+"""File discovery, parsing, and per-module analysis context.
+
+The walker turns paths into :class:`ModuleInfo` records: source text,
+parsed AST, an import-alias map (so rules can canonicalize ``np.random
+.default_rng`` no matter how numpy was imported), and the inline
+suppression table (``# simlint: disable=SIM002`` comments).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "ModuleInfo",
+    "build_import_map",
+    "canonical_name",
+    "iter_python_files",
+    "load_module",
+    "module_from_source",
+    "parse_suppressions",
+]
+
+#: ``# simlint: disable`` or ``# simlint: disable=SIM001,SIM002``
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:\s*=\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?"
+)
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "venv", "build", "dist"}
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs to analyze one module."""
+
+    path: Path
+    rel: str
+    source: str
+    lines: list[str]
+    tree: Optional[ast.Module]
+    syntax_error: Optional[str] = None
+    #: line -> None (suppress every code) or the set of suppressed codes.
+    suppressions: dict[int, Optional[frozenset[str]]] = field(default_factory=dict)
+    #: local alias -> canonical dotted origin (``np`` -> ``numpy``).
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True if *code* is disabled on *line* by an inline comment."""
+        if line not in self.suppressions:
+            return False
+        codes = self.suppressions[line]
+        return codes is None or code in codes
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in f.parts):
+                    seen.setdefault(f, None)
+        elif p.suffix == ".py":
+            seen.setdefault(p, None)
+    return sorted(seen)
+
+
+def parse_suppressions(source: str) -> dict[int, Optional[frozenset[str]]]:
+    """Extract ``# simlint: disable[=CODES]`` comments, keyed by line.
+
+    Uses the tokenizer so directives inside string literals are not
+    honored; falls back to a line scan if the file does not tokenize
+    (the caller reports the syntax error separately).
+    """
+    table: dict[int, Optional[frozenset[str]]] = {}
+
+    def record(line: int, text: str) -> None:
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            return
+        codes = m.group("codes")
+        if codes is None:
+            table[line] = None
+        else:
+            new = frozenset(c.strip() for c in codes.split(","))
+            old = table.get(line, frozenset())
+            table[line] = None if old is None else frozenset(old | new)
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for i, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                record(i, text[text.index("#"):])
+    return table
+
+
+def build_import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to their canonical dotted origins.
+
+    ``import numpy as np``             -> ``np: numpy``
+    ``import time``                    -> ``time: time``
+    ``from time import perf_counter``  -> ``perf_counter: time.perf_counter``
+    ``from numpy import random as nr`` -> ``nr: numpy.random``
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                table[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+def canonical_name(node: ast.AST, imports: dict[str, str]) -> Optional[str]:
+    """Dotted name of an attribute/name chain with aliases resolved.
+
+    ``np.random.default_rng`` -> ``numpy.random.default_rng`` given
+    ``import numpy as np``; returns None for non-name expressions
+    (subscripts, calls, ...).
+    """
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(imports.get(cur.id, cur.id))
+    return ".".join(reversed(parts))
+
+
+def module_from_source(source: str, rel: str = "<string>", path: Path | None = None) -> ModuleInfo:
+    """Build a :class:`ModuleInfo` from source text (tests, stdin)."""
+    lines = source.splitlines()
+    try:
+        tree: Optional[ast.Module] = ast.parse(source, filename=rel)
+        err = None
+    except SyntaxError as exc:
+        tree, err = None, f"{exc.msg} (line {exc.lineno})"
+    return ModuleInfo(
+        path=path or Path(rel),
+        rel=rel,
+        source=source,
+        lines=lines,
+        tree=tree,
+        syntax_error=err,
+        suppressions=parse_suppressions(source),
+        imports=build_import_map(tree) if tree is not None else {},
+    )
+
+
+def load_module(path: Path | str) -> ModuleInfo:
+    """Read and parse one file; never raises on bad source."""
+    p = Path(path)
+    rel = p.as_posix()
+    try:
+        source = p.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return ModuleInfo(
+            path=p, rel=rel, source="", lines=[], tree=None, syntax_error=str(exc)
+        )
+    return module_from_source(source, rel=rel, path=p)

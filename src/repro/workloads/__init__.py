@@ -1,7 +1,7 @@
 """Workloads of the paper's evaluation: STREAM, Graph500, Redis+Memtier."""
 
 from repro.workloads.base import Workload, WorkloadRun
-from repro.workloads.stream import StreamConfig, StreamWorkload, STREAM_KERNELS, stream_report
+from repro.workloads.stream import STREAM_KERNELS, StreamConfig, StreamWorkload, stream_report
 from repro.workloads.trace import TraceReplayConfig, TraceReplayWorkload, synthesize_trace
 
 __all__ = [

@@ -8,12 +8,12 @@ memory-access trace the kernels produce so the cache model can turn it
 into the miss stream that actually hits disaggregated memory.
 """
 
+from repro.workloads.graph500.bfs import bfs
 from repro.workloads.graph500.csr import CsrGraph, build_csr
 from repro.workloads.graph500.generator import kronecker_edges, permute_vertices
-from repro.workloads.graph500.bfs import bfs
 from repro.workloads.graph500.sssp import delta_stepping
 from repro.workloads.graph500.trace import TraceRecorder
-from repro.workloads.graph500.workload import Graph500Workload, Graph500Config
+from repro.workloads.graph500.workload import Graph500Config, Graph500Workload
 
 __all__ = [
     "kronecker_edges",

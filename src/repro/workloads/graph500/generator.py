@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rng import RngStreams
 
 __all__ = ["kronecker_edges", "permute_vertices", "uniform_weights"]
 
@@ -46,7 +47,9 @@ def kronecker_edges(
         raise WorkloadError(f"scale must be >= 1, got {scale}")
     if edgefactor < 1:
         raise WorkloadError(f"edgefactor must be >= 1, got {edgefactor}")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    # Default stream mirrors Graph500Workload's seed-0 naming so bare
+    # kronecker_edges(scale) calls stay reproducible and stream-isolated.
+    rng = rng if rng is not None else RngStreams(0).get("workload.graph500.generator")
     m = edgefactor << scale
     src = np.zeros(m, dtype=np.int64)
     dst = np.zeros(m, dtype=np.int64)

@@ -14,6 +14,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rng import RngStreams
 
 __all__ = ["MemtierConfig", "MemtierStream"]
 
@@ -68,7 +69,9 @@ class MemtierStream:
 
     def __init__(self, config: MemtierConfig) -> None:
         self.config = config
-        self._rng = np.random.default_rng(config.seed)
+        # config.seed stays the root seed; the named child stream keeps
+        # memtier draws isolated from every other random component.
+        self._rng = RngStreams(config.seed).get("workload.memtier")
 
     def key_name(self, index: int) -> bytes:
         """memtier-style key for keyspace slot *index*."""

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.calibration import paper_cluster_config
-from repro.engine import AccessPhase, FluidEngine, Location, PhaseProgram
+from repro.engine import AccessPhase, FluidEngine, Location
 
 periods = st.integers(min_value=1, max_value=4096)
 lines = st.integers(min_value=1, max_value=500_000)

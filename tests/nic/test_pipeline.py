@@ -5,8 +5,6 @@ real backpressure, a live injector block) produces exactly the grant
 schedule the O(1) reservation arithmetic predicts.
 """
 
-import pytest
-
 from repro.axi import SlotGate
 from repro.config import FpgaConfig, NicConfig
 from repro.nic.packet import Packet, PacketKind

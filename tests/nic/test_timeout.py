@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import LinkDetectionTimeout
 from repro.nic.timeout import DetectionWatchdog
-from repro.units import milliseconds, microseconds
+from repro.units import microseconds, milliseconds
 
 
 class TestDetectionWatchdog:

@@ -7,7 +7,7 @@ DESIGN.md section 2); if any drifts, every figure moves.
 import pytest
 
 from repro import calibration
-from repro.units import US, MS
+from repro.units import MS, US
 
 
 class TestAnchors:

@@ -1,6 +1,5 @@
 """Unit tests for the control plane, allocation policies and QoS."""
 
-import numpy as np
 import pytest
 
 from repro.control import (

@@ -8,12 +8,14 @@ import repro
 import repro.core.delay.schedule
 import repro.sim.core
 import repro.sim.rng
+import repro.tools.simlint.runner
 
 MODULES = [
     repro,
     repro.sim.core,
     repro.sim.rng,
     repro.core.delay.schedule,
+    repro.tools.simlint.runner,
 ]
 
 

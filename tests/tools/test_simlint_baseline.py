@@ -1,0 +1,101 @@
+"""Baseline round-trip: grandfathered findings stay hidden, new ones
+surface, and line-number drift does not resurrect old findings."""
+
+import json
+
+import pytest
+
+from repro.tools.simlint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.tools.simlint.registry import Finding, LintError
+
+
+def finding(code="SIM002", path="a.py", line=3, snippet="r = np.random.default_rng(1)"):
+    return Finding(path=path, line=line, col=1, code=code, message="m", snippet=snippet)
+
+
+class TestFingerprint:
+    def test_line_number_not_part_of_identity(self):
+        assert fingerprint(finding(line=3)) == fingerprint(finding(line=99))
+
+    def test_code_path_snippet_are(self):
+        base = fingerprint(finding())
+        assert fingerprint(finding(code="SIM001")) != base
+        assert fingerprint(finding(path="b.py")) != base
+        assert fingerprint(finding(snippet="other")) != base
+
+
+class TestRoundTrip:
+    def test_write_then_load_absorbs_same_findings(self, tmp_path):
+        findings = [finding(), finding(path="b.py"), finding(code="SIM005")]
+        bl_path = tmp_path / "baseline.json"
+        n = write_baseline(findings, bl_path)
+        assert n == 3
+        fresh, absorbed = apply_baseline(findings, load_baseline(bl_path))
+        assert fresh == []
+        assert absorbed == 3
+
+    def test_line_drift_still_absorbed(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        write_baseline([finding(line=3)], bl_path)
+        fresh, absorbed = apply_baseline([finding(line=42)], load_baseline(bl_path))
+        assert fresh == [] and absorbed == 1
+
+    def test_new_finding_surfaces(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        write_baseline([finding()], bl_path)
+        new = finding(path="new.py")
+        fresh, absorbed = apply_baseline([finding(), new], load_baseline(bl_path))
+        assert fresh == [new] and absorbed == 1
+
+    def test_duplicate_lines_are_counted(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        write_baseline([finding(line=1), finding(line=2)], bl_path)
+        doc = json.loads(bl_path.read_text())
+        assert doc["entries"][0]["count"] == 2
+        # Three identical findings against a count-2 baseline: one leaks.
+        trio = [finding(line=i) for i in (1, 2, 3)]
+        fresh, absorbed = apply_baseline(trio, load_baseline(bl_path))
+        assert len(fresh) == 1 and absorbed == 2
+
+    def test_file_is_sorted_and_versioned(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        write_baseline([finding(path="z.py"), finding(path="a.py")], bl_path)
+        doc = json.loads(bl_path.read_text())
+        assert doc["version"] == 1
+        assert [e["path"] for e in doc["entries"]] == ["a.py", "z.py"]
+
+
+class TestBadInput:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LintError):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(LintError):
+            load_baseline(p)
+
+    def test_wrong_version(self, tmp_path):
+        p = tmp_path / "v9.json"
+        p.write_text(json.dumps({"version": 9, "entries": []}))
+        with pytest.raises(LintError):
+            load_baseline(p)
+
+    def test_malformed_entry(self, tmp_path):
+        p = tmp_path / "m.json"
+        p.write_text(json.dumps({"version": 1, "entries": [{"code": "SIM001"}]}))
+        with pytest.raises(LintError):
+            load_baseline(p)
+
+    def test_nonpositive_count(self, tmp_path):
+        p = tmp_path / "c.json"
+        entry = {"code": "SIM001", "path": "a.py", "snippet": "x", "count": 0}
+        p.write_text(json.dumps({"version": 1, "entries": [entry]}))
+        with pytest.raises(LintError):
+            load_baseline(p)

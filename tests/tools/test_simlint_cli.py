@@ -1,0 +1,107 @@
+"""CLI behavior: exit codes, formats, baseline workflow, and the
+``repro lint`` subcommand of the main CLI."""
+
+import json
+
+from repro.tools.simlint.cli import main as simlint_main
+
+DIRTY = (
+    "import numpy as np\n"
+    "rng = np.random.default_rng(7)\n"
+)
+CLEAN = "x = 1\n"
+
+
+def write(tmp_path, name, content):
+    p = tmp_path / name
+    p.write_text(content)
+    return p
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        p = write(tmp_path, "clean.py", CLEAN)
+        assert simlint_main([str(p)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        p = write(tmp_path, "dirty.py", DIRTY)
+        assert simlint_main([str(p)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM002" in out and "dirty.py:2:" in out
+
+    def test_unknown_rule_code_exits_two(self, tmp_path, capsys):
+        p = write(tmp_path, "clean.py", CLEAN)
+        assert simlint_main([str(p), "--select", "SIM999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_directory_discovery(self, tmp_path, capsys):
+        write(tmp_path, "a.py", DIRTY)
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        write(sub, "b.py", DIRTY)
+        assert simlint_main([str(tmp_path)]) == 1
+        assert "2 finding(s) in 2 file(s)" in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_json_format(self, tmp_path, capsys):
+        p = write(tmp_path, "dirty.py", DIRTY)
+        assert simlint_main([str(p), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "simlint"
+        assert doc["findings"][0]["code"] == "SIM002"
+
+    def test_github_format(self, tmp_path, capsys):
+        p = write(tmp_path, "dirty.py", DIRTY)
+        assert simlint_main([str(p), "-f", "github"]) == 1
+        assert capsys.readouterr().out.startswith("::error file=")
+
+    def test_list_rules(self, capsys):
+        assert simlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+            assert code in out
+
+
+class TestBaselineWorkflow:
+    def test_update_then_lint_is_clean(self, tmp_path, capsys):
+        p = write(tmp_path, "dirty.py", DIRTY)
+        bl = tmp_path / "baseline.json"
+        assert simlint_main([str(p), "--baseline", str(bl), "--update-baseline"]) == 0
+        assert bl.exists()
+        capsys.readouterr()
+        assert simlint_main([str(p), "--baseline", str(bl)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_violation_escapes_baseline(self, tmp_path, capsys):
+        p = write(tmp_path, "dirty.py", DIRTY)
+        bl = tmp_path / "baseline.json"
+        simlint_main([str(p), "--baseline", str(bl), "--update-baseline"])
+        p.write_text(DIRTY + "more = np.random.default_rng(8)\n")
+        capsys.readouterr()
+        assert simlint_main([str(p), "--baseline", str(bl)]) == 1
+        out = capsys.readouterr().out
+        assert "default_rng(8)" in out or "dirty.py:3:" in out
+
+    def test_no_baseline_flag_ignores_file(self, tmp_path, capsys):
+        p = write(tmp_path, "dirty.py", DIRTY)
+        bl = tmp_path / "baseline.json"
+        simlint_main([str(p), "--baseline", str(bl), "--update-baseline"])
+        capsys.readouterr()
+        assert simlint_main([str(p), "--baseline", str(bl), "--no-baseline"]) == 1
+
+
+class TestMainCliIntegration:
+    def test_repro_lint_subcommand(self, tmp_path, capsys):
+        from repro.experiments.cli import main as repro_main
+
+        p = write(tmp_path, "dirty.py", DIRTY)
+        assert repro_main(["lint", str(p), "--no-baseline"]) == 1
+        assert "SIM002" in capsys.readouterr().out
+
+    def test_repro_lint_clean(self, tmp_path, capsys):
+        from repro.experiments.cli import main as repro_main
+
+        p = write(tmp_path, "clean.py", CLEAN)
+        assert repro_main(["lint", str(p), "--no-baseline"]) == 0

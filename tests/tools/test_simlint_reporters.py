@@ -1,0 +1,82 @@
+"""Reporter contracts: text lines, the JSON schema, GitHub annotations."""
+
+import json
+
+import pytest
+
+from repro.tools.simlint.registry import Finding, LintError
+from repro.tools.simlint.reporters import (
+    ReportSummary,
+    get_reporter,
+    render_github,
+    render_json,
+    render_text,
+)
+
+FINDINGS = [
+    Finding(path="src/a.py", line=3, col=5, code="SIM001",
+            message="wall-clock read", snippet="t = time.time()"),
+    Finding(path="src/b.py", line=10, col=1, code="SIM002",
+            message="raw rng with % and\nnewline", snippet="np.random.default_rng(1)"),
+]
+SUMMARY = ReportSummary(files_checked=7, findings=2, baselined=1, suppressed=3)
+
+
+class TestText:
+    def test_location_prefix_lines(self):
+        out = render_text(FINDINGS, SUMMARY)
+        lines = out.splitlines()
+        assert lines[0] == "src/a.py:3:5: SIM001 wall-clock read"
+        assert lines[-1].startswith("simlint: 2 finding(s) in 7 file(s)")
+        assert "1 baselined" in lines[-1]
+        assert "3 suppressed inline" in lines[-1]
+
+    def test_clean_run_has_summary_only(self):
+        out = render_text([], ReportSummary(files_checked=4))
+        assert out == "simlint: 0 finding(s) in 4 file(s)"
+
+
+class TestJson:
+    def test_schema(self):
+        doc = json.loads(render_json(FINDINGS, SUMMARY))
+        assert doc["version"] == 1
+        assert doc["tool"] == "simlint"
+        assert doc["summary"] == {
+            "files_checked": 7, "findings": 2, "baselined": 1, "suppressed": 3,
+        }
+        assert len(doc["findings"]) == 2
+        first = doc["findings"][0]
+        assert set(first) == {"path", "line", "col", "code", "message", "snippet"}
+        assert first["code"] == "SIM001"
+        assert first["line"] == 3
+
+    def test_round_trips_into_findings(self):
+        doc = json.loads(render_json(FINDINGS, SUMMARY))
+        rebuilt = [Finding(**f) for f in doc["findings"]]
+        assert rebuilt == list(FINDINGS)
+
+
+class TestGithub:
+    def test_error_commands(self):
+        out = render_github(FINDINGS, SUMMARY).splitlines()
+        assert out[0] == (
+            "::error file=src/a.py,line=3,col=5,title=simlint SIM001::wall-clock read"
+        )
+        assert out[-1].startswith("::notice title=simlint::")
+
+    def test_message_escaping(self):
+        out = render_github(FINDINGS, SUMMARY)
+        assert "%25" in out  # literal % escaped
+        assert "%0A" in out  # newline escaped
+        assert "newline\n" not in out.splitlines()[1]
+
+
+class TestLookup:
+    def test_known_names(self):
+        assert get_reporter("text") is render_text
+        assert get_reporter("json") is render_json
+        assert get_reporter("github") is render_github
+
+    def test_unknown_name(self):
+        with pytest.raises(LintError):
+            get_reporter("sarif")

@@ -1,0 +1,295 @@
+"""Rule-by-rule fixtures: every SIMxxx code must trip on its seeded
+violation and stay quiet on the idiomatic fix."""
+
+import pytest
+
+from repro.tools.simlint import LintConfig, all_rules, lint_source
+from repro.tools.simlint.registry import LintError, get_rule
+
+
+def codes(source, rel="x.py", select=None):
+    return [f.code for f in lint_source(source, rel=rel, select=select)]
+
+
+class TestRegistry:
+    def test_five_rules_registered(self):
+        assert [cls.code for cls in all_rules()] == [
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+        ]
+
+    def test_every_rule_documents_itself(self):
+        for cls in all_rules():
+            assert cls.name
+            assert len(cls.rationale) > 40
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(LintError):
+            get_rule("SIM999")
+
+
+class TestSim001WallClock:
+    def test_time_time(self):
+        assert codes("import time\nt = time.time()\n") == ["SIM001"]
+
+    def test_perf_counter_from_import_alias(self):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        assert codes(src) == ["SIM001"]
+
+    def test_datetime_now(self):
+        src = "import datetime\nd = datetime.datetime.now()\n"
+        assert codes(src) == ["SIM001"]
+
+    def test_numpy_alias_does_not_confuse(self):
+        # A local function named `time` is not the stdlib clock.
+        src = "def time():\n    return 0\nt = time()\n"
+        assert codes(src) == []
+
+    def test_sim_now_is_fine(self):
+        assert codes("t = sim.now\n") == []
+
+
+class TestSim002UnmanagedRandomness:
+    def test_default_rng(self):
+        src = "import numpy as np\nr = np.random.default_rng(7)\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_np_random_seed(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_from_numpy_import_random(self):
+        src = "from numpy import random\nx = random.default_rng(1)\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_stdlib_random_draw(self):
+        src = "import random\nx = random.randint(0, 5)\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_from_random_import(self):
+        src = "from random import shuffle\nshuffle(items)\n"
+        assert codes(src) == ["SIM002"]
+
+    def test_rng_registry_module_is_sanctioned(self):
+        src = "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n"
+        assert codes(src, rel="src/repro/sim/rng.py") == []
+        assert codes(src, rel="elsewhere.py") != []
+
+    def test_rngstreams_usage_is_clean(self):
+        src = (
+            "from repro.sim.rng import RngStreams\n"
+            "rng = RngStreams(42).get('workload.memtier')\n"
+            "x = rng.random(10)\n"
+        )
+        assert codes(src) == []
+
+    def test_generator_annotation_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def sample(rng: np.random.Generator) -> float:\n"
+            "    return rng.random()\n"
+        )
+        assert codes(src) == []
+
+
+class TestSim003FloatTime:
+    def test_float_literal_delay(self):
+        assert codes("sim.schedule(1.5, cb)\n") == ["SIM003"]
+
+    def test_true_division_delay(self):
+        assert codes("sim.schedule(total // 2 + a / b, cb)\n") == ["SIM003"]
+
+    def test_float_call_delay(self):
+        assert codes("sim.schedule_at(float(t), cb)\n") == ["SIM003"]
+
+    def test_keyword_delay(self):
+        assert codes("sim.schedule(delay=2.0, callback=cb)\n") == ["SIM003"]
+
+    def test_int_coercion_is_clean(self):
+        assert codes("sim.schedule(int(a / b), cb)\n") == []
+        assert codes("sim.schedule(round(a / b), cb)\n") == []
+
+    def test_floor_division_is_clean(self):
+        assert codes("sim.schedule(bytes_ * ps_per_byte // scale, cb)\n") == []
+
+    def test_time_annotated_parameter(self):
+        src = (
+            "from repro.units import Duration\n"
+            "def wait(d: Duration):\n"
+            "    pass\n"
+            "wait(t / 2)\n"
+        )
+        assert codes(src) == ["SIM003"]
+
+    def test_time_annotated_keyword(self):
+        src = (
+            "def fire(at: 'Time'):\n"
+            "    pass\n"
+            "fire(at=float(x))\n"
+        )
+        assert codes(src) == ["SIM003"]
+
+    def test_method_self_offset(self):
+        src = (
+            "class Link:\n"
+            "    def transmit(self, delay: Duration):\n"
+            "        pass\n"
+            "link.transmit(size / rate)\n"
+        )
+        assert codes(src) == ["SIM003"]
+
+    def test_unannotated_parameter_is_clean(self):
+        src = "def go(x):\n    pass\ngo(a / b)\n"
+        assert codes(src) == []
+
+
+class TestSim004SetIteration:
+    def test_local_set_in_scheduling_module(self):
+        src = (
+            "def pump(sim):\n"
+            "    pending = set()\n"
+            "    for item in pending:\n"
+            "        sim.schedule(1, item)\n"
+        )
+        assert codes(src) == ["SIM004"]
+
+    def test_set_literal_comprehension(self):
+        src = (
+            "def pump(sim):\n"
+            "    out = [x for x in {1, 2, 3}]\n"
+            "    sim.schedule(1, out)\n"
+        )
+        assert codes(src) == ["SIM004"]
+
+    def test_self_attribute_set(self):
+        src = (
+            "class Mux:\n"
+            "    def __init__(self):\n"
+            "        self.waiting = set()\n"
+            "    def drain(self, sim):\n"
+            "        for flow in self.waiting:\n"
+            "            sim.schedule(1, flow)\n"
+        )
+        assert codes(src) == ["SIM004"]
+
+    def test_dict_fromkeys_of_set(self):
+        src = (
+            "def pump(sim):\n"
+            "    d = dict.fromkeys({'a', 'b'})\n"
+            "    for k in d:\n"
+            "        sim.schedule(1, k)\n"
+        )
+        assert codes(src) == ["SIM004"]
+
+    def test_sorted_iteration_is_clean(self):
+        src = (
+            "def pump(sim):\n"
+            "    pending = set()\n"
+            "    for item in sorted(pending):\n"
+            "        sim.schedule(1, item)\n"
+        )
+        assert codes(src) == []
+
+    def test_non_scheduling_module_is_exempt(self):
+        src = "def f():\n    s = set()\n    for x in s:\n        print(x)\n"
+        assert codes(src) == []
+
+    def test_list_iteration_is_clean(self):
+        src = (
+            "def pump(sim):\n"
+            "    items = [1, 2]\n"
+            "    for item in items:\n"
+            "        sim.schedule(1, item)\n"
+        )
+        assert codes(src) == []
+
+
+class TestSim005ModuleState:
+    STATEFUL = "src/repro/sim/fake_module.py"
+
+    def test_lowercase_mutable_dict(self):
+        assert codes("_cache = {}\n", rel=self.STATEFUL) == ["SIM005"]
+
+    def test_mutable_constructor_call(self):
+        src = "import collections\nhandlers = collections.defaultdict(list)\n"
+        assert codes(src, rel=self.STATEFUL) == ["SIM005"]
+
+    def test_all_caps_empty_container_still_flagged(self):
+        # An empty ALL_CAPS container is a registry, not a constant.
+        assert codes("REGISTRY = {}\n", rel=self.STATEFUL) == ["SIM005"]
+
+    def test_all_caps_constant_table_is_exempt(self):
+        src = "_PROFILES = {'pingmesh': (1, 2)}\n"
+        assert codes(src, rel=self.STATEFUL) == []
+
+    def test_dunder_all_is_exempt(self):
+        assert codes("__all__ = ['a', 'b']\n", rel=self.STATEFUL) == []
+
+    def test_outside_stateful_packages_is_exempt(self):
+        assert codes("_cache = {}\n", rel="src/repro/experiments/foo.py") == []
+
+    def test_annotated_assignment(self):
+        src = "from typing import Dict\n_seen: Dict[str, int] = {}\n"
+        assert codes(src, rel=self.STATEFUL) == ["SIM005"]
+
+    def test_tuple_constant_is_clean(self):
+        assert codes("_DIMS = (1, 2, 3)\n", rel=self.STATEFUL) == []
+
+
+class TestSuppressions:
+    SRC = "import numpy as np\nr = np.random.default_rng(3){comment}\n"
+
+    def test_targeted_suppression(self):
+        src = self.SRC.format(comment="  # simlint: disable=SIM002")
+        assert codes(src) == []
+
+    def test_blanket_suppression(self):
+        src = self.SRC.format(comment="  # simlint: disable")
+        assert codes(src) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = self.SRC.format(comment="  # simlint: disable=SIM001")
+        assert codes(src) == ["SIM002"]
+
+    def test_multiple_codes(self):
+        src = (
+            "import numpy as np\n"
+            "sim.schedule(1.5, np.random.default_rng(3).random)"
+            "  # simlint: disable=SIM002,SIM003\n"
+        )
+        assert codes(src) == []
+
+    def test_directive_inside_string_is_ignored(self):
+        src = (
+            "import numpy as np\n"
+            'msg = "# simlint: disable=SIM002"; r = np.random.default_rng(3)\n'
+        )
+        assert codes(src) == ["SIM002"]
+
+    def test_suppression_only_covers_its_line(self):
+        src = (
+            "import numpy as np\n"
+            "a = np.random.default_rng(1)  # simlint: disable=SIM002\n"
+            "b = np.random.default_rng(2)\n"
+        )
+        assert codes(src) == ["SIM002"]
+
+
+class TestSelection:
+    def test_select_runs_only_requested_rules(self):
+        src = "import time\nimport numpy as np\n" \
+              "t = time.time()\nr = np.random.default_rng(int(t))\n"
+        assert codes(src) == ["SIM001", "SIM002"]
+        assert codes(src, select=["SIM002"]) == ["SIM002"]
+
+    def test_syntax_error_produces_sim000(self):
+        assert codes("def broken(:\n") == ["SIM000"]
+
+
+class TestLintConfig:
+    def test_path_normalization(self):
+        cfg = LintConfig()
+        assert cfg.is_rng_sanctioned("src/repro/sim/rng.py")
+        assert cfg.is_rng_sanctioned("repro/sim/rng.py")
+        assert not cfg.is_rng_sanctioned("src/repro/sim/core.py")
+        assert cfg.in_stateful_package("src/repro/net/link.py")
+        assert not cfg.in_stateful_package("src/repro/experiments/cli.py")

@@ -1,0 +1,45 @@
+"""Self-dogfood: the shipped tree must satisfy its own invariants.
+
+This is the same gate CI runs (``python -m repro lint src/repro``): if
+a change introduces wall-clock reads, unmanaged randomness, float time,
+set iteration in scheduling code, or module-level mutable state, this
+test fails with the exact finding list.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.tools.simlint import lint_paths
+
+REPRO_ROOT = Path(repro.__file__).parent
+
+
+class TestSelfLint:
+    def test_src_repro_has_zero_findings(self):
+        result = lint_paths([REPRO_ROOT])
+        assert result.files_checked > 100  # the whole package, not a subset
+        formatted = "\n".join(
+            f"{f.location()}: {f.code} {f.message}" for f in result.findings
+        )
+        assert result.findings == [], f"simlint findings in src/repro:\n{formatted}"
+
+    def test_committed_baseline_is_empty(self):
+        # The acceptance bar is an empty baseline: nothing grandfathered.
+        baseline = REPRO_ROOT.parent.parent / "simlint-baseline.json"
+        if baseline.exists():
+            import json
+
+            doc = json.loads(baseline.read_text())
+            assert doc["entries"] == []
+
+    def test_known_invariants_hold_in_key_modules(self):
+        # The two modules this PR fixed must stay fixed.
+        from repro.tools.simlint import lint_source
+
+        for rel in (
+            "workloads/kvstore/memtier.py",
+            "workloads/graph500/generator.py",
+        ):
+            path = REPRO_ROOT / rel
+            findings = lint_source(path.read_text(), rel=path.as_posix())
+            assert findings == [], f"{rel}: {findings}"

@@ -1,7 +1,5 @@
 """Command-dispatch tests for the DES Redis server (RESP in/out)."""
 
-import pytest
-
 from repro.calibration import paper_cluster_config
 from repro.node.cluster import ThymesisFlowSystem
 from repro.sim import Signal

@@ -1,9 +1,7 @@
 """Tests for the classic STREAM report and Graph500 kernel-1 phase."""
 
-import pytest
-
 from repro.calibration import paper_cluster_config
-from repro.engine import FluidEngine, Location
+from repro.engine import FluidEngine
 from repro.node.cluster import ThymesisFlowSystem
 from repro.workloads import StreamConfig, stream_report
 from repro.workloads.graph500 import Graph500Config, Graph500Workload
