@@ -32,19 +32,36 @@ class AxiStream:
         where backpressure is accounted analytically).
     name:
         Diagnostic label.
+    obs:
+        Optional observability bundle; when live, each offered beat
+        updates an occupancy gauge and per-channel beat/byte counters
+        under ``axi.<name>.*``.
     """
 
-    def __init__(self, sim: Simulator, depth: Optional[int] = 2, name: str = "axis") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        depth: Optional[int] = 2,
+        name: str = "axis",
+        obs=None,
+    ) -> None:
         self.sim = sim
         self.name = name
         self._fifo = Store(sim, capacity=depth, name=name)
         self.beats_sent = 0
         self.bytes_sent = 0
+        self._obs = obs
 
     def send(self, beat: Beat) -> Waitable:
         """Offer *beat* (assert VALID); triggers when the beat is accepted."""
         self.beats_sent += 1
         self.bytes_sent += beat.nbytes
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            metrics = obs.metrics
+            metrics.count(f"axi.{self.name}.beats")
+            metrics.count(f"axi.{self.name}.bytes", beat.nbytes)
+            metrics.gauge(f"axi.{self.name}.occupancy", len(self._fifo))
         return self._fifo.put(beat)
 
     def recv(self) -> Waitable:

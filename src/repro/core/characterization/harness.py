@@ -91,12 +91,18 @@ def validation_sweep(
     mode: Mode = "fluid",
     stream: StreamConfig | None = None,
     seed: int = 1234,
+    obs=None,
 ) -> SweepResult:
     """Run the section IV-B sweep; returns per-PERIOD latency/bandwidth.
 
     STREAM "latency" is the mean transaction sojourn (what a
     load-latency probe reports) and "bandwidth" is payload bytes moved
     over elapsed time, both as in the paper's Figures 2/3.
+
+    *obs* is an optional :class:`repro.obs.Observability` bundle; each
+    PERIOD point becomes one traced run (its own process track) in DES
+    mode.  The fluid engine evaluates closed forms without simulating
+    transactions, so it produces no spans.
     """
     if not periods:
         raise ExperimentError("validation_sweep requires at least one PERIOD")
@@ -106,10 +112,12 @@ def validation_sweep(
     for period in periods:
         config = paper_cluster_config(period=period, seed=seed)
         if mode == "des":
-            system = ThymesisFlowSystem(config)
+            system = ThymesisFlowSystem(config, obs=obs)
             system.attach_or_raise()
             driver = DesPhaseDriver(system, workload.program(Location.REMOTE))
             result = driver.run_to_completion()
+            if obs is not None:
+                obs.finish_system(system)
             latency = result.mean_latency_ps
             bandwidth = result.bandwidth_bytes_per_s
         elif mode == "fluid":

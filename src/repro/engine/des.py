@@ -116,10 +116,23 @@ class DesPhaseDriver:
 
     def _run(self) -> Generator:
         sim = self.system.sim
+        obs = self.system.obs
+        pid = getattr(self.system, "_obs_pid", 1) or 1
         start = sim.now
         for phase in self.program:
-            for _ in range(phase.repeats):
+            for repeat in range(phase.repeats):
+                phase_start = sim.now
                 yield from self._run_phase(phase)
+                if obs.tracer.enabled:
+                    obs.tracer.add_span(
+                        f"{self.instance}.{phase.name}",
+                        phase_start,
+                        sim.now,
+                        pid=pid,
+                        track=f"workload.{self.instance}",
+                        cat="phase",
+                        args={"repeat": repeat},
+                    )
         end = sim.now
         self.result = InstanceResult(
             instance=self.instance,
@@ -129,6 +142,15 @@ class DesPhaseDriver:
             payload_bytes=self._lines * self.system.line_bytes,
             latencies=self.latencies,
         )
+        if obs.enabled:
+            obs.metrics.count(f"workload.{self.instance}.lines", self._lines)
+            obs.tracer.add_instant(
+                f"{self.instance}.done",
+                end,
+                pid=pid,
+                cat="workload",
+                args={"lines": self._lines},
+            )
         return self.result
 
     def _run_phase(self, phase: AccessPhase) -> Generator:

@@ -4,6 +4,9 @@ Usage::
 
     repro-experiments list
     repro-experiments run fig2 --mode des
+    repro-experiments run fig2 --quick --trace-out run.trace.json \\
+        --metrics-out metrics.jsonl --profile
+    repro-experiments obs report run.trace.json --metrics metrics.jsonl
     repro-experiments all --mode fluid
     python -m repro run table1
     python -m repro lint src/repro
@@ -12,10 +15,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Optional, Sequence
 
-from repro.experiments.registry import list_experiments, run_experiment
+from repro.experiments.registry import get_experiment, list_experiments, run_experiment
 
 __all__ = ["main"]
 
@@ -47,6 +51,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument(
         "--csv", metavar="PATH", default=None, help="also write the rows as CSV"
+    )
+    run_p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write per-request span tracing as Chrome/Perfetto trace JSON",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics timeline (JSONL, or CSV if PATH ends in .csv)",
+    )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the event loop (wall clock) and print the hot-spot table",
+    )
+    run_p.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="also write the profile as JSON (implies --profile)",
+    )
+
+    obs_p = sub.add_parser("obs", help="inspect observability artifacts from a run")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    report_p = obs_sub.add_parser(
+        "report", help="render a run's latency-decomposition / health summary"
+    )
+    report_p.add_argument("trace", help="trace JSON written by run --trace-out")
+    report_p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="metrics JSONL written by run --metrics-out",
     )
 
     all_p = sub.add_parser("all", help="run every experiment")
@@ -111,18 +151,64 @@ def _plot(result) -> None:
     print()
 
 
+def _accepted_kwargs(name: str) -> frozenset:
+    """Keyword arguments the experiment's runner actually accepts."""
+    try:
+        return frozenset(inspect.signature(get_experiment(name)).parameters)
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return frozenset()
+
+
+def _build_obs(args):
+    """Observability bundle for the run flags, or None when all are off."""
+    profile = bool(getattr(args, "profile", False) or getattr(args, "profile_out", None))
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not (trace_out or metrics_out or profile):
+        return None
+    from repro.obs import Observability
+
+    return Observability(
+        trace=bool(trace_out), metrics=bool(metrics_out), profile=profile
+    )
+
+
+def _write_obs_artifacts(obs, args) -> None:
+    if getattr(args, "trace_out", None):
+        print(f"  trace written to {obs.write_trace(args.trace_out)}")
+    if getattr(args, "metrics_out", None):
+        print(f"  metrics written to {obs.write_metrics(args.metrics_out)}")
+    if obs.profiler is not None:
+        print()
+        print(obs.profiler.render())
+        if getattr(args, "profile_out", None):
+            import json
+
+            with open(args.profile_out, "w", encoding="utf-8") as fh:
+                json.dump(obs.profiler.to_dict(), fh, indent=1)
+                fh.write("\n")
+            print(f"  profile written to {args.profile_out}")
+
+
 def _run_one(
     name: str,
     mode: Optional[str],
     quick: bool,
     plot: bool = False,
     csv_path: Optional[str] = None,
+    obs=None,
 ) -> bool:
+    accepted = _accepted_kwargs(name)
     kwargs = {}
     if mode is not None and not name.startswith("ablation-"):
         kwargs["mode"] = mode
-    if name in ("table1", "fig5"):
+    if quick and "quick" in accepted:
         kwargs["quick"] = quick
+    if obs is not None:
+        if "obs" in accepted:
+            kwargs["obs"] = obs
+        else:
+            print(f"  (note: {name} does not support observability; flags ignored)")
     result = run_experiment(name, **kwargs)
     print(result.render())
     print()
@@ -136,6 +222,28 @@ def _run_one(
     return result.passed
 
 
+def _obs_report(args) -> int:
+    """`repro obs report`: validate artifacts and render the summary."""
+    from repro.obs import load_metrics_jsonl, load_trace, render_report
+    from repro.obs.report import decomposition_check
+
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = summary = None
+    if args.metrics:
+        try:
+            rows, summary = load_metrics_jsonl(args.metrics)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(render_report(trace, rows, summary))
+    _, mismatched = decomposition_check(trace)
+    return 1 if mismatched else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit status."""
     args = _build_parser().parse_args(argv)
@@ -144,11 +252,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:<20s} {description}")
         return 0
     if args.command == "run":
-        return (
-            0
-            if _run_one(args.experiment, args.mode, args.quick, args.plot, args.csv)
-            else 1
+        obs = _build_obs(args)
+        passed = _run_one(
+            args.experiment, args.mode, args.quick, args.plot, args.csv, obs=obs
         )
+        if obs is not None:
+            _write_obs_artifacts(obs, args)
+        return 0 if passed else 1
+    if args.command == "obs":
+        return _obs_report(args)
     if args.command == "lint":
         from repro.tools.simlint.cli import run_lint
 

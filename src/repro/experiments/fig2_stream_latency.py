@@ -22,14 +22,31 @@ __all__ = ["run"]
 
 DEFAULT_PERIODS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 384)
 
+#: Reduced sweep for ``--quick``: still spans ~1 us to >100 us so the
+#: paper's shape checks hold, at a fraction of the transactions.
+QUICK_PERIODS: tuple[int, ...] = (1, 4, 32, 128, 384)
+
+QUICK_STREAM_ELEMENTS = 4_000
+
 
 def run(
     mode: str = "des",
-    periods: Sequence[int] = DEFAULT_PERIODS,
+    periods: Sequence[int] | None = None,
     stream: StreamConfig | None = None,
+    quick: bool = False,
+    obs=None,
 ) -> ExperimentResult:
-    """Regenerate the Figure 2 series."""
-    sweep = validation_sweep(periods=periods, mode=mode, stream=stream)
+    """Regenerate the Figure 2 series.
+
+    ``quick`` shrinks the PERIOD grid and STREAM footprint; *obs* is an
+    optional :class:`repro.obs.Observability` bundle threaded through
+    the DES testbed (one traced run per PERIOD point).
+    """
+    if periods is None:
+        periods = QUICK_PERIODS if quick else DEFAULT_PERIODS
+    if stream is None and quick:
+        stream = StreamConfig(n_elements=QUICK_STREAM_ELEMENTS)
+    sweep = validation_sweep(periods=periods, mode=mode, stream=stream, obs=obs)
     lat_us = sweep.latencies_ps / US
     profile = named_profile("pingmesh_intra_dc")
     lo_pct, hi_pct = profile.coverage_of_range(

@@ -22,14 +22,23 @@ __all__ = ["run"]
 
 DEFAULT_PERIODS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 384)
 
+#: Reduced sweep for ``--quick`` (keeps the >10x bandwidth collapse).
+QUICK_PERIODS: tuple[int, ...] = (1, 4, 32, 128, 384)
+
 
 def run(
     mode: str = "des",
-    periods: Sequence[int] = DEFAULT_PERIODS,
+    periods: Sequence[int] | None = None,
     stream: StreamConfig | None = None,
+    quick: bool = False,
+    obs=None,
 ) -> ExperimentResult:
-    """Regenerate the Figure 3 series."""
-    sweep = validation_sweep(periods=periods, mode=mode, stream=stream)
+    """Regenerate the Figure 3 series (``quick`` shrinks the sweep)."""
+    if periods is None:
+        periods = QUICK_PERIODS if quick else DEFAULT_PERIODS
+    if stream is None and quick:
+        stream = StreamConfig(n_elements=4_000)
+    sweep = validation_sweep(periods=periods, mode=mode, stream=stream, obs=obs)
     bw = sweep.bandwidths
     mean_bdp, deviation = sweep.bdp()
     rows = [

@@ -13,6 +13,9 @@ interleaved requesters drain at the same rate.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.obs.metrics import LogHistogram
 from repro.units import Duration, Time, transfer_time_ps
 
 __all__ = ["BandwidthServer"]
@@ -29,7 +32,15 @@ class BandwidthServer:
         Diagnostic label.
     """
 
-    __slots__ = ("rate", "name", "_next_free", "bytes_served", "transfers", "_busy_time")
+    __slots__ = (
+        "rate",
+        "name",
+        "_next_free",
+        "bytes_served",
+        "transfers",
+        "_busy_time",
+        "queue_wait_hist",
+    )
 
     def __init__(self, rate_bytes_per_s: float, name: str = "bus") -> None:
         if rate_bytes_per_s <= 0:
@@ -40,6 +51,15 @@ class BandwidthServer:
         self.bytes_served = 0
         self.transfers = 0
         self._busy_time: Duration = 0
+        # Per-transfer head-of-line wait (ps), tracked only when
+        # observability asks for it (None = disabled, zero-cost path).
+        self.queue_wait_hist: Optional[LogHistogram] = None
+
+    def enable_queue_wait_tracking(self) -> LogHistogram:
+        """Start log-bucketed tracking of per-transfer queueing waits."""
+        if self.queue_wait_hist is None:
+            self.queue_wait_hist = LogHistogram()
+        return self.queue_wait_hist
 
     def service_time(self, nbytes: int) -> Duration:
         """Pure serialization time for *nbytes* (no queueing)."""
@@ -58,6 +78,8 @@ class BandwidthServer:
         self.bytes_served += nbytes
         self.transfers += 1
         self._busy_time += duration
+        if self.queue_wait_hist is not None:
+            self.queue_wait_hist.record(start - at)
         return start, finish
 
     def busy_until(self) -> Time:

@@ -24,6 +24,7 @@ from repro.axi import AxiStream, Beat
 from repro.config import FpgaConfig, NicConfig
 from repro.core.delay import DelayInjector, DelaySchedule
 from repro.nic.packet import Packet
+from repro.obs import NULL_OBS
 from repro.sim import RngStreams, Simulator, Timeout
 from repro.units import Time
 
@@ -70,20 +71,29 @@ class StructuralBorrowerNic:
         rng: Optional[RngStreams] = None,
         schedule: Optional[DelaySchedule] = None,
         fifo_depth: int = 4,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.config = config
+        self.obs = obs if obs is not None else NULL_OBS
         fpga: FpgaConfig = config.fpga
         self.injector = DelayInjector(
             config.injection, fpga, rng=rng or RngStreams(0), schedule=schedule
         )
         self._ingress_latency = fpga.host_interface_latency + fpga.pipeline_latency
         # Inter-block channels (bounded: real FIFOs between RTL blocks).
-        self.router_to_injector = AxiStream(sim, depth=fifo_depth, name="router->inj")
-        self.injector_to_mux = AxiStream(sim, depth=fifo_depth, name="inj->mux")
-        self.mux_to_packetizer = AxiStream(sim, depth=fifo_depth, name="mux->pkt")
+        self.router_to_injector = AxiStream(
+            sim, depth=fifo_depth, name="router->inj", obs=self.obs
+        )
+        self.injector_to_mux = AxiStream(sim, depth=fifo_depth, name="inj->mux", obs=self.obs)
+        self.mux_to_packetizer = AxiStream(
+            sim, depth=fifo_depth, name="mux->pkt", obs=self.obs
+        )
         self.egress: List[EgressRecord] = []
         self._running = False
+        self._obs_pid = (
+            self.obs.tracer.begin_process("structural-nic") if self.obs.tracer.enabled else 0
+        )
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -131,11 +141,31 @@ class StructuralBorrowerNic:
         """Packetizer: records the finished egress transaction."""
         while True:
             beat: Beat = yield self.mux_to_packetizer.recv()
-            self.egress.append(
-                EgressRecord(
-                    packet=beat.payload,
-                    enter_time=beat.meta["enter"],
-                    grant_time=beat.meta["grant"],
-                    egress_time=self.sim.now,
-                )
+            record = EgressRecord(
+                packet=beat.payload,
+                enter_time=beat.meta["enter"],
+                grant_time=beat.meta["grant"],
+                egress_time=self.sim.now,
             )
+            self.egress.append(record)
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                seq = record.packet.seq
+                pid = self._obs_pid or 1
+                tracer.add_span(
+                    "nic.gate",
+                    record.enter_time,
+                    record.grant_time,
+                    pid=pid,
+                    track="nic.gate",
+                    args={"seq": seq},
+                )
+                tracer.add_span(
+                    "nic.egress",
+                    record.grant_time,
+                    record.egress_time,
+                    pid=pid,
+                    track="nic.egress",
+                    args={"seq": seq},
+                )
+                tracer.add_request(seq, record.enter_time, record.egress_time, pid=pid)

@@ -33,7 +33,8 @@ from repro.nic.router import Route, Router
 from repro.nic.timeout import DetectionWatchdog
 from repro.nic.translation import WindowMapping, WindowTranslator
 from repro.node.node import Node
-from repro.sim import Process, RngStreams, Simulator, StatRecorder, Timeout
+from repro.obs import NULL_OBS
+from repro.sim import EventLog, Process, RngStreams, Simulator, StatRecorder, Timeout
 from repro.units import Duration, Time
 
 __all__ = ["AccessResult", "ThymesisFlowSystem"]
@@ -67,6 +68,11 @@ class ThymesisFlowSystem:
     sim:
         Supply an existing simulator to co-simulate several systems;
         a fresh one is created otherwise.
+    obs:
+        Observability bundle (:class:`repro.obs.Observability`).  The
+        default :data:`~repro.obs.NULL_OBS` records nothing and adds
+        only no-op calls; a live bundle collects per-request stage
+        spans, metrics, and timeline snapshots for this system's runs.
     """
 
     def __init__(
@@ -74,11 +80,14 @@ class ThymesisFlowSystem:
         config: ClusterConfig,
         schedule: Optional[DelaySchedule] = None,
         sim: Optional[Simulator] = None,
+        obs=None,
     ) -> None:
         self.config = config
         self.sim = sim if sim is not None else Simulator()
         self.rng = RngStreams(config.seed)
         self.stats = StatRecorder(self.sim)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.log = EventLog(self.sim, capacity=1024)
 
         self.borrower = Node(self.sim, config.borrower)
         self.lender = Node(self.sim, config.lender)
@@ -102,6 +111,7 @@ class ThymesisFlowSystem:
         self._lender_latency = (
             config.borrower.nic.translation_latency + fpga.turnaround_latency
         )
+        self._obs_pid = self.obs.attach_system(self)
 
     # ------------------------------------------------------------------
     # Control-plane operations
@@ -151,6 +161,7 @@ class ThymesisFlowSystem:
                 break
             done.append(proc)
         if failures:
+            self.log.emit("control", f"attach failed: {failures[0]}")
             raise AttachError(
                 f"remote memory cannot be attached: {failures[0]}"
             ) from failures[0]
@@ -168,6 +179,7 @@ class ThymesisFlowSystem:
             name="thymesisflow",
         )
         self._attached = True
+        self.log.emit("control", f"attach: window installed after {len(done)} probes")
         return self.sim.now
 
     def attach_or_raise(self, n_probes: int = 256) -> None:
@@ -223,6 +235,7 @@ class ThymesisFlowSystem:
             traffic_class = TrafficClass.NORMAL
         sim = self.sim
         write = kind is PacketKind.WRITE_REQ
+        t_request = sim.now
         token_holder = yield self.borrower.window.acquire()
         del token_holder
         issue = sim.now
@@ -267,7 +280,76 @@ class ThymesisFlowSystem:
             self.stats.sample("remote.latency_ps", result.latency)
             self.stats.count("remote.transactions")
             self.stats.count("remote.payload_bytes", self._line)
+            if self.obs.enabled:
+                self._record_request(
+                    request.seq,
+                    t_request,
+                    issue,
+                    valid_at,
+                    grant,
+                    arrive_lender,
+                    t,
+                    arrive_back,
+                    complete,
+                )
         return result
+
+    #: Datapath stage boundaries of one remote transaction, in order.
+    #: Every stage tiles [issue, complete] exactly, so the per-request
+    #: span decomposition sums to the reported end-to-end latency.
+    STAGE_NAMES = (
+        "egress.pipeline",  # OpenCAPI host interface + router/NIC pipeline
+        "egress.gate",      # delay injector (READY gating)
+        "wire.request",     # mux + packetizer + link serialization, borrower->lender
+        "lender.memory",    # window translation + lender bus/DRAM
+        "wire.response",    # link serialization, lender->borrower
+        "ingress.pipeline", # borrower NIC ingress + OpenCAPI return
+    )
+
+    def _record_request(
+        self,
+        seq: int,
+        t_request: Time,
+        issue: Time,
+        valid_at: Time,
+        grant: Time,
+        arrive_lender: Time,
+        t_mem: Time,
+        arrive_back: Time,
+        complete: Time,
+    ) -> None:
+        """Report one transaction's stage decomposition to the tracer/metrics."""
+        obs = self.obs
+        boundaries = (issue, valid_at, grant, arrive_lender, t_mem, arrive_back, complete)
+        tracer = obs.tracer
+        if tracer.enabled:
+            pid = self._obs_pid or 1
+            if issue > t_request:
+                tracer.add_span(
+                    "cpu.window",
+                    t_request,
+                    issue,
+                    pid=pid,
+                    track="cpu.window",
+                    cat="queue",
+                    args={"seq": seq},
+                )
+            for i, name in enumerate(self.STAGE_NAMES):
+                tracer.add_span(
+                    name,
+                    boundaries[i],
+                    boundaries[i + 1],
+                    pid=pid,
+                    track=name,
+                    args={"seq": seq},
+                )
+            tracer.add_request(seq, issue, complete, pid=pid)
+        metrics = obs.metrics
+        metrics.observe("remote.latency_ps", complete - issue)
+        metrics.observe("cpu.window_wait_ps", issue - t_request)
+        for i, name in enumerate(self.STAGE_NAMES):
+            metrics.observe(f"stage.{name}_ps", boundaries[i + 1] - boundaries[i])
+        metrics.count("remote.transactions")
 
     def remote_access(
         self,

@@ -11,6 +11,7 @@ paper measures (Fig. 3): ``BDP = window x line_bytes``.
 from __future__ import annotations
 
 from repro.config import CpuConfig
+from repro.obs import LogHistogram
 from repro.sim import Resource, Simulator, Waitable
 
 __all__ = ["MemoryWindow"]
@@ -21,7 +22,10 @@ class MemoryWindow:
 
     Thin wrapper over :class:`~repro.sim.Resource` with occupancy
     statistics; shared by every workload instance on the node, as the
-    hardware window is.
+    hardware window is.  Besides peak occupancy, the window keeps a
+    log-bucketed histogram of MSHR acquisition waits (simulated ps) —
+    the "how long were misses stalled behind a full window" signal the
+    observability report reads.
     """
 
     def __init__(self, sim: Simulator, config: CpuConfig, name: str = "mshr") -> None:
@@ -29,6 +33,7 @@ class MemoryWindow:
         self.config = config
         self._slots = Resource(sim, config.max_outstanding_misses, name=name)
         self.peak_occupancy = 0
+        self.wait_hist = LogHistogram()
 
     @property
     def capacity(self) -> int:
@@ -42,11 +47,13 @@ class MemoryWindow:
 
     def acquire(self) -> Waitable:
         """Claim a window slot (blocks the caller when the window is full)."""
+        requested_at = self.sim.now
         req = self._slots.acquire()
 
         def _track(_w: Waitable) -> None:
             if self._slots.in_use > self.peak_occupancy:
                 self.peak_occupancy = self._slots.in_use
+            self.wait_hist.record(self.sim.now - requested_at)
 
         req.add_callback(_track)
         return req

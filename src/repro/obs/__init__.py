@@ -1,0 +1,52 @@
+"""Run observability: span tracing, metrics, and event-loop profiling.
+
+Three layers, all zero-cost when disabled and deterministic when
+enabled (observability never schedules events or alters simulated
+timestamps):
+
+* :mod:`repro.obs.tracer` — per-request spans through the NIC
+  datapath, exported as Chrome trace-event / Perfetto JSON;
+* :mod:`repro.obs.metrics` / :mod:`repro.obs.timeline` — log-bucketed
+  histograms (p50/p95/p99/p999 without sample storage), counters,
+  gauges, and cadence-driven timeline snapshots with JSONL/CSV export;
+* :mod:`repro.obs.profiler` — wall-clock event-loop profiling by
+  callback site (the simulator's sanctioned SIM001 exemption).
+
+:class:`Observability` bundles the layers; components accept it as an
+optional argument defaulting to :data:`NULL_OBS`.
+"""
+
+from repro.obs.context import NULL_OBS, NullObservability, Observability, SimObserver
+from repro.obs.metrics import LogHistogram, MetricsRegistry, quantile_table
+from repro.obs.profiler import LoopProfiler, SiteStats
+from repro.obs.report import load_trace, render_report, validate_chrome_trace
+from repro.obs.timeline import TimelineSampler, load_metrics_jsonl
+from repro.obs.tracer import (
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    bridge_eventlog,
+    stage_sum_check,
+)
+
+__all__ = [
+    "Observability",
+    "NullObservability",
+    "NULL_OBS",
+    "SimObserver",
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "bridge_eventlog",
+    "stage_sum_check",
+    "LogHistogram",
+    "MetricsRegistry",
+    "quantile_table",
+    "TimelineSampler",
+    "load_metrics_jsonl",
+    "LoopProfiler",
+    "SiteStats",
+    "load_trace",
+    "render_report",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,221 @@
+"""The per-run observability bundle and its null-object twin.
+
+:class:`Observability` groups the three layers — span tracer, metrics
+registry + timeline sampler, event-loop profiler — behind one handle
+that components receive as an optional constructor argument.  The
+:data:`NULL_OBS` singleton (a :class:`NullObservability`) is the
+default everywhere: every recording call on it is a no-op and it never
+installs the simulator observer hook, so a run without observability
+executes exactly the seed code path.
+
+Wiring happens in :meth:`Observability.attach_system`, which is
+duck-typed against :class:`~repro.node.cluster.ThymesisFlowSystem`:
+it opens a trace process for the run, points the timeline sampler at
+the system's health probes (bandwidth, MSHR occupancy, lender-bus
+backlog, injector stall fraction), and installs the step-hook observer
+that drives profiling and cadence sampling.  The observer only *wraps*
+callback execution and reads state — it never schedules events — so
+enabling observability cannot perturb simulated timestamps or event
+order (pinned by tests/obs/test_determinism.py).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import LoopProfiler
+from repro.obs.timeline import TimelineSampler
+from repro.obs.tracer import NullTracer, Tracer, bridge_eventlog
+
+__all__ = ["Observability", "NullObservability", "NULL_OBS", "SimObserver"]
+
+#: Default timeline cadence: one snapshot per simulated microsecond.
+DEFAULT_CADENCE_PS = 1_000_000
+
+#: Picoseconds per second (rate-probe conversion).
+_PS_PER_S = 1_000_000_000_000
+
+
+class SimObserver:
+    """Step-hook dispatcher installed on :class:`~repro.sim.core.Simulator`.
+
+    Fires each event's callback (through the profiler when enabled)
+    and lets the timeline sampler snapshot whenever the simulated clock
+    crosses a cadence boundary.
+    """
+
+    __slots__ = ("profiler", "timeline")
+
+    def __init__(
+        self,
+        profiler: Optional[LoopProfiler],
+        timeline: Optional[TimelineSampler],
+    ) -> None:
+        self.profiler = profiler
+        self.timeline = timeline
+
+    def on_event(self, sim, handle) -> None:
+        """Execute one event under observation."""
+        if self.profiler is not None:
+            self.profiler.on_event(sim, handle)
+        else:
+            handle.callback(*handle.args)
+        if self.timeline is not None:
+            self.timeline.maybe_sample(sim.now)
+
+
+class Observability:
+    """Live observability bundle for one experiment invocation.
+
+    Parameters
+    ----------
+    trace:
+        Collect per-request spans (Chrome-trace exportable).
+    metrics:
+        Collect histograms/counters/gauges and timeline snapshots.
+    profile:
+        Time event callbacks with the wall clock.
+    cadence_ps:
+        Simulated time between timeline snapshots.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics: bool = True,
+        profile: bool = False,
+        cadence_ps: int = DEFAULT_CADENCE_PS,
+    ) -> None:
+        self.tracer: Union[Tracer, NullTracer] = Tracer() if trace else NullTracer()
+        self.metrics = MetricsRegistry()
+        self.metrics_enabled = metrics
+        self.timeline: Optional[TimelineSampler] = (
+            TimelineSampler(cadence_ps) if metrics else None
+        )
+        self.profiler: Optional[LoopProfiler] = LoopProfiler() if profile else None
+
+    # ------------------------------------------------------------------
+    def attach_system(self, system, label: Optional[str] = None) -> int:
+        """Wire this bundle into a freshly built testbed; returns the pid.
+
+        Safe to call once per system; several systems sharing one
+        simulator reuse the installed observer.
+        """
+        if label is None:
+            try:
+                period = system.config.borrower.nic.injection.period
+                label = f"{type(system).__name__} PERIOD={period}"
+            except AttributeError:
+                label = type(system).__name__
+        pid = self.tracer.begin_process(label) if self.tracer.enabled else 0
+        sim = system.sim
+        if self.metrics_enabled:
+            system.lender.dram.bus.enable_queue_wait_tracking()
+        if self.timeline is not None:
+            self.timeline.begin_run(label, sim.now)
+            self._register_probes(system)
+        if self.profiler is not None or self.timeline is not None:
+            sim.set_observer(SimObserver(self.profiler, self.timeline))
+        return pid
+
+    def _register_probes(self, system) -> None:
+        timeline = self.timeline
+        assert timeline is not None
+        bus = system.lender.dram.bus
+        window = system.borrower.window
+        injector = system.injector
+        sim = system.sim
+        timeline.rate_probe(
+            "bandwidth_bytes_per_s", lambda: bus.bytes_served, scale=_PS_PER_S
+        )
+        timeline.add_probe("mshr_occupancy", lambda: window.outstanding)
+        timeline.add_probe(
+            "lender_bus_backlog_ps", lambda: max(0, bus.busy_until() - sim.now)
+        )
+        # Mean number of transactions stalled at the injector gate over
+        # the row's interval (delta of summed wait time / elapsed).
+        timeline.rate_probe("injector_stall_frac", lambda: injector.waits.sum(), scale=1.0)
+        timeline.add_probe("events_processed", lambda: sim.events_processed)
+
+    def finish_system(self, system, pid: Optional[int] = None) -> None:
+        """Close out one system's run: final snapshot, histogram folds,
+        stat-summary gauges, and the event-log → trace bridge."""
+        if pid is None:
+            pid = getattr(system, "_obs_pid", 1) or 1
+        if self.timeline is not None:
+            self.timeline.flush_run(system.sim.now)
+        if self.metrics_enabled:
+            metrics = self.metrics
+            window_hist = getattr(system.borrower.window, "wait_hist", None)
+            if window_hist is not None and window_hist.count:
+                metrics.histogram("cpu.mshr_wait_ps").merge(window_hist)
+            bus_hist = system.lender.dram.bus.queue_wait_hist
+            if bus_hist is not None and bus_hist.count:
+                metrics.histogram("lender.bus_queue_wait_ps").merge(bus_hist)
+            # StatRecorder.summary() now reports tail percentiles; fold
+            # the run's flat summary in as gauges so exported metrics
+            # carry the same numbers the experiment printed.
+            for key, value in system.stats.summary().items():
+                metrics.gauge(f"stats.{key}", value)
+        log = getattr(system, "log", None)
+        if log is not None and self.tracer.enabled:
+            bridge_eventlog(self.tracer, log, pid=pid)
+        system.sim.clear_observer()
+
+    # ------------------------------------------------------------------
+    # Artifact writers (used by the CLI)
+    # ------------------------------------------------------------------
+    def write_trace(self, path: str) -> str:
+        """Write the Chrome/Perfetto trace JSON; returns the path."""
+        if not isinstance(self.tracer, Tracer):
+            raise ValueError("tracing was not enabled for this run")
+        return self.tracer.write(path)
+
+    def write_metrics(self, path: str) -> str:
+        """Write the metrics timeline (JSONL, or CSV by extension)."""
+        if self.timeline is None:
+            raise ValueError("metrics were not enabled for this run")
+        if path.endswith(".csv"):
+            return self.timeline.write_csv(path)
+        return self.timeline.write_jsonl(path, summary=self.metrics.dump())
+
+
+class NullObservability:
+    """Disabled observability: the default for every component."""
+
+    enabled = False
+    metrics_enabled = False
+    timeline = None
+    profiler = None
+
+    def __init__(self) -> None:
+        self.tracer = NullTracer()
+        self.metrics = _NullMetrics()
+
+    def attach_system(self, system, label: Optional[str] = None) -> int:
+        return 0
+
+    def finish_system(self, system, pid: int = 0) -> None:
+        return None
+
+
+class _NullMetrics:
+    """No-op stand-in for :class:`~repro.obs.metrics.MetricsRegistry`."""
+
+    __slots__ = ()
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+#: Shared disabled bundle (stateless; safe to share between systems).
+NULL_OBS = NullObservability()

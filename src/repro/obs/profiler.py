@@ -1,0 +1,141 @@
+"""Wall-clock event-loop profiler for the DES kernel.
+
+Answers "where does *host* CPU time go while simulating?" — the
+question every future performance PR starts from.  Hooked into
+:meth:`repro.sim.core.Simulator.step` via the observer interface, it
+times each fired callback with ``time.perf_counter`` and aggregates by
+*callback site* (the function's qualified name), alongside events/sec
+and event-heap depth statistics.
+
+This module is the one sanctioned wall-clock reader in the simulator
+(simlint SIM001 is suppressed inline, with justification): profiling
+output is diagnostic only and never flows back into simulated time,
+event ordering, or results — the determinism test runs the same
+experiment with profiling on and off and pins identical rows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SiteStats", "LoopProfiler"]
+
+
+class SiteStats:
+    """Aggregated wall-clock cost of one callback site."""
+
+    __slots__ = ("site", "calls", "total_s", "max_s")
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    @property
+    def mean_us(self) -> float:
+        """Mean wall time per call in microseconds."""
+        return self.total_s / self.calls * 1e6 if self.calls else 0.0
+
+
+def _site_of(callback) -> str:
+    func = getattr(callback, "__func__", callback)
+    qualname = getattr(func, "__qualname__", None)
+    if qualname is None:  # pragma: no cover - exotic callables
+        qualname = repr(func)
+    module = getattr(func, "__module__", "?")
+    return f"{module}:{qualname}"
+
+
+class LoopProfiler:
+    """Per-callback-site wall-clock accounting for the event loop."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, SiteStats] = {}
+        self.events = 0
+        self.wall_s = 0.0
+        self.max_heap_depth = 0
+        self._heap_depth_sum = 0
+
+    # ------------------------------------------------------------------
+    def on_event(self, sim, handle) -> None:
+        """Fire *handle*'s callback under timing (called by the kernel)."""
+        heap_depth = len(sim._heap)
+        t0 = time.perf_counter()  # simlint: disable=SIM001 — wall-clock profiling only; readings are reported, never fed into simulated time or scheduling
+        handle.callback(*handle.args)
+        elapsed = time.perf_counter() - t0  # simlint: disable=SIM001 — see above
+        site = _site_of(handle.callback)
+        stats = self.sites.get(site)
+        if stats is None:
+            stats = self.sites[site] = SiteStats(site)
+        stats.add(elapsed)
+        self.events += 1
+        self.wall_s += elapsed
+        self._heap_depth_sum += heap_depth
+        if heap_depth > self.max_heap_depth:
+            self.max_heap_depth = heap_depth
+
+    # ------------------------------------------------------------------
+    @property
+    def events_per_second(self) -> float:
+        """Simulated events fired per wall second (inside callbacks)."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def mean_heap_depth(self) -> float:
+        """Mean pending-event heap depth observed at each firing."""
+        return self._heap_depth_sum / self.events if self.events else 0.0
+
+    def table(self, limit: Optional[int] = 15) -> List[Tuple]:
+        """Hot sites as ``(site, calls, total_ms, mean_us, share)`` rows."""
+        ranked = sorted(self.sites.values(), key=lambda s: s.total_s, reverse=True)
+        if limit is not None:
+            ranked = ranked[:limit]
+        total = self.wall_s or float("nan")
+        return [
+            (s.site, s.calls, s.total_s * 1e3, s.mean_us, s.total_s / total)
+            for s in ranked
+        ]
+
+    def to_dict(self, limit: Optional[int] = None) -> dict:
+        """JSON-serializable profile (for ``--profile-out``)."""
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "events_per_second": self.events_per_second,
+            "mean_heap_depth": self.mean_heap_depth,
+            "max_heap_depth": self.max_heap_depth,
+            "sites": [
+                {
+                    "site": site,
+                    "calls": calls,
+                    "total_ms": total_ms,
+                    "mean_us": mean_us,
+                    "share": share,
+                }
+                for site, calls, total_ms, mean_us, share in self.table(limit)
+            ],
+        }
+
+    def render(self, limit: int = 15) -> str:
+        """Printable hot-spot table."""
+        lines = [
+            "event-loop profile: "
+            f"{self.events} events in {self.wall_s * 1e3:.1f} ms of callback time "
+            f"({self.events_per_second:,.0f} events/s), "
+            f"heap depth mean {self.mean_heap_depth:.1f} / max {self.max_heap_depth}",
+            f"{'callback site':<58s}{'calls':>9s}{'total ms':>10s}{'mean us':>9s}{'share':>7s}",
+        ]
+        lines.append("-" * len(lines[-1]))
+        for site, calls, total_ms, mean_us, share in self.table(limit):
+            lines.append(
+                f"{site:<58s}{calls:>9d}{total_ms:>10.2f}{mean_us:>9.2f}{share:>6.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Periodic timeline snapshots of simulation health signals.
+
+A :class:`TimelineSampler` polls registered *probes* (zero-argument
+callables returning a number: bandwidth, queue depth, MSHR occupancy,
+injector stall fraction, ...) every ``cadence_ps`` of *simulated* time
+and accumulates one row per tick.
+
+Sampling is driven from the simulator's step hook — the sampler never
+schedules events of its own, so enabling it cannot change event order,
+tie-breaking sequence numbers, or when the run terminates.  A row is
+taken when the simulated clock first reaches or crosses a cadence
+boundary; if one event jumps several boundaries at once (an idle
+stretch), the intermediate boundaries are skipped — state cannot have
+changed while no event fired — and rate probes normalize by the actual
+elapsed simulated time (the ``dt_ps`` column), so bandwidth-style
+signals stay correct across skips.
+
+Rows export to JSONL (one JSON object per line; a final ``"summary"``
+record carries the run's full metrics dump) or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["TimelineSampler", "load_metrics_jsonl"]
+
+
+class TimelineSampler:
+    """Cadence-driven snapshotter over named probes.
+
+    Parameters
+    ----------
+    cadence_ps:
+        Simulated time between snapshots.
+    """
+
+    def __init__(self, cadence_ps: int = 1_000_000) -> None:
+        if cadence_ps <= 0:
+            raise ValueError(f"cadence_ps must be positive, got {cadence_ps}")
+        self.cadence_ps = int(cadence_ps)
+        self.rows: List[dict] = []
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._rate_probes: Dict[str, tuple] = {}  # name -> (fn, scale, last-value box)
+        self._run: Optional[str] = None
+        self._next_tick: Optional[int] = None
+        self._last_tick: int = 0
+
+    # ------------------------------------------------------------------
+    def begin_run(self, label: str, start_ps: int = 0) -> None:
+        """Start a new observed run: reset probes and tick phase."""
+        self._run = label
+        self._probes = {}
+        self._rate_probes = {}
+        self._next_tick = start_ps + self.cadence_ps
+        self._last_tick = start_ps
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register probe *name* (absolute value) for the current run."""
+        self._probes[name] = fn
+
+    def rate_probe(self, name: str, fn: Callable[[], float], scale: float = 1.0) -> None:
+        """Register a rate probe over the monotonic counter ``fn()``.
+
+        Each row reports ``delta(fn) / dt_ps * scale`` — e.g. with
+        *scale* = ps/s, a byte counter becomes bytes/second regardless
+        of how much simulated time the row actually covers.
+        """
+        self._rate_probes[name] = (fn, scale, [fn()])
+
+    # ------------------------------------------------------------------
+    def maybe_sample(self, now_ps: int) -> None:
+        """Take a snapshot if *now_ps* reached/crossed a cadence boundary."""
+        nxt = self._next_tick
+        if nxt is None or now_ps < nxt:
+            return
+        # One row per firing event: intermediate boundaries crossed in
+        # a single jump are skipped (no event fired, state unchanged).
+        ticks_crossed = (now_ps - nxt) // self.cadence_ps + 1
+        tick = nxt + (ticks_crossed - 1) * self.cadence_ps
+        self._snapshot(tick, now_ps)
+        self._next_tick = tick + self.cadence_ps
+
+    def _snapshot(self, tick_ps: int, now_ps: int) -> None:
+        dt = tick_ps - self._last_tick
+        self._last_tick = tick_ps
+        row: dict = {
+            "kind": "sample",
+            "run": self._run,
+            "tick_ps": tick_ps,
+            "t_ps": now_ps,
+            "dt_ps": dt,
+        }
+        for name, fn in self._probes.items():
+            row[name] = fn()
+        for name, (fn, scale, last) in self._rate_probes.items():
+            current = fn()
+            row[name] = (current - last[0]) / dt * scale if dt > 0 else 0.0
+            last[0] = current
+        self.rows.append(row)
+
+    def flush_run(self, now_ps: int) -> None:
+        """Force a final snapshot at the end of the current run."""
+        if self._run is None:
+            return
+        self._snapshot(now_ps, now_ps)
+        self._next_tick = None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str, summary: Optional[dict] = None) -> str:
+        """Write rows (plus an optional trailing summary record) as JSONL."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.rows:
+                fh.write(json.dumps(row, separators=(",", ":")))
+                fh.write("\n")
+            if summary is not None:
+                record = {"kind": "summary"}
+                record.update(summary)
+                fh.write(json.dumps(record, separators=(",", ":")))
+                fh.write("\n")
+        return path
+
+    def write_csv(self, path: str) -> str:
+        """Write sample rows as CSV (union of columns, blank when absent)."""
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+        return path
+
+
+def load_metrics_jsonl(path: str) -> tuple[List[dict], Optional[dict]]:
+    """Read a metrics JSONL file back into ``(sample_rows, summary)``."""
+    rows: List[dict] = []
+    summary: Optional[dict] = None
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "summary":
+                summary = record
+            else:
+                rows.append(record)
+    return rows, summary

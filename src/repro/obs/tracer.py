@@ -1,0 +1,335 @@
+"""Span tracing with Chrome trace-event / Perfetto export.
+
+The tracer records *what already happened*: components report spans
+with explicit simulated start/end timestamps (picoseconds), which the
+reservation-based datapath computes anyway.  Recording therefore never
+schedules events, never reads the clock for timing decisions, and never
+perturbs simulated results — the determinism tests pin this.
+
+Export is the Chrome trace-event JSON object format (`traceEvents`
+plus free-form `metadata`), loadable by Perfetto (ui.perfetto.dev) and
+``chrome://tracing``.  Simulated picoseconds are exported as fractional
+microseconds, the unit the format expects.
+
+Track model:
+
+* one *process* per observed run (e.g. one PERIOD point of a sweep),
+  named via :meth:`Tracer.begin_process`;
+* one *thread* per pipeline stage or component track, named on first
+  use; complete (``"X"``) events carry per-stage spans;
+* per-request async spans (``"b"``/``"e"``, id = request sequence
+  number) tie a request's stages together end to end;
+* :class:`~repro.sim.eventlog.EventLog` entries bridge in as instant
+  (``"i"``) events via :func:`bridge_eventlog`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "bridge_eventlog",
+    "stage_sum_check",
+    "PS_PER_US",
+]
+
+#: Simulated picoseconds per exported microsecond tick.
+PS_PER_US = 1_000_000
+
+
+class SpanRecord:
+    """One completed span on a track (simulated-time picoseconds)."""
+
+    __slots__ = ("name", "cat", "pid", "track", "start", "end", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        track: str,
+        start: int,
+        end: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts ({end} < {start})")
+        self.name = name
+        self.cat = cat
+        self.pid = pid
+        self.track = track
+        self.start = start
+        self.end = end
+        self.args = args
+
+    @property
+    def duration(self) -> int:
+        """Span length in picoseconds."""
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans/instants and exports Chrome trace-event JSON."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self.instants: List[Tuple[int, int, str, str, Optional[dict]]] = []
+        # (pid, seq, start, end, args)
+        self.requests: List[Tuple[int, int, int, int, Optional[dict]]] = []
+        self._processes: List[str] = []
+        self.metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def begin_process(self, label: str) -> int:
+        """Open a new top-level track group (one per observed run)."""
+        self._processes.append(label)
+        return len(self._processes)  # pids are 1-based
+
+    def add_span(
+        self,
+        name: str,
+        start: int,
+        end: int,
+        pid: int = 1,
+        track: str = "datapath",
+        cat: str = "stage",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a completed span with explicit simulated times (ps)."""
+        self.spans.append(SpanRecord(name, cat, pid, track, start, end, args))
+
+    def add_request(
+        self,
+        seq: int,
+        start: int,
+        end: int,
+        pid: int = 1,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record one request's end-to-end envelope as an async span."""
+        if end < start:
+            raise ValueError(f"request {seq} ends before it starts ({end} < {start})")
+        self.requests.append((pid, seq, start, end, args))
+
+    def add_instant(
+        self,
+        name: str,
+        ts: int,
+        pid: int = 1,
+        cat: str = "event",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a zero-duration marker at simulated time *ts* (ps)."""
+        self.instants.append((pid, ts, name, cat, args))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def stage_decomposition(self, cat: str = "stage") -> List[Tuple[str, dict]]:
+        """Aggregate span durations per stage name, in first-seen order.
+
+        Returns ``[(stage, {count, total_ps, mean_ps, p50_ps, p99_ps,
+        max_ps, share}), ...]`` where ``share`` is the stage's fraction
+        of the summed duration across all stages of category *cat*.
+        """
+        from repro.obs.metrics import LogHistogram
+
+        order: List[str] = []
+        hists: Dict[str, LogHistogram] = {}
+        for span in self.spans:
+            if span.cat != cat:
+                continue
+            hist = hists.get(span.name)
+            if hist is None:
+                hist = hists[span.name] = LogHistogram(min_value=1.0, buckets_per_octave=8)
+                order.append(span.name)
+            hist.record(span.duration)
+        grand_total = sum(h.sum for h in hists.values()) or float("nan")
+        out: List[Tuple[str, dict]] = []
+        for name in order:
+            hist = hists[name]
+            out.append(
+                (
+                    name,
+                    {
+                        "count": hist.count,
+                        "total_ps": hist.sum,
+                        "mean_ps": hist.mean(),
+                        "p50_ps": hist.percentile(50),
+                        "p99_ps": hist.percentile(99),
+                        "max_ps": hist.max,
+                        "share": hist.sum / grand_total,
+                    },
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def _track_tids(self) -> Dict[Tuple[int, str], int]:
+        tids: Dict[Tuple[int, str], int] = {}
+        for span in self.spans:
+            key = (span.pid, span.track)
+            if key not in tids:
+                tids[key] = len([k for k in tids if k[0] == span.pid]) + 1
+        return tids
+
+    def to_chrome_trace(self) -> dict:
+        """The full trace as a Chrome trace-event JSON object."""
+        events: List[dict] = []
+        for pid, label in enumerate(self._processes, start=1):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        tids = self._track_tids()
+        for (pid, track), tid in sorted(tids.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        for span in self.spans:
+            event = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "pid": span.pid,
+                "tid": tids[(span.pid, span.track)],
+                "ts": span.start / PS_PER_US,
+                "dur": span.duration / PS_PER_US,
+            }
+            if span.args:
+                event["args"] = span.args
+            events.append(event)
+        for pid, seq, start, end, args in self.requests:
+            base = {
+                "name": "request",
+                "cat": "request",
+                "id": seq,
+                "pid": pid,
+                "tid": 0,
+            }
+            begin = dict(base, ph="b", ts=start / PS_PER_US)
+            finish = dict(base, ph="e", ts=end / PS_PER_US)
+            if args:
+                begin["args"] = args
+            events.extend((begin, finish))
+        for pid, ts, name, cat, args in self.instants:
+            event = {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "p",
+                "pid": pid,
+                "tid": 0,
+                "ts": ts / PS_PER_US,
+            }
+            if args:
+                event["args"] = args
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "metadata": dict(self.metadata),
+        }
+
+    def write(self, path: str) -> str:
+        """Write the Chrome trace JSON to *path*; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, separators=(",", ":"))
+            fh.write("\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.requests) + len(self.instants)
+
+
+class NullTracer:
+    """Zero-cost tracer: every recording call is a no-op."""
+
+    enabled = False
+
+    def begin_process(self, label: str) -> int:
+        return 0
+
+    def add_span(self, *args, **kwargs) -> None:
+        return None
+
+    def add_request(self, *args, **kwargs) -> None:
+        return None
+
+    def add_instant(self, *args, **kwargs) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+def bridge_eventlog(tracer: Tracer, log, pid: int = 1, limit: Optional[int] = None) -> int:
+    """Mirror an :class:`~repro.sim.eventlog.EventLog` into the trace.
+
+    Stored entries become instant events (category ``log.<category>``);
+    the log's drop counter is surfaced in the trace metadata so a
+    truncated log is visible in `repro obs report`.  Returns the number
+    of entries bridged.
+    """
+    entries: Iterable = log.entries()
+    if limit is not None:
+        entries = list(entries)[-limit:]
+    n = 0
+    for entry in entries:
+        tracer.add_instant(
+            entry.message,
+            entry.time,
+            pid=pid,
+            cat=f"log.{entry.category}",
+            args={"seq": entry.sequence},
+        )
+        n += 1
+    dropped = getattr(log, "dropped", 0)
+    total = tracer.metadata.get("eventlog_dropped", 0)
+    tracer.metadata["eventlog_dropped"] = int(total) + int(dropped)
+    tracer.metadata["eventlog_bridged"] = int(tracer.metadata.get("eventlog_bridged", 0)) + n
+    return n
+
+
+def stage_sum_check(
+    spans: Sequence[SpanRecord],
+    requests: Sequence[Tuple[int, int, int, int, Optional[dict]]],
+    cat: str = "stage",
+) -> bool:
+    """True when each request's stage spans sum to its envelope exactly.
+
+    Used by tests and `repro obs report` to assert the decomposition
+    invariant: per-request pipeline stages tile the end-to-end latency.
+    """
+    by_request: Dict[Tuple[int, int], int] = {}
+    for span in spans:
+        if span.cat != cat or not span.args or "seq" not in span.args:
+            continue
+        key = (span.pid, span.args["seq"])
+        by_request[key] = by_request.get(key, 0) + span.duration
+    for pid, seq, start, end, _args in requests:
+        total = by_request.get((pid, seq))
+        if total is not None and total != end - start:
+            return False
+    return True

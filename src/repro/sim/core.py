@@ -87,6 +87,7 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._event_count = 0
+        self._observer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -100,6 +101,26 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events fired so far (diagnostics)."""
         return self._event_count
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def set_observer(self, observer: Any) -> None:
+        """Install an event observer (see :mod:`repro.obs`).
+
+        The observer's ``on_event(sim, handle)`` is called *instead of*
+        the plain ``handle.callback(*handle.args)`` dispatch and must
+        invoke the callback itself.  Observers may time callbacks and
+        read simulator state but must never schedule events — the
+        kernel stays deterministic only because observation is
+        read-only.  With no observer installed (the default), dispatch
+        is a single ``is None`` check per event.
+        """
+        self._observer = observer
+
+    def clear_observer(self) -> None:
+        """Remove the installed observer (no-op when none is set)."""
+        self._observer = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -139,7 +160,11 @@ class Simulator:
                 raise SimulationError("event heap yielded an event in the past")
             self._now = handle.time
             self._event_count += 1
-            handle.callback(*handle.args)
+            observer = self._observer
+            if observer is None:
+                handle.callback(*handle.args)
+            else:
+                observer.on_event(self, handle)
             return True
         return False
 
@@ -158,7 +183,8 @@ class Simulator:
             *until* on return unless an event fired at a later time was
             already due.
         max_events:
-            Safety valve; raise :class:`SimulationError` when exceeded.
+            Safety valve; at most this many events fire, and
+            :class:`SimulationError` is raised if more remain after.
 
         Returns
         -------
@@ -179,13 +205,16 @@ class Simulator:
                 if until is not None and nxt.time > until:
                     self._now = until
                     break
-                if not self.step():  # pragma: no cover - heap nonempty above
-                    break
-                fired += 1
-                if max_events is not None and fired > max_events:
+                # Check the budget before firing: exactly max_events
+                # events run, and the error means a further event was
+                # genuinely pending (a drained queue never raises).
+                if max_events is not None and fired >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway simulation?)"
                     )
+                if not self.step():  # pragma: no cover - heap nonempty above
+                    break
+                fired += 1
             else:
                 if until is not None and until > self._now:
                     self._now = until

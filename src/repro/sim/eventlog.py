@@ -41,8 +41,10 @@ class EventLog:
     sim:
         Clock source.
     capacity:
-        Newest entries kept (older entries are dropped silently; the
-        per-category counters keep counting).
+        Newest entries kept.  Older entries are evicted once capacity
+        is reached; the per-category counters keep counting and the
+        eviction total is exposed as :attr:`dropped` so truncation is
+        never silent (``repro obs report`` surfaces it).
     enabled_categories:
         When given, only these categories are stored (all are counted).
     """
@@ -61,12 +63,20 @@ class EventLog:
         self._seq = 0
         self._enabled = None if enabled_categories is None else set(enabled_categories)
         self.counts: Counter = Counter()
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted because the log was at capacity."""
+        return self._dropped
 
     def emit(self, category: str, message: str) -> None:
         """Record one event at the current simulated time."""
         self.counts[category] += 1
         if self._enabled is not None and category not in self._enabled:
             return
+        if len(self._entries) >= self.capacity:
+            self._dropped += 1
         self._entries.append(
             LogEntry(
                 time=self.sim.now,

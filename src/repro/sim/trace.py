@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.obs.metrics import LogHistogram
 from repro.sim.core import Simulator
 from repro.units import Time
 
@@ -123,12 +124,20 @@ class TimeWeightedValue:
 
 
 class StatRecorder:
-    """Named registry of counters, sample series and time-weighted values."""
+    """Named registry of counters, sample series and time-weighted values.
+
+    Each sample series is shadowed by a
+    :class:`~repro.obs.metrics.LogHistogram`, so :meth:`summary` can
+    report tail percentiles (p50/p95/p99) in O(buckets) regardless of
+    sample count — the paper's comparisons (Clio, DRackSim) report
+    tails, not just means.
+    """
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.counters: Dict[str, float] = {}
         self.series: Dict[str, SampleSeries] = {}
+        self.histograms: Dict[str, LogHistogram] = {}
         self.levels: Dict[str, TimeWeightedValue] = {}
 
     def count(self, name: str, amount: float = 1.0) -> None:
@@ -140,7 +149,9 @@ class StatRecorder:
         series = self.series.get(name)
         if series is None:
             series = self.series[name] = SampleSeries(name)
+            self.histograms[name] = LogHistogram()
         series.add(value)
+        self.histograms[name].record(value)
 
     def level(self, name: str) -> TimeWeightedValue:
         """Return (creating if needed) the time-weighted value *name*."""
@@ -157,10 +168,21 @@ class StatRecorder:
         return series
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict of counters plus per-series means (for quick dumps)."""
+        """Flat dict of counters plus per-series reductions.
+
+        Each non-empty series contributes ``.mean``/``.count`` (exact)
+        and ``.p50``/``.p95``/``.p99``/``.max`` read from its shadow
+        histogram (percentiles carry the histogram's bounded relative
+        error; ``.max`` is exact).
+        """
         out: Dict[str, float] = dict(self.counters)
         for name, series in self.series.items():
             if len(series):
+                hist = self.histograms[name]
                 out[f"{name}.mean"] = series.mean()
                 out[f"{name}.count"] = float(len(series))
+                out[f"{name}.p50"] = hist.percentile(50)
+                out[f"{name}.p95"] = hist.percentile(95)
+                out[f"{name}.p99"] = hist.percentile(99)
+                out[f"{name}.max"] = hist.max
         return out

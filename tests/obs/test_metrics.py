@@ -1,0 +1,130 @@
+"""Tests for the log-bucketed histogram and metrics registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import LogHistogram, MetricsRegistry, quantile_table
+
+
+class TestLogHistogram:
+    def test_exact_count_sum_min_max(self):
+        hist = LogHistogram()
+        for v in (3.0, 700.0, 0.25, 42.0):
+            hist.record(v)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(745.25)
+        assert hist.min == 0.25 and hist.max == 700.0
+        assert hist.mean() == pytest.approx(745.25 / 4)
+
+    def test_empty_histogram(self):
+        hist = LogHistogram()
+        assert hist.count == 0
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.mean())
+        assert hist.summary() == {"count": 0}
+
+    def test_quantiles_bounded_relative_error(self):
+        # Deterministic skewed sample (no RNG): geometric-ish spread.
+        values = [1.0 + (i**2.2) for i in range(2000)]
+        hist = LogHistogram(buckets_per_octave=8)
+        for v in values:
+            hist.record(v)
+        err_bound = 2 ** (1 / 8) - 1  # documented per-bucket error (~9%)
+        values.sort()
+        for q in (0.10, 0.50, 0.90, 0.95, 0.99):
+            exact = values[int(q * (len(values) - 1))]
+            approx = hist.quantile(q)
+            assert abs(approx - exact) / exact <= err_bound + 1e-9
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = LogHistogram()
+        hist.record(10.0)
+        for q in (0.0, 0.5, 1.0):
+            assert hist.min <= hist.quantile(q) <= hist.max
+
+    def test_underflow_values_report_min(self):
+        hist = LogHistogram(min_value=1.0)
+        hist.record(0.0, n=10)
+        hist.record(0.5)
+        assert hist.quantile(0.5) == 0.0  # exact min, not min_value
+        assert hist.count == 11
+
+    def test_quantile_argument_validated(self):
+        hist = LogHistogram()
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(min_value=0)
+        with pytest.raises(ValueError):
+            LogHistogram(buckets_per_octave=0)
+
+    def test_merge_equals_combined_recording(self):
+        a, b, combined = LogHistogram(), LogHistogram(), LogHistogram()
+        for i, v in enumerate(1.5**i for i in range(40)):
+            (a if i % 2 else b).record(v)
+            combined.record(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.sum == pytest.approx(combined.sum)
+        assert a.to_dict() == combined.to_dict()
+
+    def test_merge_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(buckets_per_octave=8).merge(LogHistogram(buckets_per_octave=4))
+
+    def test_dict_round_trip_via_json(self):
+        hist = LogHistogram()
+        for v in (0.1, 1.0, 7.0, 7.0, 1234.5):
+            hist.record(v)
+        data = json.loads(json.dumps(hist.to_dict()))
+        back = LogHistogram.from_dict(data)
+        assert back.to_dict() == hist.to_dict()
+        assert back.quantile(0.95) == hist.quantile(0.95)
+
+    def test_buckets_iteration_covers_all_samples(self):
+        hist = LogHistogram()
+        for v in (0.2, 1.0, 2.0, 4.0, 300.0):
+            hist.record(v)
+        total = sum(n for _, _, n in hist.buckets())
+        assert total == hist.count
+        edges = list(hist.buckets())
+        for lo, hi, _ in edges:
+            assert lo < hi
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.count("tx")
+        reg.count("tx", 2)
+        reg.gauge("depth", 5)
+        reg.gauge("depth", 7)
+        reg.observe("lat", 100.0)
+        reg.observe("lat", 200.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["tx"] == 3.0
+        assert snap["gauges"]["depth"] == 7.0
+        assert snap["histograms"]["lat"]["count"] == 2
+
+    def test_dump_round_trip(self):
+        reg = MetricsRegistry()
+        reg.count("n", 5)
+        reg.gauge("g", 1.25)
+        for v in (1, 10, 100):
+            reg.observe("h", v)
+        data = json.loads(json.dumps(reg.dump()))
+        back = MetricsRegistry.from_dump(data)
+        assert back.dump() == reg.dump()
+        assert back.histograms["h"].percentile(50) == reg.histograms["h"].percentile(50)
+
+    def test_quantile_table_skips_empty(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        reg.observe("full", 12.0)
+        rows = quantile_table(reg.histograms)
+        assert [row[0] for row in rows] == ["full"]
+        assert rows[0][1] == 1

@@ -1,0 +1,95 @@
+"""Tests for the wall-clock event-loop profiler and the observer hook."""
+
+from repro.obs.context import Observability, SimObserver
+from repro.obs.profiler import LoopProfiler, SiteStats, _site_of
+from repro.sim import Simulator, Timeout
+
+
+class TestSiteStats:
+    def test_aggregation(self):
+        stats = SiteStats("m:f")
+        stats.add(0.001)
+        stats.add(0.003)
+        assert stats.calls == 2
+        assert stats.total_s == 0.004
+        assert stats.max_s == 0.003
+        assert stats.mean_us == 2000.0
+
+    def test_site_of_bound_method_and_function(self):
+        sim = Simulator()
+
+        def free():
+            pass
+
+        assert _site_of(free).startswith("tests.obs.test_profiler:")
+        assert _site_of(free).endswith(".free")
+        assert _site_of(sim.step) == "repro.sim.core:Simulator.step"
+
+
+class TestLoopProfiler:
+    def _run_profiled(self, n=50):
+        sim = Simulator()
+        profiler = LoopProfiler()
+        sim.set_observer(SimObserver(profiler, None))
+
+        def proc():
+            for _ in range(n):
+                yield Timeout(sim, 10)
+
+        sim.process(proc())
+        # Extra pending events so the heap is non-trivially deep when
+        # the process's timeouts fire.
+        for i in range(n):
+            sim.schedule(i * 10 + 5, lambda: None)
+        sim.run()
+        return sim, profiler
+
+    def test_counts_every_event_and_sites(self):
+        sim, profiler = self._run_profiled()
+        assert profiler.events == sim.events_processed
+        assert profiler.events > 0
+        assert sum(s.calls for s in profiler.sites.values()) == profiler.events
+        assert all(":" in site for site in profiler.sites)
+
+    def test_heap_depth_and_rate_statistics(self):
+        _, profiler = self._run_profiled()
+        assert profiler.max_heap_depth >= 1
+        assert 0 < profiler.mean_heap_depth <= profiler.max_heap_depth
+        assert profiler.events_per_second > 0
+
+    def test_table_sorted_by_total_and_shares(self):
+        _, profiler = self._run_profiled()
+        table = profiler.table()
+        totals = [row[2] for row in table]
+        assert totals == sorted(totals, reverse=True)
+        assert abs(sum(row[4] for row in profiler.table(limit=None)) - 1.0) < 1e-9
+
+    def test_to_dict_and_render(self):
+        _, profiler = self._run_profiled()
+        data = profiler.to_dict()
+        assert data["events"] == profiler.events
+        assert data["sites"][0]["calls"] > 0
+        text = profiler.render()
+        assert "event-loop profile" in text and "callback site" in text
+
+    def test_empty_profiler(self):
+        profiler = LoopProfiler()
+        assert profiler.events_per_second == 0.0
+        assert profiler.mean_heap_depth == 0.0
+        assert profiler.table() == []
+
+
+class TestObserverDispatch:
+    def test_observer_fires_callback_exactly_once(self):
+        sim = Simulator()
+        fired = []
+        sim.set_observer(SimObserver(None, None))
+        sim.schedule(5, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_profiler_via_observability_bundle(self):
+        obs = Observability(trace=False, metrics=False, profile=True)
+        assert obs.profiler is not None
+        assert obs.timeline is None
+        assert not obs.tracer.enabled

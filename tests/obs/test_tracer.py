@@ -1,0 +1,129 @@
+"""Tests for span recording, Chrome-trace export, and the log bridge."""
+
+import json
+
+import pytest
+
+from repro.obs.report import decomposition_check, load_trace, validate_chrome_trace
+from repro.obs.tracer import (
+    PS_PER_US,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    bridge_eventlog,
+    stage_sum_check,
+)
+from repro.sim import Simulator
+from repro.sim.eventlog import EventLog
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    pid = tracer.begin_process("PERIOD=8")
+    tracer.add_span("egress.gate", 0, 3_000_000, pid, track="egress.gate", args={"seq": 0})
+    tracer.add_span(
+        "wire.request", 3_000_000, 3_500_000, pid, track="wire.request", args={"seq": 0}
+    )
+    tracer.add_request(0, 0, 3_500_000, pid)
+    tracer.add_instant("attach", 100, pid, cat="log.control")
+    return tracer
+
+
+class TestTracer:
+    def test_begin_process_pids_one_based(self):
+        tracer = Tracer()
+        assert tracer.begin_process("a") == 1
+        assert tracer.begin_process("b") == 2
+
+    def test_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            SpanRecord("x", "stage", 1, "t", 10, 5)
+        with pytest.raises(ValueError):
+            Tracer().add_request(0, 10, 5)
+
+    def test_export_ts_in_microseconds(self):
+        trace = _sample_tracer().to_chrome_trace()
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["ts"] == 0.0 and spans[0]["dur"] == 3_000_000 / PS_PER_US
+        assert spans[1]["ts"] == 3.0
+
+    def test_export_validates_and_reloads(self, tmp_path):
+        tracer = _sample_tracer()
+        assert validate_chrome_trace(tracer.to_chrome_trace()) == []
+        path = tracer.write(str(tmp_path / "run.trace.json"))
+        trace = load_trace(path)  # raises on schema problems
+        assert trace == tracer.to_chrome_trace()
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "X", "b", "e", "i"} <= phases
+
+    def test_process_and_thread_metadata(self):
+        trace = _sample_tracer().to_chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in meta}
+        assert names["process_name"] == "PERIOD=8"
+        tracks = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert tracks == {"egress.gate", "wire.request"}
+
+    def test_stage_decomposition_shares_sum_to_one(self):
+        decomp = _sample_tracer().stage_decomposition()
+        assert [name for name, _ in decomp] == ["egress.gate", "wire.request"]
+        assert sum(stats["share"] for _, stats in decomp) == pytest.approx(1.0)
+        assert decomp[0][1]["total_ps"] == 3_000_000
+
+    def test_stage_sum_check_exact(self):
+        tracer = _sample_tracer()
+        assert stage_sum_check(tracer.spans, tracer.requests)
+        tracer.add_span("stray", 0, 1, 1, track="x", args={"seq": 0})
+        assert not stage_sum_check(tracer.spans, tracer.requests)
+
+    def test_decomposition_check_on_exported_file(self):
+        trace = _sample_tracer().to_chrome_trace()
+        assert decomposition_check(trace) == (1, 0)
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        assert null.begin_process("x") == 0
+        null.add_span("a", 0, 1)
+        null.add_request(0, 0, 1)
+        null.add_instant("b", 0)
+        assert len(null) == 0 and null.enabled is False
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_keys_and_bad_phase(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1, "tid": 1}]}
+        assert any("unknown phase" in e for e in validate_chrome_trace(bad))
+        bad = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1}]}
+        assert any("missing required key 'name'" in e for e in validate_chrome_trace(bad))
+
+    def test_rejects_negative_ts_and_missing_dur(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -1}]}
+        errors = validate_chrome_trace(bad)
+        assert any("bad 'ts'" in e for e in errors)
+        assert any("bad 'dur'" in e for e in errors)
+
+    def test_load_trace_raises_on_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": "nope"}))
+        with pytest.raises(ValueError, match="invalid Chrome trace"):
+            load_trace(str(path))
+
+
+class TestEventLogBridge:
+    def test_entries_become_instants_with_drop_metadata(self):
+        sim = Simulator()
+        log = EventLog(sim, capacity=3)
+        for i in range(5):
+            log.emit("gate", f"grant {i}")
+        tracer = Tracer()
+        pid = tracer.begin_process("run")
+        n = bridge_eventlog(tracer, log, pid=pid)
+        assert n == 3  # capacity-bounded
+        assert tracer.metadata["eventlog_bridged"] == 3
+        assert tracer.metadata["eventlog_dropped"] == 2
+        instants = [e for e in tracer.to_chrome_trace()["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["grant 2", "grant 3", "grant 4"]
+        assert all(e["cat"] == "log.gate" for e in instants)

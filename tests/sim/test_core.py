@@ -123,6 +123,94 @@ def test_max_events_guard():
         sim.run(max_events=100)
 
 
+def test_max_events_fires_exactly_the_budget():
+    # Regression: the guard used to fire max_events + 1 callbacks
+    # before raising.
+    sim = Simulator()
+    fired = []
+
+    def forever():
+        fired.append(sim.now)
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+    assert len(fired) == 100
+
+
+def test_max_events_no_raise_when_queue_drains_at_budget():
+    # Exactly max_events pending: the run completes normally.
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(i, fired.append, i)
+    sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_max_events_ignores_cancelled_events():
+    # A cancelled event at the budget boundary must not trigger the
+    # guard — only genuinely pending work counts.
+    sim = Simulator()
+    fired = []
+    for i in range(3):
+        sim.schedule(i, fired.append, i)
+    sim.schedule(10, fired.append, 99).cancel()
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+class TestObserverHook:
+    class Recording:
+        def __init__(self):
+            self.times = []
+
+        def on_event(self, sim, handle):
+            self.times.append(sim.now)
+            handle.callback(*handle.args)
+
+    def test_observer_sees_every_event_and_dispatches(self):
+        sim = Simulator()
+        observer = self.Recording()
+        sim.set_observer(observer)
+        fired = []
+        sim.schedule(5, fired.append, "a")
+        sim.schedule(2, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert observer.times == [2, 5]
+
+    def test_clear_observer_restores_plain_dispatch(self):
+        sim = Simulator()
+        observer = self.Recording()
+        sim.set_observer(observer)
+        sim.schedule(1, lambda: None)
+        sim.run()
+        sim.clear_observer()
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert len(observer.times) == 1
+
+    def test_observer_does_not_change_timing_or_order(self):
+        def run(observed):
+            sim = Simulator()
+            if observed:
+                sim.set_observer(self.Recording())
+            fired = []
+
+            def chain(n):
+                fired.append((sim.now, n))
+                if n < 5:
+                    sim.schedule(7, chain, n + 1)
+
+            sim.schedule(0, chain, 0)
+            sim.run()
+            return fired, sim.now, sim.events_processed
+
+        assert run(observed=True) == run(observed=False)
+
+
 def test_step_returns_false_when_empty():
     sim = Simulator()
     assert sim.step() is False

@@ -40,6 +40,26 @@ class TestEventLog:
         assert [e.message for e in log.entries()] == ["7", "8", "9"]
         assert log.counts["x"] == 10
 
+    def test_dropped_counter_tracks_capacity_evictions(self):
+        sim = Simulator()
+        log = EventLog(sim, capacity=3)
+        assert log.dropped == 0
+        for i in range(3):
+            log.emit("x", str(i))
+        assert log.dropped == 0  # at capacity but nothing evicted yet
+        for i in range(7):
+            log.emit("x", str(i))
+        assert log.dropped == 7
+        log.clear()
+        assert log.dropped == 7  # survives clear, like counts
+
+    def test_filtered_categories_do_not_count_as_dropped(self):
+        sim = Simulator()
+        log = EventLog(sim, capacity=2, enabled_categories=["gate"])
+        for _ in range(5):
+            log.emit("link", "filtered, not stored")
+        assert log.dropped == 0
+
     def test_enabled_categories_stored_selectively(self):
         sim = Simulator()
         log = EventLog(sim, enabled_categories=["gate"])

@@ -116,6 +116,26 @@ class TestStatRecorder:
         assert summary["latency.mean"] == 15.0
         assert summary["latency.count"] == 2
 
+    def test_summary_reports_tail_percentiles(self):
+        rec = StatRecorder(Simulator())
+        for v in range(1, 1001):
+            rec.sample("latency", float(v))
+        summary = rec.summary()
+        assert summary["latency.max"] == 1000.0  # exact
+        # Histogram-backed percentiles: bounded relative error (~9%).
+        assert summary["latency.p50"] == pytest.approx(500.0, rel=0.10)
+        assert summary["latency.p95"] == pytest.approx(950.0, rel=0.10)
+        assert summary["latency.p99"] == pytest.approx(990.0, rel=0.10)
+
+    def test_summary_percentiles_match_shadow_histogram(self):
+        rec = StatRecorder(Simulator())
+        for v in (5.0, 50.0, 500.0):
+            rec.sample("lat", v)
+        hist = rec.histograms["lat"]
+        summary = rec.summary()
+        assert summary["lat.p50"] == hist.percentile(50)
+        assert summary["lat.p99"] == hist.percentile(99)
+
     def test_level_registry(self):
         sim = Simulator()
         rec = StatRecorder(sim)
