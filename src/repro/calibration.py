@@ -60,6 +60,7 @@ __all__ = [
     "baseline_remote_latency_ps",
     "gate_interval_ps",
     "expected_sojourn_ps",
+    "default_rto_ps",
 ]
 
 #: FPGA clock period (picoseconds) — 320 MHz, see module docstring.
@@ -122,6 +123,24 @@ def expected_sojourn_ps(period: int, window: int = OUTSTANDING_WINDOW) -> Durati
 def paper_cluster_config(period: int = 1, seed: int = 1234) -> ClusterConfig:
     """The calibrated two-node testbed configuration."""
     return default_cluster_config(period=period, seed=seed)
+
+
+#: RTO safety factor over the expected unloaded sojourn.  Hardware ARQ
+#: engines run tight timers (they know the fabric RTT); 4x leaves room
+#: for serialization queueing behind a full MSHR window without letting
+#: a genuine loss stall the window for long.
+RTO_SAFETY_FACTOR: int = 4
+
+
+def default_rto_ps(period: int = 1) -> Duration:
+    """Calibrated initial retransmission timeout at injection *period*.
+
+    Scales with the expected per-transaction sojourn so the timer stays
+    meaningful under delay injection: at PERIOD=1 it is a few times the
+    ~1.2 us unloaded round trip; at PERIOD=1000 it follows the ~400 us
+    gated sojourn instead of firing spuriously on every transaction.
+    """
+    return RTO_SAFETY_FACTOR * expected_sojourn_ps(period)
 
 
 # ---------------------------------------------------------------------------

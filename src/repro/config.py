@@ -26,12 +26,19 @@ __all__ = [
     "CpuConfig",
     "FpgaConfig",
     "DelayInjectionConfig",
+    "FaultConfig",
+    "TransportConfig",
     "LinkConfig",
     "NicConfig",
     "NodeConfig",
     "ClusterConfig",
     "default_cluster_config",
 ]
+
+
+def _probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
 
 
 def _positive(name: str, value: float) -> None:
@@ -169,6 +176,96 @@ class FpgaConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Per-packet fault model of a lossy link direction.
+
+    All rates are per-packet probabilities drawn from named
+    :class:`~repro.sim.rng.RngStreams` children, so enabling a fault
+    type never perturbs the draws of another.  The default (all rates
+    zero) is the *null model*: :class:`~repro.net.faults.FaultModel`
+    recognizes it and skips every draw, keeping the clean path
+    bit-identical to a build without fault injection.
+
+    ``burst`` switches loss from i.i.d. to a two-state Gilbert–Elliott
+    chain: ``loss_rate`` applies in the good state, ``loss_rate_bad``
+    in the bad state, with per-packet transition probabilities
+    ``p_good_to_bad`` / ``p_bad_to_good``.
+    """
+
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_jitter: Duration = nanoseconds(400)
+    burst: bool = False
+    loss_rate_bad: float = 0.5
+    p_good_to_bad: float = 0.0
+    p_bad_to_good: float = 0.1
+    seed_stream: str = "fault"
+
+    def __post_init__(self) -> None:
+        _probability("fault loss_rate", self.loss_rate)
+        _probability("fault corrupt_rate", self.corrupt_rate)
+        _probability("fault duplicate_rate", self.duplicate_rate)
+        _probability("fault reorder_rate", self.reorder_rate)
+        _probability("fault loss_rate_bad", self.loss_rate_bad)
+        _probability("fault p_good_to_bad", self.p_good_to_bad)
+        _probability("fault p_bad_to_good", self.p_bad_to_good)
+        _non_negative("fault reorder_jitter", self.reorder_jitter)
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault can actually occur under this config."""
+        if self.burst and (self.p_good_to_bad > 0 and self.loss_rate_bad > 0):
+            return True
+        return (
+            self.loss_rate > 0
+            or self.corrupt_rate > 0
+            or self.duplicate_rate > 0
+            or self.reorder_rate > 0
+        )
+
+    def with_loss(self, loss_rate: float) -> "FaultConfig":
+        """Copy with a different i.i.d. loss rate (sweep helper)."""
+        return replace(self, loss_rate=loss_rate)
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Reliable NIC transport (ARQ) parameters.
+
+    ``rto`` is the initial retransmission timeout; ``None`` derives it
+    from the calibrated unloaded round-trip at the configured PERIOD
+    (see :func:`repro.calibration.default_rto_ps`).  ``max_retries``
+    bounds retransmissions per packet; exhausting it raises
+    :class:`~repro.errors.RetryExhausted`.  The receiver runs go-back-N
+    (in-order delivery, out-of-order arrivals discarded) unless
+    ``selective_repeat`` is set, in which case out-of-order packets are
+    buffered and only the missing one is resent.
+    """
+
+    max_retries: int = 4
+    rto: Optional[Duration] = None
+    backoff: float = 2.0
+    max_rto: Duration = milliseconds(8)
+    selective_repeat: bool = False
+    retransmit_buffer: int = 128
+
+    def __post_init__(self) -> None:
+        _non_negative("transport max_retries", self.max_retries)
+        if self.rto is not None:
+            _positive("transport rto", self.rto)
+        if self.backoff < 1.0:
+            raise ConfigError(f"transport backoff must be >= 1, got {self.backoff!r}")
+        _positive("transport max_rto", self.max_rto)
+        _positive("transport retransmit_buffer", self.retransmit_buffer)
+
+    def with_retries(self, max_retries: int) -> "TransportConfig":
+        """Copy with a different retry budget (sweep helper)."""
+        return replace(self, max_retries=max_retries)
+
+
+@dataclass(frozen=True)
 class LinkConfig:
     """Network link between borrower and lender NICs."""
 
@@ -218,6 +315,8 @@ class ClusterConfig:
     borrower: NodeConfig = field(default_factory=lambda: NodeConfig(name="borrower"))
     lender: NodeConfig = field(default_factory=lambda: NodeConfig(name="lender"))
     link: LinkConfig = field(default_factory=LinkConfig)
+    fault: FaultConfig = field(default_factory=FaultConfig)
+    transport: TransportConfig = field(default_factory=TransportConfig)
     remote_region_base: int = 1 << 40  # borrower-side base of remote window
     remote_region_bytes: int = 64 * 1024 * 1024 * 1024
     seed: int = 1234
@@ -229,6 +328,14 @@ class ClusterConfig:
     def with_period(self, period: int) -> "ClusterConfig":
         """Copy with the borrower NIC's injection PERIOD swapped (sweeps)."""
         return replace(self, borrower=replace(self.borrower, nic=self.borrower.nic.with_period(period)))
+
+    def with_fault(self, fault: FaultConfig) -> "ClusterConfig":
+        """Copy with a different link fault model (chaos sweeps)."""
+        return replace(self, fault=fault)
+
+    def with_transport(self, transport: TransportConfig) -> "ClusterConfig":
+        """Copy with different ARQ parameters (chaos sweeps)."""
+        return replace(self, transport=transport)
 
 
 def default_cluster_config(

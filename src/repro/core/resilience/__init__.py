@@ -1,9 +1,15 @@
-"""Resilience assessment: delay stress and link-failure injection."""
+"""Resilience assessment: delay stress, link failures, lossy links."""
 
 from repro.core.resilience.assessment import (
     ResiliencePoint,
     ResilienceReport,
     resilience_sweep,
+)
+from repro.core.resilience.degradation import (
+    LossResiliencePoint,
+    LossResilienceReport,
+    default_loss_ladder,
+    loss_resilience_sweep,
 )
 from repro.core.resilience.failures import (
     FailureInjectedSystem,
@@ -20,4 +26,8 @@ __all__ = [
     "FailureInjectedSystem",
     "HostCrash",
     "blackout_survival_sweep",
+    "LossResiliencePoint",
+    "LossResilienceReport",
+    "default_loss_ladder",
+    "loss_resilience_sweep",
 ]

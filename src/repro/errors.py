@@ -14,6 +14,8 @@ __all__ = [
     "AllocationError",
     "ProtocolError",
     "ChecksumError",
+    "LinkCorruption",
+    "RetryExhausted",
     "WorkloadError",
     "ExperimentError",
 ]
@@ -66,6 +68,25 @@ class ProtocolError(ReproError):
 
 class ChecksumError(ProtocolError):
     """Packet integrity check failed."""
+
+
+class LinkCorruption(ProtocolError):
+    """A packet was corrupted in flight (bit error on the wire).
+
+    Raised at NIC ingress when integrity verification (header CRC or
+    payload check) rejects a delivered packet; the reliable transport
+    converts it into a NACK + retransmission instead of silent delivery.
+    """
+
+
+class RetryExhausted(ProtocolError):
+    """The reliable transport gave up on a packet.
+
+    The retransmission budget (``TransportConfig.max_retries``) was
+    spent without an acknowledged delivery.  The borrower turns this
+    into a :class:`~repro.core.resilience.HostCrash` (default) or a
+    degraded-mode switchover when ``degraded_mode`` is enabled.
+    """
 
 
 class WorkloadError(ReproError):

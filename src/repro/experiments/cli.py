@@ -75,6 +75,31 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the profile as JSON (implies --profile)",
     )
+    run_p.add_argument(
+        "--loss",
+        type=float,
+        metavar="RATE",
+        default=None,
+        help=(
+            "chaos mode: per-packet link loss rate anchoring the loss ladder "
+            "(experiments that support it, e.g. fig4)"
+        ),
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="retransmission budget of the reliable transport (with --loss)",
+    )
+    run_p.add_argument(
+        "--degraded",
+        action="store_true",
+        help=(
+            "on retry exhaustion, quarantine the remote window and serve from "
+            "local memory instead of crashing the borrower (with --loss)"
+        ),
+    )
 
     obs_p = sub.add_parser("obs", help="inspect observability artifacts from a run")
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
@@ -197,6 +222,7 @@ def _run_one(
     plot: bool = False,
     csv_path: Optional[str] = None,
     obs=None,
+    chaos: Optional[dict] = None,
 ) -> bool:
     accepted = _accepted_kwargs(name)
     kwargs = {}
@@ -209,6 +235,13 @@ def _run_one(
             kwargs["obs"] = obs
         else:
             print(f"  (note: {name} does not support observability; flags ignored)")
+    for key, value in (chaos or {}).items():
+        if value is None or value is False:
+            continue
+        if key in accepted:
+            kwargs[key] = value
+        else:
+            print(f"  (note: {name} does not support --{key}; flag ignored)")
     result = run_experiment(name, **kwargs)
     print(result.render())
     print()
@@ -253,8 +286,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         obs = _build_obs(args)
+        chaos = {
+            "loss": args.loss,
+            "retries": args.retries,
+            "degraded": args.degraded,
+        }
         passed = _run_one(
-            args.experiment, args.mode, args.quick, args.plot, args.csv, obs=obs
+            args.experiment,
+            args.mode,
+            args.quick,
+            args.plot,
+            args.csv,
+            obs=obs,
+            chaos=chaos,
         )
         if obs is not None:
             _write_obs_artifacts(obs, args)

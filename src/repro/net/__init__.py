@@ -2,6 +2,7 @@
 
 from repro.net.congestion import SharedBottleneck, SwiftController, run_congestion_epochs
 from repro.net.fabric import Fabric
+from repro.net.faults import Delivery, FaultModel, FaultyChannel, GilbertElliott
 from repro.net.latency import DatacenterLatencyProfile, named_profile
 from repro.net.link import DuplexLink, SimplexChannel
 from repro.net.switch import Switch
@@ -9,6 +10,10 @@ from repro.net.switch import Switch
 __all__ = [
     "SimplexChannel",
     "DuplexLink",
+    "Delivery",
+    "FaultModel",
+    "FaultyChannel",
+    "GilbertElliott",
     "Switch",
     "Fabric",
     "DatacenterLatencyProfile",

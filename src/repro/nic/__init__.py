@@ -15,6 +15,12 @@ from repro.nic.qos_gate import PriorityGateServer
 from repro.nic.router import Route, Router
 from repro.nic.timeout import DetectionWatchdog
 from repro.nic.translation import WindowTranslator
+from repro.nic.transport import (
+    LenderIngress,
+    ReliableTransport,
+    RetransmitBuffer,
+    TransportStats,
+)
 
 __all__ = [
     "Packet",
@@ -26,4 +32,8 @@ __all__ = [
     "PriorityGateServer",
     "WindowTranslator",
     "DetectionWatchdog",
+    "ReliableTransport",
+    "RetransmitBuffer",
+    "LenderIngress",
+    "TransportStats",
 ]

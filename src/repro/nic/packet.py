@@ -29,6 +29,7 @@ class PacketKind(enum.IntEnum):
     WRITE_ACK = 3
     PROBE = 4  # attach/detection handshake
     PROBE_ACK = 5
+    NACK = 6  # integrity failure at ingress: resend this seq
 
 
 # Wire header: magic(2) kind(1) flags(1) src(2) dst(2) seq(8) addr(8)
@@ -100,9 +101,26 @@ class Packet:
             meta=dict(self.meta),
         )
 
+    def make_nack(self) -> "Packet":
+        """Build the NACK answering a corrupted copy of this request.
+
+        Header-only; echoes the sequence number so the sender can
+        retransmit immediately instead of waiting out its timer.
+        """
+        return Packet(
+            kind=PacketKind.NACK,
+            src=self.dst,
+            dst=self.src,
+            seq=self.seq,
+            addr=self.addr,
+            size=0,
+        )
+
     # ------------------------------------------------------------------
-    # Wire encoding (used by packetizer tests; simulation carries the
-    # object itself and charges `wire_bytes` for timing).
+    # Wire encoding (exercised on the reliable-transport hot path: the
+    # packetizer encodes, lender ingress decodes + CRC-verifies; the
+    # simulation otherwise carries the object itself and charges
+    # `wire_bytes` for timing).
     # ------------------------------------------------------------------
     def encode(self) -> bytes:
         """Serialize the header with CRC32 over the protected fields."""

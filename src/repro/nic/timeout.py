@@ -39,8 +39,24 @@ class DetectionWatchdog:
         self._last_progress = at
         self.observations = 0
 
+    def reset(self) -> None:
+        """Disarm and forget all progress (degraded-mode re-attach).
+
+        After a quarantine the borrower may try to re-attach the remote
+        window; the watchdog must not carry the stale pre-outage
+        progress timestamp into the new handshake.  ``start`` must be
+        called again before the next ``observe``.
+        """
+        self._last_progress = None
+        self.observations = 0
+
     def observe(self, completion_time: Time, sojourn: Duration) -> None:
-        """Record one handshake completion; raises on a deadline miss."""
+        """Record one handshake completion; raises on a deadline miss.
+
+        The sojourn deadline is checked before the progress gap: a
+        single over-deadline transaction is declared dead even if other
+        handshake traffic kept the gap alive.
+        """
         if self._last_progress is None:
             raise RuntimeError("watchdog not started")
         gap = completion_time - self._last_progress
@@ -55,4 +71,19 @@ class DetectionWatchdog:
                 f"{format_time(self.timeout)})"
             )
         self._last_progress = completion_time
+        self.observations += 1
+
+    def progress(self, at: Time) -> None:
+        """Record transport-level progress without a sojourn check.
+
+        A successful *retransmission* proves the link is alive even
+        though the transaction's end-to-end sojourn includes the timer
+        wait — the handshake should not be declared dead for recovering
+        from a lost packet.  Only the progress timestamp advances; the
+        gap deadline still applies to the next observation.
+        """
+        if self._last_progress is None:
+            raise RuntimeError("watchdog not started")
+        if at > self._last_progress:
+            self._last_progress = at
         self.observations += 1

@@ -6,6 +6,7 @@ from repro.node.multipair import BeyondRackDeployment, FabricPairSystem
 from repro.node.node import Node
 from repro.node.pool import MemoryPoolFabric, PoolConfig
 from repro.node.qos import QosThymesisFlowSystem
+from repro.node.reliable import ReliableThymesisFlowSystem
 
 __all__ = [
     "MemoryWindow",
@@ -17,4 +18,5 @@ __all__ = [
     "BeyondRackDeployment",
     "FabricPairSystem",
     "QosThymesisFlowSystem",
+    "ReliableThymesisFlowSystem",
 ]

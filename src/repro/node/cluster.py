@@ -48,6 +48,7 @@ class AccessResult:
     complete_time: Time
     write: bool
     remote: bool
+    retries: int = 0  # transport retransmissions spent (reliable path)
 
     @property
     def latency(self) -> Duration:
@@ -155,7 +156,7 @@ class ThymesisFlowSystem:
                 failures.append(exc)
                 break
             try:
-                self.watchdog.observe(result.complete_time, result.latency)
+                self._observe_handshake(result)
             except LinkDetectionTimeout as exc:
                 failures.append(exc)
                 break
@@ -181,6 +182,15 @@ class ThymesisFlowSystem:
         self._attached = True
         self.log.emit("control", f"attach: window installed after {len(done)} probes")
         return self.sim.now
+
+    def _observe_handshake(self, result: AccessResult) -> None:
+        """Feed one handshake completion to the detection watchdog.
+
+        Overridable: the reliable transport counts a successfully
+        *retransmitted* probe as progress without the sojourn check —
+        its end-to-end latency includes timer waits, not link absence.
+        """
+        self.watchdog.observe(result.complete_time, result.latency)
 
     def attach_or_raise(self, n_probes: int = 256) -> None:
         """Run the attach handshake to completion synchronously."""

@@ -139,6 +139,16 @@ class Observability:
         # the row's interval (delta of summed wait time / elapsed).
         timeline.rate_probe("injector_stall_frac", lambda: injector.waits.sum(), scale=1.0)
         timeline.add_probe("events_processed", lambda: sim.events_processed)
+        # Reliable-transport systems expose ARQ counters; base systems
+        # don't have the attribute, and the probe costs them nothing.
+        transport = getattr(system, "transport", None)
+        if transport is not None:
+            timeline.add_probe(
+                "transport_retransmissions", lambda: transport.stats.retransmissions
+            )
+            timeline.add_probe(
+                "retransmit_buffer_occupancy", lambda: len(transport.buffer)
+            )
 
     def finish_system(self, system, pid: Optional[int] = None) -> None:
         """Close out one system's run: final snapshot, histogram folds,

@@ -7,7 +7,9 @@ stream.  simlint checks them mechanically:
 
 ========  ============================================================
 SIM001    no wall-clock reads in simulator code
-SIM002    no unmanaged randomness (raw ``np.random`` / ``random``)
+SIM002    no unmanaged randomness (raw ``np.random`` / ``random``),
+          and — run scope — no RNG stream name registered from two
+          different modules (stream sharing breaks isolation)
 SIM003    integer-time discipline on schedule delays
 SIM004    no set iteration in modules that schedule events
 SIM005    no module-level mutable state in core packages
@@ -19,8 +21,16 @@ suppress a finding inline with ``# simlint: disable=SIM002``.
 
 from __future__ import annotations
 
-from repro.tools.simlint.registry import Finding, LintConfig, LintError, Rule, all_rules
-from repro.tools.simlint.runner import LintResult, lint_paths, lint_source
+from repro.tools.simlint.registry import (
+    Finding,
+    LintConfig,
+    LintError,
+    Rule,
+    RunScopeRule,
+    all_rules,
+    all_run_scope_rules,
+)
+from repro.tools.simlint.runner import LintResult, lint_paths, lint_source, lint_sources
 
 __all__ = [
     "Finding",
@@ -28,7 +38,10 @@ __all__ = [
     "LintError",
     "LintResult",
     "Rule",
+    "RunScopeRule",
     "all_rules",
+    "all_run_scope_rules",
     "lint_paths",
     "lint_source",
+    "lint_sources",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import ClassVar, Iterable, Iterator, Type
+from typing import ClassVar, Iterable, Iterator, Sequence, Type
 
 from repro.errors import ReproError
 
@@ -20,10 +20,14 @@ __all__ = [
     "LintConfig",
     "LintError",
     "Rule",
+    "RunScopeRule",
     "all_rules",
+    "all_run_scope_rules",
     "get_rule",
     "register",
+    "register_run_scope",
     "select_rules",
+    "select_run_scope_rules",
 ]
 
 
@@ -126,7 +130,28 @@ class Rule:
         )
 
 
+class RunScopeRule(Rule):
+    """Base class for rules that see every module of a run at once.
+
+    Per-module rules are blind to cross-component collisions (two files
+    registering the same RNG stream name, say); run-scope rules receive
+    the whole module list after the per-module pass and may correlate
+    across files.  They live in a separate registry so a run-scope rule
+    may *extend* an existing per-module code (its findings carry that
+    code, and ``--select`` picks both up together).
+    """
+
+    def check(self, module, config: LintConfig) -> Iterator[Finding]:
+        """Run-scope rules contribute nothing in the per-module pass."""
+        return iter(())
+
+    def check_run(self, modules: Sequence, config: LintConfig) -> Iterator[Finding]:
+        """Yield findings after seeing *every* module of the run."""
+        raise NotImplementedError
+
+
 _RULES: dict[str, Type[Rule]] = {}
+_RUN_SCOPE_RULES: dict[str, Type[RunScopeRule]] = {}
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
@@ -159,3 +184,40 @@ def select_rules(codes: Iterable[str] | None = None) -> list[Rule]:
     if codes is None:
         return [cls() for cls in all_rules()]
     return [get_rule(code)() for code in codes]
+
+
+def register_run_scope(cls: Type[RunScopeRule]) -> Type[RunScopeRule]:
+    """Class decorator adding *cls* to the run-scope registry.
+
+    The code may coincide with a per-module rule's code (the run-scope
+    rule then extends that rule family), but two *run-scope* rules may
+    not share one.
+    """
+    existing = _RUN_SCOPE_RULES.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise LintError(
+            f"duplicate run-scope rule code {cls.code}: "
+            f"{existing.__name__} vs {cls.__name__}"
+        )
+    _RUN_SCOPE_RULES[cls.code] = cls
+    return cls
+
+
+def all_run_scope_rules() -> list[Type[RunScopeRule]]:
+    """Every registered run-scope rule class, sorted by code."""
+    import repro.tools.simlint.rules  # noqa: F401  (registration side effect)
+
+    return [_RUN_SCOPE_RULES[code] for code in sorted(_RUN_SCOPE_RULES)]
+
+
+def select_run_scope_rules(codes: Iterable[str] | None = None) -> list[RunScopeRule]:
+    """Instantiate the run-scope rules matching *codes* (all when None).
+
+    Unlike :func:`select_rules` this filters rather than resolves:
+    unknown codes were already rejected by the per-module selection, and
+    a code without a run-scope extension simply selects nothing here.
+    """
+    if codes is None:
+        return [cls() for cls in all_run_scope_rules()]
+    wanted = set(codes)
+    return [cls() for cls in all_run_scope_rules() if cls.code in wanted]

@@ -2,24 +2,37 @@
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
-"Determinism invariants & simlint").  Rules work on a single module's
-AST; cross-module flow analysis is a ROADMAP item.
+"Determinism invariants & simlint").  Most rules work on a single
+module's AST; SIM002 additionally has a *run-scope* extension
+(:class:`DuplicateStreamNameRule`) that correlates RNG stream-name
+registrations across every module of the run.  Deeper cross-module
+flow analysis (SIM003 across function boundaries) remains a ROADMAP
+item.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
-from repro.tools.simlint.registry import Finding, LintConfig, Rule, register
+from repro.tools.simlint.registry import (
+    Finding,
+    LintConfig,
+    Rule,
+    RunScopeRule,
+    register,
+    register_run_scope,
+)
 from repro.tools.simlint.walker import ModuleInfo, canonical_name
 
 __all__ = [
     "WallClockRule",
     "UnmanagedRandomnessRule",
+    "DuplicateStreamNameRule",
     "FloatTimeRule",
     "SetIterationRule",
     "ModuleStateRule",
+    "iter_stream_registrations",
 ]
 
 #: Canonical dotted names that read the host's wall clock.
@@ -133,6 +146,94 @@ class UnmanagedRandomnessRule(Rule):
                     node,
                     f"stdlib {name}() is unmanaged randomness; draw from a "
                     "named RngStreams child stream instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM002 (run scope) — RNG stream names unique across components
+# ----------------------------------------------------------------------
+
+#: RngStreams methods that register/fetch a named child stream.
+_STREAM_METHODS = frozenset({"get", "fresh"})
+
+
+def _is_rng_registry(node: ast.expr) -> bool:
+    """Heuristic: does *node* look like an :class:`RngStreams` registry?
+
+    Receivers are matched by name (``rng``-ish identifiers or attributes,
+    or a direct ``RngStreams(...)`` construction).  A ``spawn(...)`` call
+    receiver is deliberately *not* matched: spawned views namespace their
+    children under the spawn prefix, so the same literal under two
+    different prefixes is two different streams.
+    """
+    if isinstance(node, ast.Name):
+        return "rng" in node.id.lower() or node.id == "streams"
+    if isinstance(node, ast.Attribute):
+        return "rng" in node.attr.lower() or node.attr == "streams"
+    if isinstance(node, ast.Call):
+        func = node.func
+        ctor = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return ctor == "RngStreams"
+    return False
+
+
+def iter_stream_registrations(module: ModuleInfo) -> Iterator[tuple[str, ast.Call]]:
+    """``(name, call_node)`` for each literal stream registration.
+
+    Only string-literal first arguments count: dynamically composed
+    names (f-strings, concatenation) are usually parameterized by an
+    instance prefix and cannot collide statically.
+    """
+    if module.tree is None:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _STREAM_METHODS:
+            continue
+        if not _is_rng_registry(func.value):
+            continue
+        if not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield arg.value, node
+
+
+@register_run_scope
+class DuplicateStreamNameRule(RunScopeRule):
+    code = "SIM002"
+    name = "duplicate-stream-name"
+    rationale = (
+        "A named RNG stream is an isolation domain: two components that "
+        "get() the same literal name share one generator, so their draws "
+        "interleave and adding traffic to one silently perturbs the other.  "
+        "The same stream name registered from two different modules is "
+        "almost always an accidental collision; re-fetching a name within "
+        "one module is normal reuse and is not flagged."
+    )
+
+    def check_run(self, modules: Sequence[ModuleInfo], config: LintConfig) -> Iterator[Finding]:
+        del config  # the check has no path-dependent carve-outs
+        sites: dict[str, list[tuple[ModuleInfo, ast.Call]]] = {}
+        for module in modules:
+            for stream, node in iter_stream_registrations(module):
+                sites.setdefault(stream, []).append((module, node))
+        for stream in sorted(sites):
+            owners = sites[stream]
+            rels = sorted({module.rel for module, _ in owners})
+            if len(rels) < 2:
+                continue
+            for module, node in owners:
+                others = ", ".join(r for r in rels if r != module.rel)
+                yield self.finding(
+                    module,
+                    node,
+                    f"RNG stream name {stream!r} is also registered in "
+                    f"{others}; stream names must be unique per component "
+                    "(prefix with the component name, or derive a namespaced "
+                    "view with spawn())",
                 )
 
 

@@ -13,7 +13,14 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-from repro.tools.simlint.registry import Finding, LintConfig, Rule, select_rules
+from repro.tools.simlint.registry import (
+    Finding,
+    LintConfig,
+    Rule,
+    RunScopeRule,
+    select_rules,
+    select_run_scope_rules,
+)
 from repro.tools.simlint.walker import (
     ModuleInfo,
     iter_python_files,
@@ -21,7 +28,7 @@ from repro.tools.simlint.walker import (
     module_from_source,
 )
 
-__all__ = ["LintResult", "lint_module", "lint_paths", "lint_source"]
+__all__ = ["LintResult", "lint_module", "lint_paths", "lint_run_scope", "lint_source", "lint_sources"]
 
 #: Code attached to files that do not parse.
 SYNTAX_ERROR_CODE = "SIM000"
@@ -67,6 +74,31 @@ def lint_module(
     return kept, suppressed
 
 
+def lint_run_scope(
+    modules: Sequence[ModuleInfo],
+    rules: Sequence[RunScopeRule],
+    config: LintConfig,
+) -> tuple[list[Finding], int]:
+    """Run the cross-module pass over the whole run's module list.
+
+    Findings are routed back through the originating module's inline
+    suppressions, so ``# simlint: disable=SIM002`` silences a run-scope
+    finding the same way it silences a per-module one.
+    """
+    by_rel = {module.rel: module for module in modules}
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check_run(modules, config):
+            module = by_rel.get(finding.path)
+            if module is not None and module.is_suppressed(finding.line, finding.code):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort()
+    return kept, suppressed
+
+
 def lint_source(
     source: str,
     rel: str = "<string>",
@@ -80,22 +112,55 @@ def lint_source(
     return findings
 
 
+def lint_sources(
+    sources: dict[str, str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> list[Finding]:
+    """Lint several named sources as one run (``rel -> source``).
+
+    The multi-module analogue of :func:`lint_source`: per-module rules
+    see each module alone, then run-scope rules see them all together.
+    """
+    cfg = config or LintConfig()
+    modules = [module_from_source(src, rel=rel) for rel, src in sources.items()]
+    per_module = select_rules(select)
+    all_findings: list[Finding] = []
+    for module in modules:
+        findings, _ = lint_module(module, per_module, cfg)
+        all_findings.extend(findings)
+    run_findings, _ = lint_run_scope(modules, select_run_scope_rules(select), cfg)
+    all_findings.extend(run_findings)
+    all_findings.sort()
+    return all_findings
+
+
 def lint_paths(
     paths: Iterable[Path | str],
     *,
     select: Optional[Iterable[str]] = None,
     config: Optional[LintConfig] = None,
 ) -> LintResult:
-    """Lint files/directories; findings come back globally sorted."""
+    """Lint files/directories; findings come back globally sorted.
+
+    Runs the per-module rules file by file, then the run-scope rules
+    (cross-module correlation) over everything that parsed.
+    """
     rules = select_rules(select)
     cfg = config or LintConfig()
     all_findings: list[Finding] = []
     suppressed = 0
     files = iter_python_files(paths)
+    modules: list[ModuleInfo] = []
     for path in files:
         module = load_module(path)
+        modules.append(module)
         findings, n_sup = lint_module(module, rules, cfg)
         all_findings.extend(findings)
         suppressed += n_sup
+    run_findings, n_sup = lint_run_scope(modules, select_run_scope_rules(select), cfg)
+    all_findings.extend(run_findings)
+    suppressed += n_sup
     all_findings.sort()
     return LintResult(all_findings, files_checked=len(files), suppressed=suppressed)

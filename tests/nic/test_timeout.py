@@ -49,3 +49,57 @@ class TestDetectionWatchdog:
         wd.start(at=10_000)
         wd.observe(10_500, sojourn=10)
         assert wd.observations == 1
+
+    def test_sojourn_checked_before_gap(self):
+        # Both deadlines are blown; the sojourn one must win (a single
+        # over-deadline transaction is decisive even when other traffic
+        # kept the gap alive — and the error message says which fired).
+        wd = DetectionWatchdog(timeout=1000)
+        wd.start(at=0)
+        with pytest.raises(LinkDetectionTimeout, match="sojourn"):
+            wd.observe(5000, sojourn=5000)
+
+    def test_exact_gap_boundary_ok(self):
+        wd = DetectionWatchdog(timeout=1000)
+        wd.start(at=0)
+        wd.observe(1000, sojourn=1)  # gap == timeout is within deadline
+        with pytest.raises(LinkDetectionTimeout, match="progress"):
+            wd.observe(2001, sojourn=1)  # gap == timeout + 1 is not
+
+    def test_reset_disarms(self):
+        wd = DetectionWatchdog(timeout=1000)
+        wd.start(at=0)
+        wd.observe(500, sojourn=10)
+        wd.reset()
+        assert wd.observations == 0
+        with pytest.raises(RuntimeError):
+            wd.observe(600, sojourn=10)
+        # Degraded-mode re-attach: start arms it again, with no stale
+        # pre-outage progress timestamp.
+        wd.start(at=100_000)
+        wd.observe(100_900, sojourn=10)
+        assert wd.observations == 1
+
+    def test_progress_advances_without_sojourn_check(self):
+        # A successful retransmission proves the link is alive even
+        # though its end-to-end sojourn (timer waits included) would
+        # blow the sojourn deadline.
+        wd = DetectionWatchdog(timeout=1000)
+        wd.start(at=0)
+        wd.progress(at=900)
+        assert wd.observations == 1
+        # The next plain observation measures its gap from the
+        # retransmission's completion, not from start.
+        wd.observe(1800, sojourn=10)
+
+    def test_progress_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            DetectionWatchdog(timeout=1).progress(0)
+
+    def test_progress_never_moves_backwards(self):
+        wd = DetectionWatchdog(timeout=1000)
+        wd.start(at=0)
+        wd.observe(500, sojourn=10)
+        wd.progress(at=200)  # out-of-order completion: timestamp keeps 500
+        with pytest.raises(LinkDetectionTimeout, match="progress"):
+            wd.observe(1501 + 200, sojourn=10)

@@ -3,16 +3,20 @@
 import pytest
 
 from repro.calibration import paper_cluster_config
+import repro.errors
 from repro.errors import (
     AddressError,
+    AllocationError,
     AttachError,
     ChecksumError,
     ConfigError,
     ExperimentError,
+    LinkCorruption,
     LinkDetectionTimeout,
     ProcessKilled,
     ProtocolError,
     ReproError,
+    RetryExhausted,
     SimulationError,
     TranslationFault,
     WorkloadError,
@@ -34,8 +38,11 @@ class TestErrorHierarchy:
             TranslationFault,
             LinkDetectionTimeout,
             AttachError,
+            AllocationError,
             ProtocolError,
             ChecksumError,
+            LinkCorruption,
+            RetryExhausted,
             WorkloadError,
             ExperimentError,
         ],
@@ -43,11 +50,35 @@ class TestErrorHierarchy:
     def test_derives_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
 
+    def test_every_exported_error_constructible_and_catchable(self):
+        # Walk __all__ so a future error class can't dodge the net.
+        for name in repro.errors.__all__:
+            exc_cls = getattr(repro.errors, name)
+            assert issubclass(exc_cls, ReproError), name
+            instance = exc_cls("boom")
+            assert "boom" in str(instance)
+            with pytest.raises(ReproError):
+                raise instance
+
     def test_config_error_is_value_error(self):
         assert issubclass(ConfigError, ValueError)
 
     def test_checksum_is_protocol_error(self):
         assert issubclass(ChecksumError, ProtocolError)
+
+    @pytest.mark.parametrize("exc", [ChecksumError, LinkCorruption, RetryExhausted])
+    def test_transport_errors_are_protocol_errors(self, exc):
+        assert issubclass(exc, ProtocolError)
+        # One clause catches the whole transport family.
+        with pytest.raises(ProtocolError):
+            raise exc("wire trouble")
+
+    def test_transport_errors_are_siblings(self):
+        # Corruption is not a kind of checksum failure (payload errors
+        # bypass the header CRC) and exhaustion is neither.
+        assert not issubclass(LinkCorruption, ChecksumError)
+        assert not issubclass(RetryExhausted, ChecksumError)
+        assert not issubclass(RetryExhausted, LinkCorruption)
 
     def test_translation_fault_is_address_error(self):
         assert issubclass(TranslationFault, AddressError)
@@ -56,6 +87,7 @@ class TestErrorHierarchy:
         from repro.core.resilience import HostCrash
 
         assert issubclass(HostCrash, ReproError)
+        assert not issubclass(HostCrash, ProtocolError)
 
 
 class TestClusterErrorPaths:

@@ -44,6 +44,31 @@ class TestExitCodes:
         assert "2 finding(s) in 2 file(s)" in capsys.readouterr().out
 
 
+class TestRunScopePass:
+    """Cross-module SIM002: duplicate stream names across files."""
+
+    def test_duplicate_stream_names_across_files(self, tmp_path, capsys):
+        write(tmp_path, "a.py", "s = self.rng.get('net.loss')\n")
+        write(tmp_path, "b.py", "s = system.rng.get('net.loss')\n")
+        assert simlint_main([str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert out.count("SIM002") == 2
+        assert "a.py" in out and "b.py" in out
+
+    def test_run_scope_findings_can_be_baselined(self, tmp_path, capsys):
+        write(tmp_path, "a.py", "s = self.rng.get('net.loss')\n")
+        write(tmp_path, "b.py", "s = system.rng.get('net.loss')\n")
+        bl = tmp_path / "baseline.json"
+        assert simlint_main([str(tmp_path), "--baseline", str(bl), "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert simlint_main([str(tmp_path), "--baseline", str(bl)]) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
+    def test_single_file_duplicate_free(self, tmp_path, capsys):
+        write(tmp_path, "a.py", "s = self.rng.get('net.loss')\n")
+        assert simlint_main([str(tmp_path), "--no-baseline"]) == 0
+
+
 class TestFormats:
     def test_json_format(self, tmp_path, capsys):
         p = write(tmp_path, "dirty.py", DIRTY)

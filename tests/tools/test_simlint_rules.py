@@ -3,7 +3,13 @@ violation and stay quiet on the idiomatic fix."""
 
 import pytest
 
-from repro.tools.simlint import LintConfig, all_rules, lint_source
+from repro.tools.simlint import (
+    LintConfig,
+    all_rules,
+    all_run_scope_rules,
+    lint_source,
+    lint_sources,
+)
 from repro.tools.simlint.registry import LintError, get_rule
 
 
@@ -89,6 +95,74 @@ class TestSim002UnmanagedRandomness:
             "    return rng.random()\n"
         )
         assert codes(src) == []
+
+
+class TestSim002DuplicateStreamNames:
+    """Run-scope extension: the same stream literal in two modules."""
+
+    A = "draws = self.rng.get('net.loss')\n"
+    B = "stream = system.rng.get('net.loss')\n"
+
+    def test_registered(self):
+        assert "SIM002" in [cls.code for cls in all_run_scope_rules()]
+
+    def test_duplicate_across_modules_flagged_at_both_sites(self):
+        findings = lint_sources({"a.py": self.A, "b.py": self.B})
+        assert [f.code for f in findings] == ["SIM002", "SIM002"]
+        assert {f.path for f in findings} == {"a.py", "b.py"}
+        by_path = {f.path: f.message for f in findings}
+        assert "b.py" in by_path["a.py"] and "a.py" in by_path["b.py"]
+        assert "'net.loss'" in by_path["a.py"]
+
+    def test_reuse_within_one_module_is_fine(self):
+        src = self.A + "again = self.rng.get('net.loss')\n"
+        assert lint_sources({"a.py": src}) == []
+
+    def test_distinct_names_are_fine(self):
+        b = "stream = system.rng.get('net.jitter')\n"
+        assert lint_sources({"a.py": self.A, "b.py": b}) == []
+
+    def test_dynamic_names_skipped(self):
+        # f-strings are parameterized by an instance prefix; they cannot
+        # collide statically and must not be guessed at.
+        dyn = "draws = self.rng.get(f'{prefix}.loss')\n"
+        assert lint_sources({"a.py": dyn, "b.py": dyn}) == []
+
+    def test_non_rng_receiver_skipped(self):
+        src = "value = config.get('net.loss')\n"
+        assert lint_sources({"a.py": src, "b.py": src}) == []
+
+    def test_spawned_views_namespace_their_children(self):
+        # Both modules use the literal 'loss', but under different spawn
+        # prefixes these are different streams.
+        a = "s = self.rng.spawn('net.fwd').get('loss')\n"
+        b = "s = self.rng.spawn('net.rev').get('loss')\n"
+        assert lint_sources({"a.py": a, "b.py": b}) == []
+
+    def test_direct_constructor_receiver_counts(self):
+        a = "x = RngStreams(7).get('shared')\n"
+        b = "y = self._rng.fresh('shared')\n"
+        findings = lint_sources({"a.py": a, "b.py": b})
+        assert [f.code for f in findings] == ["SIM002", "SIM002"]
+
+    def test_inline_suppression_honored_per_site(self):
+        a = "draws = self.rng.get('net.loss')  # simlint: disable=SIM002\n"
+        findings = lint_sources({"a.py": a, "b.py": self.B})
+        assert [(f.path, f.code) for f in findings] == [("b.py", "SIM002")]
+
+    def test_selection_excludes_run_scope_pass(self):
+        findings = lint_sources({"a.py": self.A, "b.py": self.B}, select=["SIM001"])
+        assert findings == []
+
+    def test_duplicate_run_scope_code_rejected(self):
+        from repro.tools.simlint.registry import RunScopeRule, register_run_scope
+
+        with pytest.raises(LintError):
+
+            @register_run_scope
+            class Clashing(RunScopeRule):
+                code = "SIM002"
+                name = "clashing"
 
 
 class TestSim003FloatTime:
