@@ -1,0 +1,61 @@
+"""Cold- vs warm-cache timing of the fig2 quick sweep.
+
+The acceptance bar for the content-addressed result cache: a second,
+fully-warm run of the same sweep must be at least 5x faster than the
+cold run that populated the cache — measured in-process, so interpreter
+startup and imports don't flatter the ratio.  The warm run must also be
+bit-identical to the cold one.
+"""
+
+import json
+import time
+
+from repro.experiments import fig2_stream_latency
+from repro.perf import ResultCache
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _dump(result):
+    return json.dumps(
+        {"rows": result.rows, "checks": result.checks},
+        sort_keys=True,
+        default=str,
+    )
+
+
+def test_bench_warm_cache_speedup(benchmark, tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+
+    t0 = time.perf_counter()
+    cold = fig2_stream_latency.run(mode="des", quick=True, cache=cache)
+    cold_s = time.perf_counter() - t0
+    assert cache.stats.misses > 0 and cache.stats.hits == 0
+
+    t0 = time.perf_counter()
+    warm = fig2_stream_latency.run(mode="des", quick=True, cache=cache)
+    warm_s = time.perf_counter() - t0
+    hit_rate = cache.stats.hits / (cache.stats.hits + cache.stats.misses)
+
+    assert _dump(cold) == _dump(warm)
+    assert cache.stats.hits == cache.stats.misses, "warm run must hit every point"
+    speedup = cold_s / warm_s
+    print(
+        f"\ncold={cold_s:.3f}s warm={warm_s:.3f}s "
+        f"speedup={speedup:.1f}x hit_rate={hit_rate:.2f}"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm cache run only {speedup:.1f}x faster than cold "
+        f"(cold={cold_s:.3f}s, warm={warm_s:.3f}s); floor is {SPEEDUP_FLOOR}x"
+    )
+
+    # The timed row in BENCH_perf.json is the warm replay.
+    benchmark.pedantic(
+        lambda: fig2_stream_latency.run(mode="des", quick=True, cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cold_s"] = round(cold_s, 4)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cache_hit_rate"] = round(hit_rate, 4)

@@ -8,11 +8,22 @@ the same rows the paper reports, records headline values in
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Every bench additionally emits a machine-readable row into
+``BENCH_perf.json`` at the repository root (name, wall seconds, and —
+where the bench reports them — events/s and cache hit rate), so CI can
+archive performance history without parsing pytest output.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Any, Dict
+
 from repro.experiments.base import ExperimentResult
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 def run_and_report(benchmark, runner, **kwargs) -> ExperimentResult:
@@ -26,3 +37,47 @@ def run_and_report(benchmark, runner, **kwargs) -> ExperimentResult:
     benchmark.extra_info["checks_passed"] = result.passed
     assert result.passed, f"shape criteria failed: {result.failed_checks()}"
     return result
+
+
+def _bench_row(bench) -> Dict[str, Any]:
+    """One BENCH_perf.json row from a pytest-benchmark Metadata record."""
+    extra = dict(getattr(bench, "extra_info", {}) or {})
+    wall_s = float(bench.stats.mean)
+    row: Dict[str, Any] = {"name": bench.name, "wall_s": wall_s}
+    events = extra.pop("events_per_iteration", None)
+    if events is not None and wall_s > 0:
+        row["events_per_s"] = float(events) / wall_s
+    if "cache_hit_rate" in extra:
+        row["cache_hit_rate"] = extra.pop("cache_hit_rate")
+    if extra:
+        row["extra"] = extra
+    return row
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this run's benchmark rows into BENCH_perf.json.
+
+    Rows are keyed by bench name, so re-running a subset refreshes just
+    those entries while the rest of the file's history is preserved.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    recorded: Dict[str, Dict[str, Any]] = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+            recorded = {row["name"]: row for row in data.get("rows", [])}
+        except (ValueError, KeyError, TypeError):
+            recorded = {}
+    for bench in bench_session.benchmarks:
+        try:
+            row = _bench_row(bench)
+        except (AttributeError, TypeError, ZeroDivisionError):
+            continue
+        recorded[row["name"]] = row
+    payload = {
+        "schema": 1,
+        "rows": [recorded[name] for name in sorted(recorded)],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -8,12 +8,18 @@ constancy validates the closed-window model).
 Both engines are supported; ``mode="des"`` executes every transaction
 through the event-driven testbed, ``mode="fluid"`` evaluates the
 closed forms (vectorized) — the test suite pins their agreement.
+
+The PERIOD points are independent simulations, so the sweep rides the
+:mod:`repro.perf` executor: ``workers=N`` fans them out over a process
+pool (bit-identical to the inline run — each point's seed derives from
+``(seed, point key)``) and ``cache=`` serves previously computed
+points straight from the content-addressed result cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Literal, Sequence
+from typing import List, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +30,7 @@ from repro.engine.fluid import FluidEngine
 from repro.engine.phases import Location
 from repro.errors import ExperimentError
 from repro.node.cluster import ThymesisFlowSystem
+from repro.perf import PointTask, ResultCache, SweepExecutor, derive_point_seed
 from repro.workloads.stream import StreamConfig, StreamWorkload
 
 __all__ = ["SweepPoint", "SweepResult", "validation_sweep"]
@@ -86,12 +93,46 @@ class SweepResult:
         return bdp_constancy(bw[saturated], lat[saturated])
 
 
+def _validation_point(
+    period: int,
+    mode: str,
+    stream: StreamConfig,
+    seed: int,
+    obs=None,
+) -> dict:
+    """Compute one PERIOD point; module-level so worker processes can run it.
+
+    Returns plain JSON data (the executor's contract) rather than a
+    :class:`SweepPoint` so results round-trip through the result cache.
+    """
+    workload = StreamWorkload(stream)
+    config = paper_cluster_config(period=period, seed=seed)
+    if mode == "des":
+        system = ThymesisFlowSystem(config, obs=obs)
+        system.attach_or_raise()
+        driver = DesPhaseDriver(system, workload.program(Location.REMOTE))
+        result = driver.run_to_completion()
+        if obs is not None:
+            obs.finish_system(system)
+        latency = result.mean_latency_ps
+        bandwidth = result.bandwidth_bytes_per_s
+    elif mode == "fluid":
+        run = FluidEngine(config).run(workload.program(Location.REMOTE))
+        latency = run.mean_sojourn_ps
+        bandwidth = run.bandwidth_bytes_per_s
+    else:  # pragma: no cover - literal type guards this
+        raise ExperimentError(f"unknown mode {mode!r}")
+    return {"period": period, "latency_ps": latency, "bandwidth_bytes_per_s": bandwidth}
+
+
 def validation_sweep(
     periods: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 384),
     mode: Mode = "fluid",
     stream: StreamConfig | None = None,
     seed: int = 1234,
     obs=None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SweepResult:
     """Run the section IV-B sweep; returns per-PERIOD latency/bandwidth.
 
@@ -102,31 +143,44 @@ def validation_sweep(
     *obs* is an optional :class:`repro.obs.Observability` bundle; each
     PERIOD point becomes one traced run (its own process track) in DES
     mode.  The fluid engine evaluates closed forms without simulating
-    transactions, so it produces no spans.
+    transactions, so it produces no spans.  Tracing forces inline,
+    uncached execution: spans cannot cross process boundaries and a
+    cache hit would silently skip span generation.
+
+    *workers* fans the PERIOD points over a process pool; *cache*
+    serves previously computed points from the content-addressed
+    result cache.  Either way the rows are bit-identical to a plain
+    serial run.
     """
     if not periods:
         raise ExperimentError("validation_sweep requires at least one PERIOD")
     stream_cfg = stream or StreamConfig(n_elements=20_000)
-    workload = StreamWorkload(stream_cfg)
-    points: List[SweepPoint] = []
-    for period in periods:
-        config = paper_cluster_config(period=period, seed=seed)
-        if mode == "des":
-            system = ThymesisFlowSystem(config, obs=obs)
-            system.attach_or_raise()
-            driver = DesPhaseDriver(system, workload.program(Location.REMOTE))
-            result = driver.run_to_completion()
-            if obs is not None:
-                obs.finish_system(system)
-            latency = result.mean_latency_ps
-            bandwidth = result.bandwidth_bytes_per_s
-        elif mode == "fluid":
-            run = FluidEngine(config).run(workload.program(Location.REMOTE))
-            latency = run.mean_sojourn_ps
-            bandwidth = run.bandwidth_bytes_per_s
-        else:  # pragma: no cover - literal type guards this
-            raise ExperimentError(f"unknown mode {mode!r}")
-        points.append(
-            SweepPoint(period=period, latency_ps=latency, bandwidth_bytes_per_s=bandwidth)
+    if obs is not None:
+        rows = [
+            _validation_point(period, mode, stream_cfg, seed, obs=obs)
+            for period in periods
+        ]
+    else:
+        tasks = [
+            PointTask(
+                key=(key := f"validation/mode={mode}/period={period}"),
+                fn=_validation_point,
+                kwargs={
+                    "period": period,
+                    "mode": mode,
+                    "stream": stream_cfg,
+                    "seed": derive_point_seed(seed, key),
+                },
+            )
+            for period in periods
+        ]
+        rows = SweepExecutor(workers=workers, cache=cache).map(tasks)
+    points = [
+        SweepPoint(
+            period=row["period"],
+            latency_ps=row["latency_ps"],
+            bandwidth_bytes_per_s=row["bandwidth_bytes_per_s"],
         )
+        for row in rows
+    ]
     return SweepResult(mode=mode, points=points)

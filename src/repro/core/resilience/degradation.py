@@ -27,6 +27,7 @@ from repro.calibration import paper_cluster_config
 from repro.config import FaultConfig, TransportConfig
 from repro.core.resilience.failures import HostCrash
 from repro.node.reliable import ReliableThymesisFlowSystem
+from repro.perf import PointTask, SweepExecutor, derive_point_seed
 
 __all__ = [
     "LossResiliencePoint",
@@ -116,6 +117,79 @@ def default_loss_ladder(loss: float) -> tuple:
     return tuple(ladder)
 
 
+def _loss_point(
+    loss: float,
+    retries: int,
+    degraded_mode: bool,
+    seed: int,
+    n_lines: int,
+    corrupt_fraction: float,
+    duplicate_fraction: float,
+    selective_repeat: bool,
+    obs=None,
+) -> dict:
+    """Run one loss level; module-level so worker processes can run it.
+
+    Returns the :class:`LossResiliencePoint` fields as plain JSON data
+    (the executor's contract) so results round-trip through the result
+    cache.
+    """
+    from repro.engine import AccessPhase, DesPhaseDriver, PhaseProgram
+
+    fault = FaultConfig(
+        loss_rate=loss,
+        corrupt_rate=loss * corrupt_fraction,
+        duplicate_rate=loss * duplicate_fraction,
+    )
+    transport = TransportConfig(max_retries=retries, selective_repeat=selective_repeat)
+    config = paper_cluster_config(seed=seed).with_fault(fault).with_transport(transport)
+    system = ReliableThymesisFlowSystem(
+        config, obs=obs, degraded_mode=degraded_mode, faults_armed=False
+    )
+    system.attach_or_raise()
+    system.arm_faults()
+    program = PhaseProgram("chaos").add(
+        AccessPhase("stream", n_lines=n_lines, concurrency=128, write_fraction=0.5)
+    )
+    driver = DesPhaseDriver(system, program)
+    proc = driver.start()
+    system.sim.run()
+    crashed = not proc.ok and isinstance(proc._exc, HostCrash)  # noqa: SLF001
+    if not proc.ok and not crashed:
+        _ = proc.value  # unexpected failure: surface it
+    if crashed:
+        outcome = CRASHED
+    elif system.quarantined:
+        outcome = DEGRADED
+    else:
+        outcome = OK
+    stats = system.transport.stats
+    latencies = driver.result.latencies if proc.ok else None
+    if obs is not None:
+        obs.finish_system(system)
+    return {
+        "loss_rate": loss,
+        "retries": retries,
+        "outcome": outcome,
+        "goodput_bytes_per_s": (
+            driver.result.bandwidth_bytes_per_s if proc.ok else 0.0
+        ),
+        "latency_p99_ps": (
+            latencies.percentile(99)
+            if latencies is not None and len(latencies)
+            else float("nan")
+        ),
+        "retransmissions": stats.retransmissions,
+        "timeouts": stats.timeouts,
+        "nacks": stats.nacks,
+        "corrupt_drops": stats.corrupt_drops,
+        "dup_suppressed": stats.dup_suppressed,
+        "exhausted": stats.exhausted,
+        "switchover_ps": system.switchover_ps,
+        "degraded_accesses": int(system.stats.counters.get("degraded.accesses", 0)),
+    }
+
+
 def loss_resilience_sweep(
     loss_rates: Sequence[float],
     retries: int = 4,
@@ -126,6 +200,8 @@ def loss_resilience_sweep(
     duplicate_fraction: float = 0.125,
     selective_repeat: bool = False,
     obs=None,
+    workers: int = 1,
+    cache=None,
 ) -> LossResilienceReport:
     """Walk the loss ladder on the reliable DES testbed.
 
@@ -134,69 +210,56 @@ def loss_resilience_sweep(
     Corruption and duplication rates ride along proportionally to the
     loss rate (``corrupt_fraction``/``duplicate_fraction``), so one
     knob exercises the whole fault taxonomy.
-    """
-    from repro.engine import AccessPhase, DesPhaseDriver, PhaseProgram
 
-    points: List[LossResiliencePoint] = []
-    for loss in loss_rates:
-        fault = FaultConfig(
-            loss_rate=loss,
-            corrupt_rate=loss * corrupt_fraction,
-            duplicate_rate=loss * duplicate_fraction,
+    Loss levels are independent runs, so the ladder rides the
+    :mod:`repro.perf` executor: each level's RNG root derives from
+    ``(seed, point key)`` — never from worker identity or execution
+    order — so serial (``workers=1``) and parallel runs produce
+    bit-identical ladders, and a *cache* can serve unchanged levels
+    from disk.  Threading *obs* through forces inline, uncached
+    execution (spans cannot cross processes).
+    """
+    keyed = [
+        (
+            loss,
+            f"loss-resilience/loss={loss!r}/retries={retries}"
+            f"/degraded={degraded_mode}/sr={selective_repeat}",
         )
-        transport = TransportConfig(
-            max_retries=retries, selective_repeat=selective_repeat
-        )
-        config = (
-            paper_cluster_config(seed=seed).with_fault(fault).with_transport(transport)
-        )
-        system = ReliableThymesisFlowSystem(
-            config, obs=obs, degraded_mode=degraded_mode, faults_armed=False
-        )
-        system.attach_or_raise()
-        system.arm_faults()
-        program = PhaseProgram("chaos").add(
-            AccessPhase("stream", n_lines=n_lines, concurrency=128, write_fraction=0.5)
-        )
-        driver = DesPhaseDriver(system, program)
-        proc = driver.start()
-        system.sim.run()
-        crashed = not proc.ok and isinstance(proc._exc, HostCrash)  # noqa: SLF001
-        if not proc.ok and not crashed:
-            _ = proc.value  # unexpected failure: surface it
-        if crashed:
-            outcome = CRASHED
-        elif system.quarantined:
-            outcome = DEGRADED
-        else:
-            outcome = OK
-        stats = system.transport.stats
-        latencies = driver.result.latencies if proc.ok else None
-        points.append(
-            LossResiliencePoint(
-                loss_rate=loss,
-                retries=retries,
-                outcome=outcome,
-                goodput_bytes_per_s=(
-                    driver.result.bandwidth_bytes_per_s if proc.ok else 0.0
-                ),
-                latency_p99_ps=(
-                    latencies.percentile(99)
-                    if latencies is not None and len(latencies)
-                    else float("nan")
-                ),
-                retransmissions=stats.retransmissions,
-                timeouts=stats.timeouts,
-                nacks=stats.nacks,
-                corrupt_drops=stats.corrupt_drops,
-                dup_suppressed=stats.dup_suppressed,
-                exhausted=stats.exhausted,
-                switchover_ps=system.switchover_ps,
-                degraded_accesses=int(
-                    system.stats.counters.get("degraded.accesses", 0)
-                ),
+        for loss in loss_rates
+    ]
+    if obs is not None:
+        rows = [
+            _loss_point(
+                loss,
+                retries,
+                degraded_mode,
+                derive_point_seed(seed, key),
+                n_lines,
+                corrupt_fraction,
+                duplicate_fraction,
+                selective_repeat,
+                obs=obs,
             )
-        )
-        if obs is not None:
-            obs.finish_system(system)
+            for loss, key in keyed
+        ]
+    else:
+        tasks = [
+            PointTask(
+                key=key,
+                fn=_loss_point,
+                kwargs={
+                    "loss": loss,
+                    "retries": retries,
+                    "degraded_mode": degraded_mode,
+                    "seed": derive_point_seed(seed, key),
+                    "n_lines": n_lines,
+                    "corrupt_fraction": corrupt_fraction,
+                    "duplicate_fraction": duplicate_fraction,
+                    "selective_repeat": selective_repeat,
+                },
+            )
+            for loss, key in keyed
+        ]
+        rows = SweepExecutor(workers=workers, cache=cache).map(tasks)
+    points = [LossResiliencePoint(**row) for row in rows]
     return LossResilienceReport(points=points, degraded_mode=degraded_mode)

@@ -7,7 +7,9 @@ Usage::
     repro-experiments run fig2 --quick --trace-out run.trace.json \\
         --metrics-out metrics.jsonl --profile
     repro-experiments obs report run.trace.json --metrics metrics.jsonl
-    repro-experiments all --mode fluid
+    repro-experiments run fig6 --workers 8 --cache
+    repro-experiments all --mode fluid --workers 4
+    repro-experiments cache stats
     python -m repro run table1
     python -m repro lint src/repro
 """
@@ -16,10 +18,16 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 from typing import Optional, Sequence
 
-from repro.experiments.registry import get_experiment, list_experiments, run_experiment
+from repro.experiments.registry import (
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    run_many,
+)
 
 __all__ = ["main"]
 
@@ -100,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "local memory instead of crashing the borrower (with --loss)"
         ),
     )
+    _add_perf_arguments(run_p)
 
     obs_p = sub.add_parser("obs", help="inspect observability artifacts from a run")
     obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
@@ -117,6 +126,21 @@ def _build_parser() -> argparse.ArgumentParser:
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--mode", choices=("des", "fluid"), default=None)
     all_p.add_argument("--quick", action="store_true")
+    _add_perf_arguments(all_p)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for verb, help_text in (
+        ("stats", "summarize the on-disk cache (entries, size, hit counters)"),
+        ("clear", "delete every cached result"),
+    ):
+        verb_p = cache_sub.add_parser(verb, help=help_text)
+        verb_p.add_argument(
+            "--dir",
+            metavar="PATH",
+            default=None,
+            help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+        )
 
     sub.add_parser(
         "summary", help="one-screen paper-vs-measured scoreboard (fast settings)"
@@ -124,7 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint_p = sub.add_parser(
         "lint",
-        help="run simlint, the determinism & unit-safety analyzer (SIM001..SIM005)",
+        help="run simlint, the determinism & unit-safety analyzer (SIM001..SIM006)",
     )
     from repro.tools.simlint.cli import add_lint_arguments
 
@@ -176,6 +200,78 @@ def _plot(result) -> None:
     print()
 
 
+def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--cache`` / ``--no-cache`` (run and all)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=1,
+        help="fan independent sweep points over N worker processes "
+        "(results are bit-identical to --workers 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve unchanged sweep points from the content-addressed "
+        "result cache (also enabled by REPRO_CACHE=1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if REPRO_CACHE=1",
+    )
+
+
+def _build_cache(args):
+    """ResultCache per the --cache/--no-cache flags and REPRO_CACHE env."""
+    enabled = getattr(args, "cache", False) or os.environ.get("REPRO_CACHE") == "1"
+    if getattr(args, "no_cache", False):
+        enabled = False
+    if not enabled:
+        return None
+    from repro.perf import ResultCache
+
+    return ResultCache()
+
+
+def _report_cache(cache) -> None:
+    if cache is None:
+        return
+    stats = cache.stats
+    print(
+        f"  cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.stores} store(s), {stats.invalidations} invalidation(s) "
+        f"(hit rate {stats.hit_rate:.0%}) in {cache.root}"
+    )
+    cache.flush_stats()
+
+
+def _cache_command(args) -> int:
+    """``repro cache stats`` / ``repro cache clear``."""
+    from repro.perf.cache import DEFAULT_ROOT, cache_stats, clear_cache
+
+    root = args.dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT)
+    if args.cache_command == "clear":
+        removed = clear_cache(root)
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {root}")
+        return 0
+    stats = cache_stats(root)
+    print(f"cache {stats['root']} (code fingerprint {stats['fingerprint']})")
+    print(f"  entries: {stats['entries']} ({stats['bytes']} bytes, {stats['stale_entries']} stale)")
+    if stats["by_task"]:
+        print("  by task:")
+        for task, count in stats["by_task"].items():
+            print(f"    {task}: {count}")
+    if stats["counters"]:
+        totals = stats["counters"]
+        print(
+            "  lifetime counters: "
+            + ", ".join(f"{k}={totals[k]}" for k in sorted(totals))
+        )
+    return 0
+
+
 def _accepted_kwargs(name: str) -> frozenset:
     """Keyword arguments the experiment's runner actually accepts."""
     try:
@@ -223,6 +319,8 @@ def _run_one(
     csv_path: Optional[str] = None,
     obs=None,
     chaos: Optional[dict] = None,
+    workers: int = 1,
+    cache=None,
 ) -> bool:
     accepted = _accepted_kwargs(name)
     kwargs = {}
@@ -242,6 +340,16 @@ def _run_one(
             kwargs[key] = value
         else:
             print(f"  (note: {name} does not support --{key}; flag ignored)")
+    if workers != 1:
+        if "workers" in accepted:
+            kwargs["workers"] = workers
+        else:
+            print(f"  (note: {name} does not support --workers; flag ignored)")
+    if cache is not None:
+        if "cache" in accepted:
+            kwargs["cache"] = cache
+        else:
+            print(f"  (note: {name} does not support --cache; flag ignored)")
     result = run_experiment(name, **kwargs)
     print(result.render())
     print()
@@ -286,6 +394,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         obs = _build_obs(args)
+        cache = _build_cache(args)
         chaos = {
             "loss": args.loss,
             "retries": args.retries,
@@ -299,12 +408,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.csv,
             obs=obs,
             chaos=chaos,
+            workers=args.workers,
+            cache=cache,
         )
+        _report_cache(cache)
         if obs is not None:
             _write_obs_artifacts(obs, args)
         return 0 if passed else 1
     if args.command == "obs":
         return _obs_report(args)
+    if args.command == "cache":
+        return _cache_command(args)
     if args.command == "lint":
         from repro.tools.simlint.cli import run_lint
 
@@ -315,10 +429,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, ok = render_summary()
         print(text)
         return 0 if ok else 1
-    # all
+    # all: fan whole experiments (figures and ablations alike) over the
+    # sweep executor — each is one independent point.
+    cache = _build_cache(args)
+    names = [name for name, _ in list_experiments()]
+    per_experiment = {}
+    for name in names:
+        accepted = _accepted_kwargs(name)
+        kwargs = {}
+        if args.mode is not None and not name.startswith("ablation-"):
+            kwargs["mode"] = args.mode
+        if args.quick and "quick" in accepted:
+            kwargs["quick"] = True
+        per_experiment[name] = kwargs
+    results = run_many(
+        names, per_experiment=per_experiment, workers=args.workers, cache=cache
+    )
     ok = True
-    for name, _ in list_experiments():
-        ok = _run_one(name, args.mode, args.quick) and ok
+    for result in results:
+        print(result.render())
+        print()
+        ok = result.passed and ok
+    _report_cache(cache)
     return 0 if ok else 1
 
 

@@ -35,18 +35,24 @@ def run(
     stream: StreamConfig | None = None,
     quick: bool = False,
     obs=None,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 2 series.
 
     ``quick`` shrinks the PERIOD grid and STREAM footprint; *obs* is an
     optional :class:`repro.obs.Observability` bundle threaded through
-    the DES testbed (one traced run per PERIOD point).
+    the DES testbed (one traced run per PERIOD point).  ``workers`` and
+    ``cache`` ride through to the sweep executor (parallel fan-out and
+    the content-addressed result cache).
     """
     if periods is None:
         periods = QUICK_PERIODS if quick else DEFAULT_PERIODS
     if stream is None and quick:
         stream = StreamConfig(n_elements=QUICK_STREAM_ELEMENTS)
-    sweep = validation_sweep(periods=periods, mode=mode, stream=stream, obs=obs)
+    sweep = validation_sweep(
+        periods=periods, mode=mode, stream=stream, obs=obs, workers=workers, cache=cache
+    )
     lat_us = sweep.latencies_ps / US
     profile = named_profile("pingmesh_intra_dc")
     lo_pct, hi_pct = profile.coverage_of_range(

@@ -32,13 +32,17 @@ def run(
     stream: StreamConfig | None = None,
     quick: bool = False,
     obs=None,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 3 series (``quick`` shrinks the sweep)."""
     if periods is None:
         periods = QUICK_PERIODS if quick else DEFAULT_PERIODS
     if stream is None and quick:
         stream = StreamConfig(n_elements=4_000)
-    sweep = validation_sweep(periods=periods, mode=mode, stream=stream, obs=obs)
+    sweep = validation_sweep(
+        periods=periods, mode=mode, stream=stream, obs=obs, workers=workers, cache=cache
+    )
     bw = sweep.bandwidths
     mean_bdp, deviation = sweep.bdp()
     rows = [

@@ -47,15 +47,27 @@ def run(
     degraded: bool = False,
     quick: bool = False,
     obs=None,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 4 stress series (DES only — attach is stateful).
 
     With ``loss`` set, run the chaos extension instead: a loss-rate
-    ladder anchored at *loss* under the given retransmission budget.
+    ladder anchored at *loss* under the given retransmission budget;
+    ``workers``/``cache`` fan its levels over the sweep executor.  The
+    delay sweep stays serial (a handful of attach attempts).
     """
     del mode  # the resilience path exists only in the DES engine
     if loss is not None:
-        return _run_loss(loss, retries=retries, degraded=degraded, quick=quick, obs=obs)
+        return _run_loss(
+            loss,
+            retries=retries,
+            degraded=degraded,
+            quick=quick,
+            obs=obs,
+            workers=workers,
+            cache=cache,
+        )
     if stream is None and quick:
         stream = StreamConfig(n_elements=1_000)
     report = resilience_sweep(periods=periods, stream=stream)
@@ -102,6 +114,8 @@ def _run_loss(
     degraded: bool,
     quick: bool,
     obs=None,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """The ``--loss`` chaos mode: loss ladder on the reliable testbed."""
     ladder = default_loss_ladder(loss)
@@ -116,6 +130,8 @@ def _run_loss(
         degraded_mode=degraded,
         n_lines=1_200 if quick else 4_000,
         obs=obs,
+        workers=workers,
+        cache=cache,
     )
     rows = []
     for p in report.points:

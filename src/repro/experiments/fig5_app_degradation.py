@@ -28,6 +28,7 @@ from repro.engine.phases import Location
 from repro.experiments.base import ExperimentResult
 from repro.experiments.workload_suite import build_suite
 from repro.node.cluster import ThymesisFlowSystem
+from repro.perf import PointTask, SweepExecutor
 from repro.units import US
 
 __all__ = ["run"]
@@ -35,23 +36,57 @@ __all__ = ["run"]
 DEFAULT_PERIODS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 48, 64, 96, 128)
 
 
+def _suite_duration(name: str, period: int, mode: str, quick: bool) -> float:
+    """Duration of one (workload, PERIOD) cell; module-level for workers.
+
+    Rebuilds the suite workload from its fixed seed, so the result is
+    identical to running against a shared suite instance.
+    """
+    return _duration(build_suite(quick=quick)[name], period, mode)
+
+
 def run(
     mode: str = "fluid",
     periods: Sequence[int] = DEFAULT_PERIODS,
     quick: bool = False,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Regenerate the Figure 5 series."""
+    """Regenerate the Figure 5 series.
+
+    ``workers``/``cache`` fan the (workload, PERIOD) grid over the
+    sweep executor; the serial uncached path shares one suite instance
+    across cells instead (same numbers, no per-cell trace rebuild).
+    """
     suite = build_suite(quick=quick)
     table = DegradationTable(baseline_label="vanilla ThymesisFlow (PERIOD=1)")
-    baselines = {
-        name: _duration(w, 1, mode) for name, w in suite.items()
-    }
+    grid = [(name, period) for period in (1, *periods) for name in suite]
+    if workers <= 1 and cache is None:
+        # Workload instances cache their traces; reuse them across the
+        # PERIOD axis when running inline anyway.
+        durations = {
+            (name, period): _duration(suite[name], period, mode)
+            for name, period in dict.fromkeys(grid)
+        }
+    else:
+        unique = list(dict.fromkeys(grid))
+        tasks = [
+            PointTask(
+                key=f"fig5/mode={mode}/quick={quick}/workload={name}/period={period}",
+                fn=_suite_duration,
+                kwargs={"name": name, "period": period, "mode": mode, "quick": quick},
+            )
+            for name, period in unique
+        ]
+        computed = SweepExecutor(workers=workers, cache=cache).map(tasks)
+        durations = dict(zip(unique, computed))
+    baselines = {name: durations[(name, 1)] for name in suite}
     for period in periods:
-        for name, workload in suite.items():
+        for name in suite:
             table.record(
                 name,
                 str(period),
-                _duration(workload, period, mode),
+                durations[(name, period)],
                 baselines[name],
             )
 

@@ -21,6 +21,7 @@ from repro.engine.fluid import FluidEngine
 from repro.engine.phases import Location
 from repro.experiments.base import ExperimentResult
 from repro.node.cluster import ThymesisFlowSystem
+from repro.perf import PointTask, SweepExecutor
 from repro.workloads.stream import StreamConfig, StreamWorkload
 
 __all__ = ["run"]
@@ -28,32 +29,51 @@ __all__ = ["run"]
 DEFAULT_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16)
 
 
+def _mcbn_point(n: int, period: int, stream: StreamConfig, mode: str) -> dict:
+    """Per-instance bandwidths at one contention level (worker-runnable)."""
+    if mode == "des":
+        config = paper_cluster_config(period=period)
+        system = ThymesisFlowSystem(config)
+        system.attach_or_raise()
+        programs = [StreamWorkload(stream).program(Location.REMOTE) for _ in range(n)]
+        results = run_concurrent(system, programs)
+        bws = [r.bandwidth_bytes_per_s for r in results]
+    else:
+        engine = FluidEngine(paper_cluster_config(period=period)).contended_remote_engines(n)
+        run_result = engine.run(StreamWorkload(stream).program(Location.REMOTE))
+        bws = [run_result.bandwidth_bytes_per_s] * n
+    return {"bandwidths": bws}
+
+
 def run(
     mode: str = "des",
     instance_counts: Sequence[int] = DEFAULT_COUNTS,
     stream: StreamConfig | None = None,
     period: int = 1,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Regenerate the Figure 6 series (per-instance STREAM bandwidth)."""
+    """Regenerate the Figure 6 series (per-instance STREAM bandwidth).
+
+    Contention levels are independent runs; ``workers``/``cache`` fan
+    them over the :mod:`repro.perf` sweep executor.
+    """
     stream_cfg = stream or StreamConfig(n_elements=10_000)
+    tasks = [
+        PointTask(
+            key=f"mcbn/mode={mode}/period={period}/n={n}",
+            fn=_mcbn_point,
+            kwargs={"n": n, "period": period, "stream": stream_cfg, "mode": mode},
+        )
+        for n in instance_counts
+    ]
+    outputs = SweepExecutor(workers=workers, cache=cache).map(tasks)
     rows = []
     per_instance: list[float] = []
     aggregate: list[float] = []
     fairness: list[float] = []
-    for n in instance_counts:
-        if mode == "des":
-            config = paper_cluster_config(period=period)
-            system = ThymesisFlowSystem(config)
-            system.attach_or_raise()
-            programs = [
-                StreamWorkload(stream_cfg).program(Location.REMOTE) for _ in range(n)
-            ]
-            results = run_concurrent(system, programs)
-            bws = np.asarray([r.bandwidth_bytes_per_s for r in results])
-        else:
-            engine = FluidEngine(paper_cluster_config(period=period)).contended_remote_engines(n)
-            run_result = engine.run(StreamWorkload(stream_cfg).program(Location.REMOTE))
-            bws = np.full(n, run_result.bandwidth_bytes_per_s)
+    for n, output in zip(instance_counts, outputs):
+        bws = np.asarray(output["bandwidths"])
         per_instance.append(float(bws.mean()))
         aggregate.append(float(bws.sum()))
         fairness.append(jain_fairness(bws))

@@ -21,6 +21,7 @@ from repro.engine.fluid import FluidEngine
 from repro.engine.phases import Location
 from repro.experiments.base import ExperimentResult
 from repro.node.cluster import ThymesisFlowSystem
+from repro.perf import PointTask, SweepExecutor
 from repro.workloads.stream import StreamConfig, StreamWorkload
 
 __all__ = ["run"]
@@ -34,21 +35,48 @@ DEFAULT_COUNTS: tuple[int, ...] = (0, 2, 4, 8, 16)
 LENDER_LOCAL_CONCURRENCY = 10
 
 
+def _mcln_point(n_local: int, period: int, stream: StreamConfig, mode: str) -> dict:
+    """Borrower bandwidth at one lender load level (worker-runnable)."""
+    if mode == "des":
+        bw, lender_bus_util = _run_des(stream, n_local, period)
+    else:
+        bw, lender_bus_util = _run_fluid(stream, n_local, period)
+    return {"borrower_bw": bw, "lender_bus_util": lender_bus_util}
+
+
 def run(
     mode: str = "des",
     lender_counts: Sequence[int] = DEFAULT_COUNTS,
     stream: StreamConfig | None = None,
     period: int = 1,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
-    """Regenerate the Figure 7 series (borrower STREAM bandwidth)."""
+    """Regenerate the Figure 7 series (borrower STREAM bandwidth).
+
+    Lender load levels are independent runs; ``workers``/``cache`` fan
+    them over the :mod:`repro.perf` sweep executor.
+    """
     borrower_cfg = stream or StreamConfig(n_elements=10_000)
+    tasks = [
+        PointTask(
+            key=f"mcln/mode={mode}/period={period}/n_local={n_local}",
+            fn=_mcln_point,
+            kwargs={
+                "n_local": n_local,
+                "period": period,
+                "stream": borrower_cfg,
+                "mode": mode,
+            },
+        )
+        for n_local in lender_counts
+    ]
+    outputs = SweepExecutor(workers=workers, cache=cache).map(tasks)
     rows = []
     borrower_bw: list[float] = []
-    for n_local in lender_counts:
-        if mode == "des":
-            bw, lender_bus_util = _run_des(borrower_cfg, n_local, period)
-        else:
-            bw, lender_bus_util = _run_fluid(borrower_cfg, n_local, period)
+    for n_local, output in zip(lender_counts, outputs):
+        bw = output["borrower_bw"]
+        lender_bus_util = output["lender_bus_util"]
         borrower_bw.append(bw)
         rows.append((n_local, round(bw / 1e9, 3), round(lender_bus_util, 3)))
     series = np.asarray(borrower_bw)

@@ -1,8 +1,8 @@
-"""Experiment registry: id → runner."""
+"""Experiment registry: id → runner (plus a parallel batch runner)."""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments import (
@@ -23,7 +23,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["get_experiment", "list_experiments", "run_experiment"]
+__all__ = ["get_experiment", "list_experiments", "run_experiment", "run_many"]
 
 _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "fig2": fig2_stream_latency.run,
@@ -77,3 +77,60 @@ def get_experiment(name: str) -> Callable[..., ExperimentResult]:
 def run_experiment(name: str, **kwargs) -> ExperimentResult:
     """Run experiment *name* with runner-specific keyword options."""
     return get_experiment(name)(**kwargs)
+
+
+def _run_as_dict(name: str, kwargs: Mapping) -> dict:
+    """Worker-runnable wrapper: run *name*, return plain-data result fields."""
+    result = run_experiment(name, **dict(kwargs))
+    return {
+        "experiment": result.experiment,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "checks": dict(result.checks),
+        "notes": result.notes,
+    }
+
+
+def _result_from_dict(data: Mapping) -> ExperimentResult:
+    return ExperimentResult(
+        experiment=data["experiment"],
+        title=data["title"],
+        columns=tuple(data["columns"]),
+        rows=[tuple(row) for row in data["rows"]],
+        checks=dict(data["checks"]),
+        notes=data["notes"],
+    )
+
+
+def run_many(
+    names: Sequence[str],
+    per_experiment: Optional[Mapping[str, Mapping]] = None,
+    workers: int = 1,
+    cache=None,
+    **kwargs,
+) -> List[ExperimentResult]:
+    """Run several experiments, optionally fanned over a process pool.
+
+    Each experiment is one sweep point of the :mod:`repro.perf`
+    executor: *workers* experiments run concurrently (each one runs its
+    own internal sweep serially — one pool level, no nesting) and
+    *cache* serves unchanged experiments straight from the
+    content-addressed result cache.  ``**kwargs`` go to every runner
+    (filtered to what each accepts); *per_experiment* adds per-name
+    overrides.  Results come back in *names* order.
+    """
+    import inspect
+
+    from repro.perf import PointTask, SweepExecutor
+
+    tasks = []
+    for name in names:
+        runner_params = frozenset(inspect.signature(get_experiment(name)).parameters)
+        merged = {k: v for k, v in kwargs.items() if k in runner_params}
+        merged.update((per_experiment or {}).get(name, {}))
+        tasks.append(
+            PointTask(key=f"experiment/{name}", fn=_run_as_dict, kwargs={"name": name, "kwargs": merged})
+        )
+    outputs = SweepExecutor(workers=workers, cache=cache).map(tasks)
+    return [_result_from_dict(data) for data in outputs]

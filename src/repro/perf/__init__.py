@@ -1,0 +1,44 @@
+"""Parallel sweep execution and result caching (``repro.perf``).
+
+Every reproduced artifact is a sweep of *independent* simulation
+points: one (config, seed) pair in, one row of numbers out.  This
+package exploits that shape twice:
+
+:mod:`repro.perf.executor`
+    Fans sweep points out over a process pool with deterministic
+    per-point seeding — results are bit-identical whether a sweep runs
+    inline (``workers=1``) or across N workers, because each point's
+    randomness is a pure function of ``(root seed, point key)`` and
+    results are collected in submission order.
+
+:mod:`repro.perf.cache`
+    A content-addressed, JSON-on-disk result cache keyed by the
+    SHA-256 of the canonicalized point config plus a fingerprint of
+    the simulator's own code, so re-running an unchanged sweep is a
+    directory read instead of a simulation.
+
+All process-level parallelism in the repository must flow through
+:class:`~repro.perf.executor.SweepExecutor` (enforced by simlint rule
+SIM006): a bare ``ProcessPoolExecutor`` elsewhere would bypass the
+seed-derivation scheme and the ordered, deterministic collection that
+keep parallel runs reproducible.
+"""
+
+from repro.perf.cache import ResultCache, cache_stats, canonical_json, code_fingerprint
+from repro.perf.executor import (
+    PointTask,
+    SweepExecutionError,
+    SweepExecutor,
+    derive_point_seed,
+)
+
+__all__ = [
+    "PointTask",
+    "ResultCache",
+    "SweepExecutionError",
+    "SweepExecutor",
+    "cache_stats",
+    "canonical_json",
+    "code_fingerprint",
+    "derive_point_seed",
+]

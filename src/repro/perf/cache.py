@@ -1,0 +1,313 @@
+"""Content-addressed result cache for sweep points.
+
+Keys are the SHA-256 of the canonicalized point configuration *plus* a
+fingerprint of the code that produced the result (package version and
+a hash over the simulator's module sources), so a cache entry can only
+be served back to the exact computation that stored it.  Values are
+JSON on disk under ``.repro-cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable), one file per entry, written
+atomically.
+
+Hit / miss / store / invalidation counters are kept per cache instance
+and can be mirrored into a :class:`repro.obs.metrics.MetricsRegistry`
+(counter names ``perf.cache.{hit,miss,store,invalidated}``).  A
+cumulative tally persists in ``stats.json`` inside the cache directory
+via :meth:`ResultCache.flush_stats` so ``repro cache stats`` can report
+across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_stats",
+    "canonical_json",
+    "clear_cache",
+    "code_fingerprint",
+]
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_ROOT = ".repro-cache"
+
+#: Entry-format version; bumping it orphans (and invalidates) all
+#: existing entries.
+ENTRY_VERSION = 1
+
+#: Source subtrees excluded from the code fingerprint: analysis tooling
+#: that cannot change simulation results.
+_FINGERPRINT_EXCLUDED = ("tools/",)
+
+
+class CacheError(ReproError):
+    """Unusable cache state (unwritable directory, bad entry...)."""
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for *obj* (sorted keys, no whitespace).
+
+    Dataclasses are flattened to ``{"__type__": name, ...fields}`` so
+    two config objects with equal fields canonicalize identically;
+    tuples become lists; callables are named by module and qualname.
+    """
+    return json.dumps(
+        _canonicalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def _canonicalize(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, Any] = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonicalize(getattr(obj, f.name))
+        return out
+    if isinstance(obj, Mapping):
+        return {str(k): _canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        return obj.item()
+    if callable(obj):
+        return f"{getattr(obj, '__module__', '?')}.{getattr(obj, '__qualname__', repr(obj))}"
+    raise CacheError(
+        f"cannot canonicalize {type(obj).__name__!r} for a cache key; "
+        "pass plain data (numbers, strings, dataclasses, lists, dicts)"
+    )
+
+
+def code_fingerprint() -> str:
+    """Hash of the repro package sources (plus version).
+
+    Any edit to a simulator module changes the fingerprint, and with it
+    every cache key, so stale results can never be served after a code
+    change.  The lint tooling under ``repro/tools`` is excluded — it
+    cannot affect simulation output.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(getattr(repro, "__version__", "0").encode())
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(_FINGERPRINT_EXCLUDED):
+            continue
+        digest.update(rel.encode())
+        digest.update(hashlib.sha256(path.read_bytes()).digest())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Session counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON export / metrics)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of computed sweep-point results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first store).  Defaults to
+        ``$REPRO_CACHE_DIR`` or ``.repro-cache``.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; every
+        hit/miss/store/invalidation is mirrored as a
+        ``perf.cache.*`` counter.
+    """
+
+    root: Path = field(default_factory=lambda: Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT)))
+    metrics: Optional[Any] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _fingerprint: Optional[str] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The current code fingerprint (computed once per instance)."""
+        if self._fingerprint is None:
+            self._fingerprint = code_fingerprint()
+        return self._fingerprint
+
+    def key_for(self, task: str, params: Mapping[str, Any]) -> str:
+        """SHA-256 key of canonicalized ``(task, params)`` + code fingerprint."""
+        payload = canonical_json(
+            {
+                "version": ENTRY_VERSION,
+                "fingerprint": self.fingerprint,
+                "task": task,
+                "params": params,
+            }
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(hit, value)`` for *key*; corrupt entries count as invalidations."""
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self._count("miss")
+            self.stats.misses += 1
+            return False, None
+        try:
+            entry = json.loads(text)
+            if entry["version"] != ENTRY_VERSION or entry["fingerprint"] != self.fingerprint:
+                raise ValueError("stale entry")
+            value = entry["value"]
+        except (ValueError, KeyError, TypeError):
+            # Unreadable or stale-under-its-own-key (truncated write,
+            # format change): drop it and recompute.
+            path.unlink(missing_ok=True)
+            self._count("invalidated")
+            self.stats.invalidations += 1
+            self._count("miss")
+            self.stats.misses += 1
+            return False, None
+        self._count("hit")
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any, task: str = "", params: Optional[Mapping] = None) -> None:
+        """Store *value* under *key* (atomic write; value must be JSON-able)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": ENTRY_VERSION,
+            "fingerprint": self.fingerprint,
+            "task": task,
+            "params": _canonicalize(params) if params is not None else None,
+            "value": value,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, allow_nan=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self._count("store")
+        self.stats.stores += 1
+
+    def _count(self, what: str) -> None:
+        if self.metrics is not None:
+            self.metrics.count(f"perf.cache.{what}")
+
+    # ------------------------------------------------------------------
+    def flush_stats(self) -> Path:
+        """Fold this session's counters into ``<root>/stats.json``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / "stats.json"
+        totals = {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
+        try:
+            totals.update(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError):
+            pass
+        for name, value in self.stats.to_dict().items():
+            totals[name] = totals.get(name, 0) + value
+        path.write_text(json.dumps(totals, sort_keys=True, indent=1) + "\n", encoding="utf-8")
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry (and the persistent tally); return the count."""
+        return clear_cache(self.root)
+
+
+# ----------------------------------------------------------------------
+# Directory-level helpers (used by the ``repro cache`` CLI verbs)
+# ----------------------------------------------------------------------
+def _iter_entries(root: Path):
+    for path in sorted(root.glob("*/*.json")):
+        yield path
+
+
+def clear_cache(root: Path | str = DEFAULT_ROOT) -> int:
+    """Remove all cache entries under *root*; returns how many."""
+    root = Path(root)
+    removed = 0
+    for path in _iter_entries(root):
+        path.unlink(missing_ok=True)
+        removed += 1
+        parent = path.parent
+        try:
+            parent.rmdir()
+        except OSError:
+            pass
+    (root / "stats.json").unlink(missing_ok=True)
+    return removed
+
+
+def cache_stats(root: Path | str = DEFAULT_ROOT) -> dict:
+    """Summary of the on-disk cache: entries, bytes, staleness, counters."""
+    root = Path(root)
+    entries = 0
+    total_bytes = 0
+    stale = 0
+    current = code_fingerprint()
+    tasks: dict[str, int] = {}
+    for path in _iter_entries(root):
+        entries += 1
+        total_bytes += path.stat().st_size
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            stale += 1
+            continue
+        if entry.get("fingerprint") != current:
+            stale += 1
+        task = str(entry.get("task", "")) or "?"
+        tasks[task] = tasks.get(task, 0) + 1
+    counters = {}
+    try:
+        counters = json.loads((root / "stats.json").read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        pass
+    return {
+        "root": str(root),
+        "entries": entries,
+        "bytes": total_bytes,
+        "stale_entries": stale,
+        "fingerprint": current,
+        "by_task": dict(sorted(tasks.items())),
+        "counters": counters,
+    }

@@ -1,0 +1,221 @@
+"""Deterministic parallel sweep executor.
+
+A *sweep* is a list of independent points; each point is a pure
+function of its keyword arguments (config in, numbers out).  The
+executor fans points out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and guarantees the result list is **bit-identical** to an inline run:
+
+* every point's randomness derives from :func:`derive_point_seed`
+  applied to ``(root seed, point key)`` — never from worker identity,
+  submission order, or wall clock;
+* results are collected in task order, whatever order workers finish;
+* a point function must be a module-level (picklable) callable whose
+  result round-trips through JSON (so the result cache can serve it
+  back verbatim).
+
+``workers=1`` (the default) degrades gracefully to a plain inline
+loop in the parent process — no pool, no pickling, no subprocesses —
+which is also the fallback whenever a sweep threads an observability
+bundle through its points (spans cannot cross process boundaries).
+
+This module is the **only** sanctioned home of process-level
+parallelism in the repository (simlint rule SIM006): routing every
+fan-out through here is what keeps parallel runs deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.perf.cache import ResultCache, canonical_json
+
+__all__ = [
+    "PointTask",
+    "SweepExecutionError",
+    "SweepExecutor",
+    "derive_point_seed",
+]
+
+
+class SweepExecutionError(ReproError):
+    """A sweep point failed (or timed out) after exhausting its retries."""
+
+
+def derive_point_seed(seed: int, point_key: str) -> int:
+    """Root seed for one sweep point, derived from ``(seed, point_key)``.
+
+    The derivation is a pure hash — independent of which worker runs
+    the point, of how many workers there are, and of submission order —
+    so serial and parallel executions of the same sweep see identical
+    randomness.  Distinct point keys get independent seeds, so
+    reordering or subsetting a sweep never perturbs the other points.
+    """
+    digest = hashlib.sha256(f"{int(seed)}:{point_key}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One schedulable sweep point.
+
+    Attributes
+    ----------
+    key:
+        Stable identity, e.g. ``"fig2/mode=des/period=32"``.  Doubles
+        as the cache identity and the seed-derivation salt, so it must
+        encode everything that distinguishes this point within the
+        sweep.
+    fn:
+        Module-level callable executed as ``fn(**kwargs)`` (must be
+        picklable for ``workers > 1``).
+    kwargs:
+        Keyword arguments for *fn*; for cacheable sweeps these must
+        canonicalize (plain data / dataclasses).
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+def _invoke(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Any:
+    """Top-level trampoline so the pool pickles (fn, kwargs), not a lambda."""
+    return fn(**kwargs)
+
+
+def _normalize(value: Any) -> Any:
+    """Round-trip *value* through canonical JSON.
+
+    Every computed result passes through here so that a value served
+    from the cache (JSON on disk) is indistinguishable — same types,
+    same ordering — from one computed this run.  Without this, a
+    point function returning e.g. a numpy float or a tuple would
+    compare unequal to its own cached copy.
+    """
+    return json.loads(canonical_json(value))
+
+
+@dataclass
+class SweepExecutor:
+    """Runs sweep points, optionally in parallel and through a cache.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width; ``<= 1`` runs inline (deterministically
+        identical, see module docstring).
+    timeout_s:
+        Per-point wall-clock budget (parallel mode only — an inline
+        run cannot be preempted).  ``None`` disables the limit.
+    retries:
+        How many times a failed or timed-out point is resubmitted
+        before :class:`SweepExecutionError` is raised.
+    cache:
+        Optional :class:`~repro.perf.cache.ResultCache`; hits skip
+        execution entirely and misses are stored after computing.
+    """
+
+    workers: int = 1
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    cache: Optional[ResultCache] = None
+
+    def map(self, tasks: Sequence[PointTask]) -> List[Any]:
+        """Execute *tasks*, returning their results in task order."""
+        results: List[Any] = [None] * len(tasks)
+        pending: List[tuple[int, PointTask, Optional[str]]] = []
+        cache = self.cache
+        for idx, task in enumerate(tasks):
+            if cache is not None:
+                key = cache.key_for(task.key, task.kwargs)
+                hit, value = cache.get(key)
+                if hit:
+                    results[idx] = value
+                    continue
+                pending.append((idx, task, key))
+            else:
+                pending.append((idx, task, None))
+        if not pending:
+            return results
+        if self.workers <= 1 or (len(pending) == 1 and self.timeout_s is None):
+            # A lone uncacheable point never pays for a pool — unless a
+            # timeout is requested, which only a subprocess can enforce.
+            computed = self._run_inline(pending)
+        else:
+            computed = self._run_pool(pending)
+        for (idx, task, key), value in zip(pending, computed):
+            value = _normalize(value)
+            results[idx] = value
+            if cache is not None and key is not None:
+                cache.put(key, value, task=task.key, params=task.kwargs)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, pending) -> List[Any]:
+        out = []
+        for _idx, task, _key in pending:
+            attempt = 0
+            while True:
+                try:
+                    out.append(_invoke(task.fn, task.kwargs))
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.retries:
+                        raise SweepExecutionError(
+                            f"sweep point {task.key!r} failed after "
+                            f"{attempt} attempt(s): {exc}"
+                        ) from exc
+        return out
+
+    def _run_pool(self, pending) -> List[Any]:
+        n_workers = min(self.workers, len(pending))
+        out: List[Any] = []
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        try:
+            futures = {
+                idx: pool.submit(_invoke, task.fn, task.kwargs)
+                for idx, task, _key in pending
+            }
+            attempts = dict.fromkeys(futures, 0)
+            # Collect strictly in task order so downstream consumers see
+            # a deterministic sequence regardless of completion order.
+            for idx, task, _key in pending:
+                while True:
+                    try:
+                        out.append(futures[idx].result(timeout=self.timeout_s))
+                        break
+                    except FutureTimeoutError as exc:
+                        futures[idx].cancel()
+                        attempts[idx] += 1
+                        if attempts[idx] > self.retries:
+                            raise SweepExecutionError(
+                                f"sweep point {task.key!r} timed out after "
+                                f"{attempts[idx]} attempt(s) "
+                                f"(timeout_s={self.timeout_s})"
+                            ) from exc
+                        futures[idx] = pool.submit(_invoke, task.fn, task.kwargs)
+                    except Exception as exc:
+                        attempts[idx] += 1
+                        if attempts[idx] > self.retries:
+                            raise SweepExecutionError(
+                                f"sweep point {task.key!r} failed after "
+                                f"{attempts[idx]} attempt(s): {exc}"
+                            ) from exc
+                        futures[idx] = pool.submit(_invoke, task.fn, task.kwargs)
+        except BaseException:
+            # A clean shutdown would block on any worker still running a
+            # timed-out point; the sweep already failed, so take the
+            # workers down with it.
+            for proc in getattr(pool, "_processes", {}).values():
+                proc.kill()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return out

@@ -1,18 +1,38 @@
 """Event queue and simulation clock.
 
 The kernel is callback-based at the bottom: :class:`Simulator` owns a
-binary heap of ``(time, sequence, EventHandle)`` entries and fires each
-handle's callback at its scheduled time.  Processes and waitables
-(:mod:`repro.sim.process`) are built on top of this primitive.
+binary heap of :class:`EventHandle` entries (ordered by ``(time, seq)``)
+and fires each handle's callback at its scheduled time.  Processes and
+waitables (:mod:`repro.sim.process`) are built on top of this primitive.
 
 Determinism: events scheduled for the same simulated time fire in the
 order they were scheduled (the monotonically increasing sequence number
 breaks ties), so runs are exactly reproducible.
+
+Three hot-path optimizations, all invisible to callers:
+
+* **Same-time FIFO fast path** — an event scheduled for the *current*
+  instant (``delay == 0``) goes to a plain deque instead of the heap.
+  Ordering is preserved because every heap entry at time ``t`` was
+  necessarily pushed while ``now < t`` (a same-time schedule never
+  reaches the heap), so heap entries at the current time always carry
+  smaller sequence numbers than deque entries and are drained first.
+* **Handle free-list** — fired handles are recycled through a small
+  pool instead of being reallocated per event.  A handle is only
+  recycled when the kernel holds the last reference (checked with
+  ``sys.getrefcount``), so a handle retained by calling code is never
+  reused under it and late ``cancel()`` calls stay harmless no-ops.
+* **Lazy-deletion compaction** — ``cancel()`` marks the entry and the
+  queues drop it when popped; when cancelled entries exceed half the
+  queue (and a minimum count), the heap is rebuilt without them so a
+  cancel-heavy workload cannot grow the heap unboundedly.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -20,11 +40,23 @@ from repro.units import Duration, Time
 
 __all__ = ["EventHandle", "Simulator"]
 
+#: Free-list bound: beyond this many parked handles, fired handles are
+#: simply released to the allocator.
+_POOL_MAX = 1024
+
+#: Compaction triggers once at least this many cancelled entries are
+#: pending *and* they outnumber the live entries.
+_COMPACT_MIN = 64
+
+#: Reference count of a handle the kernel alone still holds: one local
+#: variable plus ``sys.getrefcount``'s own argument reference.
+_UNREFERENCED = 2
+
 
 class EventHandle:
     """A scheduled callback that can be cancelled before it fires."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -32,20 +64,29 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Backref for cancellation accounting; cleared when the handle
+        # fires so post-fire cancels don't skew the compaction counter.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing (no-op if already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled events don't pin objects while
         # they sit in the heap waiting to be popped.
         self.callback = _noop
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -84,7 +125,14 @@ class Simulator:
     def __init__(self, start_time: Time = 0) -> None:
         self._now: Time = start_time
         self._heap: list[EventHandle] = []
+        #: Events scheduled for the current instant (the same-time fast
+        #: path).  Invariant: every entry's time equals ``_now`` — the
+        #: clock cannot advance while the deque is non-empty because
+        #: its entries are always the most urgent work.
+        self._fifo: deque[EventHandle] = deque()
+        self._pool: list[EventHandle] = []
         self._seq: int = 0
+        self._cancelled_pending = 0
         self._running = False
         self._event_count = 0
         self._observer: Optional[Any] = None
@@ -131,42 +179,159 @@ class Simulator:
         """Schedule *callback(*args)* to fire ``delay`` ps from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = self._now + delay
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            handle._sim = self
+        else:
+            handle = EventHandle(self._now + delay, seq, callback, args, self)
+        if delay:
+            heapq.heappush(self._heap, handle)
+        else:
+            self._fifo.append(handle)
+        return handle
 
     def schedule_at(
         self, time: Time, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule *callback(*args)* at absolute simulated time *time*."""
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule at t={time} before now={self._now}"
+                f"cannot schedule at t={time} before now={now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            handle._sim = self
+        else:
+            handle = EventHandle(time, seq, callback, args, self)
+        if time > now:
+            heapq.heappush(self._heap, handle)
+        else:
+            self._fifo.append(handle)
         return handle
+
+    # ------------------------------------------------------------------
+    # Queue maintenance (lazy deletion)
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook invoked by :meth:`EventHandle.cancel`."""
+        self._cancelled_pending += 1
+        pending = len(self._heap) + len(self._fifo)
+        if (
+            self._cancelled_pending >= _COMPACT_MIN
+            and self._cancelled_pending * 2 >= pending
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the queues without their cancelled entries.
+
+        Mutates the containers in place so hot loops holding local
+        aliases keep seeing the live objects.
+        """
+        heap = self._heap
+        heap[:] = [h for h in heap if not h.cancelled]
+        heapq.heapify(heap)
+        fifo = self._fifo
+        if fifo:
+            live = [h for h in fifo if not h.cancelled]
+            fifo.clear()
+            fifo.extend(live)
+        self._cancelled_pending = 0
+
+    def _peek_live(self) -> Optional[EventHandle]:
+        """The next live handle (pruning cancelled heads), or None.
+
+        The returned handle is *not* removed.  When both queues hold
+        events at the same time the heap entry wins: heap entries at a
+        given time are always older (smaller ``seq``) than same-time
+        FIFO entries, which only accumulate once the clock has reached
+        that time.
+        """
+        heap = self._heap
+        fifo = self._fifo
+        pool = self._pool
+        head: Optional[EventHandle] = None
+        while heap:
+            head = heap[0]
+            if not head.cancelled:
+                break
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+            if len(pool) < _POOL_MAX and sys.getrefcount(head) == _UNREFERENCED:
+                head._sim = None
+                pool.append(head)
+            head = None
+        while fifo:
+            front = fifo[0]
+            if not front.cancelled:
+                if head is None or front.time < head.time:
+                    head = front
+                break
+            fifo.popleft()
+            self._cancelled_pending -= 1
+            if len(pool) < _POOL_MAX and sys.getrefcount(front) == _UNREFERENCED:
+                front._sim = None
+                pool.append(front)
+        return head
+
+    def _pop_live(self) -> Optional[EventHandle]:
+        """Remove and return the next live handle, or None if drained."""
+        handle = self._peek_live()
+        if handle is None:
+            return None
+        fifo = self._fifo
+        if fifo and fifo[0] is handle:
+            fifo.popleft()
+        else:
+            heapq.heappop(self._heap)
+        return handle
+
+    def _recycle(self, handle: EventHandle) -> None:
+        """Park a fired handle on the free list if nobody else holds it."""
+        # Expected count: caller's local, our parameter, getrefcount's
+        # argument.  Anything higher means user code kept the handle.
+        if len(self._pool) < _POOL_MAX and sys.getrefcount(handle) == _UNREFERENCED + 1:
+            handle.callback = _noop
+            handle.args = ()
+            self._pool.append(handle)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the single next event.  Returns False if none remain."""
-        heap = self._heap
-        while heap:
-            handle = heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            if handle.time < self._now:  # pragma: no cover - defensive
-                raise SimulationError("event heap yielded an event in the past")
-            self._now = handle.time
-            self._event_count += 1
-            observer = self._observer
-            if observer is None:
-                handle.callback(*handle.args)
-            else:
-                observer.on_event(self, handle)
-            return True
-        return False
+        handle = self._pop_live()
+        if handle is None:
+            return False
+        if handle.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event heap yielded an event in the past")
+        self._now = handle.time
+        self._event_count += 1
+        handle._sim = None
+        observer = self._observer
+        if observer is None:
+            handle.callback(*handle.args)
+        else:
+            observer.on_event(self, handle)
+        self._recycle(handle)
+        return True
 
     def run(
         self,
@@ -194,40 +359,86 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        # The dispatch loop is the hottest path in the whole simulator:
+        # everything is bound to locals and the next-event selection is
+        # inlined rather than routed through step()/_pop_live().
         fired = 0
+        budget = -1 if max_events is None else max_events
+        heap = self._heap
+        fifo = self._fifo
+        pool = self._pool
+        heappop = heapq.heappop
+        getrefcount = sys.getrefcount
         try:
-            heap = self._heap
-            while heap:
-                nxt = heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(heap)
-                    continue
-                if until is not None and nxt.time > until:
+            while True:
+                # -- select the next live handle ------------------------
+                handle = None
+                while heap:
+                    handle = heap[0]
+                    if not handle.cancelled:
+                        break
+                    heappop(heap)
+                    self._cancelled_pending -= 1
+                    if len(pool) < _POOL_MAX and getrefcount(handle) == _UNREFERENCED:
+                        handle._sim = None
+                        pool.append(handle)
+                    handle = None
+                from_fifo = False
+                while fifo:
+                    front = fifo[0]
+                    if not front.cancelled:
+                        # Same-time heap entries are older (smaller seq)
+                        # and must fire first; see _peek_live.
+                        if handle is None or front.time < handle.time:
+                            handle = front
+                            from_fifo = True
+                        break
+                    fifo.popleft()
+                    self._cancelled_pending -= 1
+                    if len(pool) < _POOL_MAX and getrefcount(front) == _UNREFERENCED:
+                        front._sim = None
+                        pool.append(front)
+                front = None
+                if handle is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and handle.time > until:
                     self._now = until
                     break
                 # Check the budget before firing: exactly max_events
                 # events run, and the error means a further event was
                 # genuinely pending (a drained queue never raises).
-                if max_events is not None and fired >= max_events:
+                if fired == budget:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway simulation?)"
                     )
-                if not self.step():  # pragma: no cover - heap nonempty above
-                    break
+                if from_fifo:
+                    fifo.popleft()
+                else:
+                    heappop(heap)
+                # -- dispatch ------------------------------------------
+                self._now = handle.time
+                self._event_count += 1
+                handle._sim = None
+                observer = self._observer
+                if observer is None:
+                    handle.callback(*handle.args)
+                else:
+                    observer.on_event(self, handle)
                 fired += 1
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+                if len(pool) < _POOL_MAX and getrefcount(handle) == _UNREFERENCED:
+                    handle.callback = _noop
+                    handle.args = ()
+                    pool.append(handle)
         finally:
             self._running = False
         return self._now
 
     def peek(self) -> Optional[Time]:
         """Time of the next pending event, or None if the queue is empty."""
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        handle = self._peek_live()
+        return handle.time if handle is not None else None
 
     # Convenience wiring for processes (implemented in process.py; imported
     # lazily to avoid a module cycle).

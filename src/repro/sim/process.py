@@ -119,11 +119,17 @@ class Timeout(Waitable):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
         self.delay = delay
-        self._handle = sim.schedule(delay, self.trigger, value)
+        self._handle = sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        # Release the handle before triggering so the kernel can recycle
+        # it (the free list only reuses handles nobody references).
+        self._handle = None
+        self.trigger(value)
 
     def cancel(self) -> None:
         """Cancel the pending timeout (no effect if already fired)."""
-        if not self.triggered:
+        if self._handle is not None and not self.triggered:
             self._handle.cancel()
 
 

@@ -146,7 +146,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-simlint",
         description=(
             "AST-based determinism & unit-safety analyzer for the simulator "
-            "(rules SIM001..SIM005; see --list-rules)."
+            "(rules SIM001..SIM006; see --list-rules)."
         ),
     )
     add_lint_arguments(parser)

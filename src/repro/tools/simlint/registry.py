@@ -85,10 +85,19 @@ class LintConfig:
         "repro/mem",
     )
 
+    #: Packages allowed to spawn worker processes directly (SIM006):
+    #: the sweep executor is the single sanctioned fan-out point.
+    parallel_sanctioned_fragments: tuple[str, ...] = ("repro/perf/",)
+
     def is_rng_sanctioned(self, path: str) -> bool:
         """True if *path* may construct raw generators (the registry)."""
         norm = "/" + path.replace("\\", "/").lstrip("/")
         return any(norm.endswith("/" + s) for s in self.rng_sanctioned_suffixes)
+
+    def is_parallel_sanctioned(self, path: str) -> bool:
+        """True if *path* may manage process-level parallelism (SIM006)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(f"/{frag.strip('/')}/" in norm for frag in self.parallel_sanctioned_fragments)
 
     def in_stateful_package(self, path: str) -> bool:
         """True if *path* lives where SIM005 applies."""

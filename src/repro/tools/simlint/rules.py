@@ -1,4 +1,4 @@
-"""The simlint rule set (SIM001..SIM005).
+"""The simlint rule set (SIM001..SIM006).
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
@@ -32,6 +32,7 @@ __all__ = [
     "FloatTimeRule",
     "SetIterationRule",
     "ModuleStateRule",
+    "UnmanagedParallelismRule",
     "iter_stream_registrations",
 ]
 
@@ -618,6 +619,54 @@ class ModuleStateRule(Rule):
             if name in self._MUTABLE_CALLS:
                 return f"{name}()"
         return None
+
+
+# ----------------------------------------------------------------------
+# SIM006 — process-level parallelism only via repro.perf
+# ----------------------------------------------------------------------
+@register
+class UnmanagedParallelismRule(Rule):
+    code = "SIM006"
+    name = "unmanaged-parallelism"
+    rationale = (
+        "Worker processes must be spawned through the repro.perf sweep "
+        "executor, which derives each point's RNG root from (seed, point "
+        "key) and collects results in task order; a bare "
+        "ProcessPoolExecutor/multiprocessing/os.fork elsewhere ties results "
+        "to worker identity and completion order, so parallel runs stop "
+        "being bit-identical to serial ones."
+    )
+
+    #: Canonical dotted names that create worker processes or pools.
+    _PARALLEL_CALLS = frozenset(
+        {
+            "concurrent.futures.ProcessPoolExecutor",
+            "concurrent.futures.process.ProcessPoolExecutor",
+            "multiprocessing.Pool",
+            "multiprocessing.Process",
+            "multiprocessing.pool.Pool",
+            "multiprocessing.get_context",
+            "os.fork",
+            "os.forkpty",
+        }
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if config.is_parallel_sanctioned(module.rel):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, module.imports)
+            if name in self._PARALLEL_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct {name}() outside repro/perf; route the fan-out "
+                    "through repro.perf.SweepExecutor so per-point seeding "
+                    "and ordered collection keep parallel runs deterministic",
+                )
 
 
 def _is_constant_style(name: str) -> bool:

@@ -1,0 +1,170 @@
+"""ResultCache: keys, canonicalization, invalidation, stats, CLI helpers."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.perf import canonical_json, code_fingerprint
+from repro.perf.cache import CacheError, ResultCache, cache_stats, clear_cache
+
+
+@dataclass(frozen=True)
+class PointConfig:
+    period: int
+    label: str
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_dataclass_flattens_with_type_tag(self):
+        text = canonical_json(PointConfig(period=8, label="x"))
+        assert json.loads(text) == {"__type__": "PointConfig", "period": 8, "label": "x"}
+
+    def test_equal_dataclasses_canonicalize_identically(self):
+        a = canonical_json({"cfg": PointConfig(1, "a")})
+        b = canonical_json({"cfg": PointConfig(1, "a")})
+        assert a == b
+
+    def test_tuples_become_lists(self):
+        assert canonical_json((1, 2)) == "[1,2]"
+
+    def test_numpy_scalars_unwrap(self):
+        assert canonical_json(np.float64(0.5)) == "0.5"
+        assert canonical_json(np.int64(3)) == "3"
+
+    def test_callables_named_by_qualname(self):
+        assert "code_fingerprint" in canonical_json(code_fingerprint)
+
+    def test_uncanonicalizable_object_rejected(self):
+        with pytest.raises(CacheError, match="canonicalize"):
+            canonical_json(object())
+
+
+class TestFingerprint:
+    def test_stable_within_a_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_short_hex(self):
+        fp = code_fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)  # hex
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.key_for("t", {"x": 1})
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"y": 2}, task="t", params={"x": 1})
+        assert cache.get(key) == (True, {"y": 2})
+        assert cache.stats.to_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "invalidations": 0,
+        }
+
+    def test_key_depends_on_params(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.key_for("t", {"x": 1}) != cache.key_for("t", {"x": 2})
+
+    def test_key_depends_on_task(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.key_for("a", {"x": 1}) != cache.key_for("b", {"x": 1})
+
+    def test_key_depends_on_fingerprint(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key_now = cache.key_for("t", {"x": 1})
+        stale = ResultCache(root=tmp_path, _fingerprint="0" * 16)
+        assert stale.key_for("t", {"x": 1}) != key_now
+
+    def test_corrupt_entry_invalidated(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.key_for("t", {})
+        cache.put(key, 1, task="t")
+        path = cache._path(key)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) == (False, None)
+        assert cache.stats.invalidations == 1
+        assert not path.exists()
+
+    def test_stale_fingerprint_entry_invalidated(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.key_for("t", {})
+        cache.put(key, 1, task="t")
+        entry = json.loads(cache._path(key).read_text(encoding="utf-8"))
+        entry["fingerprint"] = "f" * 16
+        cache._path(key).write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) == (False, None)
+        assert cache.stats.invalidations == 1
+
+    def test_nan_round_trips(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = cache.key_for("t", {})
+        cache.put(key, {"p99": float("nan")}, task="t")
+        hit, value = cache.get(key)
+        assert hit and value["p99"] != value["p99"]
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(3):
+            cache.put(cache.key_for("t", {"i": i}), i, task="t")
+        assert cache.clear() == 3
+        assert cache.get(cache.key_for("t", {"i": 0})) == (False, None)
+
+    def test_metrics_mirroring(self, tmp_path):
+        class Registry:
+            def __init__(self):
+                self.counts = {}
+
+            def count(self, name, n=1):
+                self.counts[name] = self.counts.get(name, 0) + n
+
+        registry = Registry()
+        cache = ResultCache(root=tmp_path, metrics=registry)
+        key = cache.key_for("t", {})
+        cache.get(key)
+        cache.put(key, 1, task="t")
+        cache.get(key)
+        assert registry.counts == {
+            "perf.cache.miss": 1,
+            "perf.cache.store": 1,
+            "perf.cache.hit": 1,
+        }
+
+    def test_obs_metrics_registry_integration(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResultCache(root=tmp_path, metrics=registry)
+        cache.get(cache.key_for("t", {}))
+        assert registry.counters["perf.cache.miss"] == 1
+
+
+class TestDirectoryHelpers:
+    def test_flush_stats_accumulates(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.get(cache.key_for("t", {}))  # one miss
+        cache.flush_stats()
+        cache2 = ResultCache(root=tmp_path)
+        cache2.get(cache2.key_for("t", {"other": 1}))
+        cache2.flush_stats()
+        totals = json.loads((tmp_path / "stats.json").read_text(encoding="utf-8"))
+        assert totals["misses"] == 2
+
+    def test_cache_stats_summary(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(cache.key_for("fig2/p=1", {}), 1, task="fig2/p=1")
+        cache.put(cache.key_for("fig2/p=2", {}), 2, task="fig2/p=2")
+        stats = cache_stats(tmp_path)
+        assert stats["entries"] == 2
+        assert stats["stale_entries"] == 0
+        assert stats["by_task"] == {"fig2/p=1": 1, "fig2/p=2": 1}
+        assert stats["bytes"] > 0
+
+    def test_clear_cache_on_missing_dir(self, tmp_path):
+        assert clear_cache(tmp_path / "nope") == 0

@@ -282,3 +282,175 @@ def test_property_cancelled_events_never_fire(entries):
     sim.run()
     expected = {i for i, (_, cancel) in enumerate(entries) if not cancel}
     assert set(fired) == expected
+
+
+# ----------------------------------------------------------------------
+# Kernel internals: _pop_live, the same-time FIFO fast path, the handle
+# free-list, and lazy-deletion compaction.
+# ----------------------------------------------------------------------
+class TestPopLive:
+    def test_pops_in_fire_order(self):
+        sim = Simulator()
+        a = sim.schedule(5, lambda: None)
+        b = sim.schedule(3, lambda: None)
+        c = sim.schedule(3, lambda: None)
+        assert sim._pop_live() is b
+        assert sim._pop_live() is c
+        assert sim._pop_live() is a
+        assert sim._pop_live() is None
+
+    def test_skips_cancelled_heads(self):
+        sim = Simulator()
+        a = sim.schedule(1, lambda: None)
+        b = sim.schedule(2, lambda: None)
+        a.cancel()
+        assert sim._pop_live() is b
+        assert sim._pop_live() is None
+
+    def test_same_time_heap_entry_wins_over_fifo(self):
+        # A zero-delay schedule lands in the FIFO; an entry already in
+        # the heap for the same instant is older and must pop first.
+        sim = Simulator()
+        heap_first = sim.schedule(4, lambda: None)
+        sim.run(until=3)  # advance the clock below t=4
+        sim._now = 4  # reach t=4 without firing heap_first
+        fifo_second = sim.schedule(0, lambda: None)
+        assert sim._pop_live() is heap_first
+        assert sim._pop_live() is fifo_second
+
+    def test_pop_live_matches_peek_live(self):
+        sim = Simulator()
+        sim.schedule(7, lambda: None)
+        sim.schedule(0, lambda: None)
+        peeked = sim._peek_live()
+        assert sim._pop_live() is peeked
+
+
+class TestSameTimeFifoFastPath:
+    def test_zero_delay_bypasses_heap(self):
+        sim = Simulator()
+        sim.schedule(0, lambda: None)
+        assert len(sim._heap) == 0
+        assert len(sim._fifo) == 1
+
+    def test_schedule_at_now_bypasses_heap(self):
+        sim = Simulator(start_time=10)
+        sim.schedule_at(10, lambda: None)
+        assert len(sim._heap) == 0
+        assert len(sim._fifo) == 1
+
+    def test_cascading_zero_delays_fire_in_order(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(0, chain, n + 1)
+
+        sim.schedule(3, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 3
+
+    def test_interleaved_zero_and_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, fired.append, "late")
+
+        def at_zero():
+            fired.append("first")
+            sim.schedule(0, fired.append, "second")
+
+        sim.schedule(0, at_zero)
+        sim.run()
+        assert fired == ["first", "second", "late"]
+
+
+class TestHandlePool:
+    def test_fired_handle_recycled_when_unreferenced(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert len(sim._pool) == 10
+
+    def test_retained_handle_never_recycled(self):
+        sim = Simulator()
+        kept = sim.schedule(1, lambda: None)
+        sim.run()
+        assert kept not in sim._pool
+        # Late cancel on the retained handle stays a harmless no-op.
+        kept.cancel()
+        assert sim._pool == [] or all(h is not kept for h in sim._pool)
+
+    def test_recycled_handles_are_reused(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert len(sim._pool) == 1
+        recycled = sim._pool[-1]
+        fresh = sim.schedule(1, lambda: None)
+        assert fresh is recycled
+        assert not fresh.cancelled
+
+    def test_pool_is_bounded(self):
+        from repro.sim.core import _POOL_MAX
+
+        sim = Simulator()
+        for _ in range(_POOL_MAX + 200):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert len(sim._pool) <= _POOL_MAX
+
+    def test_late_cancel_after_reuse_does_not_kill_new_event(self):
+        # The dangerous sequence: fire handle A, user keeps a reference
+        # and cancels late.  A retained handle is never pooled, so the
+        # cancel cannot hit an unrelated recycled event.
+        sim = Simulator()
+        fired = []
+        kept = sim.schedule(1, fired.append, "a")
+        sim.run()
+        kept.cancel()  # late, after firing
+        fresh = sim.schedule(1, fired.append, "b")
+        assert fresh is not kept
+        sim.run()
+        assert fired == ["a", "b"]
+
+
+class TestLazyCompaction:
+    def test_mass_cancel_compacts_heap(self):
+        from repro.sim.core import _COMPACT_MIN
+
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(4 * _COMPACT_MIN)]
+        for i, handle in enumerate(handles):
+            if i % 4:
+                handle.cancel()
+        # Cancelled entries outnumber live ones -> compaction kicked in.
+        assert len(sim._heap) < len(handles)
+        assert sim._cancelled_pending < _COMPACT_MIN
+        sim.run()
+        assert sim.events_processed == len(handles) // 4
+
+    def test_compaction_preserves_order(self):
+        from repro.sim.core import _COMPACT_MIN
+
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(4 * _COMPACT_MIN):
+            handle = sim.schedule(i + 1, fired.append, i)
+            if i % 4:
+                handle.cancel()
+            else:
+                keep.append(i)
+        sim.run()
+        assert fired == keep
+
+    def test_counter_resets_after_compact(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(300)]
+        for handle in handles:
+            handle.cancel()
+        assert sim._cancelled_pending < len(handles)

@@ -46,6 +46,32 @@ class TestCli:
         out = capsys.readouterr().out
         assert "[ablation-wave]" in out and "check PASS" in out
 
+    def test_workers_and_cache_flags(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["run", "fig2", "--quick", "--workers", "2", "--cache"]) == 0
+        cold = capsys.readouterr().out
+        assert "check PASS" in cold and "miss" in cold
+        assert main(["run", "fig2", "--quick", "--cache"]) == 0
+        warm = capsys.readouterr().out
+        assert "hit rate 100%" in warm
+
+    def test_no_cache_overrides_env(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert main(["run", "fig2", "--quick", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "check PASS" in out and "hit rate" not in out
+
+    def test_cache_stats_and_clear_verbs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["run", "fig2", "--quick", "--cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", str(tmp_path / "cache")]) == 0
+        stats = capsys.readouterr().out
+        assert "entries: 5" in stats
+        assert main(["cache", "clear", "--dir", str(tmp_path / "cache")]) == 0
+        assert "removed 5" in capsys.readouterr().out
+
     def test_exit_status_reflects_checks(self, capsys, monkeypatch):
         import repro.experiments.cli as cli_mod
 

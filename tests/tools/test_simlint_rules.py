@@ -18,9 +18,9 @@ def codes(source, rel="x.py", select=None):
 
 
 class TestRegistry:
-    def test_five_rules_registered(self):
+    def test_six_rules_registered(self):
         assert [cls.code for cls in all_rules()] == [
-            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
         ]
 
     def test_every_rule_documents_itself(self):
@@ -307,6 +307,56 @@ class TestSim005ModuleState:
 
     def test_tuple_constant_is_clean(self):
         assert codes("_DIMS = (1, 2, 3)\n", rel=self.STATEFUL) == []
+
+
+class TestSim006UnmanagedParallelism:
+    def test_process_pool_executor(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=4)\n"
+        )
+        assert codes(src, rel="src/repro/experiments/foo.py") == ["SIM006"]
+
+    def test_process_pool_executor_via_module(self):
+        src = (
+            "import concurrent.futures\n"
+            "pool = concurrent.futures.ProcessPoolExecutor()\n"
+        )
+        assert codes(src, rel="src/repro/engine/foo.py") == ["SIM006"]
+
+    def test_multiprocessing_pool(self):
+        src = "import multiprocessing\np = multiprocessing.Pool(2)\n"
+        assert codes(src, rel="src/repro/core/foo.py") == ["SIM006"]
+
+    def test_multiprocessing_process(self):
+        src = (
+            "from multiprocessing import Process\n"
+            "w = Process(target=print)\n"
+        )
+        assert codes(src, rel="src/repro/node/foo.py") == ["SIM006"]
+
+    def test_os_fork(self):
+        src = "import os\npid = os.fork()\n"
+        assert codes(src, rel="src/repro/sim/foo.py") == ["SIM006"]
+
+    def test_repro_perf_is_sanctioned(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=4)\n"
+        )
+        assert codes(src, rel="src/repro/perf/executor.py") == []
+
+    def test_thread_pool_is_not_flagged(self):
+        # Threads share the interpreter; SIM006 polices *process* fan-out.
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "pool = ThreadPoolExecutor(2)\n"
+        )
+        assert codes(src, rel="src/repro/experiments/foo.py") == []
+
+    def test_local_name_does_not_confuse(self):
+        src = "def fork():\n    return 0\npid = fork()\n"
+        assert codes(src, rel="src/repro/sim/foo.py") == []
 
 
 class TestSuppressions:
