@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, List, Tuple
 
 from repro.errors import ExperimentError
+from repro.resilience.atomicio import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (analysis <- experiments)
     from repro.experiments.base import ExperimentResult
@@ -39,10 +40,8 @@ def result_to_csv(result: "ExperimentResult") -> str:
 
 
 def write_result_csv(result: "ExperimentResult", path: str | Path) -> Path:
-    """Write *result* to *path*; returns the written path."""
-    path = Path(path)
-    path.write_text(result_to_csv(result))
-    return path
+    """Write *result* to *path* atomically; returns the written path."""
+    return atomic_write_text(path, result_to_csv(result))
 
 
 def read_result_csv(path: str | Path) -> Tuple[dict, List[str], List[List[str]]]:

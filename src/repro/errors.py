@@ -18,6 +18,7 @@ __all__ = [
     "RetryExhausted",
     "WorkloadError",
     "ExperimentError",
+    "CheckpointError",
 ]
 
 
@@ -95,3 +96,13 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness failure (unknown experiment, bad sweep, ...)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint/restore failure (unsnapshotable state, bad file, ...).
+
+    Raised when a :meth:`~repro.sim.core.Simulator.snapshot` cannot
+    capture the live state (e.g. an event callback that does not
+    pickle, such as a generator-based process mid-execution), or when a
+    checkpoint file fails its version/integrity validation on restore.
+    """

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.report import render_table
@@ -53,3 +54,24 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"  note: {self.notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON export and cross-process transfer)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "checks": dict(self.checks),
+            "notes": self.notes,
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write :meth:`to_dict` to *path* atomically; returns the path.
+
+        Routed through :func:`repro.resilience.atomicio.atomic_write_json`
+        so a killed process can never leave a truncated result file.
+        """
+        from repro.resilience.atomicio import atomic_write_json
+
+        return atomic_write_json(path, self.to_dict(), indent=1, sort_keys=True)

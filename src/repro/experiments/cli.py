@@ -10,6 +10,9 @@ Usage::
     repro-experiments run fig6 --workers 8 --cache
     repro-experiments all --mode fluid --workers 4
     repro-experiments cache stats
+    repro-experiments run fig5 --journal --checkpoint-every 5
+    repro-experiments sweep resume fig5
+    repro-experiments sweep status fig5
     python -m repro run table1
     python -m repro lint src/repro
 """
@@ -128,6 +131,41 @@ def _build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--quick", action="store_true")
     _add_perf_arguments(all_p)
 
+    sweep_p = sub.add_parser(
+        "sweep", help="crash-safe sweep management (write-ahead journal)"
+    )
+    sweep_sub = sweep_p.add_subparsers(dest="sweep_command", required=True)
+    resume_p = sweep_sub.add_parser(
+        "resume",
+        help="resume an interrupted journalled run (skips completed points)",
+    )
+    resume_p.add_argument("experiment", help="experiment id of the interrupted run")
+    resume_p.add_argument("--mode", choices=("des", "fluid"), default=None)
+    resume_p.add_argument("--quick", action="store_true")
+    resume_p.add_argument(
+        "--plot", action="store_true", help="render the figure as an ASCII chart"
+    )
+    resume_p.add_argument("--csv", metavar="PATH", default=None)
+    resume_p.add_argument("--loss", type=float, metavar="RATE", default=None)
+    resume_p.add_argument("--retries", type=int, metavar="N", default=None)
+    resume_p.add_argument("--degraded", action="store_true")
+    _add_perf_arguments(resume_p)
+    status_p = sweep_sub.add_parser(
+        "status", help="show a sweep journal's progress (done/seen/complete)"
+    )
+    status_p.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id whose default journal to inspect",
+    )
+    status_p.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="explicit journal path (instead of the experiment's default)",
+    )
+
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     for verb, help_text in (
@@ -221,6 +259,35 @@ def _add_perf_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the result cache even if REPRO_CACHE=1",
     )
+    parser.add_argument(
+        "--journal",
+        nargs="?",
+        const=True,
+        metavar="PATH",
+        default=None,
+        help="write-ahead-journal sweep progress for crash recovery "
+        "(default path: <cache root>/journal/<experiment>.jsonl)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed points from the journal instead of "
+        "recomputing them (implies --journal)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="fsync the journal every N completed points "
+        "(default 1: every completion is durable; implies --journal)",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="arm the heartbeat supervisor: hung/dead workers are "
+        "detected, killed and their points requeued (with --workers)",
+    )
 
 
 def _build_cache(args):
@@ -233,6 +300,51 @@ def _build_cache(args):
     from repro.perf import ResultCache
 
     return ResultCache()
+
+
+def _build_journal(args, label: str):
+    """SweepJournal per the --journal/--resume/--checkpoint-every flags.
+
+    Without ``--resume`` an existing journal for *label* is discarded
+    first — replaying a previous run's points must be opt-in, never a
+    surprise.
+    """
+    flag = getattr(args, "journal", None)
+    resume = bool(getattr(args, "resume", False))
+    cadence = getattr(args, "checkpoint_every", None)
+    if flag is None and not resume and cadence is None:
+        return None
+    from repro.resilience.journal import SweepJournal, default_journal_path
+
+    path = default_journal_path(label) if flag in (None, True) else flag
+    if not resume:
+        import pathlib
+
+        pathlib.Path(path).unlink(missing_ok=True)
+    return SweepJournal(path, checkpoint_every=cadence or 1)
+
+
+def _build_supervisor(args):
+    """SupervisorConfig when --supervise was given, else None."""
+    if not getattr(args, "supervise", False):
+        return None
+    from repro.resilience.supervisor import SupervisorConfig
+
+    return SupervisorConfig()
+
+
+def _report_journal(journal, resumed: bool) -> None:
+    if journal is None:
+        return
+    info = journal.summary()
+    bits = [f"{info['points_done']} point(s) journalled"]
+    if resumed:
+        bits.append("resumed")
+    if info["torn_lines"]:
+        bits.append(f"{info['torn_lines']} torn line(s) dropped")
+    if info["rotated_stale"]:
+        bits.append("stale journal rotated aside")
+    print(f"  journal: {', '.join(bits)} in {info['path']}")
 
 
 def _report_cache(cache) -> None:
@@ -303,11 +415,9 @@ def _write_obs_artifacts(obs, args) -> None:
         print()
         print(obs.profiler.render())
         if getattr(args, "profile_out", None):
-            import json
+            from repro.resilience.atomicio import atomic_write_json
 
-            with open(args.profile_out, "w", encoding="utf-8") as fh:
-                json.dump(obs.profiler.to_dict(), fh, indent=1)
-                fh.write("\n")
+            atomic_write_json(args.profile_out, obs.profiler.to_dict(), indent=1)
             print(f"  profile written to {args.profile_out}")
 
 
@@ -321,6 +431,8 @@ def _run_one(
     chaos: Optional[dict] = None,
     workers: int = 1,
     cache=None,
+    journal=None,
+    supervisor=None,
 ) -> bool:
     accepted = _accepted_kwargs(name)
     kwargs = {}
@@ -350,6 +462,16 @@ def _run_one(
             kwargs["cache"] = cache
         else:
             print(f"  (note: {name} does not support --cache; flag ignored)")
+    if journal is not None:
+        if "journal" in accepted:
+            kwargs["journal"] = journal
+        else:
+            print(f"  (note: {name} does not support --journal; flag ignored)")
+    if supervisor is not None:
+        if "supervisor" in accepted:
+            kwargs["supervisor"] = supervisor
+        else:
+            print(f"  (note: {name} does not support --supervise; flag ignored)")
     result = run_experiment(name, **kwargs)
     print(result.render())
     print()
@@ -361,6 +483,58 @@ def _run_one(
         written = write_result_csv(result, csv_path)
         print(f"  rows written to {written}")
     return result.passed
+
+
+def _sweep_status(args) -> int:
+    """`repro sweep status`: report a journal's progress without touching it."""
+    import json as _json
+
+    from repro.resilience.journal import SweepJournal, default_journal_path
+
+    if args.journal:
+        path = args.journal
+    elif args.experiment:
+        path = default_journal_path(args.experiment)
+    else:
+        print("error: give an experiment id or --journal PATH", file=sys.stderr)
+        return 2
+    try:
+        with open(path, encoding="utf-8") as fh:
+            header_line = fh.readline()
+    except OSError:
+        print(f"no journal at {path}")
+        return 1
+    try:
+        header = _json.loads(header_line)
+    except ValueError:
+        header = {}
+    # Load with the journal's own fingerprint so inspection never
+    # rotates the file; staleness is reported instead.
+    journal = SweepJournal(path, fingerprint=header.get("fingerprint", ""))
+    journal.close()
+    info = journal.summary()
+    from repro.perf.cache import code_fingerprint
+
+    stale = header.get("fingerprint") != code_fingerprint()
+    print(f"journal {info['path']}")
+    print(
+        f"  points: {info['points_done']} done / {info['points_seen']} seen"
+        f"{'; sweep marked complete' if info['complete'] else ''}"
+    )
+    if info["torn_lines"]:
+        print(f"  torn/corrupt lines dropped: {info['torn_lines']}")
+    if stale:
+        print(
+            "  STALE: written by different code "
+            f"(journal {str(header.get('fingerprint'))[:12]}..., current "
+            f"{code_fingerprint()[:12]}...); resume will start clean"
+        )
+    incomplete = [k for d, k in journal.keys.items() if d not in journal.completed]
+    for key in sorted(incomplete)[:10]:
+        print(f"  not yet done: {key}")
+    if len(incomplete) > 10:
+        print(f"  ... and {len(incomplete) - 10} more")
+    return 0
 
 
 def _obs_report(args) -> int:
@@ -392,29 +566,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, description in list_experiments():
             print(f"{name:<20s} {description}")
         return 0
-    if args.command == "run":
+    if args.command == "run" or (
+        args.command == "sweep" and args.sweep_command == "resume"
+    ):
+        if args.command == "sweep":
+            args.resume = True  # `sweep resume` is `run --resume` by definition
         obs = _build_obs(args)
         cache = _build_cache(args)
+        journal = _build_journal(args, args.experiment)
+        supervisor = _build_supervisor(args)
         chaos = {
             "loss": args.loss,
             "retries": args.retries,
             "degraded": args.degraded,
         }
-        passed = _run_one(
-            args.experiment,
-            args.mode,
-            args.quick,
-            args.plot,
-            args.csv,
-            obs=obs,
-            chaos=chaos,
-            workers=args.workers,
-            cache=cache,
-        )
+        from contextlib import nullcontext
+
+        if journal is not None:
+            from repro.resilience.supervisor import flush_on_signals
+
+            guard = flush_on_signals(journal.flush)
+        else:
+            guard = nullcontext()
+        try:
+            with guard:
+                passed = _run_one(
+                    args.experiment,
+                    args.mode,
+                    args.quick,
+                    getattr(args, "plot", False),
+                    getattr(args, "csv", None),
+                    obs=obs,
+                    chaos=chaos,
+                    workers=args.workers,
+                    cache=cache,
+                    journal=journal,
+                    supervisor=supervisor,
+                )
+        except KeyboardInterrupt:
+            if journal is not None:
+                journal.close()
+                print(
+                    f"\ninterrupted; journal flushed to {journal.path} "
+                    f"({len(journal.completed)} point(s) durable) — "
+                    f"rerun with `sweep resume {args.experiment}` to continue",
+                    file=sys.stderr,
+                )
+            raise
+        if journal is not None:
+            journal.record_complete()
+            journal.close()
+        _report_journal(journal, resumed=bool(getattr(args, "resume", False)))
         _report_cache(cache)
         if obs is not None:
             _write_obs_artifacts(obs, args)
         return 0 if passed else 1
+    if args.command == "sweep":
+        return _sweep_status(args)
     if args.command == "obs":
         return _obs_report(args)
     if args.command == "cache":
@@ -432,6 +640,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # all: fan whole experiments (figures and ablations alike) over the
     # sweep executor — each is one independent point.
     cache = _build_cache(args)
+    journal = _build_journal(args, "all")
+    supervisor = _build_supervisor(args)
     names = [name for name, _ in list_experiments()]
     per_experiment = {}
     for name in names:
@@ -442,14 +652,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.quick and "quick" in accepted:
             kwargs["quick"] = True
         per_experiment[name] = kwargs
-    results = run_many(
-        names, per_experiment=per_experiment, workers=args.workers, cache=cache
-    )
+    from contextlib import nullcontext
+
+    if journal is not None:
+        from repro.resilience.supervisor import flush_on_signals
+
+        guard = flush_on_signals(journal.flush)
+    else:
+        guard = nullcontext()
+    try:
+        with guard:
+            results = run_many(
+                names,
+                per_experiment=per_experiment,
+                workers=args.workers,
+                cache=cache,
+                journal=journal,
+                supervisor=supervisor,
+            )
+    except KeyboardInterrupt:
+        if journal is not None:
+            journal.close()
+            print(
+                f"\ninterrupted; journal flushed to {journal.path} "
+                f"({len(journal.completed)} experiment(s) durable) — "
+                "rerun `all --resume` to continue",
+                file=sys.stderr,
+            )
+        raise
+    if journal is not None:
+        journal.record_complete()
+        journal.close()
     ok = True
     for result in results:
         print(result.render())
         print()
         ok = result.passed and ok
+    _report_journal(journal, resumed=bool(getattr(args, "resume", False)))
     _report_cache(cache)
     return 0 if ok else 1
 

@@ -37,6 +37,8 @@ def run(
     obs=None,
     workers: int = 1,
     cache=None,
+    journal=None,
+    supervisor=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 2 series.
 
@@ -51,7 +53,14 @@ def run(
     if stream is None and quick:
         stream = StreamConfig(n_elements=QUICK_STREAM_ELEMENTS)
     sweep = validation_sweep(
-        periods=periods, mode=mode, stream=stream, obs=obs, workers=workers, cache=cache
+        periods=periods,
+        mode=mode,
+        stream=stream,
+        obs=obs,
+        workers=workers,
+        cache=cache,
+        journal=journal,
+        supervisor=supervisor,
     )
     lat_us = sweep.latencies_ps / US
     profile = named_profile("pingmesh_intra_dc")

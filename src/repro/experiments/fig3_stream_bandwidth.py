@@ -34,6 +34,8 @@ def run(
     obs=None,
     workers: int = 1,
     cache=None,
+    journal=None,
+    supervisor=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 3 series (``quick`` shrinks the sweep)."""
     if periods is None:
@@ -41,7 +43,14 @@ def run(
     if stream is None and quick:
         stream = StreamConfig(n_elements=4_000)
     sweep = validation_sweep(
-        periods=periods, mode=mode, stream=stream, obs=obs, workers=workers, cache=cache
+        periods=periods,
+        mode=mode,
+        stream=stream,
+        obs=obs,
+        workers=workers,
+        cache=cache,
+        journal=journal,
+        supervisor=supervisor,
     )
     bw = sweep.bandwidths
     mean_bdp, deviation = sweep.bdp()

@@ -51,6 +51,8 @@ def run(
     quick: bool = False,
     workers: int = 1,
     cache=None,
+    journal=None,
+    supervisor=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 5 series.
 
@@ -78,7 +80,9 @@ def run(
             )
             for name, period in unique
         ]
-        computed = SweepExecutor(workers=workers, cache=cache).map(tasks)
+        computed = SweepExecutor(
+            workers=workers, cache=cache, journal=journal, supervisor=supervisor
+        ).map(tasks)
         durations = dict(zip(unique, computed))
     baselines = {name: durations[(name, 1)] for name in suite}
     for period in periods:

@@ -52,6 +52,8 @@ def run(
     period: int = 1,
     workers: int = 1,
     cache=None,
+    journal=None,
+    supervisor=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 6 series (per-instance STREAM bandwidth).
 
@@ -67,7 +69,9 @@ def run(
         )
         for n in instance_counts
     ]
-    outputs = SweepExecutor(workers=workers, cache=cache).map(tasks)
+    outputs = SweepExecutor(
+        workers=workers, cache=cache, journal=journal, supervisor=supervisor
+    ).map(tasks)
     rows = []
     per_instance: list[float] = []
     aggregate: list[float] = []

@@ -51,6 +51,8 @@ def run(
     period: int = 1,
     workers: int = 1,
     cache=None,
+    journal=None,
+    supervisor=None,
 ) -> ExperimentResult:
     """Regenerate the Figure 7 series (borrower STREAM bandwidth).
 
@@ -71,7 +73,9 @@ def run(
         )
         for n_local in lender_counts
     ]
-    outputs = SweepExecutor(workers=workers, cache=cache).map(tasks)
+    outputs = SweepExecutor(
+        workers=workers, cache=cache, journal=journal, supervisor=supervisor
+    ).map(tasks)
     rows = []
     borrower_bw: list[float] = []
     for n_local, output in zip(lender_counts, outputs):

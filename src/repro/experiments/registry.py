@@ -81,15 +81,7 @@ def run_experiment(name: str, **kwargs) -> ExperimentResult:
 
 def _run_as_dict(name: str, kwargs: Mapping) -> dict:
     """Worker-runnable wrapper: run *name*, return plain-data result fields."""
-    result = run_experiment(name, **dict(kwargs))
-    return {
-        "experiment": result.experiment,
-        "title": result.title,
-        "columns": list(result.columns),
-        "rows": [list(row) for row in result.rows],
-        "checks": dict(result.checks),
-        "notes": result.notes,
-    }
+    return run_experiment(name, **dict(kwargs)).to_dict()
 
 
 def _result_from_dict(data: Mapping) -> ExperimentResult:
@@ -108,6 +100,8 @@ def run_many(
     per_experiment: Optional[Mapping[str, Mapping]] = None,
     workers: int = 1,
     cache=None,
+    journal=None,
+    supervisor=None,
     **kwargs,
 ) -> List[ExperimentResult]:
     """Run several experiments, optionally fanned over a process pool.
@@ -119,6 +113,12 @@ def run_many(
     content-addressed result cache.  ``**kwargs`` go to every runner
     (filtered to what each accepts); *per_experiment* adds per-name
     overrides.  Results come back in *names* order.
+
+    *journal* write-ahead-logs each experiment's completion so an
+    interrupted batch resumes where it died (``repro sweep resume``);
+    *supervisor* arms worker heartbeats.  Both apply at the batch
+    level — they are not forwarded into the per-experiment runners,
+    which execute serially inside their point.
     """
     import inspect
 
@@ -132,5 +132,7 @@ def run_many(
         tasks.append(
             PointTask(key=f"experiment/{name}", fn=_run_as_dict, kwargs={"name": name, "kwargs": merged})
         )
-    outputs = SweepExecutor(workers=workers, cache=cache).map(tasks)
+    outputs = SweepExecutor(
+        workers=workers, cache=cache, journal=journal, supervisor=supervisor
+    ).map(tasks)
     return [_result_from_dict(data) for data in outputs]

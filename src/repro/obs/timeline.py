@@ -22,6 +22,7 @@ record carries the run's full metrics dump) or CSV.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from typing import Callable, Dict, List, Optional
 
@@ -113,29 +114,31 @@ class TimelineSampler:
     # ------------------------------------------------------------------
     def write_jsonl(self, path: str, summary: Optional[dict] = None) -> str:
         """Write rows (plus an optional trailing summary record) as JSONL."""
-        with open(path, "w", encoding="utf-8") as fh:
-            for row in self.rows:
-                fh.write(json.dumps(row, separators=(",", ":")))
-                fh.write("\n")
-            if summary is not None:
-                record = {"kind": "summary"}
-                record.update(summary)
-                fh.write(json.dumps(record, separators=(",", ":")))
-                fh.write("\n")
+        from repro.resilience.atomicio import atomic_write_text
+
+        lines = [json.dumps(row, separators=(",", ":")) for row in self.rows]
+        if summary is not None:
+            record = {"kind": "summary"}
+            record.update(summary)
+            lines.append(json.dumps(record, separators=(",", ":")))
+        atomic_write_text(path, "".join(line + "\n" for line in lines))
         return path
 
     def write_csv(self, path: str) -> str:
         """Write sample rows as CSV (union of columns, blank when absent)."""
+        from repro.resilience.atomicio import atomic_write_text
+
         columns: List[str] = []
         for row in self.rows:
             for key in row:
                 if key not in columns:
                     columns.append(key)
-        with open(path, "w", encoding="utf-8", newline="") as fh:
-            writer = csv.DictWriter(fh, fieldnames=columns, restval="")
-            writer.writeheader()
-            for row in self.rows:
-                writer.writerow(row)
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        atomic_write_text(path, buf.getvalue(), newline="")
         return path
 
 

@@ -253,10 +253,11 @@ class Tracer:
         }
 
     def write(self, path: str) -> str:
-        """Write the Chrome trace JSON to *path*; returns the path."""
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_chrome_trace(), fh, separators=(",", ":"))
-            fh.write("\n")
+        """Write the Chrome trace JSON to *path* atomically; returns the path."""
+        from repro.resilience.atomicio import atomic_write_text
+
+        text = json.dumps(self.to_chrome_trace(), separators=(",", ":")) + "\n"
+        atomic_write_text(path, text)
         return path
 
     def __len__(self) -> int:

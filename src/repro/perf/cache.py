@@ -6,7 +6,7 @@ a hash over the simulator's module sources), so a cache entry can only
 be served back to the exact computation that stored it.  Values are
 JSON on disk under ``.repro-cache/`` (override with the
 ``REPRO_CACHE_DIR`` environment variable), one file per entry, written
-atomically.
+atomically via :mod:`repro.resilience.atomicio`.
 
 Hit / miss / store / invalidation counters are kept per cache instance
 and can be mirrored into a :class:`repro.obs.metrics.MetricsRegistry`
@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from repro.errors import ReproError
+from repro.resilience.atomicio import atomic_write_text
 
 __all__ = [
     "CacheStats",
@@ -223,9 +224,7 @@ class ResultCache:
             "params": _canonicalize(params) if params is not None else None,
             "value": value,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True, allow_nan=True), encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write_text(path, json.dumps(entry, sort_keys=True, allow_nan=True))
         self._count("store")
         self.stats.stores += 1
 
@@ -245,7 +244,7 @@ class ResultCache:
             pass
         for name, value in self.stats.to_dict().items():
             totals[name] = totals.get(name, 0) + value
-        path.write_text(json.dumps(totals, sort_keys=True, indent=1) + "\n", encoding="utf-8")
+        atomic_write_text(path, json.dumps(totals, sort_keys=True, indent=1) + "\n")
         return path
 
     def clear(self) -> int:

@@ -1,0 +1,197 @@
+"""Versioned simulation checkpoints (save/restore to disk).
+
+A checkpoint captures everything needed to continue a run exactly
+where it stopped — the kernel blob from
+:meth:`repro.sim.core.Simulator.snapshot` (clock, live event queue,
+sequence counter), the full per-stream RNG state from
+:meth:`repro.sim.rng.RngStreams.snapshot`, and the exported state of
+any model components implementing the :class:`Snapshotable` protocol.
+Restoring a checkpoint and running to completion is bit-identical to a
+run that never checkpointed: the kernel blob preserves ``(time, seq)``
+ordering and the RNG snapshot preserves every stream's position in its
+sequence.
+
+On disk a checkpoint is a single JSON document (written atomically via
+:mod:`repro.resilience.atomicio`) with a format tag, a format version,
+the package's code fingerprint, caller metadata, and the base64-coded
+kernel pickle.  :func:`load_checkpoint` refuses files whose tag or
+version do not match, and flags (without refusing) a fingerprint drift
+so callers can decide whether resuming across a code change is safe.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from pathlib import Path
+from typing import Any, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.errors import CheckpointError
+from repro.resilience.atomicio import atomic_write_json
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "Snapshotable",
+    "load_checkpoint",
+    "save_checkpoint",
+    "snapshot_components",
+    "restore_components",
+]
+
+#: Format tag stored in every checkpoint file.
+CHECKPOINT_FORMAT = "repro-checkpoint"
+
+#: On-disk format version; bumping it orphans older checkpoints.
+CHECKPOINT_VERSION = 1
+
+
+@runtime_checkable
+class Snapshotable(Protocol):
+    """A component whose state can be exported and re-imported.
+
+    Implementors return plain data (JSON-able) from
+    :meth:`snapshot_state` and must restore *exactly* that state in
+    :meth:`restore_state` — after a restore, every subsequent
+    observable action must match what the original object would have
+    done.  :class:`~repro.sim.rng.RngStreams` is the canonical
+    implementation.
+    """
+
+    def snapshot_state(self) -> Any:
+        """Export this component's state as plain data."""
+        ...  # pragma: no cover - protocol
+
+    def restore_state(self, state: Any) -> None:
+        """Re-import state previously produced by :meth:`snapshot_state`."""
+        ...  # pragma: no cover - protocol
+
+
+def snapshot_components(components: Mapping[str, Snapshotable]) -> dict[str, Any]:
+    """Export every component's state, keyed by its name."""
+    out: dict[str, Any] = {}
+    for name, component in components.items():
+        if not isinstance(component, Snapshotable):
+            raise CheckpointError(
+                f"component {name!r} ({type(component).__name__}) does not "
+                "implement the Snapshotable protocol "
+                "(snapshot_state/restore_state)"
+            )
+        out[name] = component.snapshot_state()
+    return out
+
+
+def restore_components(
+    components: Mapping[str, Snapshotable], states: Mapping[str, Any]
+) -> None:
+    """Re-import states captured by :func:`snapshot_components`.
+
+    Every component must have a saved state and vice versa — a partial
+    restore would silently mix checkpointed and live state.
+    """
+    missing = sorted(set(components) - set(states))
+    extra = sorted(set(states) - set(components))
+    if missing or extra:
+        raise CheckpointError(
+            f"component set mismatch: missing state for {missing}, "
+            f"unclaimed state for {extra}"
+        )
+    for name, component in components.items():
+        component.restore_state(states[name])
+
+
+class Checkpoint:
+    """An in-memory checkpoint (see module docstring for the layout)."""
+
+    def __init__(
+        self,
+        kernel_blob: bytes,
+        rng_state: Optional[Any] = None,
+        components: Optional[Mapping[str, Any]] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.kernel_blob = kernel_blob
+        self.rng_state = rng_state
+        self.components = dict(components or {})
+        self.meta = dict(meta or {})
+        self.fingerprint = fingerprint
+
+    @classmethod
+    def capture(
+        cls,
+        sim: Any,
+        rng: Optional[Snapshotable] = None,
+        components: Optional[Mapping[str, Snapshotable]] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> "Checkpoint":
+        """Snapshot *sim* (plus RNG streams and model components)."""
+        from repro.perf.cache import code_fingerprint
+
+        return cls(
+            kernel_blob=sim.snapshot(),
+            rng_state=rng.snapshot_state() if rng is not None else None,
+            components=snapshot_components(components or {}),
+            meta=meta,
+            fingerprint=code_fingerprint(),
+        )
+
+    def restore(
+        self,
+        sim: Any,
+        rng: Optional[Snapshotable] = None,
+        components: Optional[Mapping[str, Snapshotable]] = None,
+    ) -> None:
+        """Restore *sim* / *rng* / *components* from this checkpoint."""
+        sim.restore(self.kernel_blob)
+        if rng is not None:
+            if self.rng_state is None:
+                raise CheckpointError("checkpoint carries no RNG state to restore")
+            rng.restore_state(self.rng_state)
+        if components:
+            restore_components(components, self.components)
+
+
+def save_checkpoint(path: str | Path, checkpoint: Checkpoint) -> Path:
+    """Write *checkpoint* to *path* atomically; returns the path."""
+    doc = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": checkpoint.fingerprint,
+        "meta": checkpoint.meta,
+        "rng": checkpoint.rng_state,
+        "components": checkpoint.components,
+        "kernel": base64.b64encode(checkpoint.kernel_blob).decode("ascii"),
+    }
+    return atomic_write_json(path, doc, sort_keys=True)
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read and validate a checkpoint file written by :func:`save_checkpoint`."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckpointError(f"checkpoint {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path} is not a {CHECKPOINT_FORMAT} file")
+    if doc.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {doc.get('version')!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    try:
+        blob = base64.b64decode(doc["kernel"], validate=True)
+    except (KeyError, binascii.Error, TypeError) as exc:
+        raise CheckpointError(f"checkpoint {path} has a corrupt kernel blob") from exc
+    return Checkpoint(
+        kernel_blob=blob,
+        rng_state=doc.get("rng"),
+        components=doc.get("components") or {},
+        meta=doc.get("meta") or {},
+        fingerprint=doc.get("fingerprint"),
+    )

@@ -1,0 +1,287 @@
+"""Write-ahead journal for sweep execution.
+
+The executor appends one JSONL record per sweep-point state change —
+``pending`` when the sweep is planned, ``running`` when a point starts,
+``done`` (with the point's JSON value and a digest of it) when it
+finishes — so a killed process leaves a durable, append-only record of
+exactly which points completed.  ``repro sweep resume`` (and
+``repro run --resume``) replays ``done`` entries instead of recomputing
+them and re-runs only the points that were pending or in flight; the
+replayed values are byte-identical to recomputation because every point
+is a pure function of its recorded ``(key, params)`` identity.
+
+Journal files live under ``.repro-cache/journal/`` by default and are
+self-describing: the first line is a header carrying the format
+version and the package's code fingerprint.  A journal written by
+different code (or a different format version) is *stale* — it is
+rotated aside and the sweep starts clean, because replaying results
+across a code change would silently break bit-reproducibility.
+
+Torn tails are expected: a SIGKILL can land mid-``write()``.  Loading
+tolerates a final partial line (the WAL property — an interrupted
+append loses at most the record being written, never earlier ones).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["JOURNAL_FORMAT", "JOURNAL_VERSION", "SweepJournal", "default_journal_path", "point_digest"]
+
+#: Format tag in the journal header line.
+JOURNAL_FORMAT = "repro-sweep-journal"
+
+#: Journal format version; a mismatch rotates the journal.
+JOURNAL_VERSION = 1
+
+#: Default directory for named journals, inside the result-cache root.
+_JOURNAL_SUBDIR = "journal"
+
+
+class JournalError(ReproError):
+    """Unusable journal state (unwritable path, malformed header...)."""
+
+
+def default_journal_path(label: str, root: Optional[str | Path] = None) -> Path:
+    """Journal path for a named sweep (``<cache root>/journal/<label>.jsonl``)."""
+    from repro.perf.cache import DEFAULT_ROOT
+
+    base = Path(root or os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT))
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in label)
+    return base / _JOURNAL_SUBDIR / f"{safe}.jsonl"
+
+
+def point_digest(key: str, params: Mapping[str, Any]) -> str:
+    """Stable identity of one sweep point: SHA-256 of ``(key, params)``."""
+    from repro.perf.cache import canonical_json
+
+    payload = canonical_json({"task": key, "params": params})
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _value_digest(value: Any) -> str:
+    from repro.perf.cache import canonical_json
+
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only journal of sweep-point completion.
+
+    Parameters
+    ----------
+    path:
+        JSONL file; parent directories are created on first append.
+    checkpoint_every:
+        Durability cadence: every Nth ``done`` record additionally
+        fsyncs the file (1 = every completion is durable before the
+        next point starts; larger values trade a bounded window of
+        recomputation for fewer syncs).
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; replays and
+        recordings are mirrored as ``resilience.journal.*`` counters.
+    fingerprint:
+        Code fingerprint stamped into the header (defaults to
+        :func:`repro.perf.cache.code_fingerprint`).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        checkpoint_every: int = 1,
+        metrics: Optional[Any] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise JournalError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.path = Path(path)
+        self.checkpoint_every = int(checkpoint_every)
+        self.metrics = metrics
+        if fingerprint is None:
+            from repro.perf.cache import code_fingerprint
+
+            fingerprint = code_fingerprint()
+        self.fingerprint = fingerprint
+        #: point digest -> replayable JSON value (from prior runs' ``done``).
+        self.completed: dict[str, Any] = {}
+        #: point digest -> task key, for every digest ever journalled here.
+        self.keys: dict[str, str] = {}
+        self.torn_lines = 0
+        self.was_complete = False
+        self.rotated_stale = False
+        self._fh = None
+        self._done_since_sync = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading / recovery
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        lines = raw.split(b"\n")
+        records = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (ValueError, UnicodeDecodeError):
+                # Only the *final* record may legitimately be torn; an
+                # unparsable line earlier means real corruption, which we
+                # also survive by dropping the record (WAL entries are
+                # self-contained).
+                self.torn_lines += 1
+        if not records:
+            return
+        header = records[0]
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != JOURNAL_FORMAT
+            or header.get("version") != JOURNAL_VERSION
+            or header.get("fingerprint") != self.fingerprint
+        ):
+            self._rotate_stale()
+            return
+        for record in records[1:]:
+            if not isinstance(record, dict):
+                self.torn_lines += 1
+                continue
+            status = record.get("status")
+            digest = record.get("point")
+            if status == "done" and isinstance(digest, str) and "value" in record:
+                value = record["value"]
+                if record.get("value_digest") == _value_digest(value):
+                    self.completed[digest] = value
+                    self.keys.setdefault(digest, str(record.get("key", "")))
+                else:
+                    self.torn_lines += 1
+            elif status in ("pending", "running") and isinstance(digest, str):
+                self.keys.setdefault(digest, str(record.get("key", "")))
+            elif status == "complete":
+                self.was_complete = True
+
+    def _rotate_stale(self) -> None:
+        """Move a stale (other-code / other-format) journal aside."""
+        stale = self.path.with_suffix(self.path.suffix + ".stale")
+        try:
+            os.replace(self.path, stale)
+        except OSError:
+            self.path.unlink(missing_ok=True)
+        self.rotated_stale = True
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _ensure_open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._append(
+                    {
+                        "format": JOURNAL_FORMAT,
+                        "version": JOURNAL_VERSION,
+                        "fingerprint": self.fingerprint,
+                    }
+                )
+                self.flush()
+        return self._fh
+
+    def _append(self, record: Mapping[str, Any]) -> None:
+        fh = self._ensure_open()
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+
+    def record_pending(self, digest: str, key: str) -> None:
+        """Journal that *key* is planned but not yet run."""
+        self.keys.setdefault(digest, key)
+        self._append({"status": "pending", "point": digest, "key": key})
+        self._count("pending")
+
+    def record_running(self, digest: str) -> None:
+        """Journal that the point started executing (flushed, not fsync'd)."""
+        self._append({"status": "running", "point": digest})
+        self._ensure_open().flush()
+
+    def record_done(self, digest: str, key: str, value: Any) -> None:
+        """Journal a completed point with its replayable value."""
+        self.completed[digest] = value
+        self.keys.setdefault(digest, key)
+        self._append(
+            {
+                "status": "done",
+                "point": digest,
+                "key": key,
+                "value": value,
+                "value_digest": _value_digest(value),
+            }
+        )
+        self._count("recorded")
+        self._done_since_sync += 1
+        if self._done_since_sync >= self.checkpoint_every:
+            self.flush()
+
+    def record_failed(self, digest: str, key: str, error: str) -> None:
+        """Journal a point that exhausted its retries (flushes)."""
+        self._append({"status": "failed", "point": digest, "key": key, "error": error})
+        self._count("failed")
+        self.flush()
+
+    def record_complete(self) -> None:
+        """Journal that the whole sweep finished (flushes)."""
+        self._append({"status": "complete"})
+        self.was_complete = True
+        self.flush()
+
+    def note_replayed(self, n: int = 1) -> None:
+        """Count *n* points served from the journal (metrics only)."""
+        if self.metrics is not None and n:
+            self.metrics.count("resilience.journal.replayed", n)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush buffered records and fsync the journal file."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._done_since_sync = 0
+
+    def close(self) -> None:
+        """Flush and release the file handle (reopened on next append)."""
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def _count(self, what: str) -> None:
+        if self.metrics is not None:
+            self.metrics.count(f"resilience.journal.{what}")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Plain-dict state for ``repro sweep status``."""
+        return {
+            "path": str(self.path),
+            "fingerprint": self.fingerprint,
+            "points_seen": len(self.keys),
+            "points_done": len(self.completed),
+            "complete": self.was_complete,
+            "torn_lines": self.torn_lines,
+            "rotated_stale": self.rotated_stale,
+        }
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,258 @@
+"""Heartbeat supervision of sweep workers + signal-safe flushing.
+
+Two failure modes threaten a long parallel sweep that the per-point
+*timeout* cannot see:
+
+* a worker process dies outright (OOM kill, preemption, a segfaulting
+  native library) — its future never completes and, with no timeout
+  configured, the parent waits forever;
+* the parent itself is interrupted (SIGINT/SIGTERM) — without care it
+  exits with completed results still buffered in memory.
+
+The pieces here address both.  Workers wrap each point in
+:func:`worker_heartbeat`, a daemon thread that touches a per-PID file
+every ``interval`` seconds while the point runs.  The parent runs a
+:class:`HeartbeatMonitor` that scans those files; a heartbeat older
+than ``stale_after_s`` means the worker stopped making progress at the
+process level (dead or wedged outside Python), and the monitor SIGKILLs
+it so the pool surfaces the failure immediately instead of hanging.
+The executor then rebuilds the pool and requeues the unfinished points
+with capped retries.  :func:`flush_on_signals` installs SIGINT/SIGTERM
+handlers that flush the sweep journal (and any other registered
+flushers) before the interrupt propagates.
+
+Everything in this module runs in *host* time — it supervises operating
+system processes, not simulated ones — hence the sanctioned wall-clock
+reads below.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "SupervisorConfig",
+    "HeartbeatMonitor",
+    "flush_on_signals",
+    "worker_heartbeat",
+]
+
+#: Heartbeat file suffix (one file per worker PID).
+_HB_SUFFIX = ".hb"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for worker supervision.
+
+    Parameters
+    ----------
+    heartbeat_s:
+        Interval at which workers touch their heartbeat file.
+    stale_after_s:
+        A worker whose newest beat is older than this is declared dead
+        and SIGKILLed.  Must comfortably exceed ``heartbeat_s``.
+    max_restarts:
+        How many pool rebuilds the executor may perform before giving
+        up on the sweep.
+    poll_s:
+        Monitor scan cadence in the parent.
+    """
+
+    heartbeat_s: float = 0.5
+    stale_after_s: float = 10.0
+    max_restarts: int = 2
+    poll_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.stale_after_s <= self.heartbeat_s:
+            raise ValueError(
+                f"stale_after_s ({self.stale_after_s}) must exceed "
+                f"heartbeat_s ({self.heartbeat_s})"
+            )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def worker_heartbeat(directory: str | Path, interval: float = 0.5) -> Iterator[Path]:
+    """Emit heartbeats from this process while the ``with`` body runs.
+
+    Creates ``<directory>/<pid>.hb`` and re-touches it every *interval*
+    seconds from a daemon thread; removes it on clean exit.  A process
+    that dies inside the body leaves the file behind with a stale
+    mtime — exactly the signal :class:`HeartbeatMonitor` watches for.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{os.getpid()}{_HB_SUFFIX}"
+    stop = threading.Event()
+
+    def beat() -> None:
+        while True:
+            try:
+                # A torn heartbeat only matters as mtime; atomicity would
+                # just add renames to the hot loop.
+                path.write_text(str(os.getpid()), encoding="utf-8")  # simlint: disable=SIM007
+            except OSError:  # pragma: no cover - directory vanished
+                return
+            if stop.wait(interval):
+                return
+
+    thread = threading.Thread(target=beat, name="repro-heartbeat", daemon=True)
+    thread.start()
+    try:
+        yield path
+    finally:
+        stop.set()
+        thread.join(timeout=interval + 1.0)
+        path.unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class HeartbeatMonitor:
+    """Watches a heartbeat directory and kills workers that stop beating.
+
+    The monitor never decides *retry* policy — it only converts a
+    silently-dead worker into a loudly-dead one (SIGKILL → the pool
+    raises ``BrokenProcessPool`` → the executor requeues).  Counters
+    are mirrored into *metrics* as ``resilience.supervisor.*``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        stale_after_s: float,
+        poll_s: float = 0.5,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.stale_after_s = float(stale_after_s)
+        self.poll_s = float(poll_s)
+        self.metrics = metrics
+        self.stale_kills = 0
+        self.beats_seen = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- scanning -------------------------------------------------------
+    def scan(self) -> dict[int, float]:
+        """``{pid: age_seconds}`` for every heartbeat file present."""
+        now = time.time()  # simlint: disable=SIM001 — host-process liveness, never simulated time
+        ages: dict[int, float] = {}
+        try:
+            entries = sorted(self.directory.glob(f"*{_HB_SUFFIX}"))
+        except OSError:  # pragma: no cover - directory vanished
+            return ages
+        for path in entries:
+            try:
+                pid = int(path.stem)
+                age = now - path.stat().st_mtime
+            except (ValueError, OSError):
+                continue
+            ages[pid] = age
+        self.beats_seen += len(ages)
+        return ages
+
+    def kill_stale(self) -> list[int]:
+        """SIGKILL every worker whose heartbeat has gone stale."""
+        killed: list[int] = []
+        for pid, age in sorted(self.scan().items()):
+            if age <= self.stale_after_s:
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+                killed.append(pid)
+            except (ProcessLookupError, PermissionError):
+                pass
+            # Either way the file is dead weight now; drop it so the
+            # next scan does not re-kill.
+            (self.directory / f"{pid}{_HB_SUFFIX}").unlink(missing_ok=True)
+            self.stale_kills += 1
+            if self.metrics is not None:
+                self.metrics.count("resilience.supervisor.stale_kills")
+        return killed
+
+    # -- background operation ------------------------------------------
+    def start(self) -> None:
+        """Run :meth:`kill_stale` every ``poll_s`` in a daemon thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.poll_s):
+                self.kill_stale()
+
+        self._thread = threading.Thread(target=loop, name="repro-supervisor", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the background scan thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=self.poll_s + 1.0)
+        self._thread = None
+
+    def __enter__(self) -> "HeartbeatMonitor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# Signal handling
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def flush_on_signals(
+    *flushers: Callable[[], Any], signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)
+) -> Iterator[None]:
+    """Run *flushers* before SIGINT/SIGTERM tears the process down.
+
+    Inside the ``with`` block, each listed signal first invokes every
+    flusher (journal fsync, partial-result writers...) and then raises
+    :class:`KeyboardInterrupt` so the normal unwind — ``finally``
+    blocks, context managers, the CLI's exit path — still runs.
+    Previous handlers are restored on exit.  Only usable from the main
+    thread (Python restricts ``signal.signal`` to it); elsewhere the
+    context is a no-op passthrough.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum: int, frame: Any) -> None:
+        for flush in flushers:
+            try:
+                flush()
+            except Exception:  # noqa: BLE001 - flushing must not mask the interrupt
+                pass
+        raise KeyboardInterrupt(f"interrupted by signal {signum}")
+
+    previous = {}
+    try:
+        for signum in signals:
+            previous[signum] = signal.signal(signum, handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

@@ -31,11 +31,12 @@ Three hot-path optimizations, all invisible to callers:
 from __future__ import annotations
 
 import heapq
+import pickle
 import sys
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, SimulationError
 from repro.units import Duration, Time
 
 __all__ = ["EventHandle", "Simulator"]
@@ -439,6 +440,105 @@ class Simulator:
         """Time of the next pending event, or None if the queue is empty."""
         handle = self._peek_live()
         return handle.time if handle is not None else None
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, roots: Optional[Mapping[str, Any]] = None) -> bytes:
+        """Capture the kernel state as an opaque, self-contained blob.
+
+        The blob holds the clock, the sequence counter, the event
+        tally, and a deep copy (via pickle) of every *live* scheduled
+        event — callback, arguments, and the object graph they reach.
+        Cancelled entries and the handle free list are dropped; they
+        are unobservable.  *roots* optionally names extra objects to
+        capture in the same pickle (sharing identity with the event
+        graph), so a caller can recover its model references after
+        :meth:`restore` — which returns them.
+
+        Restore-then-run is bit-identical to never snapshotting: the
+        ``(time, seq)`` pairs that define dispatch order are preserved
+        exactly, and ``_seq`` continues from its saved value.
+
+        Raises :class:`~repro.errors.CheckpointError` when the event
+        queue holds unpicklable state — most commonly a generator-based
+        :class:`~repro.sim.process.Process` mid-execution (Python
+        generators cannot be serialized); checkpoint at a quiescent
+        point (between :meth:`run` calls with no live processes) or
+        model long-lived actors as :class:`Snapshotable` components.
+        """
+        if self._running:
+            raise CheckpointError("cannot snapshot while run() is active")
+        entries: list[tuple[str, Time, int, Callable[..., None], tuple[Any, ...]]] = []
+        for where, handles in (("heap", list(self._heap)), ("fifo", list(self._fifo))):
+            for handle in handles:
+                if not handle.cancelled:
+                    entries.append(
+                        (where, handle.time, handle.seq, handle.callback, handle.args)
+                    )
+        # (time, seq) is a total order, so sorting makes the serialized
+        # form canonical without changing dispatch order.
+        entries.sort(key=lambda e: (e[1], e[2]))
+        state = {
+            "now": self._now,
+            "seq": self._seq,
+            "event_count": self._event_count,
+            "entries": entries,
+            "roots": dict(roots) if roots is not None else None,
+        }
+        try:
+            return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(self._describe_pickle_failure(entries, exc)) from exc
+
+    @staticmethod
+    def _describe_pickle_failure(entries, exc: Exception) -> str:
+        """Name the first unpicklable scheduled callback, for the error."""
+        for where, time, seq, callback, args in entries:
+            try:
+                pickle.dumps((callback, args))
+            except Exception:
+                return (
+                    f"event queue is not snapshotable: callback {callback!r} "
+                    f"(t={time}, seq={seq}, {where}) does not pickle — "
+                    "generator-based processes cannot be checkpointed "
+                    f"mid-execution ({exc})"
+                )
+        return f"simulator state does not pickle: {exc}"
+
+    def restore(self, blob: bytes) -> Optional[dict[str, Any]]:
+        """Replace this simulator's state with a :meth:`snapshot` blob.
+
+        Returns the restored *roots* mapping captured at snapshot time
+        (or None).  The event queue is rebuilt from the blob's deep
+        copy, so objects reachable only through pre-snapshot references
+        are no longer part of the simulation — re-wire through the
+        returned roots.  The installed observer is kept (observation is
+        host-side and never part of simulated state).
+        """
+        if self._running:
+            raise CheckpointError("cannot restore while run() is active")
+        try:
+            state = pickle.loads(blob)
+            now, seq = state["now"], state["seq"]
+            event_count, entries = state["event_count"], state["entries"]
+        except Exception as exc:
+            raise CheckpointError(f"unreadable simulator snapshot: {exc}") from exc
+        heap: list[EventHandle] = []
+        fifo: list[EventHandle] = []
+        for where, time, eseq, callback, args in entries:
+            handle = EventHandle(time, eseq, callback, tuple(args), self)
+            (heap if where == "heap" else fifo).append(handle)
+        heapq.heapify(heap)
+        self._now = now
+        self._seq = seq
+        self._event_count = event_count
+        self._heap[:] = heap
+        self._fifo.clear()
+        self._fifo.extend(fifo)
+        self._pool.clear()
+        self._cancelled_pending = 0
+        return state.get("roots")
 
     # Convenience wiring for processes (implemented in process.py; imported
     # lazily to avoid a module cycle).

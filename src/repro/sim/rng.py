@@ -9,8 +9,11 @@ can be re-run in isolation with identical randomness.
 from __future__ import annotations
 
 import hashlib
+from typing import Any
 
 import numpy as np
+
+from repro.errors import CheckpointError
 
 __all__ = ["RngStreams"]
 
@@ -65,3 +68,57 @@ class RngStreams:
     def spawn(self, prefix: str) -> "RngStreams":
         """A namespaced view: ``spawn('a').get('b')`` == ``get('a.b')``."""
         return RngStreams(self.seed, prefix=self._qualify(prefix))
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (the Snapshotable protocol)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, Any]:
+        """Export every live stream's full bit-generator state.
+
+        The returned dict is plain JSON data (stream name → the numpy
+        ``bit_generator.state`` mapping, whose big integers serialize
+        losslessly), so it can ride inside a checkpoint file.  Streams
+        never fetched have no state to save — they are reconstructed
+        deterministically from ``(seed, name)`` on first use after a
+        restore, exactly as they would have been in the original run.
+        """
+        return {
+            "seed": self.seed,
+            "prefix": self.prefix,
+            "streams": {
+                name: self._cache[name].bit_generator.state
+                for name in sorted(self._cache)
+            },
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Re-import a :meth:`snapshot_state` export.
+
+        After restoring, every stream continues its random sequence
+        from exactly the draw it had reached at snapshot time; streams
+        created *after* the snapshot are dropped (they did not exist in
+        the captured state and will be re-derived on demand).
+        """
+        try:
+            seed, prefix, streams = state["seed"], state["prefix"], state["streams"]
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(f"malformed RngStreams state: {exc}") from exc
+        if seed != self.seed or prefix != self.prefix:
+            raise CheckpointError(
+                f"RNG state was captured for seed={seed!r} prefix={prefix!r}; "
+                f"this registry has seed={self.seed!r} prefix={self.prefix!r}"
+            )
+        for full in list(self._cache):
+            if full not in streams:
+                del self._cache[full]
+        for full, bg_state in streams.items():
+            gen = self._cache.get(full)
+            if gen is None:
+                gen = np.random.Generator(np.random.PCG64(0))
+                self._cache[full] = gen
+            try:
+                gen.bit_generator.state = bg_state
+            except (ValueError, TypeError, KeyError) as exc:
+                raise CheckpointError(
+                    f"cannot restore RNG stream {full!r}: {exc}"
+                ) from exc

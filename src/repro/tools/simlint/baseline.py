@@ -72,7 +72,9 @@ def write_baseline(findings: Sequence[Finding], path: Path | str) -> int:
         "tool": "simlint",
         "entries": entries,
     }
-    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    from repro.resilience.atomicio import atomic_write_text
+
+    atomic_write_text(Path(path), json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return len(entries)
 
 

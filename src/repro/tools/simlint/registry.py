@@ -89,6 +89,11 @@ class LintConfig:
     #: the sweep executor is the single sanctioned fan-out point.
     parallel_sanctioned_fragments: tuple[str, ...] = ("repro/perf/",)
 
+    #: Modules allowed to write files non-atomically (SIM007): the
+    #: atomic-write helper is the single sanctioned writer of result
+    #: artifacts (its tmp-then-rename dance necessarily writes directly).
+    atomic_sanctioned_suffixes: tuple[str, ...] = ("repro/resilience/atomicio.py",)
+
     def is_rng_sanctioned(self, path: str) -> bool:
         """True if *path* may construct raw generators (the registry)."""
         norm = "/" + path.replace("\\", "/").lstrip("/")
@@ -98,6 +103,11 @@ class LintConfig:
         """True if *path* may manage process-level parallelism (SIM006)."""
         norm = "/" + path.replace("\\", "/").lstrip("/")
         return any(f"/{frag.strip('/')}/" in norm for frag in self.parallel_sanctioned_fragments)
+
+    def is_atomic_sanctioned(self, path: str) -> bool:
+        """True if *path* may write files directly (the atomic helper)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(norm.endswith("/" + s) for s in self.atomic_sanctioned_suffixes)
 
     def in_stateful_package(self, path: str) -> bool:
         """True if *path* lives where SIM005 applies."""

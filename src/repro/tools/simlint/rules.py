@@ -1,4 +1,4 @@
-"""The simlint rule set (SIM001..SIM006).
+"""The simlint rule set (SIM001..SIM007).
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
@@ -33,6 +33,7 @@ __all__ = [
     "SetIterationRule",
     "ModuleStateRule",
     "UnmanagedParallelismRule",
+    "NonAtomicWriteRule",
     "iter_stream_registrations",
 ]
 
@@ -666,6 +667,48 @@ class UnmanagedParallelismRule(Rule):
                     f"direct {name}() outside repro/perf; route the fan-out "
                     "through repro.perf.SweepExecutor so per-point seeding "
                     "and ordered collection keep parallel runs deterministic",
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM007 — result artifacts are written atomically
+# ----------------------------------------------------------------------
+@register
+class NonAtomicWriteRule(Rule):
+    code = "SIM007"
+    name = "non-atomic-write"
+    rationale = (
+        "A crash (or SIGKILL from the heartbeat supervisor) landing "
+        "mid-write leaves a truncated file that a later resume would "
+        "silently trust; result artifacts must go through "
+        "repro.resilience.atomicio, which stages a tmp file and renames "
+        "it into place so readers only ever see complete content."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if config.is_atomic_sanctioned(module.rel):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "write_text":
+                yield self.finding(
+                    module,
+                    node,
+                    "direct .write_text() can be torn by a crash mid-write; "
+                    "use repro.resilience.atomicio.atomic_write_text",
+                )
+                continue
+            name = _call_name(node, module.imports)
+            if name == "json.dump":
+                yield self.finding(
+                    module,
+                    node,
+                    "direct json.dump() to a file can be torn by a crash "
+                    "mid-write; use repro.resilience.atomicio.atomic_write_json "
+                    "(json.dumps to a string is fine)",
                 )
 
 

@@ -1,0 +1,60 @@
+"""atomic_write_text / atomic_write_json: durability-safe result writes."""
+
+import json
+import os
+
+from repro.resilience.atomicio import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.txt"
+        written = atomic_write_text(target, "hello\n")
+        assert written == target
+        assert target.read_text() == "hello\n"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.txt"]
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_accepts_string_paths(self, tmp_path):
+        written = atomic_write_text(str(tmp_path / "s.txt"), "ok")
+        assert written.read_text() == "ok"
+
+    def test_newline_passthrough_for_csv(self, tmp_path):
+        # csv writers emit their own \r\n; newline="" must not translate.
+        target = tmp_path / "rows.csv"
+        atomic_write_text(target, "a\r\nb\r\n", newline="")
+        assert target.read_bytes() == b"a\r\nb\r\n"
+
+    def test_temp_name_carries_pid(self, tmp_path):
+        # Two processes writing the same target must not share a temp
+        # file; the PID suffix keeps them apart.
+        target = tmp_path / "out.txt"
+        expected_tmp = target.parent / f"{target.name}.tmp.{os.getpid()}"
+        assert not expected_tmp.exists()
+        atomic_write_text(target, "x")
+        assert not expected_tmp.exists()
+
+
+class TestAtomicWriteJson:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"b": 2, "a": [1, None]})
+        assert json.loads(target.read_text()) == {"b": 2, "a": [1, None]}
+
+    def test_trailing_newline_default(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {})
+        assert target.read_text().endswith("\n")
+
+    def test_sorted_indented_form(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"b": 1, "a": 2}, indent=1, sort_keys=True)
+        assert target.read_text() == '{\n "a": 2,\n "b": 1\n}\n'

@@ -1,0 +1,233 @@
+"""Write-ahead sweep journal: WAL semantics, recovery, executor resume."""
+
+import json
+
+import pytest
+
+from repro.perf import PointTask, ResultCache, SweepExecutor
+from repro.resilience.journal import (
+    JOURNAL_FORMAT,
+    JOURNAL_VERSION,
+    SweepJournal,
+    default_journal_path,
+    point_digest,
+)
+
+
+def counting_point(x, counter):
+    """Deterministic point that tallies real invocations in a file."""
+    with open(counter, "a") as fh:
+        fh.write(f"{x}\n")
+    return {"x": x, "sq": x * x}
+
+
+def poison_point(x):  # pragma: no cover - must never run on full replay
+    raise AssertionError(f"point {x} executed despite a complete journal")
+
+
+def _tasks(tmp_path, n=5, fn=counting_point):
+    counter = tmp_path / "invocations.txt"
+    kwargs = {"counter": str(counter)} if fn is counting_point else {}
+    return counter, [
+        PointTask(key=f"pt/{i}", fn=fn, kwargs={"x": i, **kwargs}) for i in range(n)
+    ]
+
+
+def _invocations(counter) -> int:
+    return len(counter.read_text().splitlines()) if counter.exists() else 0
+
+
+class TestJournalBasics:
+    def test_digest_is_pure_and_distinct(self):
+        assert point_digest("k", {"a": 1}) == point_digest("k", {"a": 1})
+        assert point_digest("k", {"a": 1}) != point_digest("k", {"a": 2})
+        assert point_digest("k", {"a": 1}) != point_digest("j", {"a": 1})
+
+    def test_done_records_replay_across_instances(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as j:
+            j.record_pending("d1", "pt/1")
+            j.record_running("d1")
+            j.record_done("d1", "pt/1", {"v": 42})
+        reloaded = SweepJournal(path)
+        assert reloaded.completed == {"d1": {"v": 42}}
+        assert reloaded.keys["d1"] == "pt/1"
+        assert not reloaded.was_complete
+
+    def test_complete_marker_round_trips(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as j:
+            j.record_done("d1", "pt/1", {"v": 1})
+            j.record_complete()
+        assert SweepJournal(path).was_complete
+
+    def test_header_written_first(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as j:
+            j.record_pending("d1", "pt/1")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == JOURNAL_FORMAT
+        assert header["version"] == JOURNAL_VERSION
+        assert header["fingerprint"] == j.fingerprint
+
+    def test_checkpoint_every_validation(self, tmp_path):
+        from repro.resilience.journal import JournalError
+
+        with pytest.raises(JournalError):
+            SweepJournal(tmp_path / "x.jsonl", checkpoint_every=0)
+
+    def test_default_path_sanitizes_label(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = default_journal_path("fig4 --loss 1e-3/weird")
+        assert path.parent == tmp_path / "cache" / "journal"
+        assert "/" not in path.stem and " " not in path.stem
+
+
+class TestRecovery:
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as j:
+            j.record_done("d1", "pt/1", {"v": 1})
+            j.record_done("d2", "pt/2", {"v": 2})
+        with open(path, "ab") as fh:
+            fh.write(b'{"status": "done", "point": "d3", "val')  # SIGKILL here
+        reloaded = SweepJournal(path)
+        assert set(reloaded.completed) == {"d1", "d2"}
+        assert reloaded.torn_lines == 1
+
+    def test_tampered_value_dropped(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as j:
+            j.record_done("d1", "pt/1", {"v": 1})
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[-1])
+        record["value"] = {"v": 999}  # digest no longer matches
+        path.write_text("\n".join(lines[:-1] + [json.dumps(record)]) + "\n")
+        reloaded = SweepJournal(path)
+        assert reloaded.completed == {}
+        assert reloaded.torn_lines == 1
+
+    def test_stale_fingerprint_rotates(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path, fingerprint="old-code") as j:
+            j.record_done("d1", "pt/1", {"v": 1})
+        reloaded = SweepJournal(path, fingerprint="new-code")
+        assert reloaded.completed == {}
+        assert reloaded.rotated_stale
+        assert path.with_suffix(".jsonl.stale").exists()
+        assert not path.exists()  # fresh journal starts clean
+
+    def test_other_format_rotates(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('{"format": "not-a-journal"}\n')
+        assert SweepJournal(path).rotated_stale
+
+
+class TestExecutorResume:
+    def test_full_run_then_resume_skips_all_points(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        counter, tasks = _tasks(tmp_path)
+        with SweepJournal(path) as j:
+            first = SweepExecutor(journal=j).map(tasks)
+        assert _invocations(counter) == 5
+
+        # Resume: every point replays from the journal; the poison fn
+        # proves nothing executes.  Replay identity is (key, params) —
+        # the callable is not part of the digest.
+        poisoned = [
+            PointTask(key=t.key, fn=poison_point, kwargs=t.kwargs) for t in tasks
+        ]
+        with SweepJournal(path) as j2:
+            second = SweepExecutor(journal=j2).map(poisoned)
+        assert second == first
+        assert _invocations(counter) == 5
+
+    def test_crash_resume_recomputes_only_missing_points(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        counter, tasks = _tasks(tmp_path)
+        with SweepJournal(path) as j:
+            first = SweepExecutor(journal=j).map(tasks)
+
+        # Simulate a crash that lost the final fsync window: drop the
+        # last two "done" records from the journal tail.
+        lines = path.read_text().splitlines()
+        done_idx = [
+            i for i, ln in enumerate(lines) if json.loads(ln).get("status") == "done"
+        ]
+        survived = [ln for i, ln in enumerate(lines) if i not in done_idx[-2:]]
+        path.write_text("\n".join(survived) + "\n")
+
+        with SweepJournal(path) as j2:
+            second = SweepExecutor(journal=j2).map(tasks)
+        assert second == first  # bit-identical to the uninterrupted run
+        assert _invocations(counter) == 5 + 2  # only the lost points re-ran
+
+    def test_resume_composes_with_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "sweep.jsonl"
+        counter, tasks = _tasks(tmp_path)
+        cache = ResultCache()
+        with SweepJournal(path) as j:
+            first = SweepExecutor(cache=cache, journal=j).map(tasks)
+        assert _invocations(counter) == 5
+
+        # A fresh journal with a warm cache: hits are journalled too,
+        # so a later journal-only resume still replays everything.
+        path2 = tmp_path / "sweep2.jsonl"
+        with SweepJournal(path2) as j2:
+            second = SweepExecutor(cache=ResultCache(), journal=j2).map(tasks)
+        assert second == first
+        assert _invocations(counter) == 5  # all served from cache
+        assert len(SweepJournal(path2).completed) == 5
+
+    def test_failed_point_recorded(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        tasks = [PointTask(key="bad", fn=poison_point, kwargs={"x": 0})]
+        from repro.perf import SweepExecutionError
+
+        with SweepJournal(path) as j:
+            with pytest.raises(SweepExecutionError):
+                SweepExecutor(journal=j).map(tasks)
+        text = path.read_text()
+        assert '"status":"failed"' in text.replace(" ", "")
+
+    def test_parallel_resume_bit_identical(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        counter, tasks = _tasks(tmp_path, n=6)
+        with SweepJournal(path) as j:
+            first = SweepExecutor(workers=2, journal=j).map(tasks)
+        serial = SweepExecutor().map(tasks)
+        assert first == serial
+
+        lines = path.read_text().splitlines()
+        done_idx = [
+            i for i, ln in enumerate(lines) if json.loads(ln).get("status") == "done"
+        ]
+        survived = [ln for i, ln in enumerate(lines) if i not in done_idx[-3:]]
+        path.write_text("\n".join(survived) + "\n")
+        with SweepJournal(path) as j2:
+            resumed = SweepExecutor(workers=2, journal=j2).map(tasks)
+        assert resumed == first
+
+
+class TestSweepStatusCli:
+    def test_status_reports_progress_without_mutating(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as j:
+            j.record_pending("d1", "pt/1")
+            j.record_pending("d2", "pt/2")
+            j.record_done("d1", "pt/1", {"v": 1})
+        before = path.read_bytes()
+        assert main(["sweep", "status", "--journal", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 done / 2 seen" in out
+        assert "pt/2" in out
+        assert path.read_bytes() == before
+
+    def test_status_missing_journal(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["sweep", "status", "--journal", str(tmp_path / "no.jsonl")]) == 1
+        assert "no journal" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Heartbeat supervision: worker beats, stale detection, signal flushing."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.perf import PointTask, SweepExecutor
+from repro.resilience.supervisor import (
+    HeartbeatMonitor,
+    SupervisorConfig,
+    flush_on_signals,
+    worker_heartbeat,
+)
+
+
+class TestSupervisorConfig:
+    def test_defaults_are_consistent(self):
+        cfg = SupervisorConfig()
+        assert cfg.stale_after_s > cfg.heartbeat_s
+
+    def test_stale_must_exceed_heartbeat(self):
+        with pytest.raises(ValueError, match="stale_after_s"):
+            SupervisorConfig(heartbeat_s=1.0, stale_after_s=0.5)
+
+
+class TestWorkerHeartbeat:
+    def test_beats_while_body_runs_and_cleans_up(self, tmp_path):
+        with worker_heartbeat(tmp_path, interval=0.05) as path:
+            assert path.name == f"{os.getpid()}.hb"
+            deadline = time.time() + 2.0
+            while not path.exists() and time.time() < deadline:
+                time.sleep(0.01)
+            assert path.exists()
+        assert not path.exists()  # removed on clean exit
+
+    def test_file_retouched_over_time(self, tmp_path):
+        with worker_heartbeat(tmp_path, interval=0.05) as path:
+            deadline = time.time() + 2.0
+            while not path.exists() and time.time() < deadline:
+                time.sleep(0.01)
+            first = path.stat().st_mtime_ns
+            time.sleep(0.2)
+            assert path.stat().st_mtime_ns >= first
+
+
+class TestHeartbeatMonitor:
+    def test_scan_reports_ages(self, tmp_path):
+        (tmp_path / "1234.hb").write_text("1234")
+        monitor = HeartbeatMonitor(tmp_path, stale_after_s=10.0)
+        ages = monitor.scan()
+        assert set(ages) == {1234}
+        assert ages[1234] < 5.0
+
+    def test_non_pid_files_ignored(self, tmp_path):
+        (tmp_path / "junk.hb").write_text("x")
+        assert HeartbeatMonitor(tmp_path, stale_after_s=1.0).scan() == {}
+
+    def test_fresh_beats_not_killed(self, tmp_path):
+        (tmp_path / "99999999.hb").write_text("x")
+        monitor = HeartbeatMonitor(tmp_path, stale_after_s=60.0)
+        assert monitor.kill_stale() == []
+        assert monitor.stale_kills == 0
+
+    def test_stale_worker_killed_and_file_removed(self, tmp_path):
+        proc = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            hb = tmp_path / f"{proc.pid}.hb"
+            hb.write_text(str(proc.pid))
+            stale = time.time() - 120
+            os.utime(hb, (stale, stale))
+            monitor = HeartbeatMonitor(tmp_path, stale_after_s=10.0)
+            assert monitor.kill_stale() == [proc.pid]
+            assert proc.wait(timeout=10) == -signal.SIGKILL
+            assert not hb.exists()
+            assert monitor.stale_kills == 1
+        finally:
+            if proc.poll() is None:  # pragma: no cover - defensive cleanup
+                proc.kill()
+
+    def test_dead_pid_file_swept_without_error(self, tmp_path):
+        # A PID that no longer exists: unkillable, but the file must go.
+        hb = tmp_path / "999999999.hb"
+        hb.write_text("x")
+        stale = time.time() - 120
+        os.utime(hb, (stale, stale))
+        monitor = HeartbeatMonitor(tmp_path, stale_after_s=10.0)
+        assert monitor.kill_stale() == []  # nothing actually signalled
+        assert not hb.exists()
+
+    def test_context_manager_starts_and_stops(self, tmp_path):
+        with HeartbeatMonitor(tmp_path, stale_after_s=10.0, poll_s=0.05) as monitor:
+            assert monitor._thread is not None
+        assert monitor._thread is None
+
+
+class TestFlushOnSignals:
+    def test_sigterm_flushes_then_interrupts(self):
+        flushed = []
+        with pytest.raises(KeyboardInterrupt, match="signal"):
+            with flush_on_signals(lambda: flushed.append("j")):
+                signal.raise_signal(signal.SIGTERM)
+        assert flushed == ["j"]
+
+    def test_previous_handlers_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with flush_on_signals(lambda: None):
+                signal.raise_signal(signal.SIGTERM)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_failing_flusher_does_not_mask_interrupt(self):
+        def bad():
+            raise RuntimeError("flusher broke")
+
+        with pytest.raises(KeyboardInterrupt):
+            with flush_on_signals(bad):
+                signal.raise_signal(signal.SIGTERM)
+
+
+def fragile_point(x, marker_dir):
+    """SIGKILLs its own worker on first execution; succeeds on retry."""
+    import pathlib
+
+    marker = pathlib.Path(marker_dir) / f"attempted-{x}"
+    if not marker.exists():
+        marker.write_text("first attempt")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"x": x}
+
+
+def steady_point(x, marker_dir):
+    del marker_dir
+    return {"x": x}
+
+
+class TestDeadWorkerRequeue:
+    def test_killed_worker_is_requeued_and_sweep_completes(self, tmp_path):
+        tasks = [
+            PointTask(
+                key=f"p/{i}",
+                fn=fragile_point if i == 1 else steady_point,
+                kwargs={"x": i, "marker_dir": str(tmp_path)},
+            )
+            for i in range(4)
+        ]
+        executor = SweepExecutor(
+            workers=2,
+            supervisor=SupervisorConfig(max_restarts=2),
+        )
+        results = executor.map(tasks)
+        assert results == [{"x": i} for i in range(4)]
+        assert (tmp_path / "attempted-1").exists()
+
+    def test_restarts_capped(self, tmp_path):
+        from repro.perf import SweepExecutionError
+
+        def always_dies_key(i):
+            return f"d/{i}"
+
+        tasks = [
+            PointTask(
+                key=always_dies_key(i),
+                fn=suicidal_point,
+                kwargs={"x": i},
+            )
+            for i in range(2)
+        ]
+        executor = SweepExecutor(
+            workers=2, supervisor=SupervisorConfig(max_restarts=1)
+        )
+        with pytest.raises(SweepExecutionError, match="max_restarts"):
+            executor.map(tasks)
+
+
+def suicidal_point(x):  # pragma: no cover - runs in a worker process
+    os.kill(os.getpid(), signal.SIGKILL)
+    return {"x": x}

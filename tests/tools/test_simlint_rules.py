@@ -18,9 +18,10 @@ def codes(source, rel="x.py", select=None):
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         assert [cls.code for cls in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+            "SIM007",
         ]
 
     def test_every_rule_documents_itself(self):
@@ -357,6 +358,49 @@ class TestSim006UnmanagedParallelism:
     def test_local_name_does_not_confuse(self):
         src = "def fork():\n    return 0\npid = fork()\n"
         assert codes(src, rel="src/repro/sim/foo.py") == []
+
+
+class TestSim007NonAtomicWrite:
+    def test_write_text(self):
+        src = (
+            "from pathlib import Path\n"
+            "Path('out.json').write_text('{}')\n"
+        )
+        assert codes(src, rel="src/repro/experiments/foo.py") == ["SIM007"]
+
+    def test_json_dump(self):
+        src = (
+            "import json\n"
+            "with open('out.json', 'w') as fh:\n"
+            "    json.dump({}, fh)\n"
+        )
+        assert codes(src, rel="src/repro/analysis/foo.py") == ["SIM007"]
+
+    def test_json_dump_from_import(self):
+        src = (
+            "from json import dump\n"
+            "with open('out.json', 'w') as fh:\n"
+            "    dump({}, fh)\n"
+        )
+        assert codes(src, rel="src/repro/analysis/foo.py") == ["SIM007"]
+
+    def test_json_dumps_to_string_is_clean(self):
+        src = "import json\ntext = json.dumps({})\n"
+        assert codes(src, rel="src/repro/analysis/foo.py") == []
+
+    def test_atomic_helper_module_is_sanctioned(self):
+        src = (
+            "from pathlib import Path\n"
+            "Path('x').write_text('staged')\n"
+        )
+        assert codes(src, rel="src/repro/resilience/atomicio.py") == []
+
+    def test_inline_suppression(self):
+        src = (
+            "from pathlib import Path\n"
+            "Path('x.hb').write_text('1')  # simlint: disable=SIM007\n"
+        )
+        assert codes(src, rel="src/repro/experiments/foo.py") == []
 
 
 class TestSuppressions:
