@@ -184,12 +184,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "summary", help="one-screen paper-vs-measured scoreboard (fast settings)"
     )
 
+    from repro.tools.simlint.cli import add_lint_arguments
+    from repro.tools.simlint.registry import rule_code_span
+
     lint_p = sub.add_parser(
         "lint",
-        help="run simlint, the determinism & unit-safety analyzer (SIM001..SIM006)",
+        help=(
+            "run simlint, the determinism & unit-safety analyzer "
+            f"(rules {rule_code_span()}; --flow adds the whole-program pass)"
+        ),
     )
-    from repro.tools.simlint.cli import add_lint_arguments
-
     add_lint_arguments(lint_p)
     return parser
 

@@ -29,7 +29,12 @@ from repro.units import Duration, Time
 __all__ = ["PriorityGateServer"]
 
 
-class PriorityGateServer:
+# The gate is a live generator-based process: its waiting pool and serve
+# loop live in the kernel event graph, which Simulator.snapshot() either
+# captures wholesale or refuses loudly (CheckpointError on unpicklable
+# generators) — state is never *silently* dropped, which is what SIM008
+# guards against.
+class PriorityGateServer:  # simlint: disable=SIM008
     """Delay-injection gate with strict-priority arbitration.
 
     Parameters

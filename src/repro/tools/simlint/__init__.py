@@ -10,38 +10,68 @@ SIM001    no wall-clock reads in simulator code
 SIM002    no unmanaged randomness (raw ``np.random`` / ``random``),
           and — run scope — no RNG stream name registered from two
           different modules (stream sharing breaks isolation)
-SIM003    integer-time discipline on schedule delays
+SIM003    integer-time discipline on schedule delays; with ``--flow``
+          the check follows values across function/module boundaries
 SIM004    no set iteration in modules that schedule events
 SIM005    no module-level mutable state in core packages
+SIM006    no unmanaged process/thread fan-out (the sweep executor is
+          the single sanctioned parallelism point)
+SIM007    result artifacts are written atomically (tmp + rename)
+SIM008    (``--flow``) classes holding live simulation state must
+          implement the Snapshotable protocol
+SIM009    (``--flow``) no module/closure-level state written from
+          worker entry points (breaks parallel/serial bit-identity)
 ========  ============================================================
 
-Run it as ``python -m repro lint src/repro`` (or ``repro-simlint``);
-suppress a finding inline with ``# simlint: disable=SIM002``.
+The ``--flow`` rules come from :mod:`repro.tools.simlint.flow`, a
+whole-program pass: per-module summaries (cached on disk by content
+hash) are stitched into an import + call graph and a fixpoint
+propagates return types on a small ``int``/``time``/``float`` lattice.
+
+Run it as ``python -m repro lint src/repro --flow`` (or
+``repro-simlint``); suppress a finding inline with
+``# simlint: disable=SIM002``; dump the program view with
+``python -m repro lint graph``.
 """
 
 from __future__ import annotations
 
 from repro.tools.simlint.registry import (
     Finding,
+    FlowRule,
     LintConfig,
     LintError,
     Rule,
     RunScopeRule,
+    all_flow_rules,
     all_rules,
     all_run_scope_rules,
+    rule_code_span,
 )
-from repro.tools.simlint.runner import LintResult, lint_paths, lint_source, lint_sources
+from repro.tools.simlint.runner import (
+    LintResult,
+    build_flow_program,
+    lint_flow,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 
 __all__ = [
     "Finding",
+    "FlowRule",
     "LintConfig",
     "LintError",
     "LintResult",
     "Rule",
     "RunScopeRule",
+    "all_flow_rules",
     "all_rules",
     "all_run_scope_rules",
+    "build_flow_program",
+    "lint_flow",
     "lint_paths",
     "lint_source",
     "lint_sources",
+    "rule_code_span",
 ]

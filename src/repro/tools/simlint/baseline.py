@@ -10,11 +10,12 @@ absorb exactly three findings.
 from __future__ import annotations
 
 import json
+import sys
 from collections import Counter
 from pathlib import Path
 from typing import Sequence, Tuple
 
-from repro.tools.simlint.registry import Finding, LintError
+from repro.tools.simlint.registry import Finding, LintError, all_rules
 
 __all__ = [
     "BASELINE_VERSION",
@@ -57,7 +58,27 @@ def load_baseline(path: Path | str) -> Counter:
         if count < 1:
             raise LintError(f"baseline {p}: entry count must be >= 1 ({entry!r})")
         counts[key] += count
+    _warn_unknown_codes(p, counts)
     return counts
+
+
+def _warn_unknown_codes(path: Path, counts: Counter) -> None:
+    """Warn (never crash) on codes this simlint build doesn't know.
+
+    A baseline written by a newer tree — or one carrying a since-retired
+    rule — must not make older checkouts error out; the stale entries
+    simply never match anything.  ``SIM000`` (syntax error) is always
+    known even though it is not a registered rule.
+    """
+    known = {cls.code for cls in all_rules()} | {"SIM000"}
+    unknown = sorted({code for (code, _p, _s) in counts} - known)
+    if unknown:
+        print(
+            f"simlint: warning: baseline {path} mentions unknown rule "
+            f"code(s) {', '.join(unknown)}; entries kept but will never "
+            "match (written by a different simlint version?)",
+            file=sys.stderr,
+        )
 
 
 def write_baseline(findings: Sequence[Finding], path: Path | str) -> int:

@@ -4,21 +4,25 @@ Standalone::
 
     repro-simlint src/repro
     python -m repro.tools.simlint src/repro --format json
+    python -m repro.tools.simlint src/repro --flow
 
 or through the main CLI (``python -m repro lint src/repro``), which
-delegates here.  Exit status: 0 clean, 1 findings, 2 bad invocation.
+delegates here.  ``repro lint graph [paths]`` dumps the import/call
+graph the flow pass computed, as JSON, for debugging the analysis
+itself.  Exit status: 0 clean, 1 findings, 2 bad invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.tools.simlint.baseline import apply_baseline, load_baseline, write_baseline
-from repro.tools.simlint.registry import LintConfig, LintError, all_rules
+from repro.tools.simlint.registry import LintConfig, LintError, all_rules, rule_code_span
 from repro.tools.simlint.reporters import ReportSummary, get_reporter
 from repro.tools.simlint.runner import lint_paths
 
@@ -67,6 +71,29 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--flow",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "run the whole-program interprocedural pass (cross-module "
+            "SIM003, SIM008, SIM009); --no-flow disables it"
+        ),
+    )
+    parser.add_argument(
+        "--flow-cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "summary cache directory for --flow (default: "
+            "$REPRO_FLOW_CACHE_DIR or .repro-cache/simflow)"
+        ),
+    )
+    parser.add_argument(
+        "--no-flow-cache",
+        action="store_true",
+        help="extract summaries from scratch, skipping the on-disk cache",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -75,7 +102,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _print_rules() -> None:
     for cls in all_rules():
-        print(f"{cls.code}  {cls.name}")
+        tag = "  (requires --flow)" if getattr(cls, "requires_flow", False) else ""
+        print(f"{cls.code}  {cls.name}{tag}")
         print(f"       {cls.rationale}")
 
 
@@ -103,11 +131,36 @@ def _run_lint(args: argparse.Namespace) -> int:
     if args.select:
         select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
 
+    paths = list(args.paths)
+    graph_dump = bool(paths) and paths[0] == "graph"
+    if graph_dump:
+        # `repro lint graph [paths]`: dump the whole-program view the
+        # flow pass computed instead of reporting findings.
+        paths = paths[1:] or ["src/repro"]
+
+    flow = bool(getattr(args, "flow", False)) or graph_dump
+    flow_cache_dir: Optional[str] = getattr(args, "flow_cache", None)
+    if getattr(args, "no_flow_cache", False):
+        flow_cache_dir = ""
+
     try:
-        result = lint_paths(args.paths, select=select, config=LintConfig())
+        result = lint_paths(
+            paths,
+            select=select,
+            config=LintConfig(),
+            flow=flow,
+            flow_cache_dir=flow_cache_dir,
+        )
     except LintError as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return 2
+
+    if graph_dump:
+        try:
+            print(json.dumps(result.flow_program.to_dict(), indent=2, sort_keys=True))
+        except BrokenPipeError:
+            _detach_stdout()
+        return 0
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
 
@@ -146,7 +199,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-simlint",
         description=(
             "AST-based determinism & unit-safety analyzer for the simulator "
-            "(rules SIM001..SIM006; see --list-rules)."
+            f"(rules {rule_code_span()}; see --list-rules)."
         ),
     )
     add_lint_arguments(parser)

@@ -1,0 +1,66 @@
+"""simflow — whole-program interprocedural analysis for simlint.
+
+The per-module rules (SIM001..SIM007) see one AST at a time, so a
+``Time`` value that crosses a function boundary and comes back as a
+float, or a stateful component that silently escapes checkpoint
+coverage, is invisible to them.  This subpackage adds the whole-program
+pass the ROADMAP called for:
+
+1. :mod:`~repro.tools.simlint.flow.graph` builds an import graph and an
+   approximate call graph over every analyzed module;
+2. :mod:`~repro.tools.simlint.flow.summaries` extracts a serializable
+   per-function summary on a small type lattice
+   (:mod:`~repro.tools.simlint.flow.lattice`: ``Time`` / float-seconds /
+   unknown) from annotations, :mod:`repro.units` constructors, and
+   assignment flow;
+3. :mod:`~repro.tools.simlint.flow.propagate` runs a fixpoint
+   interprocedural propagation over the summaries and checks the three
+   whole-program rules (SIM003 across boundaries, SIM008
+   snapshot-completeness, SIM009 worker-shared-state races);
+4. :mod:`~repro.tools.simlint.flow.cache` persists summaries keyed by
+   file content hash so warm lints skip extraction entirely.
+
+The engine is deliberately approximate: resolution is context
+insensitive, attribute calls fall back to method-name matching only
+where over-approximation is safe (reachability), and every unresolved
+value degrades to *unknown* — so the pass errs toward missing a leak
+rather than inventing one.
+"""
+
+from __future__ import annotations
+
+from repro.tools.simlint.flow.cache import SummaryCache, default_cache_dir
+from repro.tools.simlint.flow.graph import module_name_for
+from repro.tools.simlint.flow.lattice import (
+    BOT,
+    FLOAT,
+    INT,
+    TIME,
+    UNKNOWN,
+    AbstractValue,
+    join,
+)
+from repro.tools.simlint.flow.propagate import Program, build_program
+from repro.tools.simlint.flow.summaries import (
+    SUMMARY_FORMAT_VERSION,
+    ModuleSummary,
+    extract_module_summary,
+)
+
+__all__ = [
+    "BOT",
+    "FLOAT",
+    "INT",
+    "TIME",
+    "UNKNOWN",
+    "AbstractValue",
+    "ModuleSummary",
+    "Program",
+    "SUMMARY_FORMAT_VERSION",
+    "SummaryCache",
+    "build_program",
+    "default_cache_dir",
+    "extract_module_summary",
+    "join",
+    "module_name_for",
+]

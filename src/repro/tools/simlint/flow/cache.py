@@ -1,0 +1,120 @@
+"""On-disk summary cache: warm flow lints skip extraction entirely.
+
+Each module's :class:`~repro.tools.simlint.flow.summaries.ModuleSummary`
+is stored as one JSON file named by the SHA-256 of ``(format version,
+module name, source text)`` — content addressing makes invalidation
+automatic: edit a file and its old entry is simply never looked up
+again.  Entries are written atomically (tmp + rename via
+:mod:`repro.resilience.atomicio`) so a killed lint can never leave a
+torn summary for the next run to trust.
+
+The default location is ``$REPRO_FLOW_CACHE_DIR``, falling back to
+``.repro-cache/simflow`` next to the working directory — the same root
+the result cache uses, so one ``rm -rf .repro-cache`` clears both.
+Stale entries (superseded by edits) are pruned oldest-first once the
+directory exceeds a generous bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.tools.simlint.flow.summaries import (
+    SUMMARY_FORMAT_VERSION,
+    ModuleSummary,
+)
+
+__all__ = ["SummaryCache", "default_cache_dir"]
+
+#: Environment override for the cache directory.
+ENV_CACHE_DIR = "REPRO_FLOW_CACHE_DIR"
+
+#: Soft bound on cached entries; beyond it the oldest are pruned.
+_MAX_ENTRIES = 8192
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_FLOW_CACHE_DIR`` or ``.repro-cache/simflow``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path(".repro-cache") / "simflow"
+
+
+class SummaryCache:
+    """Content-addressed store of per-module summaries.
+
+    ``hits`` / ``misses`` / ``stores`` counters are exposed for tests
+    and the CLI's verbose summary.
+    """
+
+    def __init__(self, directory: Optional[Path | str] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, module_name: str, source: str) -> str:
+        """Stable content key for one module's summary."""
+        h = hashlib.sha256()
+        h.update(f"simflow:{SUMMARY_FORMAT_VERSION}:{module_name}:".encode())
+        h.update(source.encode("utf-8", errors="replace"))
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ModuleSummary]:
+        """The cached summary for *key*, or None (corrupt entries are
+        treated as misses and deleted)."""
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            if doc.get("version") != SUMMARY_FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            summary = ModuleSummary.from_dict(doc)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, key: str, summary: ModuleSummary) -> None:
+        """Store *summary* under *key* (atomic write; errors are
+        swallowed — a cache that cannot write degrades to cold lints,
+        it never fails the lint itself)."""
+        from repro.resilience.atomicio import atomic_write_text
+
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                self._path(key),
+                json.dumps(summary.to_dict(), sort_keys=True) + "\n",
+            )
+            self.stores += 1
+        except OSError:
+            return
+        self._maybe_prune()
+
+    def _maybe_prune(self) -> None:
+        try:
+            entries = list(self.directory.glob("*.json"))
+            if len(entries) <= _MAX_ENTRIES:
+                return
+            entries.sort(key=lambda p: p.stat().st_mtime)
+            for stale in entries[: len(entries) - _MAX_ENTRIES]:
+                stale.unlink(missing_ok=True)
+        except OSError:
+            return

@@ -1,0 +1,141 @@
+"""Module naming, import graph, and approximate call graph.
+
+Modules are identified by dotted name, derived from the file path the
+walker handed us (``src/repro/net/link.py`` → ``repro.net.link``,
+``pkg/__init__.py`` → ``pkg``).  The import graph has an edge A → B
+whenever module A imports module B *and B is part of the analyzed
+set* — imports of the stdlib or third-party packages are kept as
+string facts (for reachability tests like "does this module see
+``repro.sim``") but produce no edge.
+
+The call graph is approximate by design:
+
+* ``f()`` and ``from m import f; f()`` resolve exactly through the
+  walker's import-alias map;
+* ``self.m()`` / ``cls.m()`` resolve to the enclosing class's method
+  when it has one;
+* any other attribute call ``obj.m()`` is recorded as the wildcard
+  ``?.m`` and matched *by bare method name* against every analyzed
+  class — a deliberate over-approximation used only where that is safe
+  (reachability for SIM009), never for type resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set
+
+__all__ = [
+    "ImportGraph",
+    "module_name_for",
+    "reachable_modules",
+]
+
+#: Path components that anchor the package root: the dotted name starts
+#: after the last occurrence of any of these.
+_ROOT_MARKERS = ("src", "lib", "site-packages")
+
+
+def module_name_for(rel: str) -> str:
+    """Dotted module name for a walker-relative path.
+
+    ``src/repro/net/link.py`` → ``repro.net.link``;
+    ``tests/pkg/__init__.py`` → ``tests.pkg``; a non-path rel (e.g.
+    ``<string>`` from :func:`~repro.tools.simlint.runner.lint_source`)
+    is returned unchanged minus a ``.py`` suffix.
+    """
+    norm = rel.replace("\\", "/").strip("/")
+    if norm.endswith(".py"):
+        norm = norm[: -len(".py")]
+    parts = [p for p in norm.split("/") if p not in (".", "")]
+    for marker in _ROOT_MARKERS:
+        if marker in parts:
+            parts = parts[len(parts) - parts[::-1].index(marker):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else norm
+
+
+class ImportGraph:
+    """Directed import edges over the analyzed module set.
+
+    Built from each module summary's canonical import targets.  An
+    import of ``repro.net.link.Link`` (a ``from`` import of a class)
+    produces an edge to ``repro.net.link`` by longest-prefix match
+    against the analyzed module names.
+    """
+
+    def __init__(self, modules: Iterable[str]) -> None:
+        self.modules: Set[str] = set(modules)
+        self.edges: Dict[str, Set[str]] = {m: set() for m in self.modules}
+        #: Raw canonical import targets per module (analyzed or not),
+        #: kept for prefix-based reachability facts.
+        self.raw_imports: Dict[str, Set[str]] = {m: set() for m in self.modules}
+
+    def add_imports(self, module: str, targets: Iterable[str]) -> None:
+        for target in targets:
+            self.raw_imports[module].add(target)
+            resolved = self.resolve_module(target)
+            if resolved is not None and resolved != module:
+                self.edges[module].add(resolved)
+
+    def resolve_module(self, dotted: str) -> str | None:
+        """Longest analyzed-module prefix of *dotted*, if any."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def imports_closure(self, module: str) -> Set[str]:
+        """Every analyzed module transitively imported by *module*."""
+        seen: Set[str] = set()
+        stack = [module]
+        while stack:
+            cur = stack.pop()
+            for nxt in self.edges.get(cur, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def sees_prefix(self, module: str, prefix: str) -> bool:
+        """Does *module* (transitively) import anything under *prefix*?
+
+        Checks both resolved edges and raw (unanalyzed) import targets,
+        so a fixture package importing ``repro.sim.core`` counts even
+        when ``repro.sim.core`` itself is not part of the analyzed set.
+        """
+        for m in (module, *self.imports_closure(module)):
+            if m == prefix or m.startswith(prefix + "."):
+                return True
+            for raw in self.raw_imports.get(m, ()):
+                if raw == prefix or raw.startswith(prefix + "."):
+                    return True
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-able dump (``repro lint graph``)."""
+        return {
+            "modules": sorted(self.modules),
+            "edges": {m: sorted(ts) for m, ts in sorted(self.edges.items()) if ts},
+        }
+
+
+def reachable_modules(graph: ImportGraph, roots: Sequence[str]) -> Set[str]:
+    """Modules reachable (via imports) from any of *roots*, inclusive."""
+    out: Set[str] = set()
+    for root in roots:
+        if root in graph.modules and root not in out:
+            out.add(root)
+            out |= graph.imports_closure(root)
+    return out
+
+
+def call_edges_dump(fn_calls: Mapping[str, Sequence[str]]) -> dict:
+    """JSON-able call-graph dump: function key → sorted callee refs."""
+    out: Dict[str, List[str]] = {}
+    for fn, callees in sorted(fn_calls.items()):
+        if callees:
+            out[fn] = sorted(set(callees))
+    return out

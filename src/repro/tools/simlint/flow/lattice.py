@@ -1,0 +1,147 @@
+"""The simflow type lattice and its abstract-value IR.
+
+Five elements, ordered ``BOT < {INT, TIME, FLOAT} < UNKNOWN``::
+
+            UNKNOWN          anything we cannot pin down
+           /   |   \\
+        INT  TIME  FLOAT     exact int / integer picoseconds / float
+           \\   |   /
+             BOT             no information yet (fixpoint seed)
+
+``TIME`` and ``INT`` are both exact integers, so their join stays
+``TIME`` (adding an int offset to a timestamp is still a timestamp);
+any mix involving ``FLOAT`` goes straight to ``UNKNOWN`` — the checker
+only ever reports values that are *definitely* float on every path, so
+collapsing mixed outcomes to ``UNKNOWN`` trades missed leaks for zero
+invented ones.
+
+An :class:`AbstractValue` is the deferred form used inside function
+summaries: a base lattice element joined with the (not yet resolved)
+return values of called functions and the declared types of enclosing
+parameters.  It serializes to plain JSON so summaries can be cached on
+disk; resolution to a concrete element happens in
+:mod:`~repro.tools.simlint.flow.propagate` once every module's summary
+is loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "BOT",
+    "INT",
+    "TIME",
+    "FLOAT",
+    "UNKNOWN",
+    "ELEMENTS",
+    "AbstractValue",
+    "join",
+    "join_all",
+]
+
+BOT = "bot"
+INT = "int"
+TIME = "time"
+FLOAT = "float"
+UNKNOWN = "unknown"
+
+ELEMENTS = frozenset({BOT, INT, TIME, FLOAT, UNKNOWN})
+
+
+def join(a: str, b: str) -> str:
+    """Least upper bound of two lattice elements."""
+    if a == b:
+        return a
+    if a == BOT:
+        return b
+    if b == BOT:
+        return a
+    if {a, b} == {INT, TIME}:
+        return TIME
+    return UNKNOWN
+
+
+def join_all(elements: Iterable[str]) -> str:
+    """Fold :func:`join` over *elements* (``BOT`` for an empty iterable)."""
+    out = BOT
+    for element in elements:
+        out = join(out, element)
+        if out == UNKNOWN:
+            break  # absorbing
+    return out
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """A lattice element plus unresolved call/parameter dependencies.
+
+    The concrete element this value denotes is::
+
+        base ⊔ ⨆ return_type(c) for c in calls
+             ⊔ ⨆ declared_type(p) for p in params
+
+    where ``calls`` holds callee references (dotted names, resolved
+    against the whole program later) and ``params`` holds parameter
+    names of the *enclosing* function.  Extraction keeps dependencies
+    symbolic precisely so per-module summaries stay valid — and
+    cacheable — no matter how the rest of the program changes.
+    """
+
+    base: str = BOT
+    calls: tuple[str, ...] = field(default=())
+    params: tuple[str, ...] = field(default=())
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        base = join(self.base, other.base)
+        if base == UNKNOWN:
+            # Dependencies cannot lower an UNKNOWN base; drop them so
+            # joins stay compact.
+            return AbstractValue(UNKNOWN)
+        return AbstractValue(
+            base,
+            _merged(self.calls, other.calls),
+            _merged(self.params, other.params),
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when resolution cannot refine this value further."""
+        return not self.calls and not self.params
+
+    def to_json(self) -> Any:
+        """Compact JSON form (round-trips through :meth:`from_json`)."""
+        if self.is_trivial:
+            return self.base
+        return [self.base, list(self.calls), list(self.params)]
+
+    @classmethod
+    def from_json(cls, data: Any) -> "AbstractValue":
+        if isinstance(data, str):
+            return cls(data)
+        base, calls, params = data
+        return cls(str(base), tuple(calls), tuple(params))
+
+
+def _merged(a: tuple[str, ...], b: tuple[str, ...]) -> tuple[str, ...]:
+    """Order-preserving union of two dependency tuples."""
+    if not b:
+        return a
+    if not a:
+        return b
+    out = list(a)
+    seen = set(a)
+    for item in b:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return tuple(out)
+
+
+#: Abstract values so common they are worth interning.
+VALUE_BOT = AbstractValue(BOT)
+VALUE_INT = AbstractValue(INT)
+VALUE_TIME = AbstractValue(TIME)
+VALUE_FLOAT = AbstractValue(FLOAT)
+VALUE_UNKNOWN = AbstractValue(UNKNOWN)

@@ -1,0 +1,1035 @@
+"""Per-module extraction: ASTs → serializable function/class summaries.
+
+One :class:`ModuleSummary` captures everything the interprocedural pass
+needs to know about a module *without* re-reading its source:
+
+* per-function summaries — parameter lattice hints (from ``Time`` /
+  ``Duration`` / ``float`` / ``int`` annotations), an abstract return
+  value, every call site with abstract argument values, every
+  ``schedule()`` sink, and every write to module-level state;
+* per-class summaries — base classes, methods, and the instance
+  attributes that hold *live* simulation state (pending-event handles,
+  waitables, unregistered RNG generators);
+* module facts — canonical import targets, module-level global names,
+  and the functions handed to ``PointTask`` as worker entry points.
+
+Everything here is resolvable from the module alone (callee references
+stay symbolic), which is what makes summaries cacheable by file content
+hash: edit one module and only that module is re-extracted.  The
+whole-program meaning of a summary is computed later by
+:mod:`~repro.tools.simlint.flow.propagate`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.tools.simlint.flow.graph import module_name_for
+from repro.tools.simlint.flow.lattice import (
+    BOT,
+    FLOAT,
+    INT,
+    TIME,
+    UNKNOWN,
+    AbstractValue,
+)
+from repro.tools.simlint.rules import _INT_COERCIONS, _float_reason, _is_schedule_call
+from repro.tools.simlint.walker import ModuleInfo, canonical_name
+
+__all__ = [
+    "SUMMARY_FORMAT_VERSION",
+    "CallSite",
+    "ClassSummary",
+    "FunctionSummary",
+    "GlobalWrite",
+    "ModuleSummary",
+    "ScheduleSite",
+    "StatefulAttr",
+    "extract_module_summary",
+]
+
+#: Bump when the summary schema or extraction semantics change; cached
+#: summaries with a different version are discarded.
+SUMMARY_FORMAT_VERSION = 1
+
+#: repro.units constructors that produce integer-picosecond durations.
+UNITS_TIME_FNS = frozenset(
+    f"repro.units.{name}"
+    for name in (
+        "picoseconds",
+        "nanoseconds",
+        "microseconds",
+        "milliseconds",
+        "seconds",
+        "transfer_time_ps",
+    )
+)
+
+#: repro.units helpers that produce float seconds / rates.
+UNITS_FLOAT_FNS = frozenset(
+    f"repro.units.{name}"
+    for name in (
+        "to_seconds",
+        "to_microseconds",
+        "to_nanoseconds",
+        "gbit_per_s_to_bytes_per_s",
+        "bytes_per_s_to_ps_per_byte",
+        "bandwidth_bytes_per_s",
+    )
+)
+
+#: repro.units integer constants (PS..SEC, sizes).
+UNITS_INT_CONSTS = frozenset(
+    f"repro.units.{name}"
+    for name in ("PS", "NS", "US", "MS", "SEC", "KIB", "MIB", "GIB", "KB", "MB", "GB")
+)
+
+#: Builtins whose result is the join of their arguments.
+_JOIN_BUILTINS = frozenset({"min", "max", "abs", "sum"})
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+    }
+)
+
+#: Dotted names under which PointTask may appear at a construction site.
+_POINT_TASK_NAMES = frozenset(
+    {"PointTask", "repro.perf.PointTask", "repro.perf.executor.PointTask"}
+)
+
+
+def _annotation_lattice(node: Optional[ast.expr]) -> str:
+    """Lattice element declared by an annotation (UNKNOWN if none)."""
+    name: Optional[str] = None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    elif isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name in ("Time", "Duration"):
+        return TIME
+    if name == "float":
+        return FLOAT
+    if name in ("int", "bool"):
+        return INT
+    return UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# Summary records
+# ----------------------------------------------------------------------
+@dataclass
+class CallSite:
+    """One resolvable call with abstract argument values."""
+
+    callee: str
+    line: int
+    col: int
+    bound: bool
+    #: ``(value, locally_obvious)`` per positional argument; ``None``
+    #: marks a ``*args`` splat that defeats positional mapping.
+    pos_args: List[Optional[Tuple[AbstractValue, bool]]]
+    kw_args: Dict[str, Tuple[AbstractValue, bool]]
+    has_star_kwargs: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "callee": self.callee,
+            "line": self.line,
+            "col": self.col,
+            "bound": self.bound,
+            "pos": [None if a is None else [a[0].to_json(), a[1]] for a in self.pos_args],
+            "kw": {k: [v[0].to_json(), v[1]] for k, v in self.kw_args.items()},
+            "star_kw": self.has_star_kwargs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CallSite":
+        return cls(
+            callee=d["callee"],
+            line=d["line"],
+            col=d["col"],
+            bound=d["bound"],
+            pos_args=[
+                None if a is None else (AbstractValue.from_json(a[0]), bool(a[1]))
+                for a in d["pos"]
+            ],
+            kw_args={
+                k: (AbstractValue.from_json(v[0]), bool(v[1]))
+                for k, v in d["kw"].items()
+            },
+            has_star_kwargs=bool(d.get("star_kw", False)),
+        )
+
+
+@dataclass
+class ScheduleSite:
+    """A delay/time argument flowing into ``schedule``/``schedule_at``."""
+
+    what: str
+    line: int
+    col: int
+    value: AbstractValue
+    obvious: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "what": self.what,
+            "line": self.line,
+            "col": self.col,
+            "value": self.value.to_json(),
+            "obvious": self.obvious,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScheduleSite":
+        return cls(
+            what=d["what"],
+            line=d["line"],
+            col=d["col"],
+            value=AbstractValue.from_json(d["value"]),
+            obvious=bool(d["obvious"]),
+        )
+
+
+@dataclass
+class GlobalWrite:
+    """A write to module- or closure-level state inside a function."""
+
+    name: str
+    line: int
+    col: int
+    how: str  # "assign" | "augassign" | "mutate" | "setitem" | "nonlocal"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "line": self.line, "col": self.col, "how": self.how}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GlobalWrite":
+        return cls(name=d["name"], line=d["line"], col=d["col"], how=d["how"])
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the fixpoint needs to know about one function."""
+
+    qualname: str
+    line: int
+    params: List[Tuple[str, str]]  # (name, lattice hint)
+    is_method: bool
+    has_vararg: bool
+    has_kwarg: bool
+    returns: AbstractValue
+    calls: List[str]  # callee refs, incl. "?.name" wildcards
+    call_sites: List[CallSite]
+    schedule_sites: List[ScheduleSite]
+    global_writes: List[GlobalWrite]
+
+    def param_hint(self, name: str) -> str:
+        for pname, hint in self.params:
+            if pname == name:
+                return hint
+        return UNKNOWN
+
+    def to_dict(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "params": [[n, h] for n, h in self.params],
+            "is_method": self.is_method,
+            "has_vararg": self.has_vararg,
+            "has_kwarg": self.has_kwarg,
+            "returns": self.returns.to_json(),
+            "calls": list(self.calls),
+            "call_sites": [c.to_dict() for c in self.call_sites],
+            "schedule_sites": [s.to_dict() for s in self.schedule_sites],
+            "global_writes": [w.to_dict() for w in self.global_writes],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FunctionSummary":
+        return cls(
+            qualname=d["qualname"],
+            line=d["line"],
+            params=[(n, h) for n, h in d["params"]],
+            is_method=bool(d["is_method"]),
+            has_vararg=bool(d["has_vararg"]),
+            has_kwarg=bool(d["has_kwarg"]),
+            returns=AbstractValue.from_json(d["returns"]),
+            calls=list(d["calls"]),
+            call_sites=[CallSite.from_dict(c) for c in d["call_sites"]],
+            schedule_sites=[ScheduleSite.from_dict(s) for s in d["schedule_sites"]],
+            global_writes=[GlobalWrite.from_dict(w) for w in d["global_writes"]],
+        )
+
+
+@dataclass
+class StatefulAttr:
+    """A ``self.<attr>`` assignment that may hold live simulation state."""
+
+    attr: str
+    line: int
+    col: int
+    kind: str  # "schedule" | "rng-fresh" | "call"
+    callee: Optional[str] = None  # for kind == "call": the ctor ref
+
+    def to_dict(self) -> dict:
+        return {
+            "attr": self.attr,
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "callee": self.callee,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StatefulAttr":
+        return cls(
+            attr=d["attr"],
+            line=d["line"],
+            col=d["col"],
+            kind=d["kind"],
+            callee=d.get("callee"),
+        )
+
+
+@dataclass
+class ClassSummary:
+    """Shape of one class: bases, methods, and live-state attributes."""
+
+    name: str
+    line: int
+    col: int
+    bases: List[str]  # canonical refs
+    methods: List[str]
+    has_snapshot_state: bool
+    has_restore_state: bool
+    stateful_attrs: List[StatefulAttr]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "has_snapshot_state": self.has_snapshot_state,
+            "has_restore_state": self.has_restore_state,
+            "stateful_attrs": [a.to_dict() for a in self.stateful_attrs],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClassSummary":
+        return cls(
+            name=d["name"],
+            line=d["line"],
+            col=d["col"],
+            bases=list(d["bases"]),
+            methods=list(d["methods"]),
+            has_snapshot_state=bool(d["has_snapshot_state"]),
+            has_restore_state=bool(d["has_restore_state"]),
+            stateful_attrs=[StatefulAttr.from_dict(a) for a in d["stateful_attrs"]],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The whole-module record the interprocedural pass consumes."""
+
+    module: str
+    rel: str
+    imports: Dict[str, str]
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    module_globals: List[str] = field(default_factory=list)
+    point_task_fns: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": SUMMARY_FORMAT_VERSION,
+            "module": self.module,
+            "rel": self.rel,
+            "imports": dict(self.imports),
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "classes": {n: c.to_dict() for n, c in self.classes.items()},
+            "module_globals": list(self.module_globals),
+            "point_task_fns": list(self.point_task_fns),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleSummary":
+        return cls(
+            module=d["module"],
+            rel=d["rel"],
+            imports=dict(d["imports"]),
+            functions={
+                q: FunctionSummary.from_dict(f) for q, f in d["functions"].items()
+            },
+            classes={n: ClassSummary.from_dict(c) for n, c in d["classes"].items()},
+            module_globals=list(d["module_globals"]),
+            point_task_fns=list(d["point_task_fns"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def extract_module_summary(module: ModuleInfo) -> ModuleSummary:
+    """Build a :class:`ModuleSummary` for one parsed module."""
+    assert module.tree is not None
+    extractor = _ModuleExtractor(module)
+    return extractor.run()
+
+
+class _ModuleExtractor:
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.tree = module.tree
+        self.imports = module.imports
+        self.modname = module_name_for(module.rel)
+        self.toplevel_funcs: Set[str] = set()
+        self.class_methods: Dict[str, Set[str]] = {}
+        self.module_globals: List[str] = []
+        #: Module-level constants with a known lattice element.
+        self.global_consts: Dict[str, str] = {}
+        self.summary = ModuleSummary(
+            module=self.modname, rel=self.module.rel, imports=dict(self.imports)
+        )
+
+    # -- pre-pass ---------------------------------------------------------
+    def _prescan(self) -> None:
+        assert self.tree is not None
+        globals_seen: Set[str] = set()
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.toplevel_funcs.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                self.class_methods[node.name] = {
+                    n.name
+                    for n in node.body
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                elem = _const_lattice(value, self.imports) if value is not None else None
+                if isinstance(node, ast.AnnAssign):
+                    ann = _annotation_lattice(node.annotation)
+                    if ann != UNKNOWN:
+                        elem = ann
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        name = target.id
+                        if not (name.startswith("__") and name.endswith("__")):
+                            if name not in globals_seen:
+                                globals_seen.add(name)
+                                self.module_globals.append(name)
+                        if elem is not None:
+                            self.global_consts[name] = elem
+
+    def run(self) -> ModuleSummary:
+        assert self.tree is not None
+        self._prescan()
+        self.summary.module_globals = list(self.module_globals)
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_function(node, node.name, class_ctx=None)
+            elif isinstance(node, ast.ClassDef):
+                self._extract_class(node)
+        return self.summary
+
+    # -- classes ----------------------------------------------------------
+    def _extract_class(self, node: ast.ClassDef) -> None:
+        methods = sorted(self.class_methods.get(node.name, set()))
+        bases = []
+        for base in node.bases:
+            ref = canonical_name(base, self.imports)
+            if ref is None and isinstance(base, ast.Subscript):
+                # Generic[...] / Protocol[...] — use the subscripted name.
+                ref = canonical_name(base.value, self.imports)
+            if ref is not None:
+                # A bare local base name may be a class in this module.
+                if "." not in ref and ref in self.class_methods:
+                    ref = f"{self.modname}.{ref}"
+                bases.append(ref)
+        cls_summary = ClassSummary(
+            name=node.name,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            bases=bases,
+            methods=methods,
+            has_snapshot_state="snapshot_state" in methods,
+            has_restore_state="restore_state" in methods,
+            stateful_attrs=[],
+        )
+        self.summary.classes[node.name] = cls_summary
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_function(
+                    item, f"{node.name}.{item.name}", class_ctx=cls_summary
+                )
+
+    # -- functions --------------------------------------------------------
+    def _extract_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        class_ctx: Optional[ClassSummary],
+    ) -> None:
+        fx = _FunctionExtractor(self, node, qualname, class_ctx)
+        self.summary.functions[qualname] = fx.run()
+        # Nested defs get their own (context-free) summaries so calls to
+        # them resolve; closures over parent locals degrade to UNKNOWN.
+        for inner in ast.walk(node):
+            if inner is node:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested_qual = f"{qualname}.{inner.name}"
+                if nested_qual not in self.summary.functions:
+                    nx = _FunctionExtractor(self, inner, nested_qual, class_ctx)
+                    self.summary.functions[nested_qual] = nx.run()
+
+
+def _const_lattice(value: ast.expr, imports: Dict[str, str]) -> Optional[str]:
+    """Lattice element of a module-level constant expression, if known."""
+    if isinstance(value, ast.Constant):
+        if isinstance(value.value, bool) or isinstance(value.value, int):
+            return INT
+        if isinstance(value.value, float):
+            return FLOAT
+        return None
+    if isinstance(value, ast.UnaryOp):
+        return _const_lattice(value.operand, imports)
+    if isinstance(value, ast.BinOp):
+        left = _const_lattice(value.left, imports)
+        right = _const_lattice(value.right, imports)
+        if isinstance(value.op, ast.Div):
+            return FLOAT
+        if left == INT and right == INT:
+            return INT
+        if FLOAT in (left, right):
+            return FLOAT
+        return None
+    if isinstance(value, ast.Name):
+        ref = imports.get(value.id)
+        if ref in UNITS_INT_CONSTS:
+            return INT
+        return None
+    return None
+
+
+class _FunctionExtractor(ast.NodeVisitor):
+    """One function's summary: local flow, call sites, sinks, writes."""
+
+    def __init__(
+        self,
+        mod: _ModuleExtractor,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        class_ctx: Optional[ClassSummary],
+    ) -> None:
+        self.mod = mod
+        self.node = node
+        self.qualname = qualname
+        self.class_ctx = class_ctx
+        args = node.args
+        all_params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        self.params: List[Tuple[str, str]] = [
+            (a.arg, _annotation_lattice(a.annotation)) for a in all_params
+        ]
+        self.param_names = {a.arg for a in all_params}
+        self.is_method = class_ctx is not None and bool(
+            self.params and self.params[0][0] in ("self", "cls")
+        )
+        #: name -> list of ("assign"|"aug-div"|"aug", expr) records.
+        self.local_assigns: Dict[str, List[Tuple[str, Optional[ast.expr]]]] = {}
+        self.local_bound: Set[str] = set(self.param_names)
+        self.global_decls: Set[str] = set()
+        self.nonlocal_decls: Set[str] = set()
+        self.return_exprs: List[Optional[ast.expr]] = []
+        self.calls: List[str] = []
+        self.call_sites: List[CallSite] = []
+        self.schedule_sites: List[ScheduleSite] = []
+        self.global_writes: List[GlobalWrite] = []
+        self._eval_stack: Set[str] = set()
+        self._nested_names = {
+            n.name
+            for n in node.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    # -- driving ----------------------------------------------------------
+    def run(self) -> FunctionSummary:
+        self._collect(self.node)
+        self._walk_body(self.node)
+        returns = self._returns_value()
+        return FunctionSummary(
+            qualname=self.qualname,
+            line=self.node.lineno,
+            params=self.params,
+            is_method=self.is_method,
+            has_vararg=self.node.args.vararg is not None,
+            has_kwarg=self.node.args.kwarg is not None,
+            returns=returns,
+            calls=self.calls,
+            call_sites=self.call_sites,
+            schedule_sites=self.schedule_sites,
+            global_writes=self.global_writes,
+        )
+
+    def _returns_value(self) -> AbstractValue:
+        ann = _annotation_lattice(self.node.returns)
+        if ann != UNKNOWN:
+            return AbstractValue(ann)
+        if not self.return_exprs:
+            return AbstractValue(UNKNOWN)
+        out = AbstractValue(BOT)
+        for expr in self.return_exprs:
+            if expr is None:
+                out = out.join(AbstractValue(UNKNOWN))
+            else:
+                out = out.join(self.eval_expr(expr))
+        return out
+
+    # -- first pass: bindings, returns, declarations ----------------------
+    def _collect(self, fn_node: ast.AST) -> None:
+        """Record assignments/returns of *this* function (not nested defs)."""
+        for stmt in ast.iter_child_nodes(fn_node):
+            self._collect_stmt(stmt)
+
+    def _collect_stmt(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.local_bound.add(node.name)
+            return  # nested scope: its bindings are not ours
+        if isinstance(node, ast.ClassDef):
+            self.local_bound.add(node.name)
+            return
+        if isinstance(node, ast.Global):
+            self.global_decls.update(node.names)
+        elif isinstance(node, ast.Nonlocal):
+            self.nonlocal_decls.update(node.names)
+        elif isinstance(node, ast.Return):
+            self.return_exprs.append(node.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._record_binding(target, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                ann = _annotation_lattice(node.annotation)
+                name = node.target.id
+                self.local_bound.add(name)
+                if ann != UNKNOWN:
+                    self.local_assigns.setdefault(name, []).append(("hint:" + ann, None))
+                elif node.value is not None:
+                    self.local_assigns.setdefault(name, []).append(("assign", node.value))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                name = node.target.id
+                kind = "aug-div" if isinstance(node.op, ast.Div) else "aug"
+                self.local_assigns.setdefault(name, []).append((kind, node.value))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._bind_names_only(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    self._bind_names_only(item.optional_vars)
+        elif isinstance(node, ast.NamedExpr):
+            if isinstance(node.target, ast.Name):
+                self._record_binding(node.target, node.value)
+        for child in ast.iter_child_nodes(node):
+            self._collect_stmt(child)
+
+    def _record_binding(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.local_bound.add(target.id)
+            self.local_assigns.setdefault(target.id, []).append(("assign", value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_names_only(elt)
+
+    def _bind_names_only(self, target: ast.expr) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                self.local_bound.add(sub.id)
+
+    # -- second pass: call sites, sinks, writes ---------------------------
+    def _walk_body(self, fn_node: ast.AST) -> None:
+        for stmt in ast.iter_child_nodes(fn_node):
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested defs are summarized separately
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node)
+        elif isinstance(node, ast.Assign):
+            self._visit_assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._visit_augassign(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk_stmt(child)
+
+    # -- writes to shared state -------------------------------------------
+    def _is_module_global(self, name: str) -> bool:
+        if name in self.global_decls:
+            return True
+        if name in self.local_bound or name in self.nonlocal_decls:
+            return False
+        return name in self.mod.module_globals
+
+    def _visit_assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_write_target(target, node)
+        self._check_stateful_attr(node)
+
+    def _visit_augassign(self, node: ast.AugAssign) -> None:
+        self._check_write_target(node.target, node, aug=True)
+
+    def _check_write_target(
+        self, target: ast.expr, node: ast.AST, aug: bool = False
+    ) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.global_decls:
+                self.global_writes.append(
+                    GlobalWrite(
+                        name=name,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        how="augassign" if aug else "assign",
+                    )
+                )
+            elif name in self.nonlocal_decls:
+                self.global_writes.append(
+                    GlobalWrite(
+                        name=name,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        how="nonlocal",
+                    )
+                )
+        elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            if self._is_module_global(target.value.id):
+                self.global_writes.append(
+                    GlobalWrite(
+                        name=target.value.id,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        how="setitem",
+                    )
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_write_target(elt, node, aug=aug)
+
+    # -- stateful attribute detection (SIM008 raw facts) ------------------
+    def _check_stateful_attr(self, node: ast.Assign) -> None:
+        if self.class_ctx is None or not isinstance(node.value, ast.Call):
+            return
+        call = node.value
+        for target in node.targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            kind: Optional[str] = None
+            callee: Optional[str] = None
+            if _is_schedule_call(call):
+                kind = "schedule"
+            elif _is_rng_fresh_call(call):
+                kind = "rng-fresh"
+            else:
+                ref, _bound = self._callee_ref(call.func)
+                if ref is not None and not ref.startswith("?."):
+                    kind, callee = "call", ref
+            if kind is not None:
+                self.class_ctx.stateful_attrs.append(
+                    StatefulAttr(
+                        attr=target.attr,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        kind=kind,
+                        callee=callee,
+                    )
+                )
+
+    # -- call handling -----------------------------------------------------
+    def _visit_call(self, node: ast.Call) -> None:
+        if _is_schedule_call(node):
+            self._record_schedule_site(node)
+            # fall through: also record the mutation check on receivers
+        ref, bound = self._callee_ref(node.func)
+        if ref is not None:
+            self.calls.append(ref)
+            self._maybe_point_task(ref, node)
+            if not ref.startswith("?.") and not _is_schedule_call(node):
+                self._record_call_site(node, ref, bound)
+        self._check_mutation_call(node)
+
+    def _record_schedule_site(self, node: ast.Call) -> None:
+        args: List[Tuple[str, ast.expr]] = []
+        if node.args and not isinstance(node.args[0], ast.Starred):
+            args.append(("delay/time argument", node.args[0]))
+        for kw in node.keywords:
+            if kw.arg in ("delay", "time"):
+                args.append((f"{kw.arg}= argument", kw.value))
+        for what, expr in args:
+            value = self.eval_expr(expr)
+            if value.base == UNKNOWN and value.is_trivial:
+                continue  # nothing a fixpoint could ever refine
+            self.schedule_sites.append(
+                ScheduleSite(
+                    what=what,
+                    line=expr.lineno,
+                    col=expr.col_offset + 1,
+                    value=value,
+                    obvious=_float_reason(expr, self.mod.imports) is not None,
+                )
+            )
+
+    def _record_call_site(self, node: ast.Call, ref: str, bound: bool) -> None:
+        pos_args: List[Optional[Tuple[AbstractValue, bool]]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                pos_args.append(None)
+            else:
+                pos_args.append(
+                    (
+                        self.eval_expr(arg),
+                        _float_reason(arg, self.mod.imports) is not None,
+                    )
+                )
+        kw_args: Dict[str, Tuple[AbstractValue, bool]] = {}
+        has_star_kwargs = False
+        for kw in node.keywords:
+            if kw.arg is None:
+                has_star_kwargs = True
+                continue
+            kw_args[kw.arg] = (
+                self.eval_expr(kw.value),
+                _float_reason(kw.value, self.mod.imports) is not None,
+            )
+        interesting = any(
+            a is not None and (a[0].base != UNKNOWN or not a[0].is_trivial)
+            for a in pos_args
+        ) or any(v.base != UNKNOWN or not v.is_trivial for v, _ in kw_args.values())
+        if not (interesting or has_star_kwargs or any(a is None for a in pos_args)):
+            return  # every argument is irreducibly unknown: nothing to check
+        self.call_sites.append(
+            CallSite(
+                callee=ref,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                bound=bound,
+                pos_args=pos_args,
+                kw_args=kw_args,
+                has_star_kwargs=has_star_kwargs,
+            )
+        )
+
+    def _maybe_point_task(self, ref: str, node: ast.Call) -> None:
+        if ref not in _POINT_TASK_NAMES and not ref.endswith(".PointTask"):
+            return
+        fn_expr: Optional[ast.expr] = None
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                fn_expr = kw.value
+        if fn_expr is None and len(node.args) >= 2:
+            fn_expr = node.args[1]
+        if fn_expr is None:
+            return
+        fn_ref, _ = self._callee_ref(fn_expr)
+        if fn_ref is not None:
+            self.mod.summary.point_task_fns.append(fn_ref)
+
+    def _check_mutation_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+            and self._is_module_global(func.value.id)
+        ):
+            self.global_writes.append(
+                GlobalWrite(
+                    name=func.value.id,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    how="mutate",
+                )
+            )
+
+    # -- callee reference resolution ---------------------------------------
+    def _callee_ref(self, func: ast.expr) -> Tuple[Optional[str], bool]:
+        """(reference, bound?) for a callable expression.
+
+        References are dotted names (``pkg.mod.fn`` / ``mod.Class.meth``),
+        bare builtin-ish names (``int``), or ``?.name`` wildcards for
+        attribute calls we cannot resolve.
+        """
+        mod = self.mod
+        if isinstance(func, ast.Name):
+            nid = func.id
+            if nid in self._nested_names:
+                return f"{mod.modname}.{self.qualname}.{nid}", False
+            if nid in mod.imports:
+                return mod.imports[nid], False
+            if nid in mod.toplevel_funcs or nid in mod.class_methods:
+                return f"{mod.modname}.{nid}", False
+            if nid in self.local_bound:
+                return None, False  # a local callable value: unresolvable
+            return nid, False  # builtins and true unknowns
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls") and self.class_ctx is not None:
+                    if func.attr in self.class_ctx.methods:
+                        return (
+                            f"{mod.modname}.{self.class_ctx.name}.{func.attr}",
+                            True,
+                        )
+                    return f"?.{func.attr}", True
+                if base.id in mod.imports and base.id not in self.local_bound:
+                    canonical = canonical_name(func, mod.imports)
+                    if canonical is not None:
+                        return canonical, True
+                if base.id in mod.class_methods and func.attr in mod.class_methods[base.id]:
+                    # Class.method(...) — unbound call through the class.
+                    return f"{mod.modname}.{base.id}.{func.attr}", False
+                return f"?.{func.attr}", True
+            canonical = canonical_name(func, mod.imports)
+            if canonical is not None and isinstance(base, ast.Attribute):
+                root = canonical.split(".")[0]
+                if root in mod.imports.values() or root in mod.imports:
+                    return canonical, True
+            return f"?.{func.attr}", True
+        return None, False
+
+    # -- abstract evaluation ------------------------------------------------
+    def eval_expr(self, node: ast.expr) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or isinstance(node.value, int):
+                return AbstractValue(INT)
+            if isinstance(node.value, float):
+                return AbstractValue(FLOAT)
+            return AbstractValue(UNKNOWN)
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval_expr(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.eval_expr(node.body).join(self.eval_expr(node.orelse))
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.NamedExpr):
+            return self.eval_expr(node.value)
+        return AbstractValue(UNKNOWN)
+
+    def _eval_name(self, name: str) -> AbstractValue:
+        if name in self.param_names:
+            return AbstractValue(BOT, params=(name,))
+        if name in self._eval_stack:
+            return AbstractValue(BOT)  # cycle: x = x + ... contributes nothing
+        records = self.local_assigns.get(name)
+        if records:
+            self._eval_stack.add(name)
+            try:
+                out = AbstractValue(BOT)
+                for kind, expr in records:
+                    if kind.startswith("hint:"):
+                        out = out.join(AbstractValue(kind.split(":", 1)[1]))
+                    elif kind == "aug-div":
+                        out = out.join(AbstractValue(FLOAT))
+                    elif expr is not None:
+                        out = out.join(self.eval_expr(expr))
+                return out
+            finally:
+                self._eval_stack.discard(name)
+        if name in self.local_bound:
+            return AbstractValue(UNKNOWN)  # bound by loop/with/unpacking
+        ref = self.mod.imports.get(name)
+        if ref in UNITS_INT_CONSTS:
+            return AbstractValue(INT)
+        const = self.mod.global_consts.get(name)
+        if const is not None:
+            return AbstractValue(const)
+        return AbstractValue(UNKNOWN)
+
+    def _eval_binop(self, node: ast.BinOp) -> AbstractValue:
+        if isinstance(node.op, ast.Div):
+            return AbstractValue(FLOAT)
+        left = self.eval_expr(node.left)
+        right = self.eval_expr(node.right)
+        if isinstance(node.op, ast.FloorDiv):
+            # ``//`` launders float-ness only partially (1.5 // 1 == 1.0),
+            # but by repo convention it is the sanctioned integer-time
+            # operator; treat as the join with FLOAT short-circuit.
+            if left.base == FLOAT and left.is_trivial:
+                return AbstractValue(FLOAT)
+            if right.base == FLOAT and right.is_trivial:
+                return AbstractValue(FLOAT)
+            return left.join(right)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Mod, ast.Pow)):
+            # Exact semantics would be float-dominant; the join loses
+            # "int + float = float" but never invents a float.
+            return left.join(right)
+        return AbstractValue(UNKNOWN)
+
+    def _eval_call(self, node: ast.Call) -> AbstractValue:
+        ref, _bound = self._callee_ref(node.func)
+        if ref is None:
+            return AbstractValue(UNKNOWN)
+        canonical = ref
+        if canonical == "float":
+            return AbstractValue(FLOAT)
+        if canonical in _INT_COERCIONS:
+            return AbstractValue(INT)
+        if canonical in UNITS_TIME_FNS:
+            return AbstractValue(TIME)
+        if canonical in UNITS_FLOAT_FNS:
+            return AbstractValue(FLOAT)
+        if canonical in _JOIN_BUILTINS:
+            out = AbstractValue(BOT)
+            for arg in node.args:
+                if isinstance(arg, ast.Starred):
+                    return AbstractValue(UNKNOWN)
+                out = out.join(self.eval_expr(arg))
+            return out if not out.is_trivial or out.base != BOT else AbstractValue(UNKNOWN)
+        if canonical.startswith("?.") or "." not in canonical:
+            return AbstractValue(UNKNOWN)
+        return AbstractValue(BOT, calls=(canonical,))
+
+
+def _is_rng_fresh_call(node: ast.Call) -> bool:
+    """``<rng-ish>.fresh(...)``: an unregistered generator the central
+    RNG registry will never snapshot or restore."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "fresh"):
+        return False
+    from repro.tools.simlint.rules import _is_rng_registry
+
+    return _is_rng_registry(func.value)

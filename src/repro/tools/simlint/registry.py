@@ -17,15 +17,20 @@ from repro.errors import ReproError
 
 __all__ = [
     "Finding",
+    "FlowRule",
     "LintConfig",
     "LintError",
     "Rule",
     "RunScopeRule",
+    "all_flow_rules",
     "all_rules",
     "all_run_scope_rules",
     "get_rule",
     "register",
+    "register_flow",
     "register_run_scope",
+    "rule_code_span",
+    "select_flow_rules",
     "select_rules",
     "select_run_scope_rules",
 ]
@@ -94,6 +99,24 @@ class LintConfig:
     #: artifacts (its tmp-then-rename dance necessarily writes directly).
     atomic_sanctioned_suffixes: tuple[str, ...] = ("repro/resilience/atomicio.py",)
 
+    #: Packages exempt from SIM008 snapshot-completeness: the kernel and
+    #: process layer are captured wholesale by the Simulator.snapshot()
+    #: pickle (heap callbacks pin waitables into the blob), so their own
+    #: classes need no separate Snapshotable implementation.
+    snapshot_exempt_fragments: tuple[str, ...] = ("repro/sim/",)
+
+    #: Module-name prefixes whose (transitive) import marks a module as
+    #: "reachable from Simulator roots" for SIM008.
+    flow_sim_roots: tuple[str, ...] = ("repro.sim",)
+
+    #: Packages whose module-level writes are the *sanctioned* worker
+    #: persistence paths for SIM009: the write-ahead journal, the result
+    #: cache, atomic IO, and the heartbeat supervisor.
+    worker_state_sanctioned_fragments: tuple[str, ...] = (
+        "repro/resilience/",
+        "repro/perf/",
+    )
+
     def is_rng_sanctioned(self, path: str) -> bool:
         """True if *path* may construct raw generators (the registry)."""
         norm = "/" + path.replace("\\", "/").lstrip("/")
@@ -113,6 +136,19 @@ class LintConfig:
         """True if *path* lives where SIM005 applies."""
         norm = "/" + path.replace("\\", "/").lstrip("/")
         return any(f"/{pkg}/" in norm for pkg in self.stateful_packages)
+
+    def is_snapshot_exempt(self, path: str) -> bool:
+        """True if *path* is exempt from SIM008 (the kernel itself)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(f"/{frag.strip('/')}/" in norm for frag in self.snapshot_exempt_fragments)
+
+    def is_worker_state_sanctioned(self, path: str) -> bool:
+        """True if *path* may persist worker state directly (SIM009)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(
+            f"/{frag.strip('/')}/" in norm
+            for frag in self.worker_state_sanctioned_fragments
+        )
 
 
 class Rule:
@@ -169,8 +205,52 @@ class RunScopeRule(Rule):
         raise NotImplementedError
 
 
+class FlowRule(Rule):
+    """Base class for whole-program (simflow) rules.
+
+    Flow rules run only when the interprocedural pass is enabled
+    (``--flow``): the runner builds one
+    :class:`~repro.tools.simlint.flow.propagate.Program` from every
+    module's summary and hands it to each selected flow rule's
+    :meth:`check_program`.  A flow rule may *extend* an existing
+    per-module code (SIM003's cross-boundary upgrade) or carry its own
+    (SIM008/SIM009); in the latter case the class is also registered as
+    a per-module rule — with a no-op :meth:`check` — purely so the
+    catalog, ``--select``, and baselines know the code exists.
+    """
+
+    #: Shown in the rule catalog: this code only fires with ``--flow``.
+    requires_flow: ClassVar[bool] = True
+
+    def check(self, module, config: LintConfig) -> Iterator[Finding]:
+        """Flow rules contribute nothing in the per-module pass."""
+        return iter(())
+
+    def check_program(self, program, modules_by_rel, config: LintConfig) -> Iterator[Finding]:
+        """Yield findings for the whole *program* (a flow ``Program``).
+
+        *modules_by_rel* maps each analyzed path to its
+        :class:`~repro.tools.simlint.walker.ModuleInfo` so findings can
+        carry source snippets (for baseline fingerprints).
+        """
+        raise NotImplementedError
+
+    def finding_at(
+        self, modules_by_rel, rel: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` from a raw (rel, line, col) site."""
+        snippet = ""
+        module = modules_by_rel.get(rel)
+        if module is not None and 1 <= line <= len(module.lines):
+            snippet = module.lines[line - 1].strip()
+        return Finding(
+            path=rel, line=line, col=col, code=self.code, message=message, snippet=snippet
+        )
+
+
 _RULES: dict[str, Type[Rule]] = {}
 _RUN_SCOPE_RULES: dict[str, Type[RunScopeRule]] = {}
+_FLOW_RULES: dict[str, Type[FlowRule]] = {}
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
@@ -240,3 +320,49 @@ def select_run_scope_rules(codes: Iterable[str] | None = None) -> list[RunScopeR
         return [cls() for cls in all_run_scope_rules()]
     wanted = set(codes)
     return [cls() for cls in all_run_scope_rules() if cls.code in wanted]
+
+
+def register_flow(cls: Type[FlowRule]) -> Type[FlowRule]:
+    """Class decorator adding *cls* to the flow (whole-program) registry.
+
+    As with run-scope rules, the code may coincide with a per-module
+    rule's code (the flow rule then extends that family — SIM003), but
+    two *flow* rules may not share one.
+    """
+    existing = _FLOW_RULES.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise LintError(
+            f"duplicate flow rule code {cls.code}: "
+            f"{existing.__name__} vs {cls.__name__}"
+        )
+    _FLOW_RULES[cls.code] = cls
+    return cls
+
+
+def all_flow_rules() -> list[Type[FlowRule]]:
+    """Every registered flow rule class, sorted by code."""
+    import repro.tools.simlint.rules  # noqa: F401  (registration side effect)
+
+    return [_FLOW_RULES[code] for code in sorted(_FLOW_RULES)]
+
+
+def select_flow_rules(codes: Iterable[str] | None = None) -> list[FlowRule]:
+    """Instantiate the flow rules matching *codes* (all when None).
+
+    Filter semantics, mirroring :func:`select_run_scope_rules`.
+    """
+    if codes is None:
+        return [cls() for cls in all_flow_rules()]
+    wanted = set(codes)
+    return [cls() for cls in all_flow_rules() if cls.code in wanted]
+
+
+def rule_code_span() -> str:
+    """``"SIM001..SIM009"`` — derived from the registry so CLI help and
+    docs can never drift from the actual rule set again."""
+    codes = sorted(cls.code for cls in all_rules())
+    if not codes:
+        return "SIM000"
+    if len(codes) == 1:
+        return codes[0]
+    return f"{codes[0]}..{codes[-1]}"

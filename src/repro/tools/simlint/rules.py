@@ -1,13 +1,16 @@
-"""The simlint rule set (SIM001..SIM007).
+"""The simlint rule set (SIM001..SIM009).
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
 "Determinism invariants & simlint").  Most rules work on a single
 module's AST; SIM002 additionally has a *run-scope* extension
 (:class:`DuplicateStreamNameRule`) that correlates RNG stream-name
-registrations across every module of the run.  Deeper cross-module
-flow analysis (SIM003 across function boundaries) remains a ROADMAP
-item.
+registrations across every module of the run.  With ``--flow``, the
+whole-program pass (:mod:`repro.tools.simlint.flow`) runs three
+interprocedural rules on top: SIM003 across function/module boundaries
+(:class:`CrossModuleFloatTimeRule`), SIM008 snapshot-completeness
+(:class:`SnapshotCompletenessRule`), and SIM009 worker-shared-state
+divergence (:class:`WorkerSharedStateRule`).
 """
 
 from __future__ import annotations
@@ -17,10 +20,12 @@ from typing import Iterator, Optional, Sequence
 
 from repro.tools.simlint.registry import (
     Finding,
+    FlowRule,
     LintConfig,
     Rule,
     RunScopeRule,
     register,
+    register_flow,
     register_run_scope,
 )
 from repro.tools.simlint.walker import ModuleInfo, canonical_name
@@ -34,6 +39,9 @@ __all__ = [
     "ModuleStateRule",
     "UnmanagedParallelismRule",
     "NonAtomicWriteRule",
+    "CrossModuleFloatTimeRule",
+    "SnapshotCompletenessRule",
+    "WorkerSharedStateRule",
     "iter_stream_registrations",
 ]
 
@@ -725,3 +733,71 @@ def _is_empty_container(value: ast.expr) -> bool:
     if isinstance(value, ast.Call):
         return not value.args and not value.keywords
     return False
+
+
+# ----------------------------------------------------------------------
+# Whole-program rules (run only with --flow; see repro.tools.simlint.flow)
+# ----------------------------------------------------------------------
+@register_flow
+class CrossModuleFloatTimeRule(FlowRule):
+    """SIM003 upgraded across function and module boundaries.
+
+    The single-module :class:`FloatTimeRule` only sees floats that are
+    *locally obvious* (a ``/``, a float literal, ``time.time()``...).
+    This extension propagates return types through the call graph, so a
+    helper in ``repro.units`` returning seconds-as-float is caught even
+    when the leak surfaces three modules away.  Sites the single-module
+    pass already reports are skipped — the two passes never double-count.
+    """
+
+    code = "SIM003"
+    name = "float-time-flow"
+    rationale = FloatTimeRule.rationale
+
+    def check_program(self, program, modules_by_rel, config) -> Iterator[Finding]:
+        for rel, line, col, message in program.iter_float_time_leaks():
+            yield self.finding_at(modules_by_rel, rel, line, col, message)
+
+
+@register
+@register_flow
+class SnapshotCompletenessRule(FlowRule):
+    code = "SIM008"
+    name = "snapshot-completeness"
+    rationale = (
+        "Checkpoint/restore only round-trips state that components "
+        "expose through the Snapshotable protocol.  A class that stores "
+        "pending-event handles, live waitables, or fresh() RNG "
+        "generators but implements neither snapshot_state nor "
+        "restore_state makes every checkpoint silently lossy: a resumed "
+        "run diverges from an uninterrupted one, which defeats the "
+        "crash-safety guarantee."
+    )
+
+    def check_program(self, program, modules_by_rel, config) -> Iterator[Finding]:
+        for rel, line, col, message in program.iter_snapshot_gaps(
+            config.flow_sim_roots, config.is_snapshot_exempt
+        ):
+            yield self.finding_at(modules_by_rel, rel, line, col, message)
+
+
+@register
+@register_flow
+class WorkerSharedStateRule(FlowRule):
+    code = "SIM009"
+    name = "worker-shared-state"
+    rationale = (
+        "The parallel sweep executor forks worker processes; module- or "
+        "closure-level state written inside a worker mutates that "
+        "process's private copy only.  Serial and parallel runs of the "
+        "same sweep then observe different state histories and stop "
+        "being bit-identical.  Worker-side persistence must flow "
+        "through the journal, the result cache, or atomicio — never "
+        "through writable globals."
+    )
+
+    def check_program(self, program, modules_by_rel, config) -> Iterator[Finding]:
+        for rel, line, col, message in program.iter_worker_state_races(
+            config.is_worker_state_sanctioned
+        ):
+            yield self.finding_at(modules_by_rel, rel, line, col, message)

@@ -18,6 +18,7 @@ from repro.tools.simlint.registry import (
     LintConfig,
     Rule,
     RunScopeRule,
+    select_flow_rules,
     select_rules,
     select_run_scope_rules,
 )
@@ -28,19 +29,42 @@ from repro.tools.simlint.walker import (
     module_from_source,
 )
 
-__all__ = ["LintResult", "lint_module", "lint_paths", "lint_run_scope", "lint_source", "lint_sources"]
+__all__ = [
+    "LintResult",
+    "build_flow_program",
+    "lint_flow",
+    "lint_module",
+    "lint_paths",
+    "lint_run_scope",
+    "lint_source",
+    "lint_sources",
+]
 
 #: Code attached to files that do not parse.
 SYNTAX_ERROR_CODE = "SIM000"
 
 
 class LintResult:
-    """Findings plus the file count (for reporting)."""
+    """Findings plus the file count (for reporting).
 
-    def __init__(self, findings: list[Finding], files_checked: int, suppressed: int) -> None:
+    ``flow_program`` is the assembled whole-program view when the run
+    included the flow pass (``repro lint graph`` dumps it); ``flow_cache``
+    carries the summary-cache hit/miss counters for the verbose summary.
+    """
+
+    def __init__(
+        self,
+        findings: list[Finding],
+        files_checked: int,
+        suppressed: int,
+        flow_program=None,
+        flow_cache=None,
+    ) -> None:
         self.findings = findings
         self.files_checked = files_checked
         self.suppressed = suppressed
+        self.flow_program = flow_program
+        self.flow_cache = flow_cache
 
 
 def lint_module(
@@ -99,6 +123,70 @@ def lint_run_scope(
     return kept, suppressed
 
 
+def build_flow_program(
+    modules: Sequence[ModuleInfo],
+    *,
+    cache=None,
+):
+    """Extract (or cache-load) per-module summaries and assemble the
+    whole-program view used by the flow rules.
+
+    Modules with syntax errors are skipped — SIM000 already reports
+    them, and the flow pass analyzes only what parses.  When *cache* is
+    a :class:`~repro.tools.simlint.flow.cache.SummaryCache`, extraction
+    is skipped for unchanged files (content-addressed lookup).
+    """
+    from repro.tools.simlint.flow.graph import module_name_for
+    from repro.tools.simlint.flow.propagate import build_program
+    from repro.tools.simlint.flow.summaries import extract_module_summary
+
+    summaries = []
+    for module in modules:
+        if module.tree is None:
+            continue
+        if cache is not None:
+            key = cache.key_for(module_name_for(module.rel), module.source)
+            summary = cache.get(key)
+            if summary is None:
+                summary = extract_module_summary(module)
+                cache.put(key, summary)
+        else:
+            summary = extract_module_summary(module)
+        summaries.append(summary)
+    return build_program(summaries)
+
+
+def lint_flow(
+    modules: Sequence[ModuleInfo],
+    config: LintConfig,
+    *,
+    select: Optional[Iterable[str]] = None,
+    cache=None,
+    program=None,
+) -> tuple[list[Finding], int, object]:
+    """Run the whole-program flow rules over *modules*.
+
+    Returns ``(findings, n_suppressed, program)`` — findings routed
+    through each module's inline suppressions exactly like the
+    per-module and run-scope passes, so ``# simlint: disable=SIM008``
+    works uniformly.
+    """
+    if program is None:
+        program = build_flow_program(modules, cache=cache)
+    by_rel = {module.rel: module for module in modules}
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in select_flow_rules(select):
+        for finding in rule.check_program(program, by_rel, config):
+            module = by_rel.get(finding.path)
+            if module is not None and module.is_suppressed(finding.line, finding.code):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort()
+    return kept, suppressed, program
+
+
 def lint_source(
     source: str,
     rel: str = "<string>",
@@ -117,11 +205,13 @@ def lint_sources(
     *,
     select: Optional[Iterable[str]] = None,
     config: Optional[LintConfig] = None,
+    flow: bool = False,
 ) -> list[Finding]:
     """Lint several named sources as one run (``rel -> source``).
 
     The multi-module analogue of :func:`lint_source`: per-module rules
     see each module alone, then run-scope rules see them all together.
+    With ``flow=True`` the whole-program pass runs as well.
     """
     cfg = config or LintConfig()
     modules = [module_from_source(src, rel=rel) for rel, src in sources.items()]
@@ -132,6 +222,9 @@ def lint_sources(
         all_findings.extend(findings)
     run_findings, _ = lint_run_scope(modules, select_run_scope_rules(select), cfg)
     all_findings.extend(run_findings)
+    if flow:
+        flow_findings, _, _ = lint_flow(modules, cfg, select=select)
+        all_findings.extend(flow_findings)
     all_findings.sort()
     return all_findings
 
@@ -141,11 +234,16 @@ def lint_paths(
     *,
     select: Optional[Iterable[str]] = None,
     config: Optional[LintConfig] = None,
+    flow: bool = False,
+    flow_cache_dir: Optional[Path | str] = None,
 ) -> LintResult:
     """Lint files/directories; findings come back globally sorted.
 
     Runs the per-module rules file by file, then the run-scope rules
-    (cross-module correlation) over everything that parsed.
+    (cross-module correlation) over everything that parsed.  With
+    ``flow=True`` the interprocedural pass runs last, its per-module
+    summaries cached under *flow_cache_dir* (pass the empty string or a
+    falsy value via the CLI's ``--no-flow-cache`` to disable caching).
     """
     rules = select_rules(select)
     cfg = config or LintConfig()
@@ -162,5 +260,23 @@ def lint_paths(
     run_findings, n_sup = lint_run_scope(modules, select_run_scope_rules(select), cfg)
     all_findings.extend(run_findings)
     suppressed += n_sup
+    program = None
+    cache = None
+    if flow:
+        from repro.tools.simlint.flow.cache import SummaryCache
+
+        if flow_cache_dir is None or flow_cache_dir:
+            cache = SummaryCache(flow_cache_dir)
+        flow_findings, n_sup, program = lint_flow(
+            modules, cfg, select=select, cache=cache
+        )
+        all_findings.extend(flow_findings)
+        suppressed += n_sup
     all_findings.sort()
-    return LintResult(all_findings, files_checked=len(files), suppressed=suppressed)
+    return LintResult(
+        all_findings,
+        files_checked=len(files),
+        suppressed=suppressed,
+        flow_program=program,
+        flow_cache=cache,
+    )

@@ -1,0 +1,133 @@
+"""Summary cache behavior and the flow-enabled CLI surface."""
+
+import json
+
+from repro.tools.simlint.cli import main as simlint_main
+from repro.tools.simlint.flow.cache import SummaryCache
+from repro.tools.simlint.runner import lint_paths
+
+HELPERS = "def mean_gap(total, n):\n    return total / n\n"
+MODEL = (
+    "from pkg.helpers import mean_gap\n"
+    "def fire(sim, total, n):\n"
+    "    sim.schedule(mean_gap(total, n), lambda: None)\n"
+)
+
+
+def write_pkg(tmp_path):
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "helpers.py").write_text(HELPERS)
+    (pkg / "model.py").write_text(MODEL)
+    return pkg
+
+
+class TestSummaryCache:
+    def test_cold_then_warm(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+
+        first = lint_paths([pkg], flow=True, flow_cache_dir=cache_dir)
+        assert [f.code for f in first.findings] == ["SIM003"]
+        assert first.flow_cache.hits == 0
+        assert first.flow_cache.stores == 3  # __init__, helpers, model
+
+        second = lint_paths([pkg], flow=True, flow_cache_dir=cache_dir)
+        assert [f.code for f in second.findings] == ["SIM003"]
+        assert second.flow_cache.hits == 3
+        assert second.flow_cache.stores == 0
+
+    def test_edit_invalidates_only_the_edited_module(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_paths([pkg], flow=True, flow_cache_dir=cache_dir)
+
+        # Fix the leak: the helper now floors.  Only helpers.py re-extracts.
+        (pkg / "helpers.py").write_text(
+            "def mean_gap(total, n):\n    return total // n\n"
+        )
+        result = lint_paths([pkg], flow=True, flow_cache_dir=cache_dir)
+        assert result.findings == []  # stale summary would still say float
+        assert result.flow_cache.hits == 2
+        assert result.flow_cache.stores == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_paths([pkg], flow=True, flow_cache_dir=cache_dir)
+
+        victim = next(cache_dir.glob("*.json"))
+        victim.write_text("{not json")
+        result = lint_paths([pkg], flow=True, flow_cache_dir=cache_dir)
+        assert [f.code for f in result.findings] == ["SIM003"]
+        assert result.flow_cache.stores == 1  # rewritten after the miss
+        # and the rewritten entry parses again
+        for p in cache_dir.glob("*.json"):
+            json.loads(p.read_text())
+
+    def test_key_depends_on_content_and_module_name(self):
+        cache = SummaryCache("unused")
+        a = cache.key_for("pkg.model", "x = 1\n")
+        assert a != cache.key_for("pkg.model", "x = 2\n")
+        assert a != cache.key_for("pkg.other", "x = 1\n")
+        assert a == cache.key_for("pkg.model", "x = 1\n")
+
+    def test_findings_identical_with_and_without_cache(self, tmp_path):
+        pkg = write_pkg(tmp_path)
+        cached = lint_paths([pkg], flow=True, flow_cache_dir=tmp_path / "cache")
+        warm = lint_paths([pkg], flow=True, flow_cache_dir=tmp_path / "cache")
+        uncached = lint_paths([pkg], flow=True, flow_cache_dir="")
+        assert cached.findings == uncached.findings == warm.findings
+        assert uncached.flow_cache is None
+
+
+class TestFlowCli:
+    def test_flow_flag_surfaces_cross_module_leak(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path)
+        argv = [str(pkg), "--no-baseline", "--flow-cache", str(tmp_path / "c")]
+        assert simlint_main(argv) == 0  # without --flow: clean
+        assert simlint_main(argv + ["--flow"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM003" in out and "mean_gap" in out
+
+    def test_no_flow_cache_flag(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path)
+        assert (
+            simlint_main([str(pkg), "--flow", "--no-flow-cache", "--no-baseline"]) == 1
+        )
+
+    def test_graph_dump_is_json_with_program_view(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path)
+        rc = simlint_main(
+            ["graph", str(pkg), "--no-baseline", "--flow-cache", str(tmp_path / "c")]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["modules"] == 3
+        assert "pkg.helpers.mean_gap" in doc["functions"]
+        assert doc["functions"]["pkg.helpers.mean_gap"] == "float"
+        assert "pkg.helpers" in doc["imports"]["edges"]["pkg.model"]
+
+    def test_list_rules_marks_flow_only_codes(self, capsys):
+        assert simlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SIM008" in out and "SIM009" in out
+        assert out.count("(requires --flow)") >= 2
+
+    def test_flow_findings_can_be_baselined(self, tmp_path, capsys):
+        pkg = write_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            str(pkg),
+            "--flow",
+            "--baseline",
+            str(baseline),
+            "--flow-cache",
+            str(tmp_path / "c"),
+        ]
+        assert simlint_main(argv + ["--update-baseline"]) == 0
+        doc = json.loads(baseline.read_text())
+        assert [e["code"] for e in doc["entries"]] == ["SIM003"]
+        assert simlint_main(argv) == 0  # grandfathered
+        assert "1 baselined" in capsys.readouterr().out

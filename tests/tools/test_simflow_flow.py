@@ -1,0 +1,435 @@
+"""The whole-program flow pass: cross-module SIM003, SIM008, SIM009.
+
+Fixtures are in-memory multi-module "packages" fed through
+``lint_sources(..., flow=True)`` — the same pipeline the CLI drives,
+minus the filesystem.  The headline property: a float produced in one
+module and scheduled in another is invisible to the single-module pass
+and caught by the flow pass, with provenance in the message.
+"""
+
+from repro.tools.simlint.runner import lint_sources
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ----------------------------------------------------------------------
+# Cross-module SIM003
+# ----------------------------------------------------------------------
+HELPERS = (
+    "def mean_gap(total, n):\n"
+    "    return total / n\n"
+)
+MODEL = (
+    "from pkg.helpers import mean_gap\n"
+    "def fire(sim, total, n):\n"
+    "    gap = mean_gap(total, n)\n"
+    "    sim.schedule(gap, lambda: None)\n"
+)
+
+
+class TestCrossModuleFloatTime:
+    def test_single_module_pass_misses_the_leak(self):
+        findings = lint_sources(
+            {"src/pkg/helpers.py": HELPERS, "src/pkg/model.py": MODEL}
+        )
+        assert findings == []
+
+    def test_flow_pass_catches_it_with_provenance(self):
+        findings = lint_sources(
+            {"src/pkg/helpers.py": HELPERS, "src/pkg/model.py": MODEL}, flow=True
+        )
+        assert codes(findings) == ["SIM003"]
+        (f,) = findings
+        assert f.path == "src/pkg/model.py" and f.line == 4
+        assert "pkg.helpers.mean_gap()" in f.message  # provenance
+        assert "function boundary" in f.message
+
+    def test_locally_obvious_float_is_not_double_reported(self):
+        # `t / 2` at the schedule site is SIM003 for the single-module
+        # pass; the flow pass must not report the same site again.
+        src = {
+            "src/pkg/one.py": (
+                "def fire(sim, t):\n"
+                "    sim.schedule(t / 2, lambda: None)\n"
+            )
+        }
+        plain = lint_sources(src)
+        flowed = lint_sources(src, flow=True)
+        assert codes(plain) == ["SIM003"]
+        assert flowed == plain  # exactly once, not twice
+
+    def test_int_returning_helper_is_clean(self):
+        findings = lint_sources(
+            {
+                "src/pkg/helpers.py": "def gap(total, n):\n    return total // n\n",
+                "src/pkg/model.py": (
+                    "from pkg.helpers import gap\n"
+                    "def fire(sim, total, n):\n"
+                    "    sim.schedule(gap(total, n), lambda: None)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert findings == []
+
+    def test_float_into_time_annotated_parameter(self):
+        findings = lint_sources(
+            {
+                "src/pkg/units_ish.py": "def to_s(ps):\n    return ps / 1e12\n",
+                "src/pkg/sink.py": (
+                    "from repro.units import Time\n"
+                    "def arm(sim, deadline: Time):\n"
+                    "    sim.schedule_at(deadline, lambda: None)\n"
+                ),
+                "src/pkg/caller.py": (
+                    "from pkg.units_ish import to_s\n"
+                    "from pkg.sink import arm\n"
+                    "def go(sim, ps):\n"
+                    "    arm(sim, to_s(ps))\n"
+                ),
+            },
+            flow=True,
+        )
+        assert "SIM003" in codes(findings)
+        leak = next(f for f in findings if f.code == "SIM003")
+        assert leak.path == "src/pkg/caller.py"
+        assert "'deadline'" in leak.message
+
+    def test_inline_suppression_silences_flow_finding(self):
+        findings = lint_sources(
+            {
+                "src/pkg/helpers.py": HELPERS,
+                "src/pkg/model.py": MODEL.replace(
+                    "    sim.schedule(gap, lambda: None)\n",
+                    "    sim.schedule(gap, lambda: None)  # simlint: disable=SIM003\n",
+                ),
+            },
+            flow=True,
+        )
+        assert findings == []
+
+
+class TestAnalysisRobustness:
+    """The pass must terminate and stay precise on awkward shapes."""
+
+    def test_import_cycle_terminates_and_still_reports(self):
+        findings = lint_sources(
+            {
+                "src/cyc/a.py": (
+                    "import cyc.b\n"
+                    "def leak():\n"
+                    "    return 1 / 3\n"
+                ),
+                "src/cyc/b.py": (
+                    "import cyc.a\n"
+                    "def fire(sim):\n"
+                    "    sim.schedule(cyc.a.leak(), lambda: None)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert codes(findings) == ["SIM003"]
+
+    def test_recursive_function_converges_to_float(self):
+        findings = lint_sources(
+            {
+                "src/rec/helpers.py": (
+                    "def decay(n):\n"
+                    "    if n == 0:\n"
+                    "        return 1.5\n"
+                    "    return decay(n - 1)\n"
+                ),
+                "src/rec/model.py": (
+                    "from rec.helpers import decay\n"
+                    "def fire(sim, n):\n"
+                    "    sim.schedule(decay(n), lambda: None)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert codes(findings) == ["SIM003"]
+
+    def test_mutual_recursion_terminates(self):
+        findings = lint_sources(
+            {
+                "src/mut/pair.py": (
+                    "def even(n):\n"
+                    "    return 0 if n == 0 else odd(n - 1)\n"
+                    "def odd(n):\n"
+                    "    return 1 if n == 0 else even(n - 1)\n"
+                ),
+                "src/mut/model.py": (
+                    "from mut.pair import even\n"
+                    "def fire(sim, n):\n"
+                    "    sim.schedule(even(n), lambda: None)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert findings == []  # int/int joins stay int
+
+    def test_decorated_helper_is_still_tracked(self):
+        findings = lint_sources(
+            {
+                "src/dec/helpers.py": (
+                    "import functools\n"
+                    "@functools.lru_cache(maxsize=None)\n"
+                    "def mean_gap(total, n):\n"
+                    "    return total / n\n"
+                ),
+                "src/dec/model.py": (
+                    "from dec.helpers import mean_gap\n"
+                    "def fire(sim, total, n):\n"
+                    "    sim.schedule(mean_gap(total, n), lambda: None)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert codes(findings) == ["SIM003"]
+
+    def test_kwargs_passthrough_does_not_crash_or_lie(self):
+        # A **kwargs trampoline hides the mapping; the pass must degrade
+        # to silence (no false positive), never crash.
+        findings = lint_sources(
+            {
+                "src/kw/sink.py": (
+                    "from repro.units import Time\n"
+                    "def arm(sim, deadline: Time):\n"
+                    "    sim.schedule_at(deadline, lambda: None)\n"
+                ),
+                "src/kw/trampoline.py": (
+                    "from kw.sink import arm\n"
+                    "def forward(sim, **kw):\n"
+                    "    arm(sim, **kw)\n"
+                    "def go(sim):\n"
+                    "    forward(sim, deadline=2.5)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert "SIM003" not in codes(findings)
+
+    def test_star_args_splat_does_not_misalign_positions(self):
+        # arm(*extra, 0.5) — positions after a splat are unknowable; the
+        # float literal must not be matched against 'deadline'.
+        findings = lint_sources(
+            {
+                "src/sp/sink.py": (
+                    "from repro.units import Time\n"
+                    "def arm(sim, deadline: Time, note=None):\n"
+                    "    sim.schedule_at(deadline, lambda: None)\n"
+                ),
+                "src/sp/caller.py": (
+                    "from sp.sink import arm\n"
+                    "def go(extra):\n"
+                    "    arm(*extra, 0.5)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert "SIM003" not in codes(findings)
+
+    def test_unresolvable_callee_degrades_to_unknown(self):
+        findings = lint_sources(
+            {
+                "src/un/model.py": (
+                    "import os\n"
+                    "def fire(sim):\n"
+                    "    sim.schedule(os.cpu_count(), lambda: None)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert findings == []  # unknown is not float: no invented leaks
+
+
+# ----------------------------------------------------------------------
+# SIM008 snapshot completeness
+# ----------------------------------------------------------------------
+BURSTER = (
+    "from repro.sim.core import Simulator\n"
+    "class Burster:\n"
+    "    def __init__(self, sim, rng):\n"
+    "        self.sim = sim\n"
+    "        self._gen = rng.fresh('burst')\n"
+    "        self._pending = sim.schedule(10, self._tick)\n"
+    "    def _tick(self):\n"
+    "        pass\n"
+)
+
+SNAPSHOT_METHODS = (
+    "    def snapshot_state(self):\n"
+    "        return {}\n"
+    "    def restore_state(self, state):\n"
+    "        pass\n"
+)
+
+
+class TestSnapshotCompleteness:
+    def test_live_state_without_protocol_is_flagged(self):
+        findings = lint_sources({"src/mdl/comp.py": BURSTER}, flow=True)
+        assert codes(findings) == ["SIM008"]
+        (f,) = findings
+        assert "Burster" in f.message
+        assert "pending-event handle" in f.message
+        assert "unregistered RNG generator" in f.message
+
+    def test_implementing_the_protocol_clears_it(self):
+        findings = lint_sources(
+            {"src/mdl/comp.py": BURSTER + SNAPSHOT_METHODS}, flow=True
+        )
+        assert findings == []
+
+    def test_protocol_inherited_from_base_counts(self):
+        findings = lint_sources(
+            {
+                "src/mdl/base.py": (
+                    "class SnapshotableBase:\n" + SNAPSHOT_METHODS
+                ),
+                "src/mdl/comp.py": (
+                    "from repro.sim.core import Simulator\n"
+                    "from mdl.base import SnapshotableBase\n"
+                    "class Burster(SnapshotableBase):\n"
+                    "    def __init__(self, sim):\n"
+                    "        self._pending = sim.schedule(10, self._tick)\n"
+                    "    def _tick(self):\n"
+                    "        pass\n"
+                ),
+            },
+            flow=True,
+        )
+        assert findings == []
+
+    def test_registered_rng_get_is_not_live_state(self):
+        # rng.get() streams are restored in place by the registry; only
+        # fresh() generators are unregistered.
+        findings = lint_sources(
+            {
+                "src/mdl/comp.py": (
+                    "from repro.sim.core import Simulator\n"
+                    "class Sampler:\n"
+                    "    def __init__(self, rng):\n"
+                    "        self._gen = rng.get('noise')\n"
+                ),
+            },
+            flow=True,
+        )
+        assert findings == []
+
+    def test_modules_not_importing_sim_are_out_of_scope(self):
+        findings = lint_sources(
+            {
+                "src/other/comp.py": (
+                    "class Holder:\n"
+                    "    def __init__(self, sim):\n"
+                    "        self._pending = sim.schedule(10, lambda: None)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert findings == []
+
+    def test_waitable_attribute_is_live_state(self):
+        findings = lint_sources(
+            {
+                "src/mdl/gate.py": (
+                    "from repro.sim import Signal, Simulator\n"
+                    "class Gate:\n"
+                    "    def __init__(self, sim):\n"
+                    "        self._wakeup = Signal(sim)\n"
+                ),
+            },
+            flow=True,
+        )
+        assert codes(findings) == ["SIM008"]
+        assert "live waitable" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# SIM009 worker shared state
+# ----------------------------------------------------------------------
+WORKER = (
+    "_CALLS = 0\n"
+    "def run_point(cfg):\n"
+    "    global _CALLS\n"
+    "    _CALLS += 1\n"
+    "    return _CALLS\n"
+)
+DRIVER = (
+    "from repro.perf.executor import PointTask\n"
+    "from job.worker import run_point\n"
+    "def build(cfgs):\n"
+    "    return [PointTask(key=str(c), fn=run_point, kwargs={'cfg': c}) for c in cfgs]\n"
+)
+
+
+class TestWorkerSharedState:
+    def test_global_write_reachable_from_point_task_is_flagged(self):
+        findings = lint_sources(
+            {"src/job/worker.py": WORKER, "src/job/driver.py": DRIVER}, flow=True
+        )
+        assert codes(findings) == ["SIM009"]
+        (f,) = findings
+        assert f.path == "src/job/worker.py"
+        assert "_CALLS" in f.message
+        assert "workers=N" in f.message
+        assert "job.worker.run_point" in f.message  # named entry point
+
+    def test_transitive_reachability(self):
+        findings = lint_sources(
+            {
+                "src/job/worker.py": (
+                    "_CALLS = 0\n"
+                    "def _bump():\n"
+                    "    global _CALLS\n"
+                    "    _CALLS += 1\n"
+                    "def run_point(cfg):\n"
+                    "    _bump()\n"
+                    "    return cfg\n"
+                ),
+                "src/job/driver.py": DRIVER,
+            },
+            flow=True,
+        )
+        assert codes(findings) == ["SIM009"]
+
+    def test_same_write_unreachable_from_workers_is_clean(self):
+        findings = lint_sources({"src/job/worker.py": WORKER}, flow=True)
+        assert findings == []
+
+    def test_per_point_object_state_is_clean(self):
+        findings = lint_sources(
+            {
+                "src/job/worker.py": (
+                    "def run_point(cfg):\n"
+                    "    acc = []\n"
+                    "    acc.append(cfg)\n"
+                    "    return len(acc)\n"
+                ),
+                "src/job/driver.py": DRIVER,
+            },
+            flow=True,
+        )
+        assert findings == []
+
+    def test_mutating_a_module_level_container_is_flagged(self):
+        findings = lint_sources(
+            {
+                "src/job/worker.py": (
+                    "_SEEN = []\n"
+                    "def run_point(cfg):\n"
+                    "    _SEEN.append(cfg)\n"
+                    "    return cfg\n"
+                ),
+                "src/job/driver.py": DRIVER,
+            },
+            flow=True,
+        )
+        assert codes(findings) == ["SIM009"]
+
+    def test_select_narrows_flow_rules(self):
+        sources = {"src/job/worker.py": WORKER, "src/job/driver.py": DRIVER}
+        assert codes(lint_sources(sources, flow=True, select=["SIM009"])) == ["SIM009"]
+        assert lint_sources(sources, flow=True, select=["SIM008"]) == []

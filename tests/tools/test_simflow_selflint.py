@@ -1,0 +1,57 @@
+"""Self-dogfood with the flow pass, plus the warm-lint perf guard.
+
+The plain self-lint (``test_simlint_selflint``) already gates the
+per-module rules; this adds the whole-program bar: ``repro lint
+src/repro --flow`` must be clean, and a warm (cached) full-tree flow
+lint must stay fast enough to sit in the default CI lint job.
+"""
+
+import time
+from pathlib import Path
+
+import repro
+from repro.tools.simlint import lint_paths
+
+REPRO_ROOT = Path(repro.__file__).parent
+
+#: CI bar for a warm full-tree flow lint (ISSUE acceptance: < 10 s).
+WARM_BUDGET_S = 10.0
+
+
+class TestFlowSelfLint:
+    def test_src_repro_is_flow_clean(self, tmp_path):
+        result = lint_paths(
+            [REPRO_ROOT], flow=True, flow_cache_dir=tmp_path / "simflow"
+        )
+        assert result.files_checked > 100
+        formatted = "\n".join(
+            f"{f.location()}: {f.code} {f.message}" for f in result.findings
+        )
+        assert result.findings == [], f"flow findings in src/repro:\n{formatted}"
+
+    def test_flow_program_covers_the_tree(self, tmp_path):
+        result = lint_paths(
+            [REPRO_ROOT], flow=True, flow_cache_dir=tmp_path / "simflow"
+        )
+        program = result.flow_program
+        stats = program.to_dict()["stats"]
+        assert stats["modules"] > 100
+        assert stats["functions"] > 500
+        # The sweep entry points are visible to SIM009.
+        assert len(program.worker_roots()) >= 4
+
+    def test_warm_flow_lint_meets_the_ci_budget(self, tmp_path):
+        cache_dir = tmp_path / "simflow"
+        cold = lint_paths([REPRO_ROOT], flow=True, flow_cache_dir=cache_dir)
+        assert cold.flow_cache.stores > 100  # cache was actually populated
+
+        start = time.perf_counter()
+        warm = lint_paths([REPRO_ROOT], flow=True, flow_cache_dir=cache_dir)
+        elapsed = time.perf_counter() - start
+
+        assert warm.flow_cache.hits == cold.flow_cache.stores
+        assert warm.flow_cache.misses == 0
+        assert elapsed < WARM_BUDGET_S, (
+            f"warm full-tree flow lint took {elapsed:.2f}s "
+            f"(budget {WARM_BUDGET_S}s)"
+        )

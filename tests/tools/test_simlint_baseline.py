@@ -99,3 +99,27 @@ class TestBadInput:
         p.write_text(json.dumps({"version": 1, "entries": [entry]}))
         with pytest.raises(LintError):
             load_baseline(p)
+
+
+class TestUnknownCodes:
+    """A baseline from a different simlint version must not crash."""
+
+    def _write(self, tmp_path, code):
+        p = tmp_path / "b.json"
+        entry = {"code": code, "path": "a.py", "snippet": "x = 1", "count": 1}
+        p.write_text(json.dumps({"version": 1, "entries": [entry]}))
+        return p
+
+    def test_unknown_code_warns_but_loads(self, tmp_path, capsys):
+        counts = load_baseline(self._write(tmp_path, "SIM999"))
+        assert counts[("SIM999", "a.py", "x = 1")] == 1
+        err = capsys.readouterr().err
+        assert "warning" in err and "SIM999" in err
+
+    def test_known_codes_stay_silent(self, tmp_path, capsys):
+        load_baseline(self._write(tmp_path, "SIM003"))
+        assert capsys.readouterr().err == ""
+
+    def test_syntax_error_code_is_known(self, tmp_path, capsys):
+        load_baseline(self._write(tmp_path, "SIM000"))
+        assert capsys.readouterr().err == ""

@@ -18,11 +18,19 @@ def codes(source, rel="x.py", select=None):
 
 
 class TestRegistry:
-    def test_seven_rules_registered(self):
+    def test_nine_rules_registered(self):
         assert [cls.code for cls in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-            "SIM007",
+            "SIM007", "SIM008", "SIM009",
         ]
+
+    def test_flow_registry(self):
+        from repro.tools.simlint import all_flow_rules, rule_code_span
+
+        assert [cls.code for cls in all_flow_rules()] == [
+            "SIM003", "SIM008", "SIM009",
+        ]
+        assert rule_code_span() == "SIM001..SIM009"
 
     def test_every_rule_documents_itself(self):
         for cls in all_rules():
