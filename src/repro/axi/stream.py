@@ -62,6 +62,11 @@ class AxiStream:
             metrics.count(f"axi.{self.name}.beats")
             metrics.count(f"axi.{self.name}.bytes", beat.nbytes)
             metrics.gauge(f"axi.{self.name}.occupancy", len(self._fifo))
+            if self._fifo.full:
+                # READY is low: the sender will stall on this channel.
+                # Attribution charges such stalls as queue_wait on the
+                # downstream block, so count the causal edge here.
+                metrics.count(f"axi.{self.name}.backpressure")
         return self._fifo.put(beat)
 
     def recv(self) -> Waitable:

@@ -145,6 +145,36 @@ class DelayInjector:
         self.waits.add(grant - at)
         return grant
 
+    def intrinsic_grant(self, at: Time) -> Optional[Time]:
+        """Earliest gate opening for VALID at *at* absent competing traffic.
+
+        Pure — consults only the PERIOD grid (or schedule), never the
+        reservation state — so observability can sub-split the gate
+        wait: ``intrinsic_grant(at) - at`` is pure grid alignment (what
+        a lone transaction would wait), and any further wait to the
+        actual grant is backlog behind earlier grants
+        (``injector.alignment_ps`` / ``injector.backlog_ps`` metrics).
+        Returns ``None`` in distribution mode, where spacing is drawn
+        per transaction and no fixed grid exists.
+        """
+        if self._distribution is not None:
+            return None
+        if self.schedule is not None:
+            schedule = self.schedule
+            t = at
+            for _ in range(1_000_000):  # bounded walk over schedule steps
+                period = schedule.period_at(t)
+                interval = period * self._t_cyc
+                opening = -(-t // interval) * interval
+                boundary = schedule.next_change_after(t)
+                if boundary is not None and opening >= boundary:
+                    t = boundary
+                    continue
+                return opening
+            raise RuntimeError("schedule walk did not converge")  # pragma: no cover
+        interval = self._gate.interval
+        return -(-at // interval) * interval
+
     def mean_interval_ps(self) -> float:
         """Expected inter-grant spacing (exact for constant injection)."""
         if self._distribution is None:

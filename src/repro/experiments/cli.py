@@ -76,6 +76,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the metrics timeline (JSONL, or CSV if PATH ends in .csv)",
     )
     run_p.add_argument(
+        "--attrib-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the causal latency-attribution sidecar JSON (per-point "
+            "blame decomposition; implies span tracing)"
+        ),
+    )
+    run_p.add_argument(
         "--profile",
         action="store_true",
         help="profile the event loop (wall clock) and print the hot-spot table",
@@ -125,6 +134,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="metrics JSONL written by run --metrics-out",
     )
+    report_p.add_argument(
+        "--percentiles",
+        metavar="LIST",
+        default=None,
+        help=(
+            "comma-separated percentile columns for every quantile table "
+            "(default: 50,95,99; max is always appended)"
+        ),
+    )
+    attrib_p = obs_sub.add_parser(
+        "attrib", help="render a run's stacked blame decomposition per sweep point"
+    )
+    attrib_p.add_argument("sidecar", help="attribution JSON written by run --attrib-out")
+    attrib_p.add_argument(
+        "--top", type=int, metavar="N", default=3, help="blocking resources shown per point"
+    )
+    attrib_p.add_argument(
+        "--width", type=int, metavar="COLS", default=50, help="stacked-bar width"
+    )
+    diff_p = obs_sub.add_parser(
+        "diff",
+        help=(
+            "compare two attribution sidecars (noise-aware); exits non-zero "
+            "when B regresses versus A"
+        ),
+    )
+    diff_p.add_argument("a", help="baseline attribution sidecar JSON")
+    diff_p.add_argument("b", help="candidate attribution sidecar JSON")
+    diff_p.add_argument(
+        "--rel-tol",
+        type=float,
+        metavar="FRAC",
+        default=0.05,
+        help="relative noise threshold per metric (default 0.05)",
+    )
+    diff_p.add_argument(
+        "--abs-tol-us",
+        type=float,
+        metavar="US",
+        default=0.1,
+        help="absolute noise threshold in microseconds (default 0.1)",
+    )
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--mode", choices=("des", "fluid"), default=None)
@@ -146,6 +197,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="render the figure as an ASCII chart"
     )
     resume_p.add_argument("--csv", metavar="PATH", default=None)
+    resume_p.add_argument(
+        "--attrib-out",
+        metavar="PATH",
+        default=None,
+        help="write the causal latency-attribution sidecar JSON",
+    )
     resume_p.add_argument("--loss", type=float, metavar="RATE", default=None)
     resume_p.add_argument("--retries", type=int, metavar="N", default=None)
     resume_p.add_argument("--degraded", action="store_true")
@@ -306,12 +363,15 @@ def _build_cache(args):
     return ResultCache()
 
 
-def _build_journal(args, label: str):
+def _build_journal(args, label: str, metrics=None):
     """SweepJournal per the --journal/--resume/--checkpoint-every flags.
 
     Without ``--resume`` an existing journal for *label* is discarded
     first — replaying a previous run's points must be opt-in, never a
-    surprise.
+    surprise.  When the run is observed, *metrics* is the run's
+    :class:`~repro.obs.metrics.MetricsRegistry`, so the journal's
+    crash-safety counters (replays, torn lines, supervisor restarts)
+    surface in ``repro obs report``.
     """
     flag = getattr(args, "journal", None)
     resume = bool(getattr(args, "resume", False))
@@ -325,7 +385,7 @@ def _build_journal(args, label: str):
         import pathlib
 
         pathlib.Path(path).unlink(missing_ok=True)
-    return SweepJournal(path, checkpoint_every=cadence or 1)
+    return SweepJournal(path, checkpoint_every=cadence or 1, metrics=metrics)
 
 
 def _build_supervisor(args):
@@ -401,12 +461,18 @@ def _build_obs(args):
     profile = bool(getattr(args, "profile", False) or getattr(args, "profile_out", None))
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not (trace_out or metrics_out or profile):
+    attrib_out = getattr(args, "attrib_out", None)
+    if not (trace_out or metrics_out or attrib_out or profile):
         return None
     from repro.obs import Observability
 
+    # Attribution rides on spans, so --attrib-out implies tracing; it
+    # also wants the metrics mirror so the sidecar can embed counters.
     return Observability(
-        trace=bool(trace_out), metrics=bool(metrics_out), profile=profile
+        trace=bool(trace_out or attrib_out),
+        metrics=bool(metrics_out or attrib_out),
+        profile=profile,
+        attrib=bool(attrib_out),
     )
 
 
@@ -415,6 +481,11 @@ def _write_obs_artifacts(obs, args) -> None:
         print(f"  trace written to {obs.write_trace(args.trace_out)}")
     if getattr(args, "metrics_out", None):
         print(f"  metrics written to {obs.write_metrics(args.metrics_out)}")
+    if getattr(args, "attrib_out", None):
+        written = obs.write_attrib(
+            args.attrib_out, experiment=getattr(args, "experiment", "") or ""
+        )
+        print(f"  attribution written to {written}")
     if obs.profiler is not None:
         print()
         print(obs.profiler.render())
@@ -541,6 +612,19 @@ def _sweep_status(args) -> int:
     return 0
 
 
+def _parse_percentiles(spec: Optional[str]) -> Optional[list]:
+    """``"50,95,99.9"`` -> ``[50.0, 95.0, 99.9]`` (None passes through)."""
+    if spec is None:
+        return None
+    try:
+        pcts = [float(p) for p in spec.split(",") if p.strip()]
+    except ValueError:
+        raise SystemExit(f"error: bad --percentiles {spec!r} (want e.g. 50,95,99)")
+    if not pcts or not all(0.0 <= p <= 100.0 for p in pcts):
+        raise SystemExit(f"error: bad --percentiles {spec!r} (values must be in [0, 100])")
+    return pcts
+
+
 def _obs_report(args) -> int:
     """`repro obs report`: validate artifacts and render the summary."""
     from repro.obs import load_metrics_jsonl, load_trace, render_report
@@ -558,9 +642,39 @@ def _obs_report(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-    print(render_report(trace, rows, summary))
-    _, mismatched = decomposition_check(trace)
+    print(render_report(trace, rows, summary, percentiles=_parse_percentiles(args.percentiles)))
+    _, stage_bad = decomposition_check(trace)
+    _, blame_bad = decomposition_check(trace, cat="blame")
+    return 1 if (stage_bad or blame_bad) else 0
+
+
+def _obs_attrib(args) -> int:
+    """`repro obs attrib`: render a sidecar's stacked blame decomposition."""
+    from repro.obs import load_sidecar, render_attrib
+
+    try:
+        sidecar = load_sidecar(args.sidecar)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_attrib(sidecar, width=args.width, top=args.top))
+    mismatched = sum(point.get("mismatched", 0) for point in sidecar["points"])
     return 1 if mismatched else 0
+
+
+def _obs_diff(args) -> int:
+    """`repro obs diff`: noise-aware comparison; non-zero on regression."""
+    from repro.obs import diff_attrib, load_sidecar
+
+    try:
+        a = load_sidecar(args.a)
+        b = load_sidecar(args.b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    diff = diff_attrib(a, b, rel_tol=args.rel_tol, abs_tol_us=args.abs_tol_us)
+    print(diff.render())
+    return 1 if diff.regressed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -577,7 +691,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.resume = True  # `sweep resume` is `run --resume` by definition
         obs = _build_obs(args)
         cache = _build_cache(args)
-        journal = _build_journal(args, args.experiment)
+        journal = _build_journal(
+            args,
+            args.experiment,
+            metrics=obs.metrics if obs is not None and obs.metrics_enabled else None,
+        )
         supervisor = _build_supervisor(args)
         chaos = {
             "loss": args.loss,
@@ -628,6 +746,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "sweep":
         return _sweep_status(args)
     if args.command == "obs":
+        if args.obs_command == "attrib":
+            return _obs_attrib(args)
+        if args.obs_command == "diff":
+            return _obs_diff(args)
         return _obs_report(args)
     if args.command == "cache":
         return _cache_command(args)

@@ -49,6 +49,7 @@ def run(
     mode: str = "fluid",
     periods: Sequence[int] = DEFAULT_PERIODS,
     quick: bool = False,
+    obs=None,
     workers: int = 1,
     cache=None,
     journal=None,
@@ -59,15 +60,20 @@ def run(
     ``workers``/``cache`` fan the (workload, PERIOD) grid over the
     sweep executor; the serial uncached path shares one suite instance
     across cells instead (same numbers, no per-cell trace rebuild).
+    *obs* traces each (workload, PERIOD) cell as its own run in DES
+    mode (tracing forces inline, uncached execution — spans cannot
+    cross processes or the result cache).
     """
     suite = build_suite(quick=quick)
     table = DegradationTable(baseline_label="vanilla ThymesisFlow (PERIOD=1)")
     grid = [(name, period) for period in (1, *periods) for name in suite]
-    if workers <= 1 and cache is None:
+    if obs is not None or (workers <= 1 and cache is None):
         # Workload instances cache their traces; reuse them across the
         # PERIOD axis when running inline anyway.
         durations = {
-            (name, period): _duration(suite[name], period, mode)
+            (name, period): _duration(
+                suite[name], period, mode, obs=obs, label=f"{name} PERIOD={period}"
+            )
             for name, period in dict.fromkeys(grid)
         }
     else:
@@ -145,10 +151,13 @@ def run(
     )
 
 
-def _duration(workload, period: int, mode: str) -> float:
+def _duration(workload, period: int, mode: str, obs=None, label: str = "") -> float:
     config = paper_cluster_config(period=period)
     if mode == "des":
-        system = ThymesisFlowSystem(config)
+        system = ThymesisFlowSystem(config, obs=obs, obs_label=label or None)
         system.attach_or_raise()
-        return workload.run_des(system, Location.REMOTE).duration_ps
+        result = workload.run_des(system, Location.REMOTE)
+        if obs is not None:
+            obs.finish_system(system)
+        return result.duration_ps
     return workload.run_fluid(FluidEngine(config), Location.REMOTE).duration_ps

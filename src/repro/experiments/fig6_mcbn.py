@@ -29,14 +29,16 @@ __all__ = ["run"]
 DEFAULT_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16)
 
 
-def _mcbn_point(n: int, period: int, stream: StreamConfig, mode: str) -> dict:
+def _mcbn_point(n: int, period: int, stream: StreamConfig, mode: str, obs=None) -> dict:
     """Per-instance bandwidths at one contention level (worker-runnable)."""
     if mode == "des":
         config = paper_cluster_config(period=period)
-        system = ThymesisFlowSystem(config)
+        system = ThymesisFlowSystem(config, obs=obs, obs_label=f"n={n}")
         system.attach_or_raise()
         programs = [StreamWorkload(stream).program(Location.REMOTE) for _ in range(n)]
         results = run_concurrent(system, programs)
+        if obs is not None:
+            obs.finish_system(system)
         bws = [r.bandwidth_bytes_per_s for r in results]
     else:
         engine = FluidEngine(paper_cluster_config(period=period)).contended_remote_engines(n)
@@ -50,6 +52,7 @@ def run(
     instance_counts: Sequence[int] = DEFAULT_COUNTS,
     stream: StreamConfig | None = None,
     period: int = 1,
+    obs=None,
     workers: int = 1,
     cache=None,
     journal=None,
@@ -58,20 +61,28 @@ def run(
     """Regenerate the Figure 6 series (per-instance STREAM bandwidth).
 
     Contention levels are independent runs; ``workers``/``cache`` fan
-    them over the :mod:`repro.perf` sweep executor.
+    them over the :mod:`repro.perf` sweep executor.  *obs* is an
+    optional :class:`repro.obs.Observability` bundle; each contention
+    level becomes one traced run (spans cannot cross processes or the
+    result cache, so tracing forces inline, uncached execution).
     """
     stream_cfg = stream or StreamConfig(n_elements=10_000)
-    tasks = [
-        PointTask(
-            key=f"mcbn/mode={mode}/period={period}/n={n}",
-            fn=_mcbn_point,
-            kwargs={"n": n, "period": period, "stream": stream_cfg, "mode": mode},
-        )
-        for n in instance_counts
-    ]
-    outputs = SweepExecutor(
-        workers=workers, cache=cache, journal=journal, supervisor=supervisor
-    ).map(tasks)
+    if obs is not None:
+        outputs = [
+            _mcbn_point(n, period, stream_cfg, mode, obs=obs) for n in instance_counts
+        ]
+    else:
+        tasks = [
+            PointTask(
+                key=f"mcbn/mode={mode}/period={period}/n={n}",
+                fn=_mcbn_point,
+                kwargs={"n": n, "period": period, "stream": stream_cfg, "mode": mode},
+            )
+            for n in instance_counts
+        ]
+        outputs = SweepExecutor(
+            workers=workers, cache=cache, journal=journal, supervisor=supervisor
+        ).map(tasks)
     rows = []
     per_instance: list[float] = []
     aggregate: list[float] = []

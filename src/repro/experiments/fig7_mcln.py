@@ -35,10 +35,12 @@ DEFAULT_COUNTS: tuple[int, ...] = (0, 2, 4, 8, 16)
 LENDER_LOCAL_CONCURRENCY = 10
 
 
-def _mcln_point(n_local: int, period: int, stream: StreamConfig, mode: str) -> dict:
+def _mcln_point(
+    n_local: int, period: int, stream: StreamConfig, mode: str, obs=None
+) -> dict:
     """Borrower bandwidth at one lender load level (worker-runnable)."""
     if mode == "des":
-        bw, lender_bus_util = _run_des(stream, n_local, period)
+        bw, lender_bus_util = _run_des(stream, n_local, period, obs=obs)
     else:
         bw, lender_bus_util = _run_fluid(stream, n_local, period)
     return {"borrower_bw": bw, "lender_bus_util": lender_bus_util}
@@ -49,6 +51,7 @@ def run(
     lender_counts: Sequence[int] = DEFAULT_COUNTS,
     stream: StreamConfig | None = None,
     period: int = 1,
+    obs=None,
     workers: int = 1,
     cache=None,
     journal=None,
@@ -57,25 +60,33 @@ def run(
     """Regenerate the Figure 7 series (borrower STREAM bandwidth).
 
     Lender load levels are independent runs; ``workers``/``cache`` fan
-    them over the :mod:`repro.perf` sweep executor.
+    them over the :mod:`repro.perf` sweep executor.  *obs* traces each
+    lender load level as its own run (tracing forces inline, uncached
+    execution — spans cannot cross processes or the result cache).
     """
     borrower_cfg = stream or StreamConfig(n_elements=10_000)
-    tasks = [
-        PointTask(
-            key=f"mcln/mode={mode}/period={period}/n_local={n_local}",
-            fn=_mcln_point,
-            kwargs={
-                "n_local": n_local,
-                "period": period,
-                "stream": borrower_cfg,
-                "mode": mode,
-            },
-        )
-        for n_local in lender_counts
-    ]
-    outputs = SweepExecutor(
-        workers=workers, cache=cache, journal=journal, supervisor=supervisor
-    ).map(tasks)
+    if obs is not None:
+        outputs = [
+            _mcln_point(n_local, period, borrower_cfg, mode, obs=obs)
+            for n_local in lender_counts
+        ]
+    else:
+        tasks = [
+            PointTask(
+                key=f"mcln/mode={mode}/period={period}/n_local={n_local}",
+                fn=_mcln_point,
+                kwargs={
+                    "n_local": n_local,
+                    "period": period,
+                    "stream": borrower_cfg,
+                    "mode": mode,
+                },
+            )
+            for n_local in lender_counts
+        ]
+        outputs = SweepExecutor(
+            workers=workers, cache=cache, journal=journal, supervisor=supervisor
+        ).map(tasks)
     rows = []
     borrower_bw: list[float] = []
     for n_local, output in zip(lender_counts, outputs):
@@ -103,10 +114,10 @@ def run(
 
 
 def _run_des(
-    borrower_cfg: StreamConfig, n_local: int, period: int
+    borrower_cfg: StreamConfig, n_local: int, period: int, obs=None
 ) -> tuple[float, float]:
     config = paper_cluster_config(period=period)
-    system = ThymesisFlowSystem(config)
+    system = ThymesisFlowSystem(config, obs=obs, obs_label=f"n_local={n_local}")
     system.attach_or_raise()
     remote_program = StreamWorkload(borrower_cfg).program(Location.REMOTE)
     # Lender-local instances get enough work to outlast the borrower
@@ -120,6 +131,8 @@ def _run_des(
         StreamWorkload(local_cfg).program(Location.LENDER_LOCAL) for _ in range(n_local)
     ]
     results = run_concurrent(system, [remote_program, *local_programs])
+    if obs is not None:
+        obs.finish_system(system)
     borrower_result = results[0]
     # Mean utilization over the whole co-run: bytes actually served
     # against what the bus could have served.

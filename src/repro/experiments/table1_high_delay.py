@@ -40,8 +40,14 @@ def run(
     mode: str = "fluid",
     periods: Sequence[int] = DEFAULT_PERIODS,
     quick: bool = False,
+    obs=None,
 ) -> ExperimentResult:
-    """Regenerate Table I."""
+    """Regenerate Table I.
+
+    *obs* traces each remote (workload, PERIOD) cell as its own run in
+    DES mode; local baselines stay untraced (they never cross the
+    disaggregated datapath, so they have no blame decomposition).
+    """
     suite = build_suite(quick=quick)
     table = DegradationTable(baseline_label="local memory")
     durations: Dict[tuple[str, int], float] = {}
@@ -49,7 +55,14 @@ def run(
         # Local baseline: injection is irrelevant off the remote path.
         baseline = _duration(workload, period=1, location=Location.LOCAL, mode=mode)
         for period in periods:
-            duration = _duration(workload, period=period, location=Location.REMOTE, mode=mode)
+            duration = _duration(
+                workload,
+                period=period,
+                location=Location.REMOTE,
+                mode=mode,
+                obs=obs,
+                label=f"{name} PERIOD={period}",
+            )
             durations[(name, period)] = duration
             table.record(name, f"PERIOD={period}", duration, baseline)
 
@@ -86,10 +99,15 @@ def run(
     )
 
 
-def _duration(workload, period: int, location: Location, mode: str) -> float:
+def _duration(
+    workload, period: int, location: Location, mode: str, obs=None, label: str = ""
+) -> float:
     config = paper_cluster_config(period=period)
     if mode == "des":
-        system = ThymesisFlowSystem(config)
+        system = ThymesisFlowSystem(config, obs=obs, obs_label=label or None)
         system.attach_or_raise()
-        return workload.run_des(system, location).duration_ps
+        result = workload.run_des(system, location)
+        if obs is not None:
+            obs.finish_system(system)
+        return result.duration_ps
     return workload.run_fluid(FluidEngine(config), location).duration_ps

@@ -135,12 +135,20 @@ def run_congestion_epochs(
     controllers: Sequence[SwiftController],
     plant: SharedBottleneck,
     n_epochs: int,
+    obs=None,
 ) -> dict:
     """Co-evolve N controllers against the shared bottleneck.
 
     Each epoch: compute RTT from current total load, feed the same
     sample to every flow (they share the path), collect window and RTT
     trajectories.
+
+    With a live observability bundle, each epoch's queueing delay above
+    the unloaded RTT is charged to the bottleneck as ``contention``
+    (``blame.contention_ps``) and every multiplicative decrease is
+    counted as a ``backoff`` event — the epoch-level counterpart of the
+    DES blame spans (no simulated clock exists here, so attribution is
+    metrics-only).
 
     Returns ``{"windows": (n_epochs, n_flows), "rtts": (n_epochs,)}``.
     """
@@ -149,6 +157,7 @@ def run_congestion_epochs(
     n_flows = len(controllers)
     if n_flows == 0:
         raise ConfigError("need at least one controller")
+    observing = obs is not None and obs.enabled
     windows = np.zeros((n_epochs, n_flows))
     rtts = np.zeros(n_epochs)
     for epoch in range(n_epochs):
@@ -156,5 +165,10 @@ def run_congestion_epochs(
         rtt = plant.rtt_for_load(total)
         rtts[epoch] = rtt
         for j, controller in enumerate(controllers):
+            before = controller.window
             windows[epoch, j] = controller.on_rtt_sample(rtt)
+            if observing and windows[epoch, j] < before:
+                obs.metrics.count("net.congestion.backoffs")
+        if observing:
+            obs.metrics.observe("blame.contention_ps", rtt - plant.base_rtt_ps)
     return {"windows": windows, "rtts": rtts}

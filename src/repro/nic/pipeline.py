@@ -168,4 +168,24 @@ class StructuralBorrowerNic:
                     track="nic.egress",
                     args={"seq": seq},
                 )
+                if self.obs.attrib_enabled:
+                    self._record_blame(tracer, pid, record)
                 tracer.add_request(seq, record.enter_time, record.egress_time, pid=pid)
+
+    def _record_blame(self, tracer, pid: int, record: EgressRecord) -> None:
+        """Blame tiling of one structural egress: [enter, egress].
+
+        The whole wait up to the grant is ``injected_delay`` — the gate
+        admits one transaction per PERIOD-grid slot, so FIFO
+        backpressure behind earlier grants is still latency the
+        injector manufactured (matching the borrower datapath's rule).
+        """
+        enter, grant, egress = record.enter_time, record.grant_time, record.egress_time
+        spans = (
+            ("injected_delay", enter, grant, "delay.injector"),
+            ("service", grant, egress, "nic.egress"),
+        )
+        seq = record.packet.seq
+        for cat, start, end, resource in spans:
+            if end > start:
+                tracer.add_blame(cat, start, end, pid=pid, seq=seq, resource=resource)

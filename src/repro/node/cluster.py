@@ -34,6 +34,7 @@ from repro.nic.timeout import DetectionWatchdog
 from repro.nic.translation import WindowMapping, WindowTranslator
 from repro.node.node import Node
 from repro.obs import NULL_OBS
+from repro.obs.tracer import datapath_blame_splits
 from repro.sim import EventLog, Process, RngStreams, Simulator, StatRecorder, Timeout
 from repro.units import Duration, Time
 
@@ -74,6 +75,10 @@ class ThymesisFlowSystem:
         default :data:`~repro.obs.NULL_OBS` records nothing and adds
         only no-op calls; a live bundle collects per-request stage
         spans, metrics, and timeline snapshots for this system's runs.
+    obs_label:
+        Optional trace-process label for this run (sweep experiments
+        pass their point key, e.g. ``"n=4"``); defaults to a
+        class-name + PERIOD label.
     """
 
     def __init__(
@@ -82,6 +87,7 @@ class ThymesisFlowSystem:
         schedule: Optional[DelaySchedule] = None,
         sim: Optional[Simulator] = None,
         obs=None,
+        obs_label: Optional[str] = None,
     ) -> None:
         self.config = config
         self.sim = sim if sim is not None else Simulator()
@@ -112,7 +118,7 @@ class ThymesisFlowSystem:
         self._lender_latency = (
             config.borrower.nic.translation_latency + fpga.turnaround_latency
         )
-        self._obs_pid = self.obs.attach_system(self)
+        self._obs_pid = self.obs.attach_system(self, label=obs_label)
 
     # ------------------------------------------------------------------
     # Control-plane operations
@@ -259,9 +265,16 @@ class ThymesisFlowSystem:
             size=payload_bytes,
         )
 
+        # Attribution needs resource-idle snapshots *before* each
+        # reservation: the gap between a reservation's start and the
+        # earlier busy-until is queueing behind competing traffic.
+        blaming = self.obs.attrib_enabled and kind is not PacketKind.PROBE
+
         # Egress: OpenCAPI + router/pipeline, then the delay injector.
         valid_at = issue + self._egress_latency
+        intrinsic = self.injector.intrinsic_grant(valid_at) if blaming else None
         grant = yield from self._admit(valid_at, traffic_class)
+        fwd_busy = self.link.forward.busy_until() if blaming else 0
         # Mux + packetize + serialize onto the wire.
         arrive_lender = self._leg_to_lender(request.wire_bytes, grant)
 
@@ -272,11 +285,14 @@ class ThymesisFlowSystem:
             yield Timeout(sim, arrive_lender - sim.now)
 
         t = sim.now + self._lender_latency
+        mem_ready = t
+        bus_busy = self.lender.dram.bus.busy_until() if blaming else 0
         if kind in (PacketKind.READ_REQ, PacketKind.WRITE_REQ):
             self.translator.translate(addr)  # faults surface here
             t = self.lender.dram.access(self._line, t, write=write)
 
         response = request.make_response()
+        rev_busy = self.link.reverse.busy_until() if blaming else 0
         arrive_back = self._leg_to_borrower(response.wire_bytes, t)
         complete = arrive_back + self._ingress_latency
         if complete > sim.now:
@@ -301,6 +317,9 @@ class ThymesisFlowSystem:
                     t,
                     arrive_back,
                     complete,
+                    blame=(intrinsic, fwd_busy, mem_ready, bus_busy, rev_busy)
+                    if blaming
+                    else None,
                 )
         return result
 
@@ -327,8 +346,15 @@ class ThymesisFlowSystem:
         t_mem: Time,
         arrive_back: Time,
         complete: Time,
+        blame=None,
     ) -> None:
-        """Report one transaction's stage decomposition to the tracer/metrics."""
+        """Report one transaction's stage decomposition to the tracer/metrics.
+
+        ``blame``, when given, carries the resource-idle snapshots
+        sampled inside :meth:`_transact` — ``(intrinsic_grant,
+        forward_busy, mem_ready, bus_busy, reverse_busy)`` — from which
+        the causal blame decomposition is derived.
+        """
         obs = self.obs
         boundaries = (issue, valid_at, grant, arrive_lender, t_mem, arrive_back, complete)
         tracer = obs.tracer
@@ -353,6 +379,12 @@ class ThymesisFlowSystem:
                     track=name,
                     args={"seq": seq},
                 )
+            if blame is not None:
+                # One tuple append per transaction: blame rows and
+                # category sums are derived lazily from the staged
+                # record (Tracer.blame / datapath_blame_splits), so the
+                # hot path pays for staging only.
+                tracer.blame_raw.append((pid, seq, boundaries, blame))
             tracer.add_request(seq, issue, complete, pid=pid)
         metrics = obs.metrics
         metrics.observe("remote.latency_ps", complete - issue)
@@ -360,6 +392,56 @@ class ThymesisFlowSystem:
         for i, name in enumerate(self.STAGE_NAMES):
             metrics.observe(f"stage.{name}_ps", boundaries[i + 1] - boundaries[i])
         metrics.count("remote.transactions")
+
+    def flush_blame_metrics(self, metrics) -> None:
+        """Fold this run's blame sums into the registry as counters.
+
+        Called from :meth:`Observability.finish_system`.  The sums are
+        derived here, once per run, from the raw records the datapath
+        staged on ``tracer.blame_raw`` — the per-transaction hot path
+        never touches a histogram or computes a split.  The scan leaves
+        the staged records in place (attribution extraction reads them
+        too) and filters by this system's pid, since sweeps share one
+        tracer across points and shared-simulator experiments interleave
+        several systems' records.
+        """
+        tracer = self.obs.tracer
+        raw = getattr(tracer, "blame_raw", None)
+        if not raw:
+            return
+        pid = self._obs_pid or 1
+        service = injected = queued = contended = align = backlog = 0
+        for epid, _seq, boundaries, snapshots in raw:
+            if epid != pid:
+                continue
+            inj, qf, qr, cont, _ws, _bs, _rs, _mr = datapath_blame_splits(
+                boundaries, snapshots
+            )
+            q = qf + qr
+            service += (boundaries[6] - boundaries[0]) - inj - q - cont
+            queued += q
+            contended += cont
+            if inj:
+                injected += inj
+                # Sub-split of injected delay: grid alignment a lone
+                # transaction would see vs backlog behind earlier grants.
+                intrinsic = snapshots[0]
+                if intrinsic is not None:
+                    valid_at, grant = boundaries[1], boundaries[2]
+                    alignment = min(max(intrinsic, valid_at), grant)
+                    align += alignment - valid_at
+                    backlog += grant - alignment
+        for cat, total in (
+            ("contention", contended),
+            ("injected_delay", injected),
+            ("queue_wait", queued),
+            ("service", service),
+        ):
+            if total:
+                metrics.count(f"blame.{cat}_ps", total)
+        if align or backlog:
+            metrics.count("injector.alignment_ps", align)
+            metrics.count("injector.backlog_ps", backlog)
 
     def remote_access(
         self,

@@ -208,6 +208,8 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         attempt = 0  # total replays of this packet (stats, AccessResult)
         charged = 0  # replays counted against the retry budget
         complete = issue
+        blaming = self.obs.attrib_enabled and kind is not PacketKind.PROBE
+        attempt_start = issue  # blame tiling: attempts are contiguous
         try:
             while True:
                 # Egress pipeline + delay injector, every attempt: a
@@ -288,6 +290,15 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
                             cat="fault",
                             args={"seq": request.seq, "attempt": attempt},
                         )
+                    if blaming:
+                        # The failed attempt's datapath time is blamed
+                        # `retry`, the timer/NACK wait `backoff`; the
+                        # next attempt starts where this one ends, so
+                        # the attempt chain tiles [issue, complete].
+                        self._blame_failed_attempt(
+                            request.seq, attempt_start, grant, sim.now
+                        )
+                        attempt_start = sim.now
                 rto = transport.next_rto(rto)
         except RetryExhausted as exc:
             self.borrower.window.release()
@@ -327,10 +338,56 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
                 if attempt:
                     metrics.observe("transport.retries_per_txn", attempt)
                 if self.obs.tracer.enabled:
+                    if blaming:
+                        self._blame_final_attempt(
+                            request.seq, attempt_start, valid_at, grant, complete
+                        )
                     self.obs.tracer.add_request(
                         request.seq, issue, complete, pid=self._obs_pid or 1
                     )
         return result
+
+    # ------------------------------------------------------------------
+    # Causal attribution (blame spans; see repro.obs.attrib)
+    # ------------------------------------------------------------------
+    def _blame_failed_attempt(
+        self, seq: int, attempt_start: Time, grant: Time, wake: Time
+    ) -> None:
+        """Charge one doomed ARQ attempt: datapath replay + timer wait."""
+        tracer = self.obs.tracer
+        pid = self._obs_pid or 1
+        if grant > attempt_start:
+            tracer.add_blame(
+                "retry", attempt_start, grant, pid=pid, seq=seq, resource="transport.arq"
+            )
+        if wake > grant:
+            tracer.add_blame(
+                "backoff", grant, wake, pid=pid, seq=seq, resource="transport.rto"
+            )
+
+    def _blame_final_attempt(
+        self, seq: int, attempt_start: Time, valid_at: Time, grant: Time, complete: Time
+    ) -> None:
+        """Charge the successful attempt, completing the blame tiling.
+
+        The whole gate wait is ``injected_delay``, like the base
+        datapath; the remaining round trip — wire, lender memory, wire
+        back, ingress — is charged as one coarse ``service`` interval
+        because the faulty channel decides delivery fates wholesale,
+        not per stage.
+        """
+        tracer = self.obs.tracer
+        pid = self._obs_pid or 1
+        valid_at = min(max(valid_at, attempt_start), complete)
+        grant = min(max(grant, valid_at), complete)
+        spans = (
+            ("service", attempt_start, valid_at, "nic.egress"),
+            ("injected_delay", valid_at, grant, "delay.injector"),
+            ("service", grant, complete, "datapath.round_trip"),
+        )
+        for cat, start, end, resource in spans:
+            if end > start:
+                tracer.add_blame(cat, start, end, pid=pid, seq=seq, resource=resource)
 
     def _classify_reverse(
         self,

@@ -10,26 +10,49 @@ timestamps):
   histograms (p50/p95/p99/p999 without sample storage), counters,
   gauges, and cadence-driven timeline snapshots with JSONL/CSV export;
 * :mod:`repro.obs.profiler` — wall-clock event-loop profiling by
-  callback site (the simulator's sanctioned SIM001 exemption).
+  callback site (the simulator's sanctioned SIM001 exemption);
+* :mod:`repro.obs.attrib` — causal latency attribution: blame-tagged
+  spans decomposed into per-category breakdowns, sidecar JSONs, and
+  noise-aware cross-run regression diffing.
 
 :class:`Observability` bundles the layers; components accept it as an
 optional argument defaulting to :data:`NULL_OBS`.
 """
 
+from repro.obs.attrib import (
+    AttribDiff,
+    AttributionResult,
+    attribution_sidecar,
+    diff_attrib,
+    extract_attribution,
+    load_sidecar,
+    render_attrib,
+)
 from repro.obs.context import NULL_OBS, NullObservability, Observability, SimObserver
 from repro.obs.metrics import LogHistogram, MetricsRegistry, quantile_table
 from repro.obs.profiler import LoopProfiler, SiteStats
 from repro.obs.report import load_trace, render_report, validate_chrome_trace
 from repro.obs.timeline import TimelineSampler, load_metrics_jsonl
 from repro.obs.tracer import (
+    BLAME_CATEGORIES,
     NullTracer,
     SpanRecord,
     Tracer,
+    blame_sum_check,
     bridge_eventlog,
     stage_sum_check,
 )
 
 __all__ = [
+    "BLAME_CATEGORIES",
+    "AttribDiff",
+    "AttributionResult",
+    "attribution_sidecar",
+    "blame_sum_check",
+    "diff_attrib",
+    "extract_attribution",
+    "load_sidecar",
+    "render_attrib",
     "Observability",
     "NullObservability",
     "NULL_OBS",

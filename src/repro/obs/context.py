@@ -78,6 +78,11 @@ class Observability:
         Time event callbacks with the wall clock.
     cadence_ps:
         Simulated time between timeline snapshots.
+    attrib:
+        Record causal blame spans alongside the stage decomposition
+        (requires ``trace``).  Off by default so plain ``--trace-out``
+        runs pay only the seed tracing cost; ``--attrib-out`` turns it
+        on.
     """
 
     enabled = True
@@ -88,8 +93,10 @@ class Observability:
         metrics: bool = True,
         profile: bool = False,
         cadence_ps: int = DEFAULT_CADENCE_PS,
+        attrib: bool = False,
     ) -> None:
         self.tracer: Union[Tracer, NullTracer] = Tracer() if trace else NullTracer()
+        self.attrib_enabled = bool(attrib and trace)
         self.metrics = MetricsRegistry()
         self.metrics_enabled = metrics
         self.timeline: Optional[TimelineSampler] = (
@@ -170,6 +177,11 @@ class Observability:
             # carry the same numbers the experiment printed.
             for key, value in system.stats.summary().items():
                 metrics.gauge(f"stats.{key}", value)
+            # Blame sums accumulate on the system during the run (hot
+            # path); fold them into counters once here.
+            flush_blame = getattr(system, "flush_blame_metrics", None)
+            if flush_blame is not None:
+                flush_blame(metrics)
         log = getattr(system, "log", None)
         if log is not None and self.tracer.enabled:
             bridge_eventlog(self.tracer, log, pid=pid)
@@ -183,6 +195,19 @@ class Observability:
         if not isinstance(self.tracer, Tracer):
             raise ValueError("tracing was not enabled for this run")
         return self.tracer.write(path)
+
+    def write_attrib(self, path: str, experiment: str = "") -> str:
+        """Write the causal-attribution sidecar JSON; returns the path."""
+        from repro.obs.attrib import attribution_sidecar, write_sidecar
+
+        if not isinstance(self.tracer, Tracer):
+            raise ValueError("attribution requires tracing to be enabled")
+        sidecar = attribution_sidecar(
+            self.tracer,
+            experiment=experiment,
+            metrics=self.metrics if self.metrics_enabled else None,
+        )
+        return write_sidecar(sidecar, path)
 
     def write_metrics(self, path: str) -> str:
         """Write the metrics timeline (JSONL, or CSV by extension)."""
@@ -198,6 +223,7 @@ class NullObservability:
 
     enabled = False
     metrics_enabled = False
+    attrib_enabled = False
     timeline = None
     profiler = None
 

@@ -17,9 +17,34 @@ deterministic and the module can be used from any layer.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["LogHistogram", "MetricsRegistry", "quantile_table"]
+__all__ = [
+    "LogHistogram",
+    "MetricsRegistry",
+    "quantile_table",
+    "percentile_key",
+    "DEFAULT_PERCENTILES",
+    "SUMMARY_PERCENTILES",
+]
+
+#: Percentile set reports render by default (plus mean and max).
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+#: Percentile set flat summaries carry (report/StatRecorder agree on it).
+SUMMARY_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0, 99.9)
+
+
+def percentile_key(p: float) -> str:
+    """Summary-dict key for percentile *p*: ``p50``, ``p95``, ``p999``…
+
+    The shared naming convention: every summary producer
+    (:meth:`LogHistogram.summary`,
+    :meth:`repro.sim.trace.StatRecorder.summary`, ``repro obs
+    report``) derives its keys through this helper so the same
+    percentile always lands under the same name.
+    """
+    return "p" + f"{p:g}".replace(".", "")
 
 
 class LogHistogram:
@@ -165,20 +190,24 @@ class LogHistogram:
         hist._buckets = {int(idx): int(n) for idx, n in data["buckets"].items()}
         return hist
 
-    def summary(self) -> Dict[str, float]:
-        """Common reductions in one dict (p50/p95/p99/p999, mean, extremes)."""
+    def summary(self, percentiles: Optional[Sequence[float]] = None) -> Dict[str, float]:
+        """Common reductions in one dict (mean, extremes, percentiles).
+
+        *percentiles* defaults to :data:`SUMMARY_PERCENTILES`
+        (p50/p95/p99/p999); keys follow :func:`percentile_key`.
+        """
         if self.count == 0:
             return {"count": 0}
-        return {
+        pcts = SUMMARY_PERCENTILES if percentiles is None else percentiles
+        out = {
             "count": self.count,
             "mean": self.mean(),
             "min": self.min,
             "max": self.max,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
-            "p999": self.percentile(99.9),
         }
+        for p in pcts:
+            out[percentile_key(p)] = self.percentile(p)
+        return out
 
 
 class MetricsRegistry:
@@ -251,7 +280,7 @@ def quantile_table(
     percentiles: Optional[List[float]] = None,
 ) -> List[Tuple]:
     """Rows of ``(name, count, mean, p...s, max)`` for report rendering."""
-    pcts = percentiles if percentiles is not None else [50.0, 95.0, 99.0]
+    pcts = percentiles if percentiles is not None else list(DEFAULT_PERCENTILES)
     rows: List[Tuple] = []
     for name, hist in sorted(histograms.items()):
         if hist.count == 0:

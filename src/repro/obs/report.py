@@ -15,10 +15,10 @@ timestamps/durations.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
-from repro.obs.metrics import LogHistogram
+from repro.obs.metrics import DEFAULT_PERCENTILES, LogHistogram, percentile_key
 
 __all__ = ["validate_chrome_trace", "load_trace", "render_report"]
 
@@ -113,10 +113,10 @@ def _request_spans(trace: dict) -> Dict[Tuple[int, object], Tuple[float, float]]
     return spans
 
 
-def _stage_sums_by_request(trace: dict) -> Dict[Tuple[int, object], float]:
+def _stage_sums_by_request(trace: dict, cat: str = "stage") -> Dict[Tuple[int, object], float]:
     sums: Dict[Tuple[int, object], float] = {}
     for event in trace["traceEvents"]:
-        if event.get("ph") != "X" or event.get("cat") != "stage":
+        if event.get("ph") != "X" or event.get("cat") != cat:
             continue
         seq = event.get("args", {}).get("seq")
         if seq is None:
@@ -126,10 +126,12 @@ def _stage_sums_by_request(trace: dict) -> Dict[Tuple[int, object], float]:
     return sums
 
 
-def decomposition_check(trace: dict, tolerance_us: float = 1e-3) -> Tuple[int, int]:
+def decomposition_check(
+    trace: dict, tolerance_us: float = 1e-3, cat: str = "stage"
+) -> Tuple[int, int]:
     """``(checked, mismatched)`` requests whose stages fail to tile the span."""
     spans = _request_spans(trace)
-    sums = _stage_sums_by_request(trace)
+    sums = _stage_sums_by_request(trace, cat=cat)
     checked = mismatched = 0
     for key, (start, end) in spans.items():
         total = sums.get(key)
@@ -145,8 +147,18 @@ def render_report(
     trace: dict,
     metrics_rows: Optional[List[dict]] = None,
     metrics_summary: Optional[dict] = None,
+    percentiles: Optional[Sequence[float]] = None,
 ) -> str:
-    """Human-readable decomposition/health report for one traced run."""
+    """Human-readable decomposition/health report for one traced run.
+
+    *percentiles* selects the columns of every quantile table (default
+    :data:`~repro.obs.metrics.DEFAULT_PERCENTILES`, i.e. p50/p95/p99;
+    ``max`` is always appended), routed through the same
+    :meth:`LogHistogram.summary` convention ``StatRecorder.summary``
+    uses so the report and the recorded summaries agree.
+    """
+    pcts = list(DEFAULT_PERCENTILES if percentiles is None else percentiles)
+    pct_cols = tuple(percentile_key(p) for p in pcts)
     sections: List[str] = []
     names = _process_names(trace)
     spans = _request_spans(trace)
@@ -161,21 +173,16 @@ def render_report(
     if stages:
         grand_total = sum(h.sum for _, h in stages)
         rows = [
-            (
-                name,
-                hist.count,
-                round(hist.mean(), 3),
-                round(hist.percentile(50), 3),
-                round(hist.percentile(99), 3),
-                round(hist.sum / grand_total * 100, 1) if grand_total else 0.0,
-            )
+            (name, hist.count, round(hist.mean(), 3))
+            + tuple(round(hist.percentile(p), 3) for p in pcts)
+            + (round(hist.sum / grand_total * 100, 1) if grand_total else 0.0,)
             for name, hist in stages
         ]
         sections.append("")
         sections.append(
             render_table(
                 "per-stage latency decomposition (us)",
-                ("stage", "count", "mean", "p50", "p99", "share_%"),
+                ("stage", "count", "mean") + pct_cols + ("share_%",),
                 rows,
             )
         )
@@ -185,6 +192,31 @@ def render_report(
             sections.append(
                 f"  stage-sum invariant: {status} over {checked} requests "
                 "(stages tile the end-to-end span)"
+            )
+
+    blames = _stage_histograms(trace, cat="blame")
+    if blames:
+        grand_total = sum(h.sum for _, h in blames)
+        rows = [
+            (name, hist.count, round(hist.mean(), 3))
+            + tuple(round(hist.percentile(p), 3) for p in pcts)
+            + (round(hist.sum / grand_total * 100, 1) if grand_total else 0.0,)
+            for name, hist in blames
+        ]
+        sections.append("")
+        sections.append(
+            render_table(
+                "causal blame decomposition (us)",
+                ("blame", "count", "mean") + pct_cols + ("share_%",),
+                rows,
+            )
+        )
+        checked, mismatched = decomposition_check(trace, cat="blame")
+        if checked:
+            status = "OK" if mismatched == 0 else f"FAIL ({mismatched} mismatched)"
+            sections.append(
+                f"  blame-sum invariant: {status} over {checked} requests "
+                "(blame categories tile the end-to-end span)"
             )
 
     metadata = trace.get("metadata") or {}
@@ -218,22 +250,35 @@ def render_report(
             if hist.count == 0:
                 continue
             rows.append(
-                (
-                    name,
-                    hist.count,
-                    round(hist.mean(), 1),
-                    round(hist.percentile(50), 1),
-                    round(hist.percentile(99), 1),
-                    round(hist.max, 1),
-                )
+                (name, hist.count, round(hist.mean(), 1))
+                + tuple(round(hist.percentile(p), 1) for p in pcts)
+                + (round(hist.max, 1),)
             )
         if rows:
             sections.append("")
             sections.append(
                 render_table(
                     "metric histograms",
-                    ("metric", "count", "mean", "p50", "p99", "max"),
+                    ("metric", "count", "mean") + pct_cols + ("max",),
                     rows,
                 )
             )
+    if metrics_summary and metrics_summary.get("counters"):
+        rows = [
+            (name, round(value, 3))
+            for name, value in sorted(metrics_summary["counters"].items())
+        ]
+        if rows:
+            sections.append("")
+            sections.append(render_table("counters", ("counter", "value"), rows))
+            # Crash-safety machinery mirrors its counters here; call out
+            # explicitly when a run exercised it (or confirm it didn't).
+            activity = {
+                name: value
+                for name, value in metrics_summary["counters"].items()
+                if name.startswith("resilience.")
+            }
+            if activity:
+                signals = ", ".join(f"{k}={v:g}" for k, v in sorted(activity.items()))
+                sections.append(f"  crash-safety activity: {signals}")
     return "\n".join(sections)

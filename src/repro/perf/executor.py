@@ -182,6 +182,11 @@ class SweepExecutor:
 
     def map(self, tasks: Sequence[PointTask]) -> List[Any]:
         """Execute *tasks*, returning their results in task order."""
+        if self.metrics is None and self.journal is not None:
+            # Share the journal's registry so supervisor restarts and
+            # journal replays land in the same place `repro obs report`
+            # reads crash-safety activity from.
+            self.metrics = self.journal.metrics
         results: List[Any] = [None] * len(tasks)
         pending: List[_Pending] = []
         cache = self.cache

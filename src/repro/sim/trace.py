@@ -15,11 +15,11 @@ Three primitives cover everything the experiments need:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.obs.metrics import LogHistogram
+from repro.obs.metrics import DEFAULT_PERCENTILES, LogHistogram, percentile_key
 from repro.sim.core import Simulator
 from repro.units import Time
 
@@ -167,22 +167,25 @@ class StatRecorder:
             series = self.series[name] = SampleSeries(name)
         return series
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self, percentiles: Optional[Sequence[float]] = None) -> Dict[str, float]:
         """Flat dict of counters plus per-series reductions.
 
         Each non-empty series contributes ``.mean``/``.count`` (exact)
-        and ``.p50``/``.p95``/``.p99``/``.max`` read from its shadow
-        histogram (percentiles carry the histogram's bounded relative
-        error; ``.max`` is exact).
+        and percentile keys (default ``.p50``/``.p95``/``.p99``) plus
+        ``.max``, read from its shadow histogram (percentiles carry
+        the histogram's bounded relative error; ``.max`` is exact).
+        Percentile naming follows
+        :func:`repro.obs.metrics.percentile_key`, the same convention
+        ``LogHistogram.summary()`` and ``repro obs report`` use.
         """
+        pcts = DEFAULT_PERCENTILES if percentiles is None else percentiles
         out: Dict[str, float] = dict(self.counters)
         for name, series in self.series.items():
             if len(series):
                 hist = self.histograms[name]
                 out[f"{name}.mean"] = series.mean()
                 out[f"{name}.count"] = float(len(series))
-                out[f"{name}.p50"] = hist.percentile(50)
-                out[f"{name}.p95"] = hist.percentile(95)
-                out[f"{name}.p99"] = hist.percentile(99)
+                for p in pcts:
+                    out[f"{name}.{percentile_key(p)}"] = hist.percentile(p)
                 out[f"{name}.max"] = hist.max
         return out

@@ -1,4 +1,4 @@
-"""The simlint rule set (SIM001..SIM009).
+"""The simlint rule set (SIM001..SIM010).
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
@@ -39,6 +39,7 @@ __all__ = [
     "ModuleStateRule",
     "UnmanagedParallelismRule",
     "NonAtomicWriteRule",
+    "BlameVocabularyRule",
     "CrossModuleFloatTimeRule",
     "SnapshotCompletenessRule",
     "WorkerSharedStateRule",
@@ -717,6 +718,76 @@ class NonAtomicWriteRule(Rule):
                     "direct json.dump() to a file can be torn by a crash "
                     "mid-write; use repro.resilience.atomicio.atomic_write_json "
                     "(json.dumps to a string is fine)",
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM010 — blame records keep the fixed attribution vocabulary
+# ----------------------------------------------------------------------
+@register
+class BlameVocabularyRule(Rule):
+    code = "SIM010"
+    name = "blame-vocabulary"
+    rationale = (
+        "Causal attribution (repro.obs.attrib) compares blame breakdowns "
+        "across runs and machines; a blame record whose category drifts "
+        "outside the fixed vocabulary, or that omits the 'resource' "
+        "causal edge, silently vanishes from every diff and regression "
+        "gate.  Blame goes through Tracer.add_blame — add_span(cat="
+        "'blame') bypasses attribution entirely.  The tracer also "
+        "rejects these at runtime, but only on code paths a test "
+        "actually traces — the lint catches dead ones."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        from repro.obs.tracer import BLAME_CATEGORIES
+
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name_id = func.id if isinstance(func, ast.Name) else None
+            callee = attr or name_id
+            kw = {k.arg: k.value for k in node.keywords if k.arg}
+            if callee == "add_span":
+                cat = kw.get("cat")
+                if isinstance(cat, ast.Constant) and cat.value == "blame":
+                    yield self.finding(
+                        module,
+                        node,
+                        "blame intervals do not go through add_span (the "
+                        "tracer raises at runtime); use Tracer.add_blame so "
+                        "attribution and `repro obs diff` see them",
+                    )
+                continue
+            if callee != "add_blame":
+                continue
+            category = node.args[0] if node.args else kw.get("cat")
+            if (
+                isinstance(category, ast.Constant)
+                and isinstance(category.value, str)
+                and category.value not in BLAME_CATEGORIES
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"blame category {category.value!r} is outside the fixed "
+                    f"vocabulary {BLAME_CATEGORIES}; diffs and regression "
+                    "gates only compare known categories",
+                )
+            resource = kw.get("resource")
+            if resource is None and len(node.args) >= 6:
+                resource = node.args[5]
+            if resource is None or (
+                isinstance(resource, ast.Constant) and not resource.value
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "blame record lacks the 'resource' causal edge; "
+                    "attribution cannot rank blocking resources without it",
                 )
 
 

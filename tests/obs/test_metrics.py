@@ -5,7 +5,14 @@ import math
 
 import pytest
 
-from repro.obs.metrics import LogHistogram, MetricsRegistry, quantile_table
+from repro.obs.metrics import (
+    DEFAULT_PERCENTILES,
+    SUMMARY_PERCENTILES,
+    LogHistogram,
+    MetricsRegistry,
+    percentile_key,
+    quantile_table,
+)
 
 
 class TestLogHistogram:
@@ -84,6 +91,52 @@ class TestLogHistogram:
         back = LogHistogram.from_dict(data)
         assert back.to_dict() == hist.to_dict()
         assert back.quantile(0.95) == hist.quantile(0.95)
+
+    def test_single_sample_reductions(self):
+        hist = LogHistogram()
+        hist.record(42.0)
+        assert hist.count == 1
+        assert hist.mean() == 42.0
+        assert hist.min == hist.max == 42.0
+        # Quantiles of a single sample are that sample, exactly (the
+        # bucket midpoint is clamped to the observed extremes).
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+        assert hist.summary()["p999"] == 42.0
+
+    def test_merge_min_value_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="geometry"):
+            LogHistogram(min_value=1.0).merge(LogHistogram(min_value=2.0))
+
+    def test_merged_histogram_round_trips_via_from_dict(self):
+        a, b = LogHistogram(), LogHistogram()
+        for v in (0.5, 1.0, 8.0, 64.0):
+            a.record(v)
+        for v in (2.0, 2.0, 1024.0):
+            b.record(v)
+        a.merge(b)
+        back = LogHistogram.from_dict(json.loads(json.dumps(a.to_dict())))
+        assert back.to_dict() == a.to_dict()
+        assert back.count == 7
+        assert back.quantile(0.5) == a.quantile(0.5)
+        assert back.min == 0.5 and back.max == 1024.0
+
+    def test_percentile_key_convention(self):
+        assert percentile_key(50) == "p50"
+        assert percentile_key(99.0) == "p99"
+        assert percentile_key(99.9) == "p999"
+        assert DEFAULT_PERCENTILES == (50.0, 95.0, 99.0)
+        assert SUMMARY_PERCENTILES == (50.0, 95.0, 99.0, 99.9)
+
+    def test_summary_percentiles_parameterized(self):
+        hist = LogHistogram()
+        for v in range(1, 101):
+            hist.record(float(v))
+        default = hist.summary()
+        assert {"count", "mean", "min", "max", "p50", "p95", "p99", "p999"} == set(default)
+        custom = hist.summary(percentiles=[25, 75])
+        assert {"count", "mean", "min", "max", "p25", "p75"} == set(custom)
+        assert custom["p25"] == hist.percentile(25)
 
     def test_buckets_iteration_covers_all_samples(self):
         hist = LogHistogram()

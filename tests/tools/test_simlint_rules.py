@@ -18,10 +18,10 @@ def codes(source, rel="x.py", select=None):
 
 
 class TestRegistry:
-    def test_nine_rules_registered(self):
+    def test_ten_rules_registered(self):
         assert [cls.code for cls in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-            "SIM007", "SIM008", "SIM009",
+            "SIM007", "SIM008", "SIM009", "SIM010",
         ]
 
     def test_flow_registry(self):
@@ -30,7 +30,7 @@ class TestRegistry:
         assert [cls.code for cls in all_flow_rules()] == [
             "SIM003", "SIM008", "SIM009",
         ]
-        assert rule_code_span() == "SIM001..SIM009"
+        assert rule_code_span() == "SIM001..SIM010"
 
     def test_every_rule_documents_itself(self):
         for cls in all_rules():
@@ -409,6 +409,45 @@ class TestSim007NonAtomicWrite:
             "Path('x.hb').write_text('1')  # simlint: disable=SIM007\n"
         )
         assert codes(src, rel="src/repro/experiments/foo.py") == []
+
+
+class TestSim010BlameVocabulary:
+    def test_unknown_blame_category_flagged(self):
+        src = 't.add_blame("gpu_wait", 0, 10, pid=1, seq=0, resource="gpu")\n'
+        assert codes(src) == ["SIM010"]
+
+    def test_missing_resource_edge_flagged(self):
+        src = 't.add_blame("service", 0, 10, pid=1, seq=0)\n'
+        assert codes(src) == ["SIM010"]
+
+    def test_empty_resource_literal_flagged(self):
+        src = 't.add_blame("service", 0, 10, pid=1, seq=0, resource="")\n'
+        assert codes(src) == ["SIM010"]
+
+    def test_conforming_blame_record_quiet(self):
+        src = (
+            'tracer.add_blame("injected_delay", 0, 10, pid=1, seq=3,'
+            ' resource="delay.injector")\n'
+        )
+        assert codes(src) == []
+
+    def test_blame_through_add_span_flagged(self):
+        # add_span(cat="blame") bypasses the row store; the tracer raises
+        # at runtime, the lint catches untraced code paths.
+        src = (
+            't.add_span("service", 0, 10, cat="blame",'
+            ' args={"seq": 0, "resource": "r"})\n'
+        )
+        assert codes(src) == ["SIM010"]
+
+    def test_non_blame_span_ignored(self):
+        # Stage spans are free-form; only blame is vocabulary-bound.
+        src = 't.add_span("gpu_wait", 0, 10, cat="stage", args={"seq": 0})\n'
+        assert codes(src) == []
+
+    def test_both_defects_yield_two_findings(self):
+        src = 't.add_blame("mystery", 0, 10, pid=1, seq=0)\n'
+        assert codes(src) == ["SIM010", "SIM010"]
 
 
 class TestSuppressions:
