@@ -36,7 +36,12 @@ class AllocationPolicy(abc.ABC):
 
 
 class FirstFitPolicy(AllocationPolicy):
-    """First feasible lender in registration order."""
+    """First feasible lender in registration order.
+
+    Tie-break: trivially deterministic — candidates arrive in
+    registration order, so equal candidates resolve to the
+    earliest-registered lender.
+    """
 
     name = "first_fit"
 
@@ -50,6 +55,10 @@ class LeastLoadedPolicy(AllocationPolicy):
     The intuitive-but-unnecessary policy: it treats lender-side
     application count as a contention signal, which the paper shows is
     not predictive of borrower-visible performance.
+
+    Tie-break: ``min`` is stable, so among equally loaded candidates
+    (same ``running_apps`` and ``free_bytes``) the earliest-registered
+    lender wins — failover re-placement is reproducible run to run.
     """
 
     name = "least_loaded"

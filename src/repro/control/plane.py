@@ -1,10 +1,19 @@
-"""Control plane: node inventory, role assignment, reservations.
+"""Control plane: node inventory, roles, reservations, lender health.
 
 Implements the memory-borrowing model's control decisions (section
 II-A): "each node in the system is designated a role of either
 'borrower' or 'lender' ... Role assignment is dynamic and dependent on
 real-time memory availability and demand", and "the control plane
 decides the size of memory reservations at each lender node".
+
+The health layer (this repo's failure-domain extension, see
+:mod:`repro.core.resilience.failover`) adds a lease/heartbeat state
+machine per node: lenders renew a lease each heartbeat period and the
+plane marks them ``HEALTHY -> SUSPECT -> DEAD`` on consecutive missed
+deadlines (``-> RESTARTING -> HEALTHY`` once a repaired lender renews
+again).  DEAD lenders are excluded from placement and their
+reservations are surrendered to the failover policy via
+:meth:`ControlPlane.fail_lender`.
 """
 
 from __future__ import annotations
@@ -17,7 +26,13 @@ from typing import Dict, List, Optional
 from repro.control.allocation import AllocationPolicy, FirstFitPolicy
 from repro.errors import AllocationError
 
-__all__ = ["NodeRole", "NodeInventory", "Reservation", "ControlPlane"]
+__all__ = [
+    "NodeRole",
+    "HealthState",
+    "NodeInventory",
+    "Reservation",
+    "ControlPlane",
+]
 
 
 class NodeRole(enum.Enum):
@@ -26,6 +41,21 @@ class NodeRole(enum.Enum):
     BORROWER = "borrower"
     LENDER = "lender"
     NEUTRAL = "neutral"
+
+
+class HealthState(enum.Enum):
+    """Lease/heartbeat health of a registered node.
+
+    ``HEALTHY`` renews on time; ``SUSPECT`` has missed at least
+    ``suspect_misses`` consecutive deadlines; ``DEAD`` has missed
+    ``dead_misses`` and its reservations have been surrendered;
+    ``RESTARTING`` is a repaired node that has not yet renewed.
+    """
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    RESTARTING = "restarting"
 
 
 @dataclass
@@ -97,12 +127,21 @@ class ControlPlane:
         self._reservations: Dict[int, Reservation] = {}
         self._next_base: Dict[str, int] = {}
         self._ids = itertools.count(1)
+        # Health layer (lease/heartbeat).  Nodes start HEALTHY; misses
+        # accumulate consecutively and reset on any renewal.
+        self._health: Dict[str, HealthState] = {}
+        self._misses: Dict[str, int] = {}
+        self._last_heartbeat: Dict[str, int] = {}
+        self._suspect_misses = 1
+        self._dead_misses = 3
 
     # ------------------------------------------------------------------
     def register(self, inventory: NodeInventory) -> None:
         """Add (or replace) a node's inventory."""
         self._nodes[inventory.name] = inventory
         self._next_base.setdefault(inventory.name, 0)
+        self._health.setdefault(inventory.name, HealthState.HEALTHY)
+        self._misses.setdefault(inventory.name, 0)
 
     def node(self, name: str) -> NodeInventory:
         """Inventory of *name*."""
@@ -116,10 +155,96 @@ class ControlPlane:
         return {name: inv.role for name, inv in self._nodes.items()}
 
     def lenders(self) -> List[NodeInventory]:
-        """Nodes currently able to lend."""
-        return [inv for inv in self._nodes.values() if inv.role is NodeRole.LENDER]
+        """Nodes currently able to lend (DEAD lenders excluded)."""
+        return [
+            inv
+            for inv in self._nodes.values()
+            if inv.role is NodeRole.LENDER
+            and self.health(inv.name) is not HealthState.DEAD
+        ]
 
     # ------------------------------------------------------------------
+    # Health (lease/heartbeat)
+    # ------------------------------------------------------------------
+    def configure_health(self, suspect_misses: int = 1, dead_misses: int = 3) -> None:
+        """Set the miss thresholds of the SUSPECT/DEAD transitions."""
+        if not 1 <= suspect_misses <= dead_misses:
+            raise AllocationError("need 1 <= suspect_misses <= dead_misses")
+        self._suspect_misses = suspect_misses
+        self._dead_misses = dead_misses
+
+    def health(self, name: str) -> HealthState:
+        """Current health of *name* (registration implies HEALTHY)."""
+        self.node(name)
+        return self._health.get(name, HealthState.HEALTHY)
+
+    def record_heartbeat(self, name: str, now: int) -> HealthState:
+        """A lease renewal from *name* at *now*: clears SUSPECT/RESTARTING.
+
+        A DEAD node stays DEAD — its reservations are gone; it rejoins
+        only through :meth:`mark_restarting` (repair observed) followed
+        by a renewal.
+        """
+        self.node(name)
+        self._last_heartbeat[name] = now
+        if self._health[name] is HealthState.DEAD:
+            return HealthState.DEAD
+        self._misses[name] = 0
+        self._health[name] = HealthState.HEALTHY
+        return HealthState.HEALTHY
+
+    def record_miss(self, name: str, now: int) -> HealthState:
+        """A missed lease deadline for *name* at *now*.
+
+        Returns the resulting state; the caller fires its failover
+        policy on the HEALTHY/SUSPECT -> DEAD edge.
+        """
+        self.node(name)
+        if self._health[name] is HealthState.DEAD:
+            return HealthState.DEAD
+        self._misses[name] += 1
+        if self._misses[name] >= self._dead_misses:
+            self._health[name] = HealthState.DEAD
+        elif self._misses[name] >= self._suspect_misses:
+            self._health[name] = HealthState.SUSPECT
+        return self._health[name]
+
+    def mark_restarting(self, name: str) -> None:
+        """Repair of a DEAD *name* observed; next renewal makes it HEALTHY."""
+        self.node(name)
+        self._health[name] = HealthState.RESTARTING
+        self._misses[name] = 0
+
+    def fail_lender(self, name: str) -> List[Reservation]:
+        """Declare *name* DEAD and surrender its live reservations.
+
+        The reservations are removed from the plane (their memory is
+        gone with the host) and returned so the failover policy can
+        re-place or abandon each borrower.  Idempotent: a second call
+        returns an empty list.
+        """
+        inv = self.node(name)
+        self._health[name] = HealthState.DEAD
+        surrendered = [
+            r for r in self._reservations.values() if r.lender == name
+        ]
+        for reservation in surrendered:
+            del self._reservations[reservation.reservation_id]
+        inv.lent_bytes = 0
+        return surrendered
+
+    # ------------------------------------------------------------------
+    def _format_candidates(self, exclude: str) -> str:
+        """Per-lender free-bytes context for allocation errors."""
+        parts = []
+        for inv in self._nodes.values():
+            if inv.name == exclude:
+                continue
+            state = self.health(inv.name)
+            note = "" if state is HealthState.HEALTHY else f", {state.value}"
+            parts.append(f"{inv.name}: free={inv.free_bytes}{note}")
+        return "; ".join(parts) if parts else "no other nodes registered"
+
     def reserve(self, borrower: str, size: int) -> Reservation:
         """Reserve *size* bytes for *borrower* at a policy-chosen lender."""
         if size <= 0:
@@ -132,16 +257,48 @@ class ControlPlane:
         ]
         if not candidates:
             raise AllocationError(
-                f"no lender can satisfy {size} bytes for {borrower!r}"
+                f"no lender can satisfy {size} bytes for {borrower!r} "
+                f"(candidates by free bytes: {self._format_candidates(borrower)})"
             )
         lender = self.policy.choose(candidates, size)
+        return self._grant(borrower_inv, lender, size)
+
+    def reserve_on(self, borrower: str, lender_name: str, size: int) -> Reservation:
+        """Reserve *size* bytes for *borrower* on a *specific* lender.
+
+        Used when placement is dictated externally (a deployment's
+        fixed borrower->lender assignment) rather than policy-chosen.
+        """
+        if size <= 0:
+            raise AllocationError(f"reservation size must be positive, got {size}")
+        borrower_inv = self.node(borrower)
+        lender = self.node(lender_name)
+        if lender_name == borrower:
+            raise AllocationError(f"{borrower!r} cannot lend to itself")
+        if self.health(lender_name) is HealthState.DEAD:
+            raise AllocationError(
+                f"lender {lender_name!r} is dead; cannot reserve {size} bytes "
+                f"for {borrower!r} (candidates by free bytes: "
+                f"{self._format_candidates(borrower)})"
+            )
+        if lender.free_bytes < size:
+            raise AllocationError(
+                f"lender {lender_name!r} cannot satisfy {size} bytes for "
+                f"{borrower!r}: free={lender.free_bytes} (candidates by free "
+                f"bytes: {self._format_candidates(borrower)})"
+            )
+        return self._grant(borrower_inv, lender, size)
+
+    def _grant(
+        self, borrower_inv: NodeInventory, lender: NodeInventory, size: int
+    ) -> Reservation:
         base = self._next_base[lender.name]
         self._next_base[lender.name] = base + size
         lender.lent_bytes += size
         borrower_inv.demand_bytes = max(0, borrower_inv.demand_bytes - size)
         reservation = Reservation(
             reservation_id=next(self._ids),
-            borrower=borrower,
+            borrower=borrower_inv.name,
             lender=lender.name,
             lender_base=base,
             size=size,
@@ -153,12 +310,20 @@ class ControlPlane:
         """Return a reservation's memory to its lender."""
         reservation = self._reservations.pop(reservation_id, None)
         if reservation is None:
-            raise AllocationError(f"unknown reservation {reservation_id}")
+            live = sorted(self._reservations)
+            raise AllocationError(
+                f"unknown reservation {reservation_id} "
+                f"(live reservation ids: {live if live else 'none'})"
+            )
         self.node(reservation.lender).lent_bytes -= reservation.size
 
     def reservations(self) -> List[Reservation]:
         """Live reservations."""
         return list(self._reservations.values())
+
+    def reservations_for(self, borrower: str) -> List[Reservation]:
+        """Live reservations held by *borrower*."""
+        return [r for r in self._reservations.values() if r.borrower == borrower]
 
     def total_lent_bytes(self) -> int:
         """Bytes currently lent across the cluster."""

@@ -1,4 +1,4 @@
-"""Resilience assessment: delay stress, link failures, lossy links."""
+"""Resilience assessment: delay stress, link/lender failures, lossy links."""
 
 from repro.core.resilience.assessment import (
     ResiliencePoint,
@@ -11,6 +11,21 @@ from repro.core.resilience.degradation import (
     default_loss_ladder,
     loss_resilience_sweep,
 )
+from repro.core.resilience.failover import (
+    CrashBorrowerPolicy,
+    EvacuationPolicy,
+    EvacuationReplayer,
+    FailoverPoint,
+    FailoverPolicy,
+    FailoverReport,
+    GrayFailureDram,
+    HealthParams,
+    LenderFailureSchedule,
+    LenderOutage,
+    QuarantinePolicy,
+    failover_sweep,
+    policy_by_name,
+)
 from repro.core.resilience.failures import (
     FailureInjectedSystem,
     HostCrash,
@@ -19,6 +34,19 @@ from repro.core.resilience.failures import (
 )
 
 __all__ = [
+    "LenderOutage",
+    "LenderFailureSchedule",
+    "HealthParams",
+    "GrayFailureDram",
+    "FailoverPolicy",
+    "CrashBorrowerPolicy",
+    "QuarantinePolicy",
+    "EvacuationPolicy",
+    "EvacuationReplayer",
+    "FailoverPoint",
+    "FailoverReport",
+    "failover_sweep",
+    "policy_by_name",
     "ResiliencePoint",
     "ResilienceReport",
     "resilience_sweep",

@@ -6,6 +6,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments import (
+    failover,
     fig2_stream_latency,
     fig3_stream_bandwidth,
     fig4_resilience,
@@ -38,6 +39,7 @@ _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-qos": qos_priority.run,
     "ablation-blackout": blackout.run,
     "ablation-pooling": pooling.run,
+    "failover": failover.run,
 }
 
 _DESCRIPTIONS: Dict[str, str] = {
@@ -53,6 +55,7 @@ _DESCRIPTIONS: Dict[str, str] = {
     "ablation-qos": "Extension: priority arbitration at the delay gate",
     "ablation-blackout": "Extension: link blackout survive/crash boundary",
     "ablation-pooling": "Extension: memory pooling vs borrowing bottleneck shift",
+    "failover": "Extension: lender failure domains (health-checked failover)",
 }
 
 #: Experiments reproducing paper artifacts (vs extension studies).

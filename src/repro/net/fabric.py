@@ -9,17 +9,21 @@ therefore sees variable, load-dependent latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.config import LinkConfig
-from repro.errors import ConfigError
+from repro.config import FaultConfig, LinkConfig
+from repro.errors import ConfigError, ReproError
 from repro.net.link import SimplexChannel
 from repro.net.switch import Switch
 from repro.units import Time
 
 __all__ = ["Fabric"]
+
+#: Hop-level retransmit budget before a frame is declared undeliverable.
+#: Far above anything a sane loss rate reaches (p=0.5 gives ~1e-19).
+MAX_HOP_ATTEMPTS = 64
 
 
 @dataclass(frozen=True)
@@ -37,12 +41,39 @@ class Fabric:
     path (by hop count) and reserves each hop in sequence —
     store-and-forward with per-hop queueing, which is where shared-port
     congestion appears.
+
+    Parameters
+    ----------
+    link_config:
+        Serialization/propagation parameters of every hop.
+    fault:
+        Optional per-hop loss model (loss rate or Gilbert–Elliott
+        burst).  Each directed edge gets its own
+        :class:`~repro.net.faults.HopLossProcess` drawing from a stream
+        named after the edge, and ``transmit`` recovers drops with a
+        hop-level retransmit (detect at would-be arrival, NACK one
+        propagation delay back, re-serialize).  ``None`` — or a
+        disabled config — leaves the clean path byte-identical.
+    rng:
+        :class:`~repro.sim.rng.RngStreams` factory for the per-edge
+        loss streams; required when *fault* is enabled.
     """
 
-    def __init__(self, link_config: LinkConfig) -> None:
+    def __init__(
+        self,
+        link_config: LinkConfig,
+        fault: Optional[FaultConfig] = None,
+        rng=None,
+    ) -> None:
         self.link_config = link_config
         self._graph = nx.DiGraph()
         self._switches: Dict[Hashable, Switch] = {}
+        if fault is not None and fault.enabled and rng is None:
+            raise ConfigError("a faulty fabric needs an rng stream factory")
+        self._fault = fault if fault is not None and fault.enabled else None
+        self._rng = rng
+        self._loss: Dict[Tuple[Hashable, Hashable], "HopLossProcess"] = {}
+        self.retransmissions = 0
 
     def add_node(self, node: Hashable) -> None:
         """Register an end host."""
@@ -61,6 +92,12 @@ class Fabric:
                 raise ConfigError(f"connect({a!r}, {b!r}): unknown vertex")
             channel = SimplexChannel(self.link_config, name=f"{u}->{v}")
             self._graph.add_edge(u, v, edge=_Edge(channel))
+            if self._fault is not None:
+                from repro.net.faults import HopLossProcess
+
+                self._loss[(u, v)] = HopLossProcess(
+                    self._fault, self._rng.get(f"fabric.{u}->{v}")
+                )
 
     def path(self, src: Hashable, dst: Hashable) -> List[Hashable]:
         """Shortest path from *src* to *dst* (hop count)."""
@@ -82,7 +119,25 @@ class Fabric:
             if u in self._switches:
                 t += self._switches[u].forwarding_latency
                 self._switches[u].packets_forwarded += 1
-            t = edge.channel.transmit(nbytes, t)
+            loss = self._loss.get((u, v)) if self._loss else None
+            if loss is None:
+                t = edge.channel.transmit(nbytes, t)
+                continue
+            # Lossy hop: the frame occupies the wire either way; a drop
+            # is detected at its would-be arrival and NACKed back one
+            # propagation delay, then the hop re-serializes.
+            for _attempt in range(MAX_HOP_ATTEMPTS):
+                arrival = edge.channel.transmit(nbytes, t)
+                if not loss.lost():
+                    t = arrival
+                    break
+                self.retransmissions += 1
+                t = arrival + self.link_config.propagation_delay
+            else:
+                raise ReproError(
+                    f"fabric hop {u!r}->{v!r} dropped one frame "
+                    f"{MAX_HOP_ATTEMPTS} times; loss model is implausible"
+                )
         return t
 
     def hop_count(self, src: Hashable, dst: Hashable) -> int:

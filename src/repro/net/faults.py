@@ -31,7 +31,7 @@ from repro.nic.packet import HEADER_BYTES, Packet
 from repro.sim import RngStreams
 from repro.units import Time
 
-__all__ = ["Delivery", "GilbertElliott", "FaultModel", "FaultyChannel"]
+__all__ = ["Delivery", "GilbertElliott", "FaultModel", "FaultyChannel", "HopLossProcess"]
 
 
 @dataclass
@@ -246,3 +246,40 @@ class FaultyChannel:
     def utilization(self, now: Time) -> float:
         """Transmit-side utilization up to *now*."""
         return self.channel.utilization(now)
+
+
+class HopLossProcess:
+    """Per-traversal loss fates for one directed shared-fabric hop.
+
+    The full :class:`FaultModel` mangles wire bytes and forges
+    duplicates — machinery the fabric's store-and-forward hops don't
+    need (there is no per-hop ARQ header to corrupt).  This is the
+    minimal sub-model a :class:`~repro.net.fabric.Fabric` edge uses:
+    one named stream per directed edge deciding, per frame, whether
+    the hop drops it (i.i.d. or bursty Gilbert–Elliott), leaving
+    recovery to the fabric's hop-level retransmit loop.  One stream
+    serves both the burst-chain transitions and the loss draws —
+    decisions on a hop are strictly sequential, so the sequence is a
+    pure function of the stream name and the root seed.
+    """
+
+    __slots__ = ("config", "_rng", "_burst", "frames", "drops")
+
+    def __init__(self, config: FaultConfig, rng) -> None:
+        self.config = config
+        self._rng = rng
+        self._burst = GilbertElliott(config, rng) if config.burst else None
+        self.frames = 0
+        self.drops = 0
+
+    def lost(self) -> bool:
+        """Fate of one frame traversal; advances the chain."""
+        cfg = self.config
+        self.frames += 1
+        if cfg.loss_rate <= 0 and self._burst is None:
+            return False
+        p = self._burst.step() if self._burst is not None else cfg.loss_rate
+        if p > 0 and float(self._rng.random()) < p:
+            self.drops += 1
+            return True
+        return False

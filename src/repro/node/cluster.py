@@ -475,6 +475,24 @@ class ThymesisFlowSystem:
         self.stats.count(f"{node.name}.local.transactions")
         return AccessResult(issue_time=issue, complete_time=complete, write=write, remote=False)
 
+    def fallback_access(self, kind: PacketKind) -> Generator:
+        """Serve a withdrawn remote access from borrower-local DRAM.
+
+        Shared degraded-mode path: the ARQ quarantine
+        (:class:`~repro.node.reliable.ReliableThymesisFlowSystem`) and
+        lender-failover quarantine (:mod:`repro.node.multipair`) both
+        land here once the remote window is out of service.  The local
+        fallback pool is address-agnostic.
+        """
+        write = kind is PacketKind.WRITE_REQ
+        result = yield from self.local_access(
+            self.borrower, self.config.remote_region_base, write
+        )
+        self.stats.count("degraded.accesses")
+        if self.obs.enabled:
+            self.obs.metrics.count("degraded.accesses")
+        return result
+
     def access(self, addr: int, write: bool = False) -> Generator:
         """Route an access by address: local DRAM or the remote path."""
         route = self.router.route(addr)

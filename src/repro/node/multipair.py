@@ -8,20 +8,50 @@ substrate: each pair is a full testbed (window, injector, lender bus),
 but its transactions traverse a shared :class:`~repro.net.fabric.Fabric`
 instead of a private link — so switch-egress congestion, incast toward
 a popular lender, and multi-tenant interference all emerge.
+
+Lender failure domains (this repo's robustness extension) ride on the
+same deployment: pass ``lender_schedules`` + a
+:class:`~repro.core.resilience.failover.FailoverPolicy` and each pair
+becomes a :class:`FailoverPairSystem` whose datapath reacts to its
+lender dying, while a :class:`FailoverCoordinator` drives the
+control-plane health state machine (HEALTHY → SUSPECT → DEAD →
+RESTARTING) and the per-policy recovery — checkstop, quarantine to
+local memory, or page evacuation to a surviving lender over the
+fabric.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
 from repro.config import ClusterConfig, default_cluster_config
-from repro.errors import ConfigError
+from repro.control.allocation import AllocationPolicy
+from repro.control.plane import ControlPlane, NodeInventory
+from repro.errors import AllocationError, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.resilience.failover import (
+        EvacuationReplayer,
+        FailoverPolicy,
+        HealthParams,
+        LenderFailureSchedule,
+    )
 from repro.net.fabric import Fabric
+from repro.nic.packet import PacketKind
 from repro.node.cluster import ThymesisFlowSystem
-from repro.sim import Simulator
+from repro.sim import RngStreams, Signal, Simulator, Timeout
 from repro.units import Time
 
-__all__ = ["FabricPairSystem", "BeyondRackDeployment"]
+__all__ = [
+    "FabricPairSystem",
+    "FailoverPairSystem",
+    "FailoverCoordinator",
+    "BeyondRackDeployment",
+]
+
+#: Synthetic blame-request seqs start here so failover envelopes never
+#: collide with datapath transaction seqs (which count up from 1).
+FAILOVER_BLAME_SEQ_BASE = 10_000_000
 
 
 class FabricPairSystem(ThymesisFlowSystem):
@@ -34,8 +64,10 @@ class FabricPairSystem(ThymesisFlowSystem):
         borrower_id: Hashable,
         lender_id: Hashable,
         sim: Simulator,
+        obs=None,
+        obs_label: Optional[str] = None,
     ) -> None:
-        super().__init__(config, sim=sim)
+        super().__init__(config, sim=sim, obs=obs, obs_label=obs_label)
         self.fabric = fabric
         self.borrower_id = borrower_id
         self.lender_id = lender_id
@@ -45,6 +77,444 @@ class FabricPairSystem(ThymesisFlowSystem):
 
     def _leg_to_borrower(self, nbytes: int, depart: Time) -> Time:
         return self.fabric.transmit(nbytes, self.lender_id, self.borrower_id, depart)
+
+
+class FailoverPairSystem(FabricPairSystem):
+    """A fabric pair whose lender can die under it.
+
+    The datapath consults the deployment's
+    :class:`FailoverCoordinator` before every remote transaction and
+    runs a small mode machine:
+
+    ``remote``
+        Normal service.  If the assigned lender is inside a scheduled
+        crash/restart window, the transaction either stalls to the
+        outage end (a blip the health check rides out) or waits to the
+        control plane's detection instant and forces the failover.
+    ``evacuating``
+        Blocked on the evacuation signal while the window's pages
+        replay to the new lender; resumes remote service on completion.
+    ``local``
+        Quarantined: served from borrower-local memory via the shared
+        :meth:`~repro.node.cluster.ThymesisFlowSystem.fallback_access`.
+    ``crashed``
+        The crash-borrower baseline: every access checkstops the host.
+
+    Transactions already past the mode check when the outage starts
+    complete normally — they model responses already in flight draining
+    back — matching
+    :class:`~repro.core.resilience.failures.FailureInjectedSystem`'s
+    stall-on-entry convention.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        fabric: Fabric,
+        borrower_id: Hashable,
+        lender_id: Hashable,
+        sim: Simulator,
+        index: int = 0,
+        lender_index: int = 0,
+        obs=None,
+        obs_label: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            config, fabric, borrower_id, lender_id, sim, obs=obs, obs_label=obs_label
+        )
+        self.index = index
+        self.lender_index = lender_index
+        self.coordinator: Optional["FailoverCoordinator"] = None
+        self._failover_mode = "remote"
+        self._evac_signal: Optional[Signal] = None
+        self.touched_lines: set = set()
+        # Recovery bookkeeping (read by failover_sweep).
+        self.blip_stalls = 0
+        self.pages_evacuated = 0
+        self.failed_over_at: Optional[Time] = None
+        self.detect_lag_ps: Optional[int] = None
+        self.evacuation_stall_ps: Optional[int] = None
+        self.evacuated_to: Optional[str] = None
+        self.quarantined_at: Optional[Time] = None
+
+    def _raise_crashed(self) -> None:
+        from repro.core.resilience.failures import HostCrash
+
+        raise HostCrash(
+            f"borrower {self.borrower_id} checkstopped: lender "
+            f"l{self.lender_index} is dead and the failover policy is 'crash'"
+        )
+
+    def _transact(self, addr, kind, payload_bytes, traffic_class=None):
+        sim = self.sim
+        while True:
+            mode = self._failover_mode
+            if mode == "crashed":
+                self._raise_crashed()
+            if mode == "local":
+                result = yield from self.fallback_access(kind)
+                return result
+            if mode == "evacuating":
+                yield self._evac_signal
+                continue
+            coord = self.coordinator
+            if coord is not None and coord.armed:
+                schedule = coord.schedule_for(self.lender_index)
+                outage = (
+                    schedule.outage_covering(sim.now, ("crash", "restart"))
+                    if schedule is not None
+                    else None
+                )
+                if outage is not None:
+                    t_dead = coord.health.detection_time(outage)
+                    if t_dead is None:
+                        # A blip shorter than the detection horizon:
+                        # stall to recovery, like a link blackout.
+                        self.blip_stalls += 1
+                        if outage.end > sim.now:
+                            yield Timeout(sim, outage.end - sim.now)
+                    else:
+                        # The control plane will declare this lender
+                        # DEAD at t_dead; wait there and force the
+                        # (idempotent) failover ourselves in case our
+                        # wake-up ran before the health monitor's.
+                        # Capture the index first: the coordinator may
+                        # re-point this pair to a new lender while we
+                        # sleep, and the failover must target the dead
+                        # one, not the survivor.
+                        dead_index = self.lender_index
+                        if t_dead > sim.now:
+                            yield Timeout(sim, t_dead - sim.now)
+                        coord.ensure_failover(dead_index, sim.now)
+                    continue
+            if kind in (PacketKind.READ_REQ, PacketKind.WRITE_REQ):
+                self.touched_lines.add(addr)
+            result = yield from super()._transact(
+                addr, kind, payload_bytes, traffic_class=traffic_class
+            )
+            return result
+
+
+class FailoverCoordinator:
+    """Drives lender health transitions and policy recovery.
+
+    Owns the deterministic coupling between the static
+    :class:`~repro.core.resilience.failover.LenderFailureSchedule`\\ s
+    and the control plane: :meth:`install` precomputes every
+    heartbeat-miss, repair, and renewal instant from the schedules and
+    arms them as *finite* simulator callbacks (never an infinite
+    monitor process, which would keep ``sim.run()`` from terminating).
+    The DEAD edge fires :meth:`ensure_failover`, which surrenders the
+    lender's reservations and applies the policy; the audit trail in
+    :attr:`events` is plain sorted data, byte-identical run to run.
+    """
+
+    def __init__(
+        self,
+        deployment: "BeyondRackDeployment",
+        policy: FailoverPolicy,
+        health: HealthParams,
+        schedules: Dict[int, LenderFailureSchedule],
+        page_bytes: int = 4096,
+    ) -> None:
+        self.deployment = deployment
+        self.policy = policy
+        self.health = health
+        self.schedules = dict(schedules)
+        self.page_bytes = page_bytes
+        self.sim = deployment.sim
+        self.plane = deployment.plane
+        self.events: List[dict] = []
+        self.armed = False
+        self._failed: set = set()
+        self._blame_seq = FAILOVER_BLAME_SEQ_BASE
+
+    # ------------------------------------------------------------------
+    def schedule_for(self, lender_index: int) -> Optional[LenderFailureSchedule]:
+        """Failure schedule of lender *lender_index*, if any."""
+        return self.schedules.get(lender_index)
+
+    def pairs_on(self, lender_index: int) -> List[FailoverPairSystem]:
+        """Pairs still in remote service against lender *lender_index*."""
+        return [
+            pair
+            for pair in self.deployment.pairs
+            if getattr(pair, "lender_index", None) == lender_index
+            and getattr(pair, "_failover_mode", "remote") == "remote"
+        ]
+
+    def install(self) -> None:
+        """Arm the health events.  Call after ``attach_all()``.
+
+        Every transition instant is precomputed from the schedules, so
+        the armed events are finite and the simulator still runs to
+        exhaustion.  The first failure must lie in the future — attach
+        handshakes are not part of the failure window.
+        """
+        if self.armed:
+            raise ConfigError("failover already armed")
+        now = self.sim.now
+        self.plane.configure_health(
+            self.health.suspect_misses, self.health.dead_misses
+        )
+        for j in sorted(self.schedules):
+            schedule = self.schedules[j]
+            name = f"l{j}"
+            first = schedule.first_failure()
+            if first is not None and first <= now:
+                raise ConfigError(
+                    f"lender {name} fails at {first} ps but failover is "
+                    f"armed at {now} ps; schedule failures after attach"
+                )
+            for outage in schedule.outages:
+                if outage.kind == "gray":
+                    continue  # gray lenders heartbeat normally
+                for tick in self.health.miss_ticks(outage):
+                    self.sim.schedule(tick - now, self._on_miss, j, name)
+                if outage.end is not None:
+                    # Repair observed at the outage end; the next
+                    # heartbeat deadline renews the lease.
+                    self.sim.schedule(outage.end - now, self._on_repair, j, name)
+                    renew = self.health.first_missed_tick(outage.end)
+                    self.sim.schedule(renew - now, self._on_heartbeat, name)
+        self.armed = True
+
+    # ------------------------------------------------------------------
+    # Health event callbacks (scheduled by install)
+    # ------------------------------------------------------------------
+    def _on_miss(self, lender_index: int, name: str) -> None:
+        from repro.control.plane import HealthState
+
+        state = self.plane.record_miss(name, self.sim.now)
+        if state is HealthState.DEAD:
+            self.ensure_failover(lender_index, self.sim.now)
+
+    def _on_repair(self, lender_index: int, name: str) -> None:
+        from repro.control.plane import HealthState
+
+        if self.plane.health(name) is HealthState.DEAD:
+            self.plane.mark_restarting(name)
+            self.events.append(
+                {"at_ps": int(self.sim.now), "event": "lender_restarting", "lender": name}
+            )
+        # A repaired lender may fail again later; allow re-detection.
+        self._failed.discard(lender_index)
+
+    def _on_heartbeat(self, name: str) -> None:
+        self.plane.record_heartbeat(name, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def ensure_failover(self, lender_index: int, now: Time) -> None:
+        """Declare lender *lender_index* DEAD and apply the policy.
+
+        Idempotent per outage: the health monitor's DEAD edge and every
+        datapath transaction waking at the detection instant all call
+        this; the first caller wins and the rest are no-ops, so
+        same-timestamp event ordering cannot change the outcome.
+        """
+        if lender_index in self._failed:
+            return
+        self._failed.add(lender_index)
+        name = f"l{lender_index}"
+        surrendered = self.plane.fail_lender(name)
+        self.events.append(
+            {
+                "at_ps": int(now),
+                "event": "lender_dead",
+                "lender": name,
+                "policy": self.policy.name,
+                "reservations_surrendered": len(surrendered),
+            }
+        )
+        self.policy.apply(self, lender_index, now)
+
+    def _outage_start(self, lender_index: int, now: Time) -> Time:
+        schedule = self.schedules.get(lender_index)
+        if schedule is not None:
+            outage = schedule.outage_covering(now, ("crash", "restart"))
+            if outage is not None:
+                return outage.start
+        return now
+
+    # ------------------------------------------------------------------
+    # Policy primitives
+    # ------------------------------------------------------------------
+    def crash_pair(self, pair: FailoverPairSystem, now: Time) -> None:
+        """Checkstop *pair*'s borrower (the paper's baseline)."""
+        pair._failover_mode = "crashed"
+        pair.failed_over_at = now
+        pair.detect_lag_ps = now - self._outage_start(pair.lender_index, now)
+        self.events.append(
+            {
+                "at_ps": int(now),
+                "event": "borrower_crashed",
+                "borrower": str(pair.borrower_id),
+                "lender": f"l{pair.lender_index}",
+            }
+        )
+
+    def quarantine_pair(self, pair: FailoverPairSystem, now: Time) -> None:
+        """Take *pair*'s window out of service; serve locally from now on."""
+        outage_start = self._outage_start(pair.lender_index, now)
+        pair._failover_mode = "local"
+        pair.quarantined_at = now
+        pair.failed_over_at = now
+        pair.detect_lag_ps = now - outage_start
+        pair.stats.count("degraded.switchovers")
+        if pair.obs.enabled:
+            pair.obs.metrics.count("degraded.switchovers")
+        self.events.append(
+            {
+                "at_ps": int(now),
+                "event": "borrower_quarantined",
+                "borrower": str(pair.borrower_id),
+                "lender": f"l{pair.lender_index}",
+            }
+        )
+        self._blame_failover(pair, outage_start, now)
+
+    def evacuate_pair(
+        self, pair: FailoverPairSystem, now: Time, page_bytes: Optional[int] = None
+    ) -> None:
+        """Re-reserve on a surviving lender and replay the pair's pages."""
+        page_bytes = page_bytes or self.page_bytes
+        borrower = str(pair.borrower_id)
+        old_index = pair.lender_index
+        outage_start = self._outage_start(old_index, now)
+        try:
+            reservation = self.plane.reserve(
+                borrower, self.deployment.window_bytes
+            )
+        except AllocationError as exc:
+            # No survivor has capacity: degrade instead of dying.
+            self.events.append(
+                {
+                    "at_ps": int(now),
+                    "event": "evacuation_fallback",
+                    "borrower": borrower,
+                    "reason": str(exc),
+                }
+            )
+            self.quarantine_pair(pair, now)
+            return
+        new_index = int(reservation.lender[1:])
+        n_pages = max(
+            1, -(-len(pair.touched_lines) * pair.line_bytes // page_bytes)
+        )
+        pair.detect_lag_ps = now - outage_start
+        pair.failed_over_at = now
+        pair._failover_mode = "evacuating"
+        pair._evac_signal = Signal(self.sim)
+        # Re-point the pair before the replay: page traffic and, after
+        # resume, datapath legs both target the new lender.
+        pair.lender = self.deployment.lender_nodes[new_index]
+        pair.lender_id = reservation.lender
+        pair.lender_index = new_index
+        self.events.append(
+            {
+                "at_ps": int(now),
+                "event": "evacuation_started",
+                "borrower": borrower,
+                "from": f"l{old_index}",
+                "to": reservation.lender,
+                "pages": n_pages,
+            }
+        )
+        from repro.core.resilience.failover import EvacuationReplayer
+
+        replayer = EvacuationReplayer(
+            self.sim,
+            self.deployment.fabric,
+            src=pair.borrower_id,
+            dst=reservation.lender,
+            n_pages=n_pages,
+            page_bytes=page_bytes,
+        )
+        replayer.on_done = (
+            lambda r, pair=pair, outage_start=outage_start, detect=now: (
+                self._evacuation_done(pair, r, outage_start, detect)
+            )
+        )
+        replayer.start()
+
+    def _evacuation_done(
+        self,
+        pair: FailoverPairSystem,
+        replayer: EvacuationReplayer,
+        outage_start: Time,
+        detect: Time,
+    ) -> None:
+        now = self.sim.now
+        pair.pages_evacuated = replayer.n_pages
+        pair.evacuation_stall_ps = now - detect
+        pair.evacuated_to = str(pair.lender_id)
+        pair._failover_mode = "remote"
+        signal = pair._evac_signal
+        pair._evac_signal = None
+        self.events.append(
+            {
+                "at_ps": int(now),
+                "event": "evacuation_done",
+                "borrower": str(pair.borrower_id),
+                "to": str(pair.lender_id),
+                "pages": replayer.n_pages,
+                "stall_ps": int(pair.evacuation_stall_ps),
+            }
+        )
+        self._blame_failover(pair, outage_start, detect, resume=now)
+        if signal is not None:
+            signal.trigger(None)
+
+    # ------------------------------------------------------------------
+    def _blame_failover(
+        self,
+        pair: FailoverPairSystem,
+        outage_start: Time,
+        detect: Time,
+        resume: Optional[Time] = None,
+    ) -> None:
+        """Record the recovery as one synthetic blame envelope.
+
+        The envelope tiles exactly — ``backoff`` on
+        ``failover.detect`` for [outage start, DEAD declaration] and
+        ``retry`` on ``failover.evacuation`` for [declaration, resume]
+        (replaying pages is re-transferring data the borrower already
+        paid for once) — so ``repro obs attrib``/``diff`` decompose
+        recovery cost through the existing six-category vocabulary,
+        both legs rank as blocking resources, and ``blame_sum_check``
+        still passes.
+        """
+        obs = pair.obs
+        if not (obs.enabled and obs.attrib_enabled and obs.tracer.enabled):
+            return
+        tracer = obs.tracer
+        pid = pair._obs_pid or 1
+        seq = self._blame_seq
+        self._blame_seq += 1
+        end = resume if resume is not None else detect
+        if end <= outage_start:
+            return
+        if detect > outage_start:
+            tracer.add_blame(
+                "backoff",
+                outage_start,
+                detect,
+                pid=pid,
+                seq=seq,
+                resource="failover.detect",
+            )
+        if resume is not None and resume > detect:
+            tracer.add_blame(
+                "retry",
+                detect,
+                resume,
+                pid=pid,
+                seq=seq,
+                resource="failover.evacuation",
+            )
+        tracer.add_request(seq, outage_start, end, pid=pid)
 
 
 class BeyondRackDeployment:
@@ -60,6 +530,33 @@ class BeyondRackDeployment:
         incast toward one popular lender.
     cluster:
         Per-pair configuration template.
+    n_lenders:
+        Total lender count, including spares no borrower is assigned
+        to (evacuation targets).  Defaults to just the assigned ones.
+    lender_schedules:
+        ``{lender index: LenderFailureSchedule}`` fault injection.
+        Arms failover: pairs become :class:`FailoverPairSystem` and a
+        :class:`FailoverCoordinator` is built (call
+        :meth:`arm_failover` after :meth:`attach_all`).
+    failover:
+        Recovery policy for DEAD lenders (required with schedules that
+        contain crash/restart outages).
+    health:
+        Heartbeat discipline; defaults to
+        :class:`~repro.core.resilience.failover.HealthParams`.
+    fabric_fault:
+        Optional per-hop loss model for the shared fabric legs
+        (see :class:`~repro.net.fabric.Fabric`).
+    obs:
+        Observability bundle shared by all pairs: the first pair owns
+        the timeline/observer (``attach_system``), the rest join as
+        secondary trace processes (``attach_shared``).  Close with
+        :meth:`finish_obs`.
+    allocation:
+        Control-plane lender-selection policy for re-reservations.
+    lender_spare_windows:
+        Extra reservation windows of capacity per lender beyond its
+        assigned fan-in (room for evacuees).
     """
 
     def __init__(
@@ -67,6 +564,15 @@ class BeyondRackDeployment:
         n_pairs: int,
         lender_assignment: Optional[Sequence[int]] = None,
         cluster: ClusterConfig | None = None,
+        n_lenders: Optional[int] = None,
+        lender_schedules: Optional[Dict[int, LenderFailureSchedule]] = None,
+        failover: Optional[FailoverPolicy] = None,
+        health: Optional[HealthParams] = None,
+        fabric_fault=None,
+        obs=None,
+        obs_label_prefix: Optional[str] = None,
+        allocation: Optional[AllocationPolicy] = None,
+        lender_spare_windows: int = 1,
     ) -> None:
         if n_pairs < 1:
             raise ConfigError("need at least one pair")
@@ -77,12 +583,41 @@ class BeyondRackDeployment:
             raise ConfigError("lender_assignment must have one entry per borrower")
         if any(a < 0 for a in assignment):
             raise ConfigError("lender indices must be >= 0")
+        if lender_schedules and failover is None:
+            needs_policy = any(
+                s.first_failure() is not None for s in lender_schedules.values()
+            )
+            if needs_policy:
+                raise ConfigError(
+                    "lender_schedules with crash/restart outages need a "
+                    "failover policy"
+                )
         self.cluster = cluster or default_cluster_config()
+        self.assignment = assignment
         self.sim = Simulator()
-        self.fabric = Fabric(self.cluster.link)
+        fabric_rng = (
+            RngStreams(self.cluster.seed)
+            if fabric_fault is not None and fabric_fault.enabled
+            else None
+        )
+        self.fabric = Fabric(self.cluster.link, fault=fabric_fault, rng=fabric_rng)
         self.fabric.add_switch("tor")
 
-        lender_ids = sorted(set(assignment))
+        assigned = sorted(set(assignment))
+        if n_lenders is None:
+            lender_ids = assigned
+        else:
+            if n_lenders < max(assigned) + 1:
+                raise ConfigError(
+                    f"n_lenders={n_lenders} but the assignment references "
+                    f"lender {max(assigned)}"
+                )
+            lender_ids = list(range(n_lenders))
+        schedules = dict(lender_schedules) if lender_schedules else {}
+        unknown = sorted(set(schedules) - set(lender_ids))
+        if unknown:
+            raise ConfigError(f"lender_schedules for unknown lenders: {unknown}")
+
         from repro.node.node import Node
 
         # One physical lender node per lender id: borrowers assigned to
@@ -91,21 +626,97 @@ class BeyondRackDeployment:
         for j in lender_ids:
             self.fabric.add_node(f"l{j}")
             self.fabric.connect(f"l{j}", "tor")
-            self.lender_nodes[j] = Node(self.sim, self.cluster.lender)
+            node = Node(self.sim, self.cluster.lender)
+            schedule = schedules.get(j)
+            if schedule is not None and any(
+                o.kind == "gray" for o in schedule.outages
+            ):
+                # Swap in the silently degrading bus: heartbeats keep
+                # passing; only the service rate suffers.
+                from repro.core.resilience.failover import GrayFailureDram
+
+                node.dram = GrayFailureDram(
+                    self.cluster.lender.dram, schedule, name=f"l{j}.dram"
+                )
+            self.lender_nodes[j] = node
+
+        # Control plane: lender capacity is its assigned fan-in plus
+        # spare windows, so every lender can host at least
+        # `lender_spare_windows` evacuated windows.
+        self.window_bytes = self.cluster.remote_region_bytes
+        fanin = {j: assignment.count(j) for j in lender_ids}
+        self.plane = ControlPlane(policy=allocation)
+        for j in lender_ids:
+            self.plane.register(
+                NodeInventory(
+                    name=f"l{j}",
+                    total_bytes=self.window_bytes
+                    * (fanin[j] + lender_spare_windows),
+                )
+            )
+        for i in range(n_pairs):
+            self.plane.register(
+                NodeInventory(
+                    name=f"b{i}",
+                    total_bytes=self.window_bytes,
+                    used_bytes=self.window_bytes,
+                )
+            )
+        self.reservations = [
+            self.plane.reserve_on(f"b{i}", f"l{assignment[i]}", self.window_bytes)
+            for i in range(n_pairs)
+        ]
+
+        self._obs = obs if obs is not None and getattr(obs, "enabled", False) else None
+        prefix = obs_label_prefix or "beyond-rack"
+        failover_armed = bool(schedules)
         self.pairs: List[FabricPairSystem] = []
         for i, lender in enumerate(assignment):
             borrower_id = f"b{i}"
             self.fabric.add_node(borrower_id)
             self.fabric.connect(borrower_id, "tor")
-            pair = FabricPairSystem(
-                self.cluster,
-                self.fabric,
-                borrower_id=borrower_id,
-                lender_id=f"l{lender}",
-                sim=self.sim,
-            )
+            label = f"{prefix}/b{i}"
+            pair_obs = self._obs if (self._obs is not None and i == 0) else None
+            if failover_armed:
+                pair = FailoverPairSystem(
+                    self.cluster,
+                    self.fabric,
+                    borrower_id=borrower_id,
+                    lender_id=f"l{lender}",
+                    sim=self.sim,
+                    index=i,
+                    lender_index=lender,
+                    obs=pair_obs,
+                    obs_label=label if pair_obs is not None else None,
+                )
+            else:
+                pair = FabricPairSystem(
+                    self.cluster,
+                    self.fabric,
+                    borrower_id=borrower_id,
+                    lender_id=f"l{lender}",
+                    sim=self.sim,
+                    obs=pair_obs,
+                    obs_label=label if pair_obs is not None else None,
+                )
+            if self._obs is not None and i > 0:
+                pair.obs = self._obs
+                pair._obs_pid = self._obs.attach_shared(pair, label=label)
             pair.lender = self.lender_nodes[lender]
             self.pairs.append(pair)
+
+        self.coordinator: Optional[FailoverCoordinator] = None
+        if failover_armed:
+            from repro.core.resilience.failover import HealthParams
+
+            self.coordinator = FailoverCoordinator(
+                self,
+                policy=failover,
+                health=health or HealthParams(),
+                schedules=schedules,
+            )
+            for pair in self.pairs:
+                pair.coordinator = self.coordinator
 
     def attach_all(self) -> None:
         """Hotplug every pair's remote window (handshakes co-run)."""
@@ -114,6 +725,24 @@ class BeyondRackDeployment:
         for proc in procs:
             if not proc.ok:
                 _ = proc.value
+
+    def arm_failover(self) -> None:
+        """Arm the lender health events.  Call after :meth:`attach_all`."""
+        if self.coordinator is None:
+            raise ConfigError(
+                "deployment was built without lender_schedules; "
+                "nothing to arm"
+            )
+        self.coordinator.install()
+
+    def finish_obs(self) -> None:
+        """Close out a shared-obs run (flush secondary pairs, then the
+        primary pair's timeline/observer)."""
+        if self._obs is None:
+            return
+        for pair in self.pairs[1:]:
+            self._obs.finish_shared(pair, pair._obs_pid)
+        self._obs.finish_system(self.pairs[0], self.pairs[0]._obs_pid)
 
     def lender_fanin(self) -> Dict[str, int]:
         """Borrowers per lender (incast degree)."""

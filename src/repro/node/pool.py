@@ -100,6 +100,7 @@ class MemoryPoolFabric:
         pool: PoolConfig | None = None,
         cluster: ClusterConfig | None = None,
         sim: Simulator | None = None,
+        gray_schedule=None,
     ) -> None:
         if n_borrowers < 1:
             raise ConfigError("need at least one borrower")
@@ -113,6 +114,12 @@ class MemoryPoolFabric:
         ]
         self._line = self.cluster.borrower.cache.line_bytes
         self._controller_latency = nanoseconds(60)  # pool controller turnaround
+        # Optional gray failure of the pool controller: during gray
+        # windows of a LenderFailureSchedule the shared bus serves each
+        # line as if it were gray_factor times larger — the pooling
+        # analogue of a gray lender (see repro.core.resilience.failover).
+        self.gray_schedule = gray_schedule
+        self.gray_accesses = 0
 
     @property
     def line_bytes(self) -> int:
@@ -136,7 +143,13 @@ class MemoryPoolFabric:
         # The shared pool controller: every borrower's transactions
         # serialize here — the pooling bottleneck.
         t = sim.now + self._controller_latency
-        _, served = self.pool_bus.reserve(line, t)
+        reserve_bytes = line
+        if self.gray_schedule is not None and self.gray_schedule.gray_at(t):
+            self.gray_accesses += 1
+            reserve_bytes = max(
+                line, int(round(line * self.gray_schedule.gray_factor))
+            )
+        _, served = self.pool_bus.reserve(reserve_bytes, t)
         done_media = served + self.pool.access_latency
         back = port.link.reverse.transmit(resp_bytes, done_media)
         complete = back + port._ingress_latency

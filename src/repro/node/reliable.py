@@ -439,11 +439,5 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
     def _fallback_access(self, addr: int, kind: PacketKind) -> Generator:
         """Serve a quarantined remote access from borrower-local DRAM."""
         del addr  # the local fallback pool is address-agnostic
-        write = kind is PacketKind.WRITE_REQ
-        result = yield from self.local_access(
-            self.borrower, self.config.remote_region_base, write
-        )
-        self.stats.count("degraded.accesses")
-        if self.obs.enabled:
-            self.obs.metrics.count("degraded.accesses")
+        result = yield from self.fallback_access(kind)
         return result

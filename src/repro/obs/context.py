@@ -157,6 +157,49 @@ class Observability:
                 "retransmit_buffer_occupancy", lambda: len(transport.buffer)
             )
 
+    def attach_shared(self, system, label: Optional[str] = None) -> int:
+        """Wire a *secondary* system of a shared-simulator deployment.
+
+        :meth:`attach_system` is per-run: ``timeline.begin_run`` resets
+        every probe, so calling it once per pair of a
+        :class:`~repro.node.multipair.BeyondRackDeployment` would leave
+        only the last pair observed.  Secondary pairs use this instead:
+        they get their own trace process (distinct pid) and lender-bus
+        queue-wait tracking, while the timeline/observer installed by
+        the primary pair's :meth:`attach_system` keeps running.
+        """
+        if label is None:
+            label = type(system).__name__
+        pid = self.tracer.begin_process(label) if self.tracer.enabled else 0
+        if self.metrics_enabled:
+            system.lender.dram.bus.enable_queue_wait_tracking()
+        return pid
+
+    def finish_shared(self, system, pid: Optional[int] = None) -> None:
+        """Close out a secondary shared-simulator system.
+
+        Folds the system's histograms, stat gauges, and staged blame
+        sums — everything :meth:`finish_system` does *except* the
+        timeline flush and observer teardown, which belong to the
+        deployment's primary pair (finish it last).
+        """
+        if pid is None:
+            pid = getattr(system, "_obs_pid", 1) or 1
+        if self.metrics_enabled:
+            metrics = self.metrics
+            window_hist = getattr(system.borrower.window, "wait_hist", None)
+            if window_hist is not None and window_hist.count:
+                metrics.histogram("cpu.mshr_wait_ps").merge(window_hist)
+            bus_hist = system.lender.dram.bus.queue_wait_hist
+            if bus_hist is not None and bus_hist.count:
+                metrics.histogram("lender.bus_queue_wait_ps").merge(bus_hist)
+            flush_blame = getattr(system, "flush_blame_metrics", None)
+            if flush_blame is not None:
+                flush_blame(metrics)
+        log = getattr(system, "log", None)
+        if log is not None and self.tracer.enabled:
+            bridge_eventlog(self.tracer, log, pid=pid)
+
     def finish_system(self, system, pid: Optional[int] = None) -> None:
         """Close out one system's run: final snapshot, histogram folds,
         stat-summary gauges, and the event-log → trace bridge."""
@@ -234,7 +277,13 @@ class NullObservability:
     def attach_system(self, system, label: Optional[str] = None) -> int:
         return 0
 
+    def attach_shared(self, system, label: Optional[str] = None) -> int:
+        return 0
+
     def finish_system(self, system, pid: int = 0) -> None:
+        return None
+
+    def finish_shared(self, system, pid: int = 0) -> None:
         return None
 
 

@@ -31,6 +31,7 @@ Three hot-path optimizations, all invisible to callers:
 from __future__ import annotations
 
 import heapq
+import io
 import pickle
 import sys
 from collections import deque
@@ -52,6 +53,11 @@ _COMPACT_MIN = 64
 #: Reference count of a handle the kernel alone still holds: one local
 #: variable plus ``sys.getrefcount``'s own argument reference.
 _UNREFERENCED = 2
+
+
+def _bad_pid(pid: Any) -> None:
+    """Reject persistent ids other than the kernel placeholder."""
+    raise CheckpointError(f"unknown persistent id {pid!r} in simulator snapshot")
 
 
 class EventHandle:
@@ -487,16 +493,32 @@ class Simulator:
             "roots": dict(roots) if roots is not None else None,
         }
         try:
-            return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            return self._dumps(state)
         except Exception as exc:
             raise CheckpointError(self._describe_pickle_failure(entries, exc)) from exc
 
-    @staticmethod
-    def _describe_pickle_failure(entries, exc: Exception) -> str:
+    def _dumps(self, state: Any) -> bytes:
+        """Pickle *state* with this kernel mapped to a persistent id.
+
+        Model objects (callback state machines such as
+        :class:`~repro.core.resilience.failover.EvacuationReplayer`)
+        hold a reference to their simulator; serializing that reference
+        by value would hand the restored objects an orphan kernel whose
+        queue nobody drains.  A persistent id makes the kernel a
+        placeholder in the stream, re-bound by :meth:`restore` to the
+        *restoring* simulator.
+        """
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        pickler.persistent_id = lambda obj: "kernel" if obj is self else None
+        pickler.dump(state)
+        return buffer.getvalue()
+
+    def _describe_pickle_failure(self, entries, exc: Exception) -> str:
         """Name the first unpicklable scheduled callback, for the error."""
         for where, time, seq, callback, args in entries:
             try:
-                pickle.dumps((callback, args))
+                self._dumps((callback, args))
             except Exception:
                 return (
                     f"event queue is not snapshotable: callback {callback!r} "
@@ -519,7 +541,11 @@ class Simulator:
         if self._running:
             raise CheckpointError("cannot restore while run() is active")
         try:
-            state = pickle.loads(blob)
+            unpickler = pickle.Unpickler(io.BytesIO(blob))
+            unpickler.persistent_load = (
+                lambda pid: self if pid == "kernel" else _bad_pid(pid)
+            )
+            state = unpickler.load()
             now, seq = state["now"], state["seq"]
             event_count, entries = state["event_count"], state["entries"]
         except Exception as exc:

@@ -111,10 +111,22 @@ class LintConfig:
 
     #: Packages whose module-level writes are the *sanctioned* worker
     #: persistence paths for SIM009: the write-ahead journal, the result
-    #: cache, atomic IO, and the heartbeat supervisor.
+    #: cache, atomic IO, and the heartbeat supervisor.  The analysis
+    #: toolchain (``repro/tools/``) is also exempt: its rule registries
+    #: are populated by import-time decorators and workers never import
+    #: it — only the approximate ``?.method`` call edges (e.g. a model's
+    #: ``.register()``) can reach it, and those are false paths.
     worker_state_sanctioned_fragments: tuple[str, ...] = (
         "repro/resilience/",
         "repro/perf/",
+        "repro/tools/",
+    )
+
+    #: Modules exempt from SIM011 literal-outage-window checks: the
+    #: schedule validators themselves (their docstrings/tests exercise
+    #: deliberately malformed windows).
+    outage_sanctioned_suffixes: tuple[str, ...] = (
+        "repro/core/resilience/failures.py",
     )
 
     def is_rng_sanctioned(self, path: str) -> bool:
@@ -149,6 +161,11 @@ class LintConfig:
             f"/{frag.strip('/')}/" in norm
             for frag in self.worker_state_sanctioned_fragments
         )
+
+    def is_outage_sanctioned(self, path: str) -> bool:
+        """True if *path* may build malformed literal schedules (SIM011)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(norm.endswith("/" + s) for s in self.outage_sanctioned_suffixes)
 
 
 class Rule:

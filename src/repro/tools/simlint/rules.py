@@ -1,4 +1,4 @@
-"""The simlint rule set (SIM001..SIM010).
+"""The simlint rule set (SIM001..SIM011).
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
@@ -40,6 +40,7 @@ __all__ = [
     "UnmanagedParallelismRule",
     "NonAtomicWriteRule",
     "BlameVocabularyRule",
+    "OutageWindowRule",
     "CrossModuleFloatTimeRule",
     "SnapshotCompletenessRule",
     "WorkerSharedStateRule",
@@ -702,22 +703,29 @@ class NonAtomicWriteRule(Rule):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            if isinstance(func, ast.Attribute) and func.attr == "write_text":
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
                 yield self.finding(
                     module,
                     node,
-                    "direct .write_text() can be torn by a crash mid-write; "
+                    f"direct .{func.attr}() can be torn by a crash mid-write; "
                     "use repro.resilience.atomicio.atomic_write_text",
                 )
                 continue
             name = _call_name(node, module.imports)
-            if name == "json.dump":
+            if name in ("json.dump", "pickle.dump"):
+                helper = (
+                    "atomic_write_json"
+                    if name == "json.dump"
+                    else "atomic_write_text (serialize to a string/bytes first)"
+                )
                 yield self.finding(
                     module,
                     node,
-                    "direct json.dump() to a file can be torn by a crash "
-                    "mid-write; use repro.resilience.atomicio.atomic_write_json "
-                    "(json.dumps to a string is fine)",
+                    f"direct {name}() to a file can be torn by a crash "
+                    f"mid-write; use repro.resilience.atomicio.{helper}",
                 )
 
 
@@ -789,6 +797,119 @@ class BlameVocabularyRule(Rule):
                     "blame record lacks the 'resource' causal edge; "
                     "attribution cannot rank blocking resources without it",
                 )
+
+
+# ----------------------------------------------------------------------
+# SIM011 — literal outage windows are ordered, disjoint, crash-last
+# ----------------------------------------------------------------------
+_SCHEDULE_CLASSES = frozenset({"LenderFailureSchedule", "LinkFailureSchedule"})
+
+#: Failure kinds whose window never ends (must terminate the schedule).
+_TERMINAL_KINDS = frozenset({"crash"})
+
+
+def _outage_literal(element: ast.expr):
+    """``(start, duration, kind)`` of one literal outage, else ``None``.
+
+    Handles both shapes: a bare ``(start, duration)`` tuple
+    (:class:`~repro.core.resilience.failures.LinkFailureSchedule`) and a
+    ``LenderOutage(start, duration, kind)`` call.  Returns ``None`` when
+    any field is not a compile-time constant — runtime validation owns
+    those.
+    """
+    if isinstance(element, (ast.Tuple, ast.List)) and len(element.elts) >= 2:
+        start, duration = element.elts[0], element.elts[1]
+        if all(isinstance(v, ast.Constant) for v in (start, duration)):
+            return start.value, duration.value, "restart"
+        return None
+    if isinstance(element, ast.Call):
+        func = element.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if callee != "LenderOutage":
+            return None
+        kw = {k.arg: k.value for k in element.keywords if k.arg}
+        fields = list(element.args) + [None] * 3
+        start = fields[0] if element.args else kw.get("start")
+        duration = (
+            fields[1] if len(element.args) > 1 else kw.get("duration")
+        )
+        kind = fields[2] if len(element.args) > 2 else kw.get("kind")
+        if not (
+            isinstance(start, ast.Constant) and isinstance(duration, ast.Constant)
+        ):
+            return None
+        kind_value = (
+            kind.value
+            if isinstance(kind, ast.Constant) and isinstance(kind.value, str)
+            else "restart"
+        )
+        return start.value, duration.value, kind_value
+    return None
+
+
+@register
+class OutageWindowRule(Rule):
+    code = "SIM011"
+    name = "outage-windows"
+    rationale = (
+        "Failure schedules assume ordered, disjoint outage windows; the "
+        "sweep machinery binary-searches and early-exits on that order, "
+        "so an unsorted or overlapping literal silently mis-times every "
+        "downstream failover.  The validated constructors raise at "
+        "runtime, but only on code paths a test actually executes — "
+        "literal schedules on dead branches (a quick-mode ladder, a "
+        "disabled scenario) ship broken.  A crash window never ends, so "
+        "nothing may be scheduled after it."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if config.is_outage_sanctioned(module.rel):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if callee not in _SCHEDULE_CLASSES:
+                continue
+            kw = {k.arg: k.value for k in node.keywords if k.arg}
+            outages = kw.get("outages") or (node.args[0] if node.args else None)
+            if not isinstance(outages, (ast.Tuple, ast.List)):
+                continue
+            windows = [_outage_literal(el) for el in outages.elts]
+            if any(w is None for w in windows):
+                continue  # not fully constant: runtime validation owns it
+            last_end: Optional[float] = -1
+            for start, duration, kind in windows:
+                if not all(
+                    isinstance(v, (int, float)) for v in (start, duration)
+                ):
+                    last_end = None
+                    break
+                if last_end is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "outage window scheduled after a crash window, which "
+                        "never ends; a crash must be the final entry",
+                    )
+                    break
+                if start <= last_end:
+                    yield self.finding(
+                        module,
+                        node,
+                        "literal outage windows are unsorted or overlapping; "
+                        "schedules require ordered, disjoint windows "
+                        f"(window at {start} starts inside/before the "
+                        "previous one)",
+                    )
+                    break
+                last_end = None if kind in _TERMINAL_KINDS else start + duration
 
 
 def _is_constant_style(name: str) -> bool:

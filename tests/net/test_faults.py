@@ -184,3 +184,102 @@ class TestFaultyChannel:
         assert faulty.busy_until() == chan.busy_until()
         assert faulty.utilization(1_000_000) == chan.utilization(1_000_000)
         assert faulty.name == chan.name
+
+
+class TestHopLossProcess:
+    from repro.net.faults import HopLossProcess  # noqa: PLC0415
+
+    def test_disabled_config_never_draws(self):
+        from repro.net.faults import HopLossProcess
+
+        hop = HopLossProcess(FaultConfig(), RngStreams(1).get("fabric.a->b"))
+        assert not any(hop.lost() for _ in range(100))
+        assert hop.frames == 100 and hop.drops == 0
+
+    def test_certain_loss(self):
+        from repro.net.faults import HopLossProcess
+
+        hop = HopLossProcess(FaultConfig(loss_rate=1.0), RngStreams(1).get("fabric.a->b"))
+        assert all(hop.lost() for _ in range(10))
+        assert hop.drops == 10
+
+    def test_named_stream_is_deterministic(self):
+        from repro.net.faults import HopLossProcess
+
+        def fates():
+            hop = HopLossProcess(
+                FaultConfig(loss_rate=0.3), RngStreams(7).get("fabric.b0->tor")
+            )
+            return [hop.lost() for _ in range(200)]
+
+        assert fates() == fates()
+        assert any(fates())
+
+    def test_burst_mode_clusters_drops(self):
+        from repro.net.faults import HopLossProcess
+
+        cfg = FaultConfig(
+            burst=True, p_good_to_bad=0.05, p_bad_to_good=0.2, loss_rate_bad=1.0
+        )
+        hop = HopLossProcess(cfg, RngStreams(3).get("fabric.a->b"))
+        fates = [hop.lost() for _ in range(2000)]
+        assert 0 < sum(fates) < 2000
+        # Bursty: a drop is more often followed by a drop than the
+        # marginal rate alone would produce.
+        after_drop = [b for a, b in zip(fates, fates[1:]) if a]
+        assert sum(after_drop) / len(after_drop) > sum(fates) / len(fates)
+
+
+class TestLossyFabric:
+    def _fabric(self, loss=0.2, seed=11):
+        from repro.net.fabric import Fabric
+        from repro.sim import RngStreams as Streams
+
+        fault = FaultConfig(loss_rate=loss)
+        fabric = Fabric(
+            link_cfg(), fault=fault if loss else None, rng=Streams(seed) if loss else None
+        )
+        for node in ("b0", "tor", "l0"):
+            fabric.add_node(node)
+        fabric.connect("b0", "tor")
+        fabric.connect("tor", "l0")
+        return fabric
+
+    def test_faulty_fabric_requires_rng(self):
+        from repro.errors import ConfigError
+        from repro.net.fabric import Fabric
+
+        with pytest.raises(ConfigError, match="rng stream factory"):
+            Fabric(link_cfg(), fault=FaultConfig(loss_rate=0.1))
+
+    def test_clean_fabric_identical_with_and_without_fault_arg(self):
+        clean = self._fabric(loss=0)
+        disabled = self._fabric(loss=0)
+        arrivals_a = [clean.transmit(128, "b0", "l0", t * 10_000) for t in range(20)]
+        arrivals_b = [disabled.transmit(128, "b0", "l0", t * 10_000) for t in range(20)]
+        assert arrivals_a == arrivals_b
+        assert clean.retransmissions == 0
+
+    def test_loss_retransmits_and_delays(self):
+        lossy = self._fabric(loss=0.3)
+        clean = self._fabric(loss=0)
+        lossy_arrivals = [lossy.transmit(128, "b0", "l0", t * 200_000) for t in range(200)]
+        clean_arrivals = [clean.transmit(128, "b0", "l0", t * 200_000) for t in range(200)]
+        assert lossy.retransmissions > 0
+        assert sum(lossy_arrivals) > sum(clean_arrivals)
+        # Every frame still arrives, later or equal, never earlier.
+        assert all(lo >= cl for lo, cl in zip(lossy_arrivals, clean_arrivals))
+
+    def test_lossy_fabric_is_seed_deterministic(self):
+        runs = []
+        for _ in range(2):
+            fabric = self._fabric(loss=0.3, seed=42)
+            runs.append([fabric.transmit(128, "b0", "l0", t * 100_000) for t in range(100)])
+        assert runs[0] == runs[1]
+
+    def test_implausible_certain_loss_raises(self):
+        from repro.errors import ReproError
+
+        fabric = self._fabric(loss=1.0)
+        with pytest.raises(ReproError, match="64 times"):
+            fabric.transmit(128, "b0", "l0", 0)

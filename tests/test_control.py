@@ -12,6 +12,7 @@ from repro.control import (
     PageMigrationPolicy,
     QosClassifier,
 )
+from repro.control.plane import HealthState
 from repro.errors import AllocationError, ConfigError
 from repro.nic.mux import TrafficClass
 
@@ -109,6 +110,160 @@ class TestPolicies:
         cp.register(node("idle", used=32 * GB))
         cp.register(node("busy", apps=16))
         assert cp.reserve("b", GB).lender == "busy"
+
+
+class TestTieBreaks:
+    """Equal candidates must resolve deterministically (failover re-placement)."""
+
+    def _equal_candidates(self):
+        return [node("l0"), node("l1"), node("l2")]
+
+    def test_first_fit_takes_registration_order(self):
+        assert FirstFitPolicy().choose(self._equal_candidates(), GB).name == "l0"
+
+    def test_least_loaded_stable_min_prefers_earliest(self):
+        # All equally loaded: ``min`` is stable, so l0 wins every run.
+        assert LeastLoadedPolicy().choose(self._equal_candidates(), GB).name == "l0"
+
+    def test_least_loaded_tie_break_repeats(self):
+        names = {
+            LeastLoadedPolicy().choose(self._equal_candidates(), GB).name
+            for _ in range(10)
+        }
+        assert names == {"l0"}
+
+
+class TestRichAllocationErrors:
+    def test_reserve_error_lists_candidates_with_free_bytes(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=GB))
+        cp.register(node("l0", total=10, used=4))
+        with pytest.raises(AllocationError, match=r"l0: free=6"):
+            cp.reserve("b", GB)
+
+    def test_reserve_error_names_borrower_and_size(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=GB))
+        with pytest.raises(AllocationError, match="no lender can satisfy"):
+            cp.reserve("b", 123)
+
+    def test_dead_lender_flagged_in_candidates(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=GB))
+        cp.register(node("l0"))
+        cp.fail_lender("l0")
+        with pytest.raises(AllocationError, match="l0: free=.*dead"):
+            cp.reserve("b", GB)
+
+    def test_release_error_lists_live_ids(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=GB))
+        cp.register(node("l"))
+        r = cp.reserve("b", GB)
+        with pytest.raises(AllocationError, match=rf"\[{r.reservation_id}\]"):
+            cp.release(r.reservation_id + 7)
+
+
+class TestReserveOn:
+    def _plane(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=2 * GB))
+        cp.register(node("l0"))
+        cp.register(node("l1"))
+        return cp
+
+    def test_places_on_named_lender(self):
+        cp = self._plane()
+        r = cp.reserve_on("b", "l1", GB)
+        assert r.lender == "l1" and cp.node("l1").lent_bytes == GB
+
+    def test_self_lend_rejected(self):
+        with pytest.raises(AllocationError, match="cannot lend to itself"):
+            self._plane().reserve_on("b", "b", GB)
+
+    def test_dead_lender_rejected(self):
+        cp = self._plane()
+        cp.fail_lender("l0")
+        with pytest.raises(AllocationError, match="is dead"):
+            cp.reserve_on("b", "l0", GB)
+
+    def test_capacity_shortfall_has_context(self):
+        cp = self._plane()
+        cp.node("l0").used_bytes = cp.node("l0").total_bytes
+        with pytest.raises(AllocationError, match="free=0"):
+            cp.reserve_on("b", "l0", GB)
+
+    def test_invalid_size(self):
+        with pytest.raises(AllocationError, match="positive"):
+            self._plane().reserve_on("b", "l0", 0)
+
+
+class TestHealthStateMachine:
+    def _plane(self):
+        cp = ControlPlane()
+        cp.register(node("b", demand=GB))
+        cp.register(node("l0"))
+        cp.register(node("l1"))
+        cp.configure_health(suspect_misses=1, dead_misses=3)
+        return cp
+
+    def test_healthy_suspect_dead_progression(self):
+        cp = self._plane()
+        assert cp.health("l0") is HealthState.HEALTHY
+        assert cp.record_miss("l0", 20) is HealthState.SUSPECT
+        assert cp.record_miss("l0", 40) is HealthState.SUSPECT
+        assert cp.record_miss("l0", 60) is HealthState.DEAD
+
+    def test_heartbeat_resets_consecutive_misses(self):
+        cp = self._plane()
+        cp.record_miss("l0", 20)
+        cp.record_miss("l0", 40)
+        assert cp.record_heartbeat("l0", 60) is HealthState.HEALTHY
+        # The count restarted: two more misses are still only SUSPECT.
+        cp.record_miss("l0", 80)
+        assert cp.record_miss("l0", 100) is HealthState.SUSPECT
+
+    def test_dead_stays_dead_on_heartbeat(self):
+        cp = self._plane()
+        cp.fail_lender("l0")
+        assert cp.record_heartbeat("l0", 100) is HealthState.DEAD
+        assert cp.record_miss("l0", 120) is HealthState.DEAD
+
+    def test_restart_cycle_rejoins(self):
+        cp = self._plane()
+        cp.fail_lender("l0")
+        cp.mark_restarting("l0")
+        assert cp.health("l0") is HealthState.RESTARTING
+        assert cp.record_heartbeat("l0", 200) is HealthState.HEALTHY
+        assert any(inv.name == "l0" for inv in cp.lenders())
+
+    def test_dead_lenders_excluded_from_placement(self):
+        cp = self._plane()
+        cp.fail_lender("l0")
+        assert [inv.name for inv in cp.lenders()] == ["l1"]
+        assert cp.reserve("b", GB).lender == "l1"
+
+    def test_fail_lender_surrenders_reservations(self):
+        cp = self._plane()
+        r = cp.reserve_on("b", "l0", GB)
+        surrendered = cp.fail_lender("l0")
+        assert [s.reservation_id for s in surrendered] == [r.reservation_id]
+        assert cp.node("l0").lent_bytes == 0
+        assert cp.reservations_for("b") == []
+
+    def test_fail_lender_idempotent(self):
+        cp = self._plane()
+        cp.reserve_on("b", "l0", GB)
+        assert len(cp.fail_lender("l0")) == 1
+        assert cp.fail_lender("l0") == []
+
+    def test_configure_health_validation(self):
+        with pytest.raises(AllocationError):
+            self._plane().configure_health(suspect_misses=4, dead_misses=2)
+
+    def test_unknown_node_health_rejected(self):
+        with pytest.raises(AllocationError, match="unknown node"):
+            self._plane().health("ghost")
 
 
 class TestQosClassifier:

@@ -18,10 +18,10 @@ def codes(source, rel="x.py", select=None):
 
 
 class TestRegistry:
-    def test_ten_rules_registered(self):
+    def test_eleven_rules_registered(self):
         assert [cls.code for cls in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-            "SIM007", "SIM008", "SIM009", "SIM010",
+            "SIM007", "SIM008", "SIM009", "SIM010", "SIM011",
         ]
 
     def test_flow_registry(self):
@@ -30,7 +30,7 @@ class TestRegistry:
         assert [cls.code for cls in all_flow_rules()] == [
             "SIM003", "SIM008", "SIM009",
         ]
-        assert rule_code_span() == "SIM001..SIM010"
+        assert rule_code_span() == "SIM001..SIM011"
 
     def test_every_rule_documents_itself(self):
         for cls in all_rules():
@@ -410,6 +410,25 @@ class TestSim007NonAtomicWrite:
         )
         assert codes(src, rel="src/repro/experiments/foo.py") == []
 
+    def test_write_bytes(self):
+        src = (
+            "from pathlib import Path\n"
+            "Path('snap.bin').write_bytes(blob)\n"
+        )
+        assert codes(src, rel="src/repro/experiments/foo.py") == ["SIM007"]
+
+    def test_pickle_dump(self):
+        src = (
+            "import pickle\n"
+            "with open('state.pkl', 'wb') as fh:\n"
+            "    pickle.dump(state, fh)\n"
+        )
+        assert codes(src, rel="src/repro/experiments/foo.py") == ["SIM007"]
+
+    def test_pickle_dumps_to_bytes_is_clean(self):
+        src = "import pickle\nblob = pickle.dumps(state)\n"
+        assert codes(src, rel="src/repro/experiments/foo.py") == []
+
 
 class TestSim010BlameVocabulary:
     def test_unknown_blame_category_flagged(self):
@@ -448,6 +467,85 @@ class TestSim010BlameVocabulary:
     def test_both_defects_yield_two_findings(self):
         src = 't.add_blame("mystery", 0, 10, pid=1, seq=0)\n'
         assert codes(src) == ["SIM010", "SIM010"]
+
+
+class TestSim011OutageWindows:
+    def test_overlapping_link_windows_flagged(self):
+        src = "s = LinkFailureSchedule(outages=((0, 10), (5, 10)))\n"
+        assert codes(src) == ["SIM011"]
+
+    def test_unsorted_link_windows_flagged(self):
+        src = "s = LinkFailureSchedule(outages=((50, 10), (0, 10)))\n"
+        assert codes(src) == ["SIM011"]
+
+    def test_touching_windows_flagged(self):
+        # start == previous end is still a violation (start <= last_end).
+        src = "s = LinkFailureSchedule(outages=((0, 10), (10, 5)))\n"
+        assert codes(src) == ["SIM011"]
+
+    def test_ordered_disjoint_link_windows_quiet(self):
+        src = "s = LinkFailureSchedule(outages=((0, 10), (11, 5), (100, 1)))\n"
+        assert codes(src) == []
+
+    def test_lender_window_after_crash_flagged(self):
+        src = (
+            "s = LenderFailureSchedule(outages=("
+            "LenderOutage(10, 0, 'crash'), LenderOutage(50, 5, 'restart')))\n"
+        )
+        assert codes(src) == ["SIM011"]
+
+    def test_lender_crash_last_quiet(self):
+        src = (
+            "s = LenderFailureSchedule(outages=("
+            "LenderOutage(10, 5, 'restart'), LenderOutage(50, 0, 'crash')))\n"
+        )
+        assert codes(src) == []
+
+    def test_overlapping_lender_windows_flagged(self):
+        src = (
+            "s = LenderFailureSchedule(outages=("
+            "LenderOutage(10, 20, 'gray'), LenderOutage(15, 5, 'restart')))\n"
+        )
+        assert codes(src) == ["SIM011"]
+
+    def test_keyword_outage_fields_understood(self):
+        src = (
+            "s = LenderFailureSchedule(outages=("
+            "LenderOutage(start=0, duration=0, kind='crash'),"
+            " LenderOutage(start=9, duration=3)))\n"
+        )
+        assert codes(src) == ["SIM011"]
+
+    def test_qualified_constructor_flagged(self):
+        src = (
+            "import repro.core.resilience.failures as failures\n"
+            "s = failures.LinkFailureSchedule(outages=[(20, 5), (3, 2)])\n"
+        )
+        assert codes(src) == ["SIM011"]
+
+    def test_non_literal_windows_left_to_runtime(self):
+        # Computed starts cannot be checked statically; the validated
+        # constructor owns them.
+        src = "s = LinkFailureSchedule(outages=((t0, 10), (t0 + 5, 10)))\n"
+        assert codes(src) == []
+
+    def test_classmethod_builders_quiet(self):
+        src = (
+            "a = LinkFailureSchedule.periodic(0, 10, 5, 4)\n"
+            "b = LenderFailureSchedule.single('crash', at=30)\n"
+        )
+        assert codes(src) == []
+
+    def test_validator_module_sanctioned(self):
+        src = "s = LinkFailureSchedule(outages=((5, 10), (0, 10)))\n"
+        assert codes(src, rel="src/repro/core/resilience/failures.py") == []
+
+    def test_inline_suppression(self):
+        src = (
+            "s = LinkFailureSchedule(outages=((5, 10), (0, 10)))"
+            "  # simlint: disable=SIM011\n"
+        )
+        assert codes(src) == []
 
 
 class TestSuppressions:
