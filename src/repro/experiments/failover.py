@@ -52,8 +52,14 @@ def run(
     ``mtbf_ms > 0`` draws outage sequences from named RNG streams
     instead of the single pinned failure.  ``loss`` additionally makes
     every shared-fabric hop lossy (satellite of PR 3's chaos mode).
+    ``mode="hybrid"`` replays evacuations as fluid flows (closed-form
+    page arrivals, replay bandwidth installed as background rate
+    schedules on the fabric hops) instead of one event chain per page;
+    the lossy fabric of ``loss > 0`` forces the discrete replay back.
     """
-    del mode  # failover is stateful attach/detach; DES only
+    # Datapath attach/detach is stateful, so the foreground always runs
+    # DES; hybrid offloads only the bulk evacuation replay streams.
+    fluid_evacuation = mode == "hybrid"
     if kinds is None:
         kinds = ("crash",) if quick else ("crash", "restart")
     ladder = tuple(mttr_ms) if mttr_ms is not None else (
@@ -72,6 +78,7 @@ def run(
             n_pairs=n_pairs,
             n_lines=n_lines,
             loss=loss,
+            fluid_evacuation=fluid_evacuation,
             obs=obs,
             workers=workers,
             cache=cache,

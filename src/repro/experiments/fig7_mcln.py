@@ -16,8 +16,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.calibration import paper_cluster_config
-from repro.engine.des import run_concurrent
+from repro.engine.des import DesPhaseDriver, run_concurrent
 from repro.engine.fluid import FluidEngine
+from repro.engine.hybrid import LENDER_BUS, HybridContention, mcln_background
+from repro.engine.model import PathModel
 from repro.engine.phases import Location
 from repro.experiments.base import ExperimentResult
 from repro.node.cluster import ThymesisFlowSystem
@@ -27,6 +29,12 @@ from repro.workloads.stream import StreamConfig, StreamWorkload
 __all__ = ["run"]
 
 DEFAULT_COUNTS: tuple[int, ...] = (0, 2, 4, 8, 16)
+#: Quick-mode lender load levels (hybrid offload makes the high end
+#: cheap — the local hammers are fluid flows, not events).  Capped at
+#: 96: beyond ~100 hammers the lender bus genuinely saturates and the
+#: paper's flat-bandwidth observation no longer applies.
+QUICK_COUNTS: tuple[int, ...] = (0, 32, 64, 96)
+QUICK_ELEMENTS = 2_500
 
 #: Outstanding accesses of one lender-local STREAM instance.  Local
 #: STREAM is core-bound well below the node's aggregate bus bandwidth
@@ -41,6 +49,8 @@ def _mcln_point(
     """Borrower bandwidth at one lender load level (worker-runnable)."""
     if mode == "des":
         bw, lender_bus_util = _run_des(stream, n_local, period, obs=obs)
+    elif mode == "hybrid":
+        return _run_hybrid(stream, n_local, period, obs=obs)
     else:
         bw, lender_bus_util = _run_fluid(stream, n_local, period)
     return {"borrower_bw": bw, "lender_bus_util": lender_bus_util}
@@ -48,9 +58,10 @@ def _mcln_point(
 
 def run(
     mode: str = "des",
-    lender_counts: Sequence[int] = DEFAULT_COUNTS,
+    lender_counts: Sequence[int] | None = None,
     stream: StreamConfig | None = None,
     period: int = 1,
+    quick: bool = False,
     obs=None,
     workers: int = 1,
     cache=None,
@@ -63,8 +74,13 @@ def run(
     them over the :mod:`repro.perf` sweep executor.  *obs* traces each
     lender load level as its own run (tracing forces inline, uncached
     execution — spans cannot cross processes or the result cache).
+    ``quick`` shrinks the arrays and sweeps (0, 4, 16, 64) hammers.
     """
-    borrower_cfg = stream or StreamConfig(n_elements=10_000)
+    if lender_counts is None:
+        lender_counts = QUICK_COUNTS if quick else DEFAULT_COUNTS
+    borrower_cfg = stream or StreamConfig(
+        n_elements=QUICK_ELEMENTS if quick else 10_000
+    )
     if obs is not None:
         outputs = [
             _mcln_point(n_local, period, borrower_cfg, mode, obs=obs)
@@ -140,6 +156,48 @@ def _run_des(
     elapsed_s = system.sim.now / 1e12
     util = bus.bytes_served / (bus.rate * elapsed_s) if elapsed_s > 0 else 0.0
     return borrower_result.bandwidth_bytes_per_s, util
+
+
+def _run_hybrid(borrower_cfg: StreamConfig, n_local: int, period: int, obs=None) -> dict:
+    """Discrete borrower instance, fluid lender-local hammers."""
+    config = paper_cluster_config(period=period)
+    system = ThymesisFlowSystem(config, obs=obs, obs_label=f"n_local={n_local}")
+    system.attach_or_raise()
+    remote_program = StreamWorkload(borrower_cfg).program(Location.REMOTE)
+    local_cfg = replace(
+        borrower_cfg,
+        n_elements=borrower_cfg.n_elements * 2,
+        concurrency=LENDER_LOCAL_CONCURRENCY,
+    )
+    local_program = StreamWorkload(local_cfg).program(Location.LENDER_LOCAL)
+    loads = mcln_background(
+        PathModel.from_config(config), local_program, n_local, LENDER_LOCAL_CONCURRENCY
+    )
+    start = system.sim.now
+    contention = HybridContention(
+        system, loads, foreground=remote_program, start_ps=start
+    )
+    with contention:
+        result = DesPhaseDriver(
+            system, remote_program, instance="w0", footprint_lines=1 << 14
+        ).run_to_completion()
+    if obs is not None:
+        obs.finish_system(system)
+    bus = system.lender.dram.bus
+    now = system.sim.now
+    elapsed_s = now / 1e12
+    served = bus.bytes_served + contention.background_bytes(LENDER_BUS, start, now)
+    util = served / (bus.rate * elapsed_s) if elapsed_s > 0 else 0.0
+    return {
+        "borrower_bw": result.bandwidth_bytes_per_s,
+        "lender_bus_util": util,
+        "events": {
+            "simulated": system.sim.events_processed,
+            "equivalent": contention.equivalent_events(
+                system.sim.events_processed, result.lines
+            ),
+        },
+    }
 
 
 def _run_fluid(

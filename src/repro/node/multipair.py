@@ -376,7 +376,11 @@ class FailoverCoordinator:
         self._blame_failover(pair, outage_start, now)
 
     def evacuate_pair(
-        self, pair: FailoverPairSystem, now: Time, page_bytes: Optional[int] = None
+        self,
+        pair: FailoverPairSystem,
+        now: Time,
+        page_bytes: Optional[int] = None,
+        fluid: bool = False,
     ) -> None:
         """Re-reserve on a surviving lender and replay the pair's pages."""
         page_bytes = page_bytes or self.page_bytes
@@ -431,6 +435,7 @@ class FailoverCoordinator:
             dst=reservation.lender,
             n_pages=n_pages,
             page_bytes=page_bytes,
+            fluid=fluid,
         )
         replayer.on_done = (
             lambda r, pair=pair, outage_start=outage_start, detect=now: (

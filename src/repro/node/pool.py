@@ -126,6 +126,16 @@ class MemoryPoolFabric:
         """Transaction payload size."""
         return self._line
 
+    def set_background(self, schedule) -> None:
+        """Attach fluid background tenants (bytes/s) to the pool bus.
+
+        Hybrid-engine hook: non-measured tenants of the shared pool are
+        modelled as a :class:`~repro.sim.resources.RateSchedule` instead
+        of discrete traffic — see
+        :meth:`repro.mem.bus.BandwidthServer.set_background`.
+        """
+        self.pool_bus.set_background(schedule)
+
     def pool_access(self, port: BorrowerPort, write: bool = False) -> Generator:
         """One cache-line transaction from *port* to the pool (generator)."""
         sim = self.sim

@@ -122,6 +122,11 @@ class LintConfig:
         "repro/tools/",
     )
 
+    #: Packages allowed to heap-order simulator event state (SIM012):
+    #: the kernel's own event-queue tiers (binary heap, calendar
+    #: spillover) are the single sanctioned ordered frontier.
+    heapq_sanctioned_fragments: tuple[str, ...] = ("repro/sim/",)
+
     #: Modules exempt from SIM011 literal-outage-window checks: the
     #: schedule validators themselves (their docstrings/tests exercise
     #: deliberately malformed windows).
@@ -160,6 +165,14 @@ class LintConfig:
         return any(
             f"/{frag.strip('/')}/" in norm
             for frag in self.worker_state_sanctioned_fragments
+        )
+
+    def is_heapq_sanctioned(self, path: str) -> bool:
+        """True if *path* may heap-order event state (the kernel, SIM012)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(
+            f"/{frag.strip('/')}/" in norm
+            for frag in self.heapq_sanctioned_fragments
         )
 
     def is_outage_sanctioned(self, path: str) -> bool:

@@ -1,4 +1,4 @@
-"""The simlint rule set (SIM001..SIM011).
+"""The simlint rule set (SIM001..SIM012).
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
@@ -41,6 +41,7 @@ __all__ = [
     "NonAtomicWriteRule",
     "BlameVocabularyRule",
     "OutageWindowRule",
+    "AdHocEventHeapRule",
     "CrossModuleFloatTimeRule",
     "SnapshotCompletenessRule",
     "WorkerSharedStateRule",
@@ -910,6 +911,58 @@ class OutageWindowRule(Rule):
                     )
                     break
                 last_end = None if kind in _TERMINAL_KINDS else start + duration
+
+
+# ----------------------------------------------------------------------
+# SIM012 — no ad-hoc heaps on simulator event state outside the kernel
+# ----------------------------------------------------------------------
+#: Mutating heap operations that impose an ordering on their container.
+_HEAPQ_MUTATORS = frozenset(
+    {
+        "heapq.heappush",
+        "heapq.heappop",
+        "heapq.heapify",
+        "heapq.heappushpop",
+        "heapq.heapreplace",
+    }
+)
+
+
+@register
+class AdHocEventHeapRule(Rule):
+    code = "SIM012"
+    name = "ad-hoc-event-heap"
+    rationale = (
+        "The kernel's event queue (heap or calendar tier) is the single "
+        "ordered frontier of simulated time: its (time, seq) total order, "
+        "lazy-cancel accounting and snapshot format are what make runs "
+        "bit-reproducible and restorable.  A module that schedules events "
+        "AND keeps its own heapq of pending work maintains a second, "
+        "shadow frontier the kernel cannot see — it won't be compacted, "
+        "won't snapshot, and ties dispatch order to local container "
+        "history.  Schedule through the Simulator instead; only "
+        "repro/sim/ (the kernel itself) may heap-order event state."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if config.is_heapq_sanctioned(module.rel):
+            return
+        if not _module_schedules(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, module.imports)
+            if name in _HEAPQ_MUTATORS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() in a module that schedules simulator events; "
+                    "a private heap is a shadow event frontier the kernel "
+                    "cannot snapshot or compact — schedule through the "
+                    "Simulator instead",
+                )
 
 
 def _is_constant_style(name: str) -> bool:

@@ -18,10 +18,10 @@ def codes(source, rel="x.py", select=None):
 
 
 class TestRegistry:
-    def test_eleven_rules_registered(self):
+    def test_twelve_rules_registered(self):
         assert [cls.code for cls in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-            "SIM007", "SIM008", "SIM009", "SIM010", "SIM011",
+            "SIM007", "SIM008", "SIM009", "SIM010", "SIM011", "SIM012",
         ]
 
     def test_flow_registry(self):
@@ -30,7 +30,7 @@ class TestRegistry:
         assert [cls.code for cls in all_flow_rules()] == [
             "SIM003", "SIM008", "SIM009",
         ]
-        assert rule_code_span() == "SIM001..SIM011"
+        assert rule_code_span() == "SIM001..SIM012"
 
     def test_every_rule_documents_itself(self):
         for cls in all_rules():
@@ -544,6 +544,58 @@ class TestSim011OutageWindows:
         src = (
             "s = LinkFailureSchedule(outages=((5, 10), (0, 10)))"
             "  # simlint: disable=SIM011\n"
+        )
+        assert codes(src) == []
+
+
+class TestSim012AdHocEventHeap:
+    SCHEDULING = "sim.schedule(5, cb)\n"
+
+    def test_heappush_in_scheduling_module_flagged(self):
+        src = (
+            "import heapq\n"
+            "pending = []\n"
+            "heapq.heappush(pending, (t, seq))\n" + self.SCHEDULING
+        )
+        assert codes(src) == ["SIM012"]
+
+    def test_from_import_alias_flagged(self):
+        src = (
+            "from heapq import heappop as pop\n"
+            "item = pop(pending)\n" + self.SCHEDULING
+        )
+        assert codes(src) == ["SIM012"]
+
+    def test_heapify_flagged(self):
+        src = "import heapq\nheapq.heapify(queue)\n" + self.SCHEDULING
+        assert codes(src) == ["SIM012"]
+
+    def test_non_scheduling_module_quiet(self):
+        # A heap is fine where no simulator events are scheduled (e.g.
+        # the NIC mux's priority arbitration over already-queued frames).
+        src = "import heapq\nheapq.heappush(pending, item)\n"
+        assert codes(src) == []
+
+    def test_read_only_helpers_quiet(self):
+        # nsmallest/merge don't maintain a persistent frontier.
+        src = (
+            "import heapq\n"
+            "top = heapq.nsmallest(3, items)\n" + self.SCHEDULING
+        )
+        assert codes(src) == []
+
+    def test_kernel_module_sanctioned(self):
+        src = (
+            "import heapq\n"
+            "heapq.heappush(self._spill, handle)\n" + self.SCHEDULING
+        )
+        assert codes(src, rel="src/repro/sim/core.py") == []
+
+    def test_inline_suppression(self):
+        src = (
+            "import heapq\n"
+            "heapq.heappush(pending, item)  # simlint: disable=SIM012\n"
+            + self.SCHEDULING
         )
         assert codes(src) == []
 
