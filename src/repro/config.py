@@ -242,6 +242,14 @@ class TransportConfig:
     (in-order delivery, out-of-order arrivals discarded) unless
     ``selective_repeat`` is set, in which case out-of-order packets are
     buffered and only the missing one is resent.
+
+    ``timer_from_send`` selects where the retransmission timer arms:
+    ``False`` (default) models the hardware NIC timer that starts at
+    the gate grant (wire departure), so local queueing never expires an
+    attempt; ``True`` models a software ARQ whose RTO runs from the
+    moment the attempt is issued, so gate backlog counts against the
+    timer — the configuration under which retry storms can turn
+    metastable (see the ``metastable`` experiment).
     """
 
     max_retries: int = 4
@@ -250,6 +258,7 @@ class TransportConfig:
     max_rto: Duration = milliseconds(8)
     selective_repeat: bool = False
     retransmit_buffer: int = 128
+    timer_from_send: bool = False
 
     def __post_init__(self) -> None:
         _non_negative("transport max_retries", self.max_retries)

@@ -27,7 +27,29 @@ from repro.errors import ConfigError
 from repro.nic.mux import TrafficClass
 from repro.units import Duration
 
-__all__ = ["QosClassifier", "PageMigrationPolicy", "MigrationDecision"]
+__all__ = [
+    "QosClassifier",
+    "PageMigrationPolicy",
+    "MigrationDecision",
+    "admission_weights",
+]
+
+
+def admission_weights() -> dict[TrafficClass, float]:
+    """Per-class sojourn-target fractions for priority-aware shedding.
+
+    Used by :class:`repro.core.overload.PriorityAdmission`: under
+    overload, each class tolerates only this fraction of the admission
+    sojourn target, so BULK work sheds first and LATENCY_SENSITIVE
+    work sheds last — the inverse of the classifier's delay-sensitivity
+    ordering (the most delay-sensitive work is the most worth queueing
+    for, because shedding it costs the most application slowdown).
+    """
+    return {
+        TrafficClass.LATENCY_SENSITIVE: 1.0,
+        TrafficClass.NORMAL: 0.5,
+        TrafficClass.BULK: 0.25,
+    }
 
 
 class QosClassifier:

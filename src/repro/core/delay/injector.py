@@ -213,6 +213,25 @@ class DelayInjector:
         interval = self._gate.interval
         return -(-at // interval) * interval
 
+    def backlog_ps(self, at: Time) -> Duration:
+        """Reservation backlog: how far grants are booked past *at*.
+
+        The overload layer's admission policies use this as the
+        estimated gate sojourn a new transaction would suffer — a pure
+        read of the reservation cursor, so the decision is
+        deterministic and costs nothing on the granting path.
+        """
+        if (
+            self._distribution is None
+            and self.schedule is None
+            and self._background is None
+        ):
+            last = self._gate.busy_until() - self._gate.interval
+        else:
+            last = self._last_grant
+        backlog = last - at
+        return backlog if backlog > 0 else 0
+
     def mean_interval_ps(self) -> float:
         """Expected inter-grant spacing (exact for constant injection)."""
         if self._distribution is None:

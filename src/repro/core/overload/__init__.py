@@ -1,0 +1,44 @@
+"""Overload control: deadlines, retry budgets, admission, breakers.
+
+Under MCBN/MCLN contention the paper's remote-memory tails blow up;
+unbounded ARQ and failover retries then *amplify* load exactly when
+capacity is scarcest, which is the signature mechanism of metastable
+failure (a trigger ends, the collapse persists).  This package is the
+protection layer: per-transaction deadlines, token-bucket retry
+budgets, pluggable admission control at the NIC gate and lender bus,
+and per-lender circuit breakers with deterministic probe schedules.
+All pieces are integer-deterministic and null-by-default — with no
+:class:`OverloadConfig` the datapath is bit-identical to before.
+"""
+
+from repro.core.overload.admission import (
+    AdmissionPolicy,
+    PriorityAdmission,
+    QueueDepthAdmission,
+)
+from repro.core.overload.breaker import BreakerState, CircuitBreaker
+from repro.core.overload.budget import RetryBudget
+from repro.core.overload.control import OverloadConfig, OverloadControl
+from repro.core.overload.deadline import (
+    DeadlineClock,
+    check_deadline,
+    clamp_wake,
+    expired,
+    remaining,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "QueueDepthAdmission",
+    "PriorityAdmission",
+    "BreakerState",
+    "CircuitBreaker",
+    "RetryBudget",
+    "OverloadConfig",
+    "OverloadControl",
+    "DeadlineClock",
+    "check_deadline",
+    "clamp_wake",
+    "expired",
+    "remaining",
+]

@@ -1,0 +1,138 @@
+"""Admission control: shed work the datapath cannot serve in time.
+
+Pluggable policies decide, per transaction, whether the NIC gate or
+the lender memory bus should queue the work or reject it outright
+(:class:`~repro.errors.OverloadShed`).  Policies are pure functions of
+(traffic class, queue depth, estimated sojourn), so shedding decisions
+are bit-deterministic and identical across serial and worker runs.
+
+Three policies mirror the ISSUE ladder:
+
+* :class:`AdmissionPolicy` — the null policy; admit everything.
+* :class:`QueueDepthAdmission` — CoDel-flavoured: admit while the
+  estimated queue sojourn stays under a target (and, optionally, the
+  depth under a cap).  Class-blind.
+* :class:`PriorityAdmission` — priority-aware: each
+  :class:`~repro.nic.mux.TrafficClass` gets a fraction of the sojourn
+  target, lowest class smallest, so bulk work sheds first and
+  latency-sensitive work sheds last.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.nic.mux import TrafficClass
+from repro.units import Duration
+
+__all__ = ["AdmissionPolicy", "QueueDepthAdmission", "PriorityAdmission"]
+
+
+class AdmissionPolicy:
+    """Base/null policy: everything is admitted."""
+
+    def admit(
+        self,
+        traffic_class: Optional[TrafficClass],
+        depth: int,
+        sojourn_ps: Duration,
+    ) -> bool:
+        """Should work of *traffic_class* join a queue of *depth* items
+        whose estimated wait is *sojourn_ps*?"""
+        del traffic_class, depth, sojourn_ps
+        return True
+
+    def describe(self) -> str:
+        """Short label for logs and experiment notes."""
+        return "none"
+
+
+class QueueDepthAdmission(AdmissionPolicy):
+    """CoDel-style target: shed once estimated sojourn exceeds it.
+
+    Parameters
+    ----------
+    sojourn_target_ps:
+        Maximum tolerable estimated queue wait; beyond it, new work is
+        shed regardless of class.
+    max_depth:
+        Optional hard cap on queued items (0/None = unlimited).
+    """
+
+    def __init__(self, sojourn_target_ps: Duration, max_depth: int = 0) -> None:
+        if sojourn_target_ps <= 0:
+            raise ValueError(
+                f"sojourn target must be positive, got {sojourn_target_ps}"
+            )
+        self.sojourn_target_ps = sojourn_target_ps
+        self.max_depth = max_depth
+
+    def admit(
+        self,
+        traffic_class: Optional[TrafficClass],
+        depth: int,
+        sojourn_ps: Duration,
+    ) -> bool:
+        del traffic_class
+        if self.max_depth and depth >= self.max_depth:
+            return False
+        return sojourn_ps <= self.sojourn_target_ps
+
+    def describe(self) -> str:
+        return f"queue-depth(target={self.sojourn_target_ps}ps)"
+
+
+class PriorityAdmission(AdmissionPolicy):
+    """Priority-aware shedding: lower classes get tighter targets.
+
+    *weights* maps each traffic class to the fraction of
+    ``sojourn_target_ps`` it may tolerate (latency-sensitive 1.0 by
+    convention, bulk smallest) — see
+    :func:`repro.control.qos.admission_weights` for the default map
+    derived from the QoS classifier's slowdown bands.
+    """
+
+    def __init__(
+        self,
+        sojourn_target_ps: Duration,
+        weights: Dict[TrafficClass, float],
+        max_depth: int = 0,
+    ) -> None:
+        if sojourn_target_ps <= 0:
+            raise ValueError(
+                f"sojourn target must be positive, got {sojourn_target_ps}"
+            )
+        for cls in TrafficClass:
+            if cls not in weights:
+                raise ValueError(f"admission weights missing {cls!r}")
+            if not 0 < weights[cls] <= 1:
+                raise ValueError(
+                    f"admission weight for {cls!r} must be in (0, 1], "
+                    f"got {weights[cls]}"
+                )
+        self.sojourn_target_ps = sojourn_target_ps
+        self.max_depth = max_depth
+        # Pre-scale to integer per-class targets once: the hot-path
+        # check stays integer-only.
+        self._targets = {
+            cls: int(sojourn_target_ps * weights[cls]) for cls in TrafficClass
+        }
+
+    def target_for(self, traffic_class: Optional[TrafficClass]) -> Duration:
+        """Effective sojourn target for one class."""
+        if traffic_class is None:
+            traffic_class = TrafficClass.NORMAL
+        return self._targets[traffic_class]
+
+    def admit(
+        self,
+        traffic_class: Optional[TrafficClass],
+        depth: int,
+        sojourn_ps: Duration,
+    ) -> bool:
+        if self.max_depth and depth >= self.max_depth:
+            return False
+        return sojourn_ps <= self.target_for(traffic_class)
+
+    def describe(self) -> str:
+        return f"priority(target={self.sojourn_target_ps}ps)"

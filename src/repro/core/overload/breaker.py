@@ -1,0 +1,181 @@
+"""Per-lender circuit breaker (CLOSED → OPEN → HALF_OPEN).
+
+Consecutive transaction failures against one lender trip the breaker;
+while OPEN, new transactions fail fast with
+:class:`~repro.errors.CircuitOpen` before consuming a window slot or a
+gate grant.  The probe schedule is deterministic: reopen delays follow
+an exponential ladder with optional jitter drawn from a *named* RNG
+stream, so same-seed runs trip, probe, and close at identical
+picoseconds.
+
+The breaker also accepts control-plane health reports
+(:meth:`CircuitBreaker.note_health`): a lender the failover coordinator
+marks ``dead`` trips the breaker immediately, and a ``suspect`` report
+counts as one failure — tying PR 8's health states into the overload
+layer without a second state machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import CircuitOpen
+from repro.units import Duration, Time, format_time
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The classic three-state breaker automaton."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with a deterministic probe schedule.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while CLOSED) that trip the breaker.
+    reset_timeout_ps:
+        Base OPEN duration before the first half-open probe.
+    backoff:
+        Multiplier applied to the reset timeout after each failed
+        probe (capped at *max_reset_ps*).
+    max_reset_ps:
+        Ceiling on the reopen delay.
+    jitter_ps:
+        Maximum probe-schedule jitter; each reopen adds a uniform
+        integer draw from ``[0, jitter_ps]`` taken from *rng* (a named
+        RNG stream), de-synchronising breakers without breaking
+        determinism.  0 (or no rng) disables jitter.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_ps: Duration = 1_000_000,
+        backoff: float = 2.0,
+        max_reset_ps: Optional[Duration] = None,
+        jitter_ps: Duration = 0,
+        rng=None,
+        name: str = "lender",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_ps <= 0:
+            raise ValueError(
+                f"reset timeout must be positive, got {reset_timeout_ps}"
+            )
+        if backoff < 1.0:
+            raise ValueError(f"breaker backoff must be >= 1.0, got {backoff}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_ps = reset_timeout_ps
+        self.backoff = backoff
+        self.max_reset_ps = max_reset_ps if max_reset_ps is not None else (
+            reset_timeout_ps * 64
+        )
+        self.jitter_ps = jitter_ps
+        self.name = name
+        self._rng = rng
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[Time] = None
+        self.probe_at: Optional[Time] = None
+        self._reopen_count = 0
+        self._probe_inflight = False
+        # Lifetime counters (mirrored into obs metrics by the system).
+        self.trips = 0
+        self.fast_fails = 0
+        self.probes = 0
+
+    # -- admission -------------------------------------------------------
+    def allow(self, now: Time) -> bool:
+        """May a transaction proceed at *now*?
+
+        CLOSED always admits.  OPEN admits nothing until the probe
+        time, then transitions to HALF_OPEN and admits exactly one
+        probe transaction; further arrivals fail fast until the probe
+        resolves via :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN and now >= self.probe_at:
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        if self.state is BreakerState.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            self.probes += 1
+            return True
+        self.fast_fails += 1
+        return False
+
+    def check(self, now: Time) -> None:
+        """Raise :class:`CircuitOpen` unless :meth:`allow` admits."""
+        if not self.allow(now):
+            raise CircuitOpen(
+                f"circuit breaker for {self.name} is {self.state.value} "
+                f"(next probe at {format_time(self.probe_at)})"
+            )
+
+    # -- outcome reporting ----------------------------------------------
+    def record_success(self, now: Time) -> None:
+        """A transaction (or half-open probe) completed: close."""
+        del now
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self.opened_at = None
+            self.probe_at = None
+            self._reopen_count = 0
+            self._probe_inflight = False
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: Time) -> None:
+        """A transaction failed: count toward (or extend) the trip."""
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: reopen with a longer delay.
+            self._reopen_count += 1
+            self._trip(now)
+            return
+        if self.state is BreakerState.OPEN:
+            return  # stragglers from before the trip change nothing
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self._trip(now)
+
+    def note_health(self, status: str, now: Time) -> None:
+        """Fold a control-plane health report into the breaker.
+
+        ``"dead"`` trips immediately, ``"suspect"`` counts as one
+        failure, ``"alive"`` clears the failure count (equivalent to a
+        success).
+        """
+        status = status.lower()
+        if status == "dead":
+            if self.state is not BreakerState.OPEN:
+                self._trip(now)
+        elif status == "suspect":
+            self.record_failure(now)
+        elif status == "alive":
+            self.record_success(now)
+        else:
+            raise ValueError(f"unknown health status {status!r}")
+
+    # -- internals -------------------------------------------------------
+    def _trip(self, now: Time) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+        self.opened_at = now
+        self._probe_inflight = False
+        delay = self.reset_timeout_ps
+        for _ in range(self._reopen_count):
+            delay = min(int(delay * self.backoff), self.max_reset_ps)
+        if self.jitter_ps and self._rng is not None:
+            delay += int(self._rng.integers(0, self.jitter_ps + 1))
+        self.probe_at = now + delay

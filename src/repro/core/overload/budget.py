@@ -1,0 +1,69 @@
+"""Retry budgets: token buckets that cap retries as a traffic ratio.
+
+A retry storm is load amplification: every retransmission re-traverses
+the full datapath, so under overload the offered load is multiplied by
+the retry count exactly when capacity is scarcest.  The classic cure
+(Google SRE, "Handling Overload") is a *retry budget*: retries may
+consume at most a configured fraction of first-attempt traffic.  Each
+first attempt earns ``ratio`` tokens; each retry spends one whole
+token.  When the bucket runs dry the transaction fails fast with
+:class:`~repro.errors.RetryBudgetExhausted` instead of amplifying.
+
+Token arithmetic is integer milli-tokens so replenishment never
+accumulates float error — the bucket is bit-deterministic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RetryBudget"]
+
+_SCALE = 1000  # milli-tokens; ratio resolution of 0.1%
+
+
+class RetryBudget:
+    """Token bucket charging retries against first-attempt traffic.
+
+    Parameters
+    ----------
+    ratio:
+        Tokens earned per first attempt (0.1 = retries capped at 10%
+        of first-attempt traffic in steady state).
+    burst:
+        Bucket capacity in whole tokens — how many back-to-back
+        retries an idle pair may spend before the ratio binds.
+    """
+
+    __slots__ = ("ratio", "burst", "_tokens_m", "first_attempts", "charged", "denied")
+
+    def __init__(self, ratio: float, burst: int = 8) -> None:
+        if ratio < 0:
+            raise ValueError(f"retry budget ratio must be >= 0, got {ratio}")
+        if burst < 1:
+            raise ValueError(f"retry budget burst must be >= 1, got {burst}")
+        self.ratio = ratio
+        self.burst = burst
+        self._tokens_m = burst * _SCALE
+        self.first_attempts = 0
+        self.charged = 0
+        self.denied = 0
+
+    @property
+    def tokens(self) -> float:
+        """Whole tokens currently in the bucket."""
+        return self._tokens_m / _SCALE
+
+    def note_first_attempt(self) -> None:
+        """A first attempt went out: replenish ``ratio`` tokens."""
+        self.first_attempts += 1
+        self._tokens_m = min(
+            self.burst * _SCALE, self._tokens_m + int(self.ratio * _SCALE)
+        )
+
+    def try_charge(self) -> bool:
+        """Spend one token for a retry; False (and counted) if dry."""
+        if self._tokens_m >= _SCALE:
+            self._tokens_m -= _SCALE
+            self.charged += 1
+            return True
+        self.denied += 1
+        return False

@@ -1,0 +1,238 @@
+"""Overload-control configuration and the per-pair runtime bundle.
+
+:class:`OverloadConfig` is the frozen, null-by-default knob set; with
+every field at its default the datapath is bit-identical to a build
+without the overload layer (no deadline, no budget, no admission, no
+breaker, no hedging — every hook short-circuits on ``None``).
+
+:class:`OverloadControl` instantiates the live pieces for one
+(borrower, lender) pair: the transaction deadline source, the retry
+budget token bucket, the admission policy, and the circuit breaker.
+It also owns the per-class shed counters the systems mirror into obs
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.overload.admission import (
+    AdmissionPolicy,
+    PriorityAdmission,
+    QueueDepthAdmission,
+)
+from repro.core.overload.breaker import CircuitBreaker
+from repro.core.overload.budget import RetryBudget
+from repro.errors import ConfigError, RetryBudgetExhausted
+from repro.nic.mux import TrafficClass
+from repro.units import Duration, Time
+
+__all__ = ["OverloadConfig", "OverloadControl"]
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Overload-control policy knobs (all protections off by default).
+
+    Parameters
+    ----------
+    deadline_ps:
+        Absolute per-transaction budget from request issue; ``None``
+        disables deadline propagation.
+    retry_budget_ratio / retry_budget_burst:
+        Token-bucket retry budget (retries capped at *ratio* of
+        first-attempt traffic, bucket depth *burst* tokens); ``None``
+        ratio disables the budget.
+    admission:
+        ``"none"`` / ``"queue"`` (CoDel-style sojourn target) /
+        ``"priority"`` (per-class targets, bulk sheds first).
+    admission_target_ps / admission_max_depth:
+        The sojourn target and optional depth cap the policies use.
+    lender_admission:
+        Also shed at the lender memory bus (requests carry their
+        traffic class in packet metadata so the lender can be
+        priority-aware).
+    breaker_*:
+        Per-lender circuit breaker; ``breaker_failure_threshold``
+        consecutive failures trip it, probes follow the exponential
+        reset ladder (jitter drawn from the ``overload.breaker`` RNG
+        stream when ``breaker_jitter_ps`` > 0).
+    hedge_after_ps:
+        Optional hedged reads: an idempotent fetch retransmits early
+        (after this budget) instead of waiting the full RTO.  Hedges
+        are charged to the retry budget so they self-disable in storms.
+    """
+
+    deadline_ps: Optional[Duration] = None
+    retry_budget_ratio: Optional[float] = None
+    retry_budget_burst: int = 8
+    admission: str = "none"
+    admission_target_ps: Duration = 0
+    admission_max_depth: int = 0
+    lender_admission: bool = False
+    breaker_enabled: bool = False
+    breaker_failure_threshold: int = 5
+    breaker_reset_ps: Duration = 2_000_000  # 2 us
+    breaker_backoff: float = 2.0
+    breaker_jitter_ps: Duration = 0
+    hedge_after_ps: Optional[Duration] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ps is not None and self.deadline_ps <= 0:
+            raise ConfigError(f"deadline must be positive, got {self.deadline_ps}")
+        if self.retry_budget_ratio is not None and self.retry_budget_ratio < 0:
+            raise ConfigError(
+                f"retry budget ratio must be >= 0, got {self.retry_budget_ratio}"
+            )
+        if self.admission not in ("none", "queue", "priority"):
+            raise ConfigError(f"unknown admission policy {self.admission!r}")
+        if self.admission != "none" and self.admission_target_ps <= 0:
+            raise ConfigError("admission policies need a positive sojourn target")
+        if self.lender_admission and self.admission == "none":
+            raise ConfigError("lender admission requires an admission policy")
+        if self.hedge_after_ps is not None and self.hedge_after_ps <= 0:
+            raise ConfigError(
+                f"hedge budget must be positive, got {self.hedge_after_ps}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any protection is configured."""
+        return (
+            self.deadline_ps is not None
+            or self.retry_budget_ratio is not None
+            or self.admission != "none"
+            or self.breaker_enabled
+            or self.hedge_after_ps is not None
+        )
+
+
+@dataclass
+class OverloadControl:
+    """Live overload state for one (borrower, lender) pair."""
+
+    deadline_ps: Optional[Duration] = None
+    retry_budget: Optional[RetryBudget] = None
+    admission: Optional[AdmissionPolicy] = None
+    lender_admission: bool = False
+    breaker: Optional[CircuitBreaker] = None
+    hedge_after_ps: Optional[Duration] = None
+    hedges: int = 0
+    shed_by_class: Dict[TrafficClass, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, config: Optional[OverloadConfig], rng=None, name: str = "lender"
+    ) -> "OverloadControl":
+        """Instantiate the runtime pieces (all None when disabled)."""
+        if config is None or not config.enabled:
+            return cls()
+        budget = None
+        if config.retry_budget_ratio is not None:
+            budget = RetryBudget(
+                config.retry_budget_ratio, config.retry_budget_burst
+            )
+        admission: Optional[AdmissionPolicy] = None
+        if config.admission == "queue":
+            admission = QueueDepthAdmission(
+                config.admission_target_ps, config.admission_max_depth
+            )
+        elif config.admission == "priority":
+            from repro.control.qos import admission_weights
+
+            admission = PriorityAdmission(
+                config.admission_target_ps,
+                admission_weights(),
+                config.admission_max_depth,
+            )
+        breaker = None
+        if config.breaker_enabled:
+            jitter_rng = None
+            if config.breaker_jitter_ps and rng is not None:
+                # A named child stream: the probe schedule stays
+                # deterministic and independent of datapath draws.
+                jitter_rng = rng.get("overload.breaker")
+            breaker = CircuitBreaker(
+                failure_threshold=config.breaker_failure_threshold,
+                reset_timeout_ps=config.breaker_reset_ps,
+                backoff=config.breaker_backoff,
+                jitter_ps=config.breaker_jitter_ps,
+                rng=jitter_rng,
+                name=name,
+            )
+        return cls(
+            deadline_ps=config.deadline_ps,
+            retry_budget=budget,
+            admission=admission,
+            lender_admission=config.lender_admission,
+            breaker=breaker,
+            hedge_after_ps=config.hedge_after_ps,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any protection is live (hot-path gate)."""
+        return (
+            self.deadline_ps is not None
+            or self.retry_budget is not None
+            or self.admission is not None
+            or self.breaker is not None
+            or self.hedge_after_ps is not None
+        )
+
+    # -- deadlines -------------------------------------------------------
+    def deadline_for(self, t_request: Time) -> Optional[Time]:
+        """Absolute deadline for a transaction issued at *t_request*."""
+        if self.deadline_ps is None:
+            return None
+        return t_request + self.deadline_ps
+
+    # -- retry budget ----------------------------------------------------
+    def note_first_attempt(self) -> None:
+        """First attempt on the wire: replenish the retry budget."""
+        if self.retry_budget is not None:
+            self.retry_budget.note_first_attempt()
+
+    def charge_retry(self, seq: int, attempts=()) -> None:
+        """Spend one retry token; raise when the bucket is dry."""
+        if self.retry_budget is None:
+            return
+        if not self.retry_budget.try_charge():
+            raise RetryBudgetExhausted(
+                f"retry budget exhausted for seq {seq} "
+                f"({self.retry_budget.charged} retries charged against "
+                f"{self.retry_budget.first_attempts} first attempts, "
+                f"ratio {self.retry_budget.ratio})",
+                attempts=attempts,
+            )
+
+    # -- admission -------------------------------------------------------
+    def admit(
+        self,
+        traffic_class: Optional[TrafficClass],
+        depth: int,
+        sojourn_ps: Duration,
+    ) -> bool:
+        """Gate-side admission decision (True when no policy is set)."""
+        if self.admission is None:
+            return True
+        return self.admission.admit(traffic_class, depth, sojourn_ps)
+
+    def record_shed(self, traffic_class: Optional[TrafficClass]) -> None:
+        """Count one shed against its traffic class."""
+        if traffic_class is None:
+            traffic_class = TrafficClass.NORMAL
+        self.shed_by_class[traffic_class] = (
+            self.shed_by_class.get(traffic_class, 0) + 1
+        )
+
+    # -- breaker ---------------------------------------------------------
+    def record_outcome(self, ok: bool, now: Time) -> None:
+        """Feed a transaction outcome to the breaker (if any)."""
+        if self.breaker is None:
+            return
+        if ok:
+            self.breaker.record_success(now)
+        else:
+            self.breaker.record_failure(now)

@@ -1,0 +1,127 @@
+"""Deadline arithmetic shared by every timeout path in the datapath.
+
+Before this module the repository had two ad-hoc timeout
+implementations that could drift apart: the detection watchdog
+(:mod:`repro.nic.timeout`) hand-rolled gap/sojourn comparisons, and
+the ARQ RTO loop (:mod:`repro.nic.transport` /
+:mod:`repro.node.reliable`) computed per-attempt expiries inline.
+Both now route their arithmetic through this one helper, which also
+serves the overload layer's transaction deadlines: *remaining budget*,
+*expiry*, and *timer clamping* are defined in exactly one place.
+
+Everything here is integer picoseconds and side-effect free, so the
+helpers are safe on the deterministic hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DeadlineExceeded
+from repro.units import Duration, Time, format_time
+
+__all__ = [
+    "DeadlineClock",
+    "remaining",
+    "expired",
+    "clamp_wake",
+    "check_deadline",
+]
+
+
+def remaining(deadline: Optional[Time], now: Time) -> Optional[Duration]:
+    """Budget left before *deadline* (clamped at 0); None if no deadline."""
+    if deadline is None:
+        return None
+    left = deadline - now
+    return left if left > 0 else 0
+
+
+def expired(deadline: Optional[Time], now: Time) -> bool:
+    """True once *now* has reached the (optional) absolute *deadline*."""
+    return deadline is not None and now >= deadline
+
+
+def clamp_wake(wake: Time, deadline: Optional[Time]) -> Time:
+    """Clamp a timer expiry to the transaction deadline.
+
+    A retransmission timer must never sleep past the point the whole
+    transaction is due to be abandoned — the doomed wait would hold the
+    window slot without any chance of success.
+    """
+    if deadline is None or deadline >= wake:
+        return wake
+    return deadline
+
+
+def check_deadline(deadline: Optional[Time], now: Time, what: str = "transaction") -> None:
+    """Fail fast with :class:`DeadlineExceeded` once the budget is spent."""
+    if expired(deadline, now):
+        raise DeadlineExceeded(
+            f"{what} deadline {format_time(deadline)} expired at "
+            f"{format_time(now)}"
+        )
+
+
+class DeadlineClock:
+    """Progress clock with a fixed budget (the unified timeout core).
+
+    Tracks the last time progress was observed and answers the two
+    questions every timeout path asks: *has a single interval exceeded
+    the budget?* (``exceeds``) and *has too long passed since the last
+    progress?* (``overdue_gap``).  The detection watchdog wraps this
+    for attach-path liveness; the overload layer uses the same clock
+    semantics for per-transaction deadlines via :func:`check_deadline`.
+    """
+
+    __slots__ = ("budget", "_last_progress")
+
+    def __init__(self, budget: Duration) -> None:
+        if budget <= 0:
+            raise ValueError(f"timeout must be positive, got {budget}")
+        self.budget = budget
+        self._last_progress: Optional[Time] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while a progress baseline is set."""
+        return self._last_progress is not None
+
+    @property
+    def last_progress(self) -> Optional[Time]:
+        """Time of the most recent observed progress (None if disarmed)."""
+        return self._last_progress
+
+    def arm(self, at: Time) -> None:
+        """(Re)start the clock: progress baseline becomes *at*."""
+        self._last_progress = at
+
+    def disarm(self) -> None:
+        """Forget all progress; ``arm`` must run before the next check."""
+        self._last_progress = None
+
+    def note(self, at: Time) -> None:
+        """Advance the progress baseline (monotone; earlier times ignored)."""
+        if self._last_progress is None:
+            raise RuntimeError("deadline clock not armed")
+        if at > self._last_progress:
+            self._last_progress = at
+
+    def gap(self, at: Time) -> Duration:
+        """Time since the last progress observation."""
+        if self._last_progress is None:
+            raise RuntimeError("deadline clock not armed")
+        return at - self._last_progress
+
+    def overdue_gap(self, at: Time) -> Optional[Duration]:
+        """The progress gap at *at* if it exceeds the budget, else None."""
+        gap = self.gap(at)
+        return gap if gap > self.budget else None
+
+    def exceeds(self, duration: Duration) -> bool:
+        """True if a single interval blew the budget (sojourn check)."""
+        return duration > self.budget
+
+    def deadline_after(self, at: Time) -> Time:
+        """Absolute deadline for an interval starting at *at*."""
+        return at + self.budget

@@ -36,8 +36,14 @@ from repro.engine.model import PathModel
 from repro.engine.phases import Location, PhaseProgram
 from repro.errors import ConfigError
 from repro.nic.packet import HEADER_BYTES
+from repro.sim import RateSchedule
 
-__all__ = ["BackgroundLoad", "HybridContention", "program_write_fraction"]
+__all__ = [
+    "BackgroundLoad",
+    "HybridContention",
+    "lender_bus_pulse",
+    "program_write_fraction",
+]
 
 #: Shared-resource names of the remote datapath, in path order.
 GATE, LINK_FWD, LINK_REV, LENDER_BUS = "gate", "link_fwd", "link_rev", "lender_bus"
@@ -255,6 +261,32 @@ class HybridContention:
             return sim_events
         total = foreground_lines + self.background_lines()
         return int(sim_events * total / foreground_lines)
+
+
+def lender_bus_pulse(
+    system, start_ps: int, stop_ps: int, fraction: float
+) -> RateSchedule:
+    """Square-pulse fluid contention on the lender memory bus.
+
+    Builds (and installs) a background schedule that consumes
+    *fraction* of the lender bus over ``[start_ps, stop_ps)`` — a gray
+    lender whose DRAM is hammered by unmeasured fig6-style contenders,
+    expressed as fluid so the pulse costs zero contender events.  The
+    metastable experiment's hybrid mode uses this as (part of) its
+    trigger: foreground transfers serialize at the residual rate while
+    the pulse is in force, and the overload layer's shedding/hedging
+    composes with the fluid background exactly as with discrete
+    contention.  Returns the installed schedule (pass it to
+    ``system.lender.dram.bus.set_background(None)`` to clear early).
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ConfigError(f"pulse fraction must be in (0, 1), got {fraction}")
+    if stop_ps <= start_ps:
+        raise ConfigError("pulse window must be non-empty")
+    rate = system.config.lender.dram.bus_bandwidth_bytes_per_s * fraction
+    schedule = RateSchedule([(int(start_ps), rate), (int(stop_ps), 0.0)])
+    system.lender.dram.bus.set_background(schedule)
+    return schedule
 
 
 def mcbn_background(

@@ -16,6 +16,11 @@ __all__ = [
     "ChecksumError",
     "LinkCorruption",
     "RetryExhausted",
+    "OverloadError",
+    "DeadlineExceeded",
+    "RetryBudgetExhausted",
+    "OverloadShed",
+    "CircuitOpen",
     "WorkloadError",
     "ExperimentError",
     "CheckpointError",
@@ -87,7 +92,79 @@ class RetryExhausted(ProtocolError):
     spent without an acknowledged delivery.  The borrower turns this
     into a :class:`~repro.core.resilience.HostCrash` (default) or a
     degraded-mode switchover when ``degraded_mode`` is enabled.
+
+    ``attempts`` carries the per-attempt timing history — a tuple of
+    ``(attempt, at_ps, cause)`` triples with ``cause`` one of
+    ``"timeout"`` / ``"nack"`` — and ``gave_up_at`` the simulated time
+    the sender stopped trying, so the metastable experiment and
+    ``repro obs attrib`` can explain each give-up.
     """
+
+    def __init__(self, message: str, attempts=(), gave_up_at=None) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+        self.gave_up_at = gave_up_at
+
+
+class OverloadError(ProtocolError):
+    """A transaction was failed fast by the overload-control layer.
+
+    Subclasses identify which protection fired; ``blame_resource``
+    names the resource blame rows are charged to (``overload.*``), so
+    attribution sidecars show where fail-fast time went.  Like
+    :class:`RetryExhausted`, ``attempts`` records the per-attempt
+    history accumulated before the give-up.
+    """
+
+    blame_resource = "overload.control"
+
+    def __init__(self, message: str, attempts=(), gave_up_at=None) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+        self.gave_up_at = gave_up_at
+
+
+class DeadlineExceeded(OverloadError):
+    """The transaction's absolute deadline expired before completion.
+
+    Raised before queueing doomed work: each hop and retransmission
+    checks the remaining budget and fails fast instead of consuming
+    gate/link capacity on a response nobody will wait for.
+    """
+
+    blame_resource = "overload.deadline"
+
+
+class RetryBudgetExhausted(OverloadError):
+    """The per-(borrower, lender) retry budget is empty.
+
+    Retransmissions are capped at a configured ratio of first-attempt
+    traffic (token bucket); when the bucket runs dry the transaction
+    fails fast rather than amplifying a retry storm.
+    """
+
+    blame_resource = "overload.retry_budget"
+
+
+class OverloadShed(OverloadError):
+    """Admission control shed the transaction (load shedding).
+
+    The NIC gate or the lender memory bus judged its backlog beyond
+    the policy's sojourn/depth target and rejected the work instead of
+    queueing it.
+    """
+
+    blame_resource = "overload.shed"
+
+
+class CircuitOpen(OverloadError):
+    """The per-lender circuit breaker is open; the lender is not tried.
+
+    Fail-fast at issue: no window slot, no gate grant, no wire traffic
+    until the breaker's deterministic probe schedule half-opens it.
+    """
+
+    blame_resource = "overload.breaker"
 
 
 class WorkloadError(ReproError):

@@ -37,7 +37,7 @@ __all__ = ["main"]
 #: Experiments with a genuine fluid-background offload path.  Others
 #: fall back to ``des`` under ``--engine hybrid`` (a hybrid run with
 #: zero background flows is byte-identical to DES by construction).
-HYBRID_EXPERIMENTS = frozenset({"fig6", "fig7", "failover"})
+HYBRID_EXPERIMENTS = frozenset({"fig6", "fig7", "failover", "metastable"})
 
 
 def _build_parser() -> argparse.ArgumentParser:

@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from repro.errors import ExperimentError
 from repro.experiments import (
     failover,
+    metastable,
     fig2_stream_latency,
     fig3_stream_bandwidth,
     fig4_resilience,
@@ -40,6 +41,7 @@ _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-blackout": blackout.run,
     "ablation-pooling": pooling.run,
     "failover": failover.run,
+    "metastable": metastable.run,
 }
 
 _DESCRIPTIONS: Dict[str, str] = {
@@ -56,6 +58,7 @@ _DESCRIPTIONS: Dict[str, str] = {
     "ablation-blackout": "Extension: link blackout survive/crash boundary",
     "ablation-pooling": "Extension: memory pooling vs borrowing bottleneck shift",
     "failover": "Extension: lender failure domains (health-checked failover)",
+    "metastable": "Extension: metastable collapse vs overload-control ladder",
 }
 
 #: Experiments reproducing paper artifacts (vs extension studies).

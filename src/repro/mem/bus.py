@@ -48,6 +48,8 @@ class BandwidthServer:
         "_busy_time",
         "queue_wait_hist",
         "_background",
+        "admission",
+        "sheds",
     )
 
     def __init__(self, rate_bytes_per_s: float, name: str = "bus") -> None:
@@ -64,6 +66,10 @@ class BandwidthServer:
         self.queue_wait_hist: Optional[LogHistogram] = None
         # Fluid background traffic (None = pure-DES fast path).
         self._background: Optional[RateSchedule] = None
+        # Optional overload-control admission policy (duck-typed as
+        # repro.core.overload.AdmissionPolicy; None = admit everything).
+        self.admission = None
+        self.sheds = 0
 
     def enable_queue_wait_tracking(self) -> LogHistogram:
         """Start log-bucketed tracking of per-transfer queueing waits."""
@@ -108,6 +114,26 @@ class BandwidthServer:
         if self.queue_wait_hist is not None:
             self.queue_wait_hist.record(start - at)
         return start, finish
+
+    def queue_delay(self, at: Time) -> Duration:
+        """Head-of-line wait a transfer arriving at *at* would see."""
+        wait = self._next_free - at
+        return wait if wait > 0 else 0
+
+    def try_admit(self, traffic_class, at: Time) -> bool:
+        """Admission-control check for work arriving at *at*.
+
+        Consults the attached policy against the current reservation
+        backlog; a rejection is counted in ``sheds`` and the caller
+        must not reserve.  With no policy attached this is always True
+        (and the reserve fast path is untouched).
+        """
+        if self.admission is None:
+            return True
+        if self.admission.admit(traffic_class, 0, self.queue_delay(at)):
+            return True
+        self.sheds += 1
+        return False
 
     def busy_until(self) -> Time:
         """Absolute time at which the server next becomes idle."""

@@ -123,7 +123,10 @@ class StructuralBorrowerNic:
     # ------------------------------------------------------------------
     def _injector_block(self) -> Generator:
         """The delay-injection module: gates READY per the paper."""
-        while True:
+        # Stream-server loop, not a retry loop: every send forwards a
+        # fresh beat received from upstream (channel backpressure is the
+        # bound); nothing is ever re-issued.
+        while True:  # simlint: disable=SIM013
             beat: Beat = yield self.router_to_injector.recv()
             grant = self.injector.admit(self.sim.now)
             if grant > self.sim.now:
@@ -133,7 +136,8 @@ class StructuralBorrowerNic:
 
     def _mux_block(self) -> Generator:
         """Multiplexer: merges (here: forwards) onto the packetizer."""
-        while True:
+        # Stream-server loop (see _injector_block): fresh beats only.
+        while True:  # simlint: disable=SIM013
             beat: Beat = yield self.injector_to_mux.recv()
             yield self.mux_to_packetizer.send(beat)
 

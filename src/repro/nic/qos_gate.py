@@ -19,9 +19,10 @@ pops the best waiting request, and wakes it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.axi.ratelimit import SlotGate
+from repro.errors import OverloadShed
 from repro.nic.mux import TrafficClass
 from repro.sim import Signal, Simulator, Timeout, Waitable
 from repro.units import Duration, Time
@@ -52,7 +53,13 @@ class PriorityGateServer:  # simlint: disable=SIM008
     at most one per opportunity, never before arrival.
     """
 
-    def __init__(self, sim: Simulator, interval: Duration, name: str = "qos-gate") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: Duration,
+        name: str = "qos-gate",
+        admission=None,
+    ) -> None:
         self.sim = sim
         self.name = name
         self._grid = SlotGate(interval=interval)
@@ -62,6 +69,10 @@ class PriorityGateServer:  # simlint: disable=SIM008
         self._wakeup: Optional[Signal] = None
         self._last_grant: Time = -interval
         self.grants_by_class: Dict[TrafficClass, int] = {cls: 0 for cls in TrafficClass}
+        # Optional overload-control admission policy (duck-typed as
+        # repro.core.overload.AdmissionPolicy; None = admit everything).
+        self.admission = admission
+        self.shed_by_class: Dict[TrafficClass, int] = {cls: 0 for cls in TrafficClass}
         sim.process(self._serve(), name=name)
 
     @property
@@ -74,12 +85,75 @@ class PriorityGateServer:  # simlint: disable=SIM008
         return sum(len(q) for q in self._queues.values())
 
     def request(self, traffic_class: TrafficClass = TrafficClass.NORMAL) -> Waitable:
-        """Queue a transaction; the waitable's value is its grant time."""
+        """Queue a transaction; the waitable's value is its grant time.
+
+        With an admission policy attached, a rejected arrival sheds the
+        *lowest-value* work present: the newest waiter of the lowest
+        priority class strictly below the newcomer if one exists,
+        otherwise the newcomer itself.  Shed waitables fail with
+        :class:`~repro.errors.OverloadShed`, so a waiter that has
+        already yielded (or is about to) sees the exception re-raised
+        at its resume point — the transaction fails fast instead of
+        holding gate state.
+        """
         req = Waitable(self.sim)
+        if self.admission is not None and not self.admission.admit(
+            traffic_class, self.waiting(), self.sojourn_estimate(traffic_class)
+        ):
+            victim_class, victim = self._shed_victim(traffic_class)
+            if victim is None:
+                # Nothing lower-value is waiting: shed the newcomer
+                # without ever enqueueing it.
+                self.shed_by_class[traffic_class] += 1
+                req.fail(
+                    OverloadShed(
+                        f"{self.name}: {traffic_class.name} arrival shed "
+                        f"(gate sojourn beyond admission target)"
+                    )
+                )
+                return req
+            self.shed_by_class[victim_class] += 1
+            victim.fail(
+                OverloadShed(
+                    f"{self.name}: queued {victim_class.name} work shed "
+                    f"for a {traffic_class.name} arrival"
+                )
+            )
         self._queues[traffic_class].append(req)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.trigger()
         return req
+
+    def sojourn_estimate(self, traffic_class: TrafficClass) -> Duration:
+        """Deterministic wait estimate for a new arrival of *traffic_class*.
+
+        The arrival waits for the next grid opportunity plus one
+        interval per queued request at the same or higher priority
+        (each opportunity serves exactly one transaction).  Pure — no
+        reservation state is touched, so consulting the policy costs
+        nothing on the granting path.
+        """
+        interval = self._grid.interval
+        ahead = sum(
+            len(queue)
+            for cls, queue in self._queues.items()
+            if cls <= traffic_class
+        )
+        earliest = max(self.sim.now, self._last_grant + interval)
+        first = self._grid.next_slot(earliest)
+        return (first - self.sim.now) + ahead * interval
+
+    def _shed_victim(
+        self, traffic_class: TrafficClass
+    ) -> Tuple[Optional[TrafficClass], Optional[Waitable]]:
+        """Newest waiter of the lowest class strictly below *traffic_class*."""
+        for cls in sorted(TrafficClass, reverse=True):
+            if cls <= traffic_class:
+                break
+            queue = self._queues[cls]
+            if queue:
+                return cls, queue.pop()
+        return None, None
 
     def _pop_best(self) -> Optional[tuple[TrafficClass, Waitable]]:
         for cls in sorted(TrafficClass):

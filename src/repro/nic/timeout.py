@@ -7,10 +7,17 @@ the disaggregated memory cannot be attached", while ``PERIOD = 1000``
 the attach-path deadline: if the gap between consecutive handshake
 completions (or issue→completion sojourn) exceeds the detection
 timeout, the device is declared absent.
+
+The timeout arithmetic itself lives in
+:class:`repro.core.overload.DeadlineClock` — the same helper the ARQ
+RTO loop and the overload layer's transaction deadlines use — so the
+watchdog and the transport can no longer drift apart on what "budget
+exceeded" means.
 """
 
 from __future__ import annotations
 
+from repro.core.overload.deadline import DeadlineClock
 from repro.errors import LinkDetectionTimeout
 from repro.units import Duration, Time, format_time
 
@@ -28,15 +35,17 @@ class DetectionWatchdog:
     """
 
     def __init__(self, timeout: Duration) -> None:
-        if timeout <= 0:
-            raise ValueError(f"timeout must be positive, got {timeout}")
-        self.timeout = timeout
-        self._last_progress: Time | None = None
+        self._clock = DeadlineClock(timeout)
         self.observations = 0
+
+    @property
+    def timeout(self) -> Duration:
+        """The detection budget (gap and sojourn deadline)."""
+        return self._clock.budget
 
     def start(self, at: Time) -> None:
         """Arm the watchdog at time *at*."""
-        self._last_progress = at
+        self._clock.arm(at)
         self.observations = 0
 
     def reset(self) -> None:
@@ -47,7 +56,7 @@ class DetectionWatchdog:
         progress timestamp into the new handshake.  ``start`` must be
         called again before the next ``observe``.
         """
-        self._last_progress = None
+        self._clock.disarm()
         self.observations = 0
 
     def observe(self, completion_time: Time, sojourn: Duration) -> None:
@@ -57,20 +66,20 @@ class DetectionWatchdog:
         single over-deadline transaction is declared dead even if other
         handshake traffic kept the gap alive.
         """
-        if self._last_progress is None:
+        if not self._clock.armed:
             raise RuntimeError("watchdog not started")
-        gap = completion_time - self._last_progress
-        if sojourn > self.timeout:
+        if self._clock.exceeds(sojourn):
             raise LinkDetectionTimeout(
                 f"handshake sojourn {format_time(sojourn)} exceeded detection "
                 f"timeout {format_time(self.timeout)}"
             )
-        if gap > self.timeout:
+        gap = self._clock.overdue_gap(completion_time)
+        if gap is not None:
             raise LinkDetectionTimeout(
                 f"no handshake progress for {format_time(gap)} (timeout "
                 f"{format_time(self.timeout)})"
             )
-        self._last_progress = completion_time
+        self._clock.note(completion_time)
         self.observations += 1
 
     def progress(self, at: Time) -> None:
@@ -82,8 +91,7 @@ class DetectionWatchdog:
         from a lost packet.  Only the progress timestamp advances; the
         gap deadline still applies to the next observation.
         """
-        if self._last_progress is None:
+        if not self._clock.armed:
             raise RuntimeError("watchdog not started")
-        if at > self._last_progress:
-            self._last_progress = at
+        self._clock.note(at)
         self.observations += 1

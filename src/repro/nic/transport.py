@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.config import TransportConfig
+from repro.core.overload.deadline import check_deadline, clamp_wake
 from repro.errors import LinkCorruption, ProtocolError, RetryExhausted
 from repro.nic.packet import Packet
 
@@ -244,19 +245,47 @@ class ReliableTransport:
         grown = int(rto * self.config.backoff)
         return min(grown, self.config.max_rto)
 
-    def charge_retry(self, packet: Packet, attempt: int, now: Time) -> None:
+    def attempt_deadline(
+        self, start: Time, rto: Duration, txn_deadline: Optional[Time] = None
+    ) -> Time:
+        """Expiry of one attempt's retransmission timer.
+
+        *start* is where the timer arms — the gate grant (hardware
+        timer, the default) or the attempt issue when
+        ``timer_from_send`` models a software ARQ whose RTO includes
+        local queueing.  The expiry is clamped to the transaction's
+        absolute deadline (when the overload layer set one) via the
+        shared :func:`~repro.core.overload.deadline.clamp_wake`
+        helper: a timer must never sleep past the point the whole
+        transaction is due to be abandoned.
+        """
+        return clamp_wake(start + rto, txn_deadline)
+
+    def charge_retry(
+        self,
+        packet: Packet,
+        attempt: int,
+        now: Time,
+        txn_deadline: Optional[Time] = None,
+        attempts=(),
+    ) -> None:
         """Account one more attempt; raises when the budget is spent.
 
         *attempt* counts retransmissions (0 = the original send), so a
         budget of N allows N retransmissions = N+1 copies on the wire.
+        The remaining transaction budget is checked *before* the
+        retransmission is queued (fail fast on doomed work), and the
+        per-attempt history travels on the raised exception.
         """
-        del now  # reserved for future RTT estimation
+        check_deadline(txn_deadline, now, what=f"seq {packet.seq}")
         if attempt > self.config.max_retries:
             self.stats.exhausted += 1
             self.buffer.ack(packet.seq)  # give the slot up
             raise RetryExhausted(
                 f"seq {packet.seq} unacknowledged after "
-                f"{self.config.max_retries} retransmission(s)"
+                f"{self.config.max_retries} retransmission(s)",
+                attempts=attempts,
+                gave_up_at=now,
             )
         self.stats.retransmissions += 1
 

@@ -31,10 +31,17 @@ class QosThymesisFlowSystem(ThymesisFlowSystem):
         config: ClusterConfig,
         schedule: Optional[DelaySchedule] = None,
         sim: Optional[Simulator] = None,
+        admission=None,
     ) -> None:
         super().__init__(config, schedule=schedule, sim=sim)
+        # ``admission`` is an optional overload-control policy
+        # (repro.core.overload.AdmissionPolicy); when set, the gate
+        # sheds lowest-class work first under saturating load.
         self.qos_gate = PriorityGateServer(
-            self.sim, interval=self.injector.interval_ps, name="nic.qos-gate"
+            self.sim,
+            interval=self.injector.interval_ps,
+            name="nic.qos-gate",
+            admission=admission,
         )
 
     def _admit(self, valid_at: Time, traffic_class: TrafficClass) -> Generator:

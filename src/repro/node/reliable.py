@@ -42,7 +42,15 @@ from typing import Generator, Optional, Tuple
 from repro.calibration import default_rto_ps
 from repro.config import ClusterConfig
 from repro.core.delay import DelaySchedule
-from repro.errors import ProtocolError, RetryExhausted
+from repro.core.overload import OverloadConfig, OverloadControl
+from repro.core.overload.deadline import expired
+from repro.errors import (
+    DeadlineExceeded,
+    OverloadError,
+    OverloadShed,
+    ProtocolError,
+    RetryExhausted,
+)
 from repro.net.faults import Delivery, FaultModel, FaultyChannel
 from repro.nic.mux import TrafficClass
 from repro.nic.packet import Packet, PacketKind
@@ -70,6 +78,14 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         sweeps pass ``False``, attach over a clean link, then call
         :meth:`arm_faults` so the handshake is not part of the chaos
         window.
+    overload:
+        Optional :class:`~repro.core.overload.OverloadConfig` enabling
+        the overload-control layer (transaction deadlines, retry
+        budgets, admission/shedding, per-lender circuit breaker,
+        hedged reads).  ``None`` (the default) keeps the datapath
+        bit-identical to a build without the layer.
+    obs_label:
+        Optional trace-process label (see the base class).
     """
 
     def __init__(
@@ -80,8 +96,10 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         obs=None,
         degraded_mode: bool = False,
         faults_armed: bool = True,
+        overload: Optional[OverloadConfig] = None,
+        obs_label: Optional[str] = None,
     ) -> None:
-        super().__init__(config, schedule=schedule, sim=sim, obs=obs)
+        super().__init__(config, schedule=schedule, sim=sim, obs=obs, obs_label=obs_label)
         self.degraded_mode = degraded_mode
         self.fault_fwd = FaultModel(
             config.fault, self.rng.spawn("net.fwd"), active=faults_armed
@@ -98,6 +116,10 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         self._tx_slots = Resource(
             self.sim, config.transport.retransmit_buffer, name="nic.txbuf"
         )
+        self.overload = OverloadControl.build(overload, rng=self.rng, name="lender")
+        if self.overload.lender_admission:
+            # Lender-side shedding: the bus consults the same policy.
+            self.lender.dram.bus.admission = self.overload.admission
         self.quarantined_at: Optional[Time] = None
         self.switchover_ps: Optional[int] = None
         self._crashed = False
@@ -166,10 +188,27 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         t = sim.now + self._lender_latency
         if fresh and delivery.packet.kind in (PacketKind.READ_REQ, PacketKind.WRITE_REQ):
             self.translator.translate(delivery.packet.addr)
+            if self.overload.lender_admission and not self.lender.dram.bus.try_admit(
+                self._request_class(delivery.packet), t
+            ):
+                # Lender-side load shedding: the memory bus backlog is
+                # beyond the admission target, so answer with a shed
+                # marker instead of queueing the access — the borrower
+                # fails fast without retrying.
+                response = delivery.packet.make_response()
+                response.meta["cum_ack"] = transport.receiver.cum_ack
+                response.meta["shed"] = True
+                return self._rev.transmit_packet(response, t), False
             t = self.lender.dram.access(self._line, t, write=write)
         response = delivery.packet.make_response()
         response.meta["cum_ack"] = transport.receiver.cum_ack
         return self._rev.transmit_packet(response, t), False
+
+    @staticmethod
+    def _request_class(packet: Packet) -> Optional[TrafficClass]:
+        """Traffic class a request carried on the wire (overload only)."""
+        tc = packet.meta.get("tc")
+        return TrafficClass(tc) if tc is not None else None
 
     # ------------------------------------------------------------------
     # Datapath: per-transaction ARQ loop
@@ -192,6 +231,17 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         transport = self.transport
         write = kind is PacketKind.WRITE_REQ
         t_request = sim.now
+        # Overload control is a no-op bundle unless configured; probes
+        # (the attach handshake) bypass it entirely.
+        overload = self.overload
+        guarded = overload.enabled and kind is not PacketKind.PROBE
+        txn_deadline = overload.deadline_for(t_request) if guarded else None
+        if guarded and overload.breaker is not None:
+            try:
+                overload.breaker.check(sim.now)
+            except OverloadError:
+                self._count_overload_failure("breaker")
+                raise
         token_holder = yield self.borrower.window.acquire()
         del token_holder
         slot_holder = yield self._tx_slots.acquire()
@@ -201,8 +251,12 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         request = Packet(
             kind=kind, src=0, dst=1, seq=self._next_seq(), addr=addr, size=payload_bytes
         )
+        if guarded and overload.lender_admission:
+            request.meta["tc"] = int(traffic_class)
         transport.buffer.add(request)
         transport.stats.sent += 1
+        if guarded:
+            overload.note_first_attempt()
 
         rto = transport.initial_rto
         attempt = 0  # total replays of this packet (stats, AccessResult)
@@ -210,8 +264,31 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         complete = issue
         blaming = self.obs.attrib_enabled and kind is not PacketKind.PROBE
         attempt_start = issue  # blame tiling: attempts are contiguous
+        attempt_log: list = []  # (attempt, time_ps, cause) history
         try:
             while True:
+                attempt_send = sim.now
+                if guarded:
+                    if expired(txn_deadline, sim.now):
+                        # Fail fast before queueing doomed work: the
+                        # transaction is out of budget, so the gate and
+                        # the wire never see this attempt.
+                        raise DeadlineExceeded(
+                            f"seq {request.seq} out of deadline budget "
+                            f"before attempt {attempt + 1}",
+                            attempts=tuple(attempt_log),
+                            gave_up_at=sim.now,
+                        )
+                    if overload.admission is not None and not self.overload.admit(
+                        traffic_class, 0, self.injector.backlog_ps(sim.now)
+                    ):
+                        overload.record_shed(traffic_class)
+                        raise OverloadShed(
+                            f"seq {request.seq} shed at the NIC gate "
+                            f"(backlog beyond admission target)",
+                            attempts=tuple(attempt_log),
+                            gave_up_at=sim.now,
+                        )
                 # Egress pipeline + delay injector, every attempt: a
                 # retransmission traverses the full datapath again.
                 valid_at = sim.now + self._egress_latency
@@ -223,7 +300,20 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
                     transport.buffer.add(request)
                 replay = transport.buffer.get(request.seq)
                 delivery = self._fwd.transmit_packet(replay, grant)
-                deadline = grant + rto
+                # The retransmission timer arms at the gate grant (a
+                # hardware timer starts when the packet hits the wire)
+                # unless ``timer_from_send`` models a software ARQ whose
+                # RTO covers local queueing too.
+                timer_base = attempt_send if transport.config.timer_from_send else grant
+                hedged = (
+                    guarded
+                    and overload.hedge_after_ps is not None
+                    and attempt == 0
+                    and kind is PacketKind.READ_REQ
+                    and overload.hedge_after_ps < rto
+                )
+                timer = overload.hedge_after_ps if hedged else rto
+                deadline = transport.attempt_deadline(timer_base, timer, txn_deadline)
 
                 response_at: Optional[Time] = None
                 nack_at: Optional[Time] = None
@@ -251,6 +341,17 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
                     if response_at > sim.now:
                         yield Timeout(sim, response_at - sim.now)
                     transport.on_response(request, resp_packet.meta.get("cum_ack", 0))
+                    if resp_packet.meta.get("shed"):
+                        # The lender's memory bus refused the work: the
+                        # reply is an ACK (the seq is consumed) but the
+                        # access never ran — surface the shed instead of
+                        # retrying into an overloaded lender.
+                        overload.record_shed(traffic_class)
+                        raise OverloadShed(
+                            f"seq {request.seq} shed at the lender memory bus",
+                            attempts=tuple(attempt_log),
+                            gave_up_at=sim.now,
+                        )
                     complete = response_at
                     break
 
@@ -265,26 +366,59 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
                     # the remote window dead while we slept.
                     raise RetryExhausted(
                         f"remote window withdrawn during recovery of "
-                        f"seq {request.seq}"
+                        f"seq {request.seq}",
+                        attempts=tuple(attempt_log),
+                        gave_up_at=sim.now,
                     )
                 attempt += 1
+                attempt_log.append((attempt, sim.now, "nack" if fast else "timeout"))
                 if fast:
                     transport.stats.nacks += 1
                 else:
                     transport.stats.timeouts += 1
-                if transport.eligible_for_budget(request.seq):
+                if hedged and not fast:
+                    # A hedge firing is a proactive duplicate, not a
+                    # suspected loss: it is not charged to any budget.
+                    overload.hedges += 1
+                    if self.obs.enabled:
+                        self.obs.metrics.count("overload.hedges")
+                    transport.free_replay()
+                elif transport.eligible_for_budget(request.seq):
                     charged += 1
-                    transport.charge_retry(request, charged, sim.now)
+                    if guarded:
+                        # Deadline outranks the budget: no point spending
+                        # a retry token on a transaction already due to
+                        # be abandoned.
+                        if expired(txn_deadline, sim.now):
+                            raise DeadlineExceeded(
+                                f"seq {request.seq} out of deadline budget "
+                                f"before retransmission {charged}",
+                                attempts=tuple(attempt_log),
+                                gave_up_at=sim.now,
+                            )
+                        overload.charge_retry(
+                            request.seq, attempts=tuple(attempt_log)
+                        )
+                    transport.charge_retry(
+                        request,
+                        charged,
+                        sim.now,
+                        txn_deadline=txn_deadline,
+                        attempts=tuple(attempt_log),
+                    )
                 else:
                     transport.free_replay()
                 self.stats.count("transport.retx")
                 if self.obs.enabled:
                     self.obs.metrics.count("transport.retx")
                     if self.obs.tracer.enabled:
+                        # Under ``timer_from_send`` the timer can expire
+                        # while the attempt is still gate-queued (wake <
+                        # grant); the span then shows the doomed tail.
                         self.obs.tracer.add_span(
                             "transport.retry",
-                            grant,
-                            wake,
+                            min(grant, wake),
+                            max(grant, wake),
                             pid=self._obs_pid or 1,
                             track="transport.retry",
                             cat="fault",
@@ -300,10 +434,16 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
                         )
                         attempt_start = sim.now
                 rto = transport.next_rto(rto)
+        except OverloadError as exc:
+            self._overload_failed(exc, request.seq, issue, attempt_start,
+                                  traffic_class, blaming)
+            raise
         except RetryExhausted as exc:
             self.borrower.window.release()
             self._tx_slots.release()
             self.stats.count("transport.exhausted")
+            if guarded:
+                overload.record_outcome(False, sim.now)
             if self.obs.enabled:
                 self.obs.metrics.count("transport.exhausted")
             if not self.degraded_mode:
@@ -319,6 +459,8 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
 
         self.borrower.window.release()
         self._tx_slots.release()
+        if guarded:
+            overload.record_outcome(True, complete)
         result = AccessResult(
             issue_time=issue,
             complete_time=complete,
@@ -356,6 +498,11 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         """Charge one doomed ARQ attempt: datapath replay + timer wait."""
         tracer = self.obs.tracer
         pid = self._obs_pid or 1
+        # A software timer (``timer_from_send``) can fire while the
+        # attempt is still queued at the gate; clamp the grant into the
+        # attempt's interval so the blame rows tile [attempt_start,
+        # wake] exactly instead of leaking past the next attempt.
+        grant = min(max(grant, attempt_start), wake)
         if grant > attempt_start:
             tracer.add_blame(
                 "retry", attempt_start, grant, pid=pid, seq=seq, resource="transport.arq"
@@ -388,6 +535,60 @@ class ReliableThymesisFlowSystem(ThymesisFlowSystem):
         for cat, start, end, resource in spans:
             if end > start:
                 tracer.add_blame(cat, start, end, pid=pid, seq=seq, resource=resource)
+
+    # ------------------------------------------------------------------
+    # Overload-failure accounting
+    # ------------------------------------------------------------------
+    def _count_overload_failure(self, reason: str) -> None:
+        """Count one overload fail-fast under ``overload.<reason>``."""
+        self.stats.count(f"overload.{reason}")
+        if self.obs.enabled:
+            self.obs.metrics.count(f"overload.{reason}")
+
+    def _overload_failed(
+        self,
+        exc: OverloadError,
+        seq: int,
+        issue: Time,
+        attempt_start: Time,
+        traffic_class: TrafficClass,
+        blaming: bool,
+    ) -> None:
+        """Release resources and account one overload fail-fast.
+
+        The failed transaction still gets a blame envelope: the
+        interval since the last attempt boundary is charged ``backoff``
+        on the failing overload resource (``overload.deadline`` /
+        ``overload.retry_budget`` / ``overload.shed`` /
+        ``overload.breaker``) so attribution rows tile
+        ``[issue, fail_at]`` exactly and ``repro obs attrib`` shows the
+        suppression explicitly.
+        """
+        sim = self.sim
+        self.borrower.window.release()
+        self._tx_slots.release()
+        self.transport.buffer.ack(seq)  # idempotent; frees the replay slot
+        reason = exc.blame_resource.rsplit(".", 1)[1]
+        self._count_overload_failure(reason)
+        if self.obs.enabled and isinstance(exc, OverloadShed):
+            self.obs.metrics.count(
+                f"overload.shed.{traffic_class.name.lower()}"
+            )
+        self.overload.record_outcome(False, sim.now)
+        fail_at = sim.now
+        if blaming and self.obs.enabled and self.obs.tracer.enabled and fail_at > issue:
+            tracer = self.obs.tracer
+            pid = self._obs_pid or 1
+            if fail_at > attempt_start:
+                tracer.add_blame(
+                    "backoff",
+                    attempt_start,
+                    fail_at,
+                    pid=pid,
+                    seq=seq,
+                    resource=exc.blame_resource,
+                )
+            tracer.add_request(seq, issue, fail_at, pid=pid)
 
     def _classify_reverse(
         self,

@@ -134,6 +134,16 @@ class LintConfig:
         "repro/core/resilience/failures.py",
     )
 
+    #: Packages whose while-True retry loops are sanctioned for SIM013:
+    #: supervisor paths (the heartbeat supervisor reviving crashed sweep
+    #: workers, the resilience restart machinery) retry forever by
+    #: contract — restarting work *is* the loop's purpose, and the
+    #: supervised points themselves carry the retry budgets.
+    retry_sanctioned_fragments: tuple[str, ...] = (
+        "repro/perf/",
+        "repro/resilience/",
+    )
+
     def is_rng_sanctioned(self, path: str) -> bool:
         """True if *path* may construct raw generators (the registry)."""
         norm = "/" + path.replace("\\", "/").lstrip("/")
@@ -179,6 +189,14 @@ class LintConfig:
         """True if *path* may build malformed literal schedules (SIM011)."""
         norm = "/" + path.replace("\\", "/").lstrip("/")
         return any(norm.endswith("/" + s) for s in self.outage_sanctioned_suffixes)
+
+    def is_retry_sanctioned(self, path: str) -> bool:
+        """True if *path* may loop retries unbounded (supervisors, SIM013)."""
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(
+            f"/{frag.strip('/')}/" in norm
+            for frag in self.retry_sanctioned_fragments
+        )
 
 
 class Rule:

@@ -1,4 +1,4 @@
-"""The simlint rule set (SIM001..SIM012).
+"""The simlint rule set (SIM001..SIM013).
 
 Each rule encodes one determinism / unit-safety invariant the simulator
 depends on for bit-reproducible runs (see docs/ARCHITECTURE.md,
@@ -42,6 +42,7 @@ __all__ = [
     "BlameVocabularyRule",
     "OutageWindowRule",
     "AdHocEventHeapRule",
+    "UnboundedRetryRule",
     "CrossModuleFloatTimeRule",
     "SnapshotCompletenessRule",
     "WorkerSharedStateRule",
@@ -962,6 +963,116 @@ class AdHocEventHeapRule(Rule):
                     "a private heap is a shadow event frontier the kernel "
                     "cannot snapshot or compact — schedule through the "
                     "Simulator instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# SIM013 — retry loops are bounded by a budget, deadline, or attempt cap
+# ----------------------------------------------------------------------
+
+#: Call names (final segment) that (re-)issue work on a shared resource.
+_RETRY_ACTION_CALLS = frozenset(
+    {
+        "send",
+        "transmit",
+        "transmit_packet",
+        "reserve",
+        "acquire",
+        "admit",
+        "request",
+        "replay",
+    }
+)
+
+#: Call names (final segment) that bound a retry loop: they charge a
+#: budget, check a deadline, or raise when the allowance is spent.
+_RETRY_BOUND_CALLS = frozenset(
+    {
+        "charge_retry",
+        "check_deadline",
+        "try_charge",
+        "expired",
+        "clamp_wake",
+    }
+)
+
+#: Identifier fragments in a comparison that indicate an attempt cap.
+_RETRY_BOUND_NAME_HINTS = ("budget", "max_retries", "deadline", "attempt", "retries")
+
+#: Exception-name fragments whose raise terminates a retry loop.
+_RETRY_BOUND_RAISE_HINTS = ("Exhausted", "Exceeded", "Overload", "Shed", "CircuitOpen")
+
+
+def _bare_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register
+class UnboundedRetryRule(Rule):
+    code = "SIM013"
+    name = "unbounded-retry"
+    rationale = (
+        "An ARQ/admission retry loop with no retry budget, deadline, or "
+        "attempt cap is the raw material of a metastable failure: under "
+        "overload every attempt times out, each timeout re-issues the "
+        "work, and the storm sustains collapse after the trigger clears "
+        "(the `metastable` experiment reproduces exactly this).  A "
+        "while-True loop that re-issues work after a simulated wait "
+        "must consult a bounding mechanism — charge_retry / try_charge "
+        "/ check_deadline / an attempt-count comparison — or raise an "
+        "Exhausted/Exceeded/Overload error.  Supervisor restart loops "
+        "are sanctioned by path: reviving crashed workers forever is "
+        "their contract, and the supervised work carries the budgets."
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        assert module.tree is not None
+        if config.is_retry_sanctioned(module.rel):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.Constant) and test.value is True):
+                continue
+            has_action = has_wait = has_bound = False
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Yield, ast.YieldFrom, ast.Await)):
+                    has_wait = True
+                elif isinstance(sub, ast.Call):
+                    name = _bare_name(sub.func)
+                    if name is None:
+                        continue
+                    if name in _RETRY_ACTION_CALLS:
+                        has_action = True
+                    low = name.lower()
+                    if name in _RETRY_BOUND_CALLS or "budget" in low or "deadline" in low:
+                        has_bound = True
+                elif isinstance(sub, ast.Raise) and sub.exc is not None:
+                    exc = sub.exc
+                    ename = _bare_name(exc.func) if isinstance(exc, ast.Call) else _bare_name(exc)
+                    if ename and any(h in ename for h in _RETRY_BOUND_RAISE_HINTS):
+                        has_bound = True
+                elif isinstance(sub, ast.Compare):
+                    for side in (sub.left, *sub.comparators):
+                        sname = _bare_name(side)
+                        if sname and any(
+                            h in sname.lower() for h in _RETRY_BOUND_NAME_HINTS
+                        ):
+                            has_bound = True
+            if has_action and has_wait and not has_bound:
+                yield self.finding(
+                    module,
+                    node,
+                    "while-True loop re-issues work after a simulated wait "
+                    "with no retry budget, deadline, or attempt cap; under "
+                    "overload this loop is a retry storm — charge a budget "
+                    "(transport.charge_retry / RetryBudget.try_charge), "
+                    "check a deadline, or cap attempts",
                 )
 
 

@@ -1,0 +1,383 @@
+"""Unit tests for the overload-control layer (repro.core.overload).
+
+Covers the four protections in isolation — deadline arithmetic, the
+retry-budget token bucket, admission policies, and the circuit-breaker
+automaton — plus the :class:`OverloadConfig` validation surface and the
+:class:`OverloadControl` bundle that wires them into a datapath.
+"""
+
+import pytest
+
+from repro.control.qos import admission_weights
+from repro.core.overload import (
+    AdmissionPolicy,
+    BreakerState,
+    CircuitBreaker,
+    DeadlineClock,
+    OverloadConfig,
+    OverloadControl,
+    PriorityAdmission,
+    QueueDepthAdmission,
+    RetryBudget,
+    check_deadline,
+    clamp_wake,
+    expired,
+    remaining,
+)
+from repro.errors import (
+    CircuitOpen,
+    ConfigError,
+    DeadlineExceeded,
+    RetryBudgetExhausted,
+)
+from repro.nic.mux import TrafficClass
+from repro.sim import RngStreams
+
+
+class TestDeadlineHelpers:
+    def test_remaining_counts_down_and_clamps(self):
+        assert remaining(None, 50) is None
+        assert remaining(100, 30) == 70
+        assert remaining(100, 100) == 0
+        assert remaining(100, 250) == 0
+
+    def test_expired_is_inclusive_at_the_deadline(self):
+        assert not expired(None, 10**15)
+        assert not expired(100, 99)
+        assert expired(100, 100)
+        assert expired(100, 101)
+
+    def test_clamp_wake_never_sleeps_past_the_deadline(self):
+        assert clamp_wake(500, None) == 500
+        assert clamp_wake(500, 800) == 500
+        assert clamp_wake(500, 300) == 300
+
+    def test_check_deadline_raises_exactly_at_expiry(self):
+        check_deadline(100, 99)  # quiet with budget left
+        check_deadline(None, 10**15)  # no deadline: never raises
+        with pytest.raises(DeadlineExceeded):
+            check_deadline(100, 100)
+
+    def test_deadline_exceeded_blames_the_deadline_resource(self):
+        with pytest.raises(DeadlineExceeded) as exc:
+            check_deadline(100, 200, what="txn")
+        assert exc.value.blame_resource == "overload.deadline"
+
+
+class TestDeadlineClock:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            DeadlineClock(0)
+
+    def test_gap_and_overdue_gap(self):
+        clock = DeadlineClock(100)
+        clock.arm(1_000)
+        assert clock.gap(1_050) == 50
+        assert clock.overdue_gap(1_100) is None  # == budget is on time
+        assert clock.overdue_gap(1_101) == 101
+
+    def test_note_is_monotone(self):
+        clock = DeadlineClock(100)
+        clock.arm(1_000)
+        clock.note(1_080)
+        clock.note(1_020)  # earlier progress must not rewind the clock
+        assert clock.last_progress == 1_080
+
+    def test_unarmed_clock_refuses_queries(self):
+        clock = DeadlineClock(100)
+        assert not clock.armed
+        with pytest.raises(RuntimeError):
+            clock.gap(0)
+        with pytest.raises(RuntimeError):
+            clock.note(0)
+
+    def test_exceeds_is_strict(self):
+        clock = DeadlineClock(100)
+        assert not clock.exceeds(100)
+        assert clock.exceeds(101)
+
+    def test_deadline_after(self):
+        assert DeadlineClock(250).deadline_after(1_000) == 1_250
+
+
+class TestRetryBudget:
+    def test_burst_then_dry(self):
+        budget = RetryBudget(ratio=0.0, burst=3)
+        assert [budget.try_charge() for _ in range(4)] == [True, True, True, False]
+        assert budget.charged == 3 and budget.denied == 1
+
+    def test_first_attempts_replenish_at_the_ratio(self):
+        budget = RetryBudget(ratio=0.5, burst=1)
+        assert budget.try_charge()  # spend the burst token
+        assert not budget.try_charge()
+        budget.note_first_attempt()  # +0.5 tokens: still short
+        assert not budget.try_charge()
+        budget.note_first_attempt()  # +0.5 tokens: exactly one whole token
+        assert budget.try_charge()
+
+    def test_milli_token_arithmetic_is_exact(self):
+        # 0.1 has no finite binary expansion; the integer milli-token
+        # bucket must still hand out exactly one token per ten first
+        # attempts with zero drift over many cycles.
+        budget = RetryBudget(ratio=0.1, burst=1)
+        assert budget.try_charge()
+        for cycle in range(50):
+            for _ in range(9):
+                budget.note_first_attempt()
+            assert not budget.try_charge(), f"early token in cycle {cycle}"
+            budget.note_first_attempt()
+            assert budget.try_charge(), f"missing token in cycle {cycle}"
+
+    def test_bucket_caps_at_burst(self):
+        budget = RetryBudget(ratio=1.0, burst=2)
+        for _ in range(100):
+            budget.note_first_attempt()
+        assert budget.tokens == 2.0
+        assert [budget.try_charge() for _ in range(3)] == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=0.1, burst=0)
+
+
+class TestAdmissionPolicies:
+    def test_null_policy_admits_everything(self):
+        policy = AdmissionPolicy()
+        assert policy.admit(None, 10**6, 10**15)
+        assert policy.describe() == "none"
+
+    def test_queue_depth_target_is_inclusive(self):
+        policy = QueueDepthAdmission(sojourn_target_ps=4_500)
+        assert policy.admit(TrafficClass.BULK, 100, 4_500)
+        assert not policy.admit(TrafficClass.BULK, 0, 4_501)
+
+    def test_queue_depth_cap(self):
+        policy = QueueDepthAdmission(sojourn_target_ps=10**9, max_depth=5)
+        assert policy.admit(None, 4, 0)
+        assert not policy.admit(None, 5, 0)
+
+    def test_priority_targets_follow_class_order(self):
+        policy = PriorityAdmission(8_000, admission_weights())
+        targets = {cls: policy.target_for(cls) for cls in TrafficClass}
+        assert (
+            targets[TrafficClass.BULK]
+            < targets[TrafficClass.NORMAL]
+            < targets[TrafficClass.LATENCY_SENSITIVE]
+        )
+        assert targets[TrafficClass.LATENCY_SENSITIVE] == 8_000
+
+    def test_priority_sheds_bulk_first_at_equal_sojourn(self):
+        policy = PriorityAdmission(8_000, admission_weights())
+        sojourn = 3_000  # above bulk's 2000, below normal's 4000
+        assert not policy.admit(TrafficClass.BULK, 3, sojourn)
+        assert policy.admit(TrafficClass.NORMAL, 3, sojourn)
+        assert policy.admit(TrafficClass.LATENCY_SENSITIVE, 3, sojourn)
+
+    def test_priority_classless_traffic_is_normal(self):
+        policy = PriorityAdmission(8_000, admission_weights())
+        assert policy.target_for(None) == policy.target_for(TrafficClass.NORMAL)
+
+    def test_priority_validation(self):
+        with pytest.raises(ValueError):
+            PriorityAdmission(0, admission_weights())
+        with pytest.raises(ValueError):
+            PriorityAdmission(8_000, {TrafficClass.NORMAL: 1.0})  # missing classes
+        bad = dict(admission_weights())
+        bad[TrafficClass.BULK] = 1.5
+        with pytest.raises(ValueError):
+            PriorityAdmission(8_000, bad)
+
+
+class TestOverloadConfig:
+    def test_default_config_is_fully_disabled(self):
+        config = OverloadConfig()
+        assert not config.enabled
+        control = OverloadControl.build(config)
+        assert not control.enabled
+        assert control.deadline_for(123) is None
+        control.charge_retry(seq=1)  # no budget: a free no-op
+        assert control.admit(TrafficClass.BULK, 10**6, 10**15)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_ps": 0},
+            {"retry_budget_ratio": -0.5},
+            {"admission": "random-drop"},
+            {"admission": "queue"},  # missing sojourn target
+            {"lender_admission": True},  # admission still "none"
+            {"hedge_after_ps": -1},
+        ],
+    )
+    def test_invalid_configs_are_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            OverloadConfig(**kwargs)
+
+    def test_full_ladder_builds_every_piece(self):
+        config = OverloadConfig(
+            deadline_ps=40_000_000,
+            retry_budget_ratio=0.1,
+            admission="priority",
+            admission_target_ps=6_000_000,
+            lender_admission=True,
+            breaker_enabled=True,
+        )
+        control = OverloadControl.build(config, rng=RngStreams(7))
+        assert control.enabled
+        assert control.deadline_for(1_000) == 1_000 + 40_000_000
+        assert isinstance(control.retry_budget, RetryBudget)
+        assert isinstance(control.admission, PriorityAdmission)
+        assert control.lender_admission
+        assert isinstance(control.breaker, CircuitBreaker)
+
+
+class TestOverloadControl:
+    def test_charge_retry_raises_with_attempt_history(self):
+        control = OverloadControl.build(
+            OverloadConfig(retry_budget_ratio=0.0, retry_budget_burst=1)
+        )
+        control.charge_retry(seq=7)
+        history = ((1, 6_000_000, "timeout"),)
+        with pytest.raises(RetryBudgetExhausted) as exc:
+            control.charge_retry(seq=7, attempts=history)
+        assert exc.value.attempts == history
+        assert exc.value.blame_resource == "overload.retry_budget"
+
+    def test_record_shed_counts_per_class_and_defaults_to_normal(self):
+        control = OverloadControl()
+        control.record_shed(TrafficClass.BULK)
+        control.record_shed(TrafficClass.BULK)
+        control.record_shed(None)
+        assert control.shed_by_class == {
+            TrafficClass.BULK: 2,
+            TrafficClass.NORMAL: 1,
+        }
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout_ps", 100)
+        kwargs.setdefault("backoff", 2.0)
+        return CircuitBreaker(**kwargs)
+
+    def test_trips_after_consecutive_failures_only(self):
+        breaker = self.make()
+        breaker.record_failure(10)
+        breaker.record_failure(20)
+        breaker.record_success(25)  # resets the consecutive count
+        breaker.record_failure(30)
+        breaker.record_failure(40)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(50)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert breaker.probe_at == 150
+
+    def test_open_fails_fast_until_the_probe_time(self):
+        breaker = self.make()
+        for t in (10, 20, 30):
+            breaker.record_failure(t)
+        assert not breaker.allow(30)
+        assert not breaker.allow(129)
+        assert breaker.fast_fails == 2
+        with pytest.raises(CircuitOpen):
+            breaker.check(129)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = self.make()
+        for t in (10, 20, 30):
+            breaker.record_failure(t)
+        assert breaker.allow(130)  # the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(131)  # concurrent arrivals still fail fast
+        assert breaker.probes == 1
+
+    def test_probe_success_closes_and_resets_the_ladder(self):
+        breaker = self.make()
+        for t in (10, 20, 30):
+            breaker.record_failure(t)
+        assert breaker.allow(130)
+        breaker.record_success(140)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+        # A fresh trip starts back at the base reset timeout.
+        for t in (200, 210, 220):
+            breaker.record_failure(t)
+        assert breaker.probe_at == 220 + 100
+
+    def test_probe_failure_backs_off_exponentially(self):
+        breaker = self.make()
+        for t in (0, 1, 2):
+            breaker.record_failure(t)
+        assert breaker.probe_at == 2 + 100
+        assert breaker.allow(102)
+        breaker.record_failure(110)  # probe 1 fails: delay doubles
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.probe_at == 110 + 200
+        assert breaker.allow(310)
+        breaker.record_failure(320)  # probe 2 fails: doubles again
+        assert breaker.probe_at == 320 + 400
+        assert breaker.trips == 3
+
+    def test_backoff_caps_at_max_reset(self):
+        breaker = self.make(max_reset_ps=250)
+        for t in (0, 1, 2):
+            breaker.record_failure(t)
+        for _ in range(5):  # every probe fails
+            probe_at = breaker.probe_at
+            assert breaker.allow(probe_at)
+            breaker.record_failure(probe_at)
+        assert breaker.probe_at - probe_at == 250
+
+    def test_straggler_failures_while_open_change_nothing(self):
+        breaker = self.make()
+        for t in (0, 1, 2):
+            breaker.record_failure(t)
+        probe_at = breaker.probe_at
+        breaker.record_failure(50)  # pre-trip traffic draining
+        assert breaker.trips == 1 and breaker.probe_at == probe_at
+
+    def test_note_health_folds_control_plane_reports(self):
+        breaker = self.make()
+        breaker.note_health("suspect", 10)
+        assert breaker.consecutive_failures == 1
+        breaker.note_health("alive", 20)
+        assert breaker.consecutive_failures == 0
+        breaker.note_health("dead", 30)
+        assert breaker.state is BreakerState.OPEN
+        with pytest.raises(ValueError):
+            breaker.note_health("zombie", 40)
+
+    def test_jitter_draws_are_deterministic_per_seed(self):
+        def probe_schedule(seed):
+            control = OverloadControl.build(
+                OverloadConfig(
+                    breaker_enabled=True,
+                    breaker_failure_threshold=1,
+                    breaker_reset_ps=1_000,
+                    breaker_jitter_ps=500,
+                ),
+                rng=RngStreams(seed),
+            )
+            breaker = control.breaker
+            schedule = []
+            now = 0
+            for _ in range(6):
+                breaker.record_failure(now)
+                schedule.append(breaker.probe_at)
+                now = breaker.probe_at
+                assert breaker.allow(now)  # half-open probe, then fail again
+            return schedule
+
+        a, b = probe_schedule(42), probe_schedule(42)
+        assert a == b
+        assert probe_schedule(43) != a
+        # Jitter stays within [0, jitter_ps] on top of the backoff ladder.
+        base = 0
+        delay = 1_000
+        for probe_at, failed_at in zip(a, [0] + a[:-1]):
+            assert failed_at + delay <= probe_at <= failed_at + delay + 500
+            delay = min(delay * 2, 1_000 * 64)

@@ -18,10 +18,11 @@ def codes(source, rel="x.py", select=None):
 
 
 class TestRegistry:
-    def test_twelve_rules_registered(self):
+    def test_thirteen_rules_registered(self):
         assert [cls.code for cls in all_rules()] == [
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
             "SIM007", "SIM008", "SIM009", "SIM010", "SIM011", "SIM012",
+            "SIM013",
         ]
 
     def test_flow_registry(self):
@@ -30,7 +31,7 @@ class TestRegistry:
         assert [cls.code for cls in all_flow_rules()] == [
             "SIM003", "SIM008", "SIM009",
         ]
-        assert rule_code_span() == "SIM001..SIM012"
+        assert rule_code_span() == "SIM001..SIM013"
 
     def test_every_rule_documents_itself(self):
         for cls in all_rules():
@@ -596,6 +597,94 @@ class TestSim012AdHocEventHeap:
             "import heapq\n"
             "heapq.heappush(pending, item)  # simlint: disable=SIM012\n"
             + self.SCHEDULING
+        )
+        assert codes(src) == []
+
+
+class TestSim013UnboundedRetry:
+    #: A while-True ARQ loop: transmit, wait on the timer, go again.
+    STORM = (
+        "def drive(sim, transport, packet):\n"
+        "    while True:\n"
+        "        transport.send(packet)\n"
+        "        yield Timeout(sim, 6_000_000)\n"
+    )
+
+    def test_unbounded_arq_loop_flagged(self):
+        assert codes(self.STORM) == ["SIM013"]
+
+    def test_budget_charge_bounds_the_loop(self):
+        src = (
+            "def drive(sim, transport, packet):\n"
+            "    while True:\n"
+            "        transport.send(packet)\n"
+            "        yield Timeout(sim, 6_000_000)\n"
+            "        transport.charge_retry(packet, 1, sim.now)\n"
+        )
+        assert codes(src) == []
+
+    def test_deadline_check_bounds_the_loop(self):
+        src = (
+            "def drive(sim, transport, packet):\n"
+            "    while True:\n"
+            "        check_deadline(deadline, sim.now)\n"
+            "        transport.send(packet)\n"
+            "        yield Timeout(sim, 6_000_000)\n"
+        )
+        assert codes(src) == []
+
+    def test_attempt_cap_comparison_bounds_the_loop(self):
+        src = (
+            "def drive(sim, transport, packet):\n"
+            "    attempt = 0\n"
+            "    while True:\n"
+            "        transport.send(packet)\n"
+            "        yield Timeout(sim, 6_000_000)\n"
+            "        attempt += 1\n"
+            "        if attempt > 5:\n"
+            "            break\n"
+        )
+        assert codes(src) == []
+
+    def test_exhaustion_raise_bounds_the_loop(self):
+        src = (
+            "def drive(sim, transport, packet):\n"
+            "    while True:\n"
+            "        transport.send(packet)\n"
+            "        yield Timeout(sim, 6_000_000)\n"
+            "        if transport.spent():\n"
+            "            raise RetryExhausted('gave up')\n"
+        )
+        assert codes(src) == []
+
+    def test_bounded_for_loop_quiet(self):
+        src = (
+            "def drive(sim, transport, packet):\n"
+            "    for _ in range(5):\n"
+            "        transport.send(packet)\n"
+            "        yield Timeout(sim, 6_000_000)\n"
+        )
+        assert codes(src) == []
+
+    def test_loop_without_reissue_quiet(self):
+        # A pure consumer loop (recv + bookkeeping) re-issues nothing.
+        src = (
+            "def serve(sim, channel):\n"
+            "    while True:\n"
+            "        item = yield channel.recv()\n"
+            "        process(item)\n"
+        )
+        assert codes(src) == []
+
+    def test_supervisor_path_sanctioned(self):
+        assert codes(self.STORM, rel="src/repro/perf/supervisor.py") == []
+
+    def test_inline_suppression(self):
+        src = (
+            "def drive(sim, transport, packet):\n"
+            "    while True:  # simlint: disable=SIM013\n"
+            "        transport.send(packet)\n"
+            "        yield Timeout(sim, 6_000_000)\n"
         )
         assert codes(src) == []
 
